@@ -1,0 +1,72 @@
+"""Ablation — fused vs separate kernels (§2.1's fourth design principle).
+
+The paper fuses hashing, map probing, label propagation and serialization
+into a single kernel to avoid per-launch latency.  This bench runs the
+Tree engine both ways and prices the difference: unfused launches one
+kernel per pass per tree level, so its simulated time carries
+O(levels) x launch-latency of pure overhead per checkpoint.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bench.reporting import header
+from repro.core import TreeDedup
+from repro.gpusim import KernelCostModel, a100
+from repro.utils.rng import seeded_rng
+
+try:
+    from conftest import run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import run_once  # type: ignore
+
+
+def run(data_len: int = 8 << 20, chunk_size: int = 128, steps: int = 5) -> str:
+    rng = seeded_rng(7)
+    base = rng.integers(0, 256, data_len, dtype=np.uint8)
+    model = KernelCostModel(a100())
+    lines = [
+        header("Ablation — kernel fusion (Tree method, A100 model)"),
+        f"{'mode':<10s}{'launches/ckpt':>15s}{'kernel time':>15s}{'total time':>15s}",
+    ]
+    results = {}
+    for fused in (True, False):
+        engine = TreeDedup(data_len, chunk_size, fused=fused)
+        engine.checkpoint(base)
+        cur = base.copy()
+        kernel_s = 0.0
+        total_s = 0.0
+        launches = 0
+        for step in range(steps):
+            cur = cur.copy()
+            at = rng.integers(0, data_len - 4096)
+            cur[at : at + 4096] = rng.integers(0, 256, 4096, dtype=np.uint8)
+            engine.checkpoint(cur)
+            cost = model.price(engine.space.ledger)
+            kernel_s += cost.kernel_seconds
+            total_s += cost.total_seconds
+            launches += engine.space.ledger.total_launches
+        mode = "fused" if fused else "unfused"
+        results[mode] = total_s
+        lines.append(
+            f"{mode:<10s}{launches / steps:>15.1f}{kernel_s / steps * 1e6:>13.1f}us"
+            f"{total_s / steps * 1e6:>13.1f}us"
+        )
+    lines.append(
+        f"\nfusion speedup: {results['unfused'] / results['fused']:.2f}x "
+        f"(per-checkpoint device time)"
+    )
+    return "\n".join(lines)
+
+
+def test_ablation_fusion(benchmark, capsys):
+    table = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run())

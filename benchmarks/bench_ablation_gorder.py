@@ -1,0 +1,68 @@
+"""Ablation — Gorder pre-processing (§3.2).
+
+The paper reorders every input graph with Gorder before running ORANGES.
+The ordering controls where GDV updates land in the buffer: connected
+vertices processed together produce spatially clustered updates, which
+changes both cache behaviour (the paper's motivation) and the dedup
+engines' consolidation opportunities.  This bench measures the locality
+objective and the resulting stored bytes with Gorder on and off.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bench.reporting import header
+from repro.graphs import generate, gorder, locality_score
+from repro.oranges import OrangesApp
+from repro.utils.units import format_bytes
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run(num_vertices: int, graph_name: str = "delaunay") -> str:
+    raw = generate(graph_name, num_vertices, seed=1)
+    order = gorder(raw)
+    loc_before = locality_score(raw, np.arange(raw.num_vertices))
+    loc_after = locality_score(raw, order)
+
+    lines = [
+        header(f"Ablation — Gorder ({graph_name}, |V|≈{num_vertices})"),
+        f"locality objective: natural order {loc_before:.3f} → gorder {loc_after:.3f}",
+        "",
+        f"{'config':<14s}{'tree stored':>14s}{'tree ratio':>12s}"
+        f"{'basic stored':>14s}{'basic ratio':>12s}",
+    ]
+    for flag in (False, True):
+        app = OrangesApp(
+            graph_name, num_vertices=num_vertices, seed=1, apply_gorder=flag
+        )
+        backends = {
+            "tree": app.make_backend("tree", chunk_size=128),
+            "basic": app.make_backend("basic", chunk_size=128),
+        }
+        app.run(backends, num_checkpoints=10)
+        label = "gorder" if flag else "natural"
+        lines.append(
+            f"{label:<14s}"
+            f"{format_bytes(backends['tree'].record.total_stored_bytes()):>14s}"
+            f"{backends['tree'].dedup_ratio():>11.2f}x"
+            f"{format_bytes(backends['basic'].record.total_stored_bytes()):>14s}"
+            f"{backends['basic'].dedup_ratio():>11.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_gorder(benchmark, capsys):
+    table = run_once(benchmark, lambda: run(min(bench_vertices(), 1024)))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else 1024))

@@ -1,0 +1,64 @@
+"""Future-work feature — hybrid de-duplication + compression (§5).
+
+The paper proposes compressing the first-occurrence payload of the Tree
+diff to stack both reductions.  This bench runs Tree alone, Tree+codec
+for every registered codec, and each codec alone, reporting the total
+stored bytes — the hybrid should dominate both parents whenever the
+payload is compressible.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.reporting import header
+from repro.compress import get_codec, list_codecs
+from repro.oranges import OrangesApp
+from repro.utils.units import format_bytes
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run(num_vertices: int) -> str:
+    app = OrangesApp("unstructured_mesh", num_vertices=num_vertices, seed=1)
+    backends = {
+        "tree (raw)": app.make_backend("tree", chunk_size=128),
+    }
+    for codec_name in list_codecs():
+        backends[f"tree + {codec_name}"] = app.make_backend(
+            "tree", chunk_size=128, payload_codec=get_codec(codec_name)
+        )
+        backends[f"{codec_name} alone"] = app.make_backend(f"compress:{codec_name}")
+    app.run(backends, num_checkpoints=10)
+
+    rows = []
+    for label, backend in backends.items():
+        record = getattr(backend, "record", None)
+        stored = (
+            record.total_stored_bytes()
+            if record is not None
+            else sum(s.stored_bytes for s in backend.stats)
+        )
+        rows.append((stored, label))
+    rows.sort()
+    lines = [
+        header(f"Ablation — hybrid Tree+compression (unstructured_mesh, |V|≈{num_vertices})"),
+        f"{'configuration':<24s}{'total stored':>14s}{'ratio':>10s}",
+    ]
+    full = app.gdv_bytes * 10
+    for stored, label in rows:
+        lines.append(f"{label:<24s}{format_bytes(stored):>14s}{full / stored:>9.2f}x")
+    return "\n".join(lines)
+
+
+def test_ablation_hybrid(benchmark, capsys):
+    table = run_once(benchmark, lambda: run(bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))

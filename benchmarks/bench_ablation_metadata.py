@@ -1,0 +1,51 @@
+"""Ablation — metadata compaction (§2.2's core claim).
+
+Compares the metadata bytes of Tree vs List vs Basic across chunk sizes
+on the ORANGES stream: List pays one entry per non-fixed chunk (4 B first
+/ 12 B shift), Basic a bitmap bit per chunk, Tree one entry per
+consolidated region.  This isolates exactly what Fig. 2 illustrates (7
+naive entries → 3 compact entries).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import BenchConfig, MethodResult, run_chunk_size_sweep
+from repro.bench.reporting import header, metadata_table
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run(num_vertices: int) -> str:
+    config = BenchConfig(num_vertices=num_vertices, seed=1, num_checkpoints=10)
+    results = run_chunk_size_sweep(
+        "message_race",
+        config,
+        chunk_sizes=(32, 64, 128, 256),
+        methods=("basic", "list", "tree"),
+    )
+    lines = [
+        header(f"Ablation — metadata compaction (message_race, |V|≈{num_vertices})"),
+        metadata_table(results),
+    ]
+    # Headline: compaction factor at the finest granularity.
+    tree32 = next(r for r in results if r.method == "tree" and r.chunk_size == 32)
+    list32 = next(r for r in results if r.method == "list" and r.chunk_size == 32)
+    if tree32.total_metadata_bytes:
+        factor = list32.total_metadata_bytes / tree32.total_metadata_bytes
+        lines.append(f"\nmetadata reduction Tree vs List at 32 B: {factor:.2f}x")
+    return "\n".join(lines)
+
+
+def test_ablation_metadata(benchmark, capsys):
+    table = run_once(benchmark, lambda: run(bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))

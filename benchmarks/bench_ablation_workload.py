@@ -1,0 +1,64 @@
+"""Ablation — checkpointed-state layout and counting schedule.
+
+Two modelling choices in the ORANGES substrate change the *update
+pattern* the dedup engines see, without changing the final GDV:
+
+* buffer layout — vertex-major (array-of-structs, the CPU-natural layout)
+  vs orbit-major (struct-of-arrays, the GPU-coalesced layout);
+* counting schedule — per-vertex (each row finalised when its vertex is
+  processed) vs rooted (each graphlet committed at its minimum vertex,
+  updating a halo of future rows early).
+
+This bench quantifies how much each choice moves every method's dedup
+ratio — evidence for DESIGN.md's discussion of which workload the paper's
+numbers correspond to.
+"""
+
+from __future__ import annotations
+
+import sys
+from itertools import product
+
+from repro.bench.reporting import header
+from repro.oranges import OrangesApp
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run(num_vertices: int) -> str:
+    lines = [
+        header(f"Ablation — GDV layout x counting schedule (message_race, |V|≈{num_vertices})"),
+        f"{'layout':<16s}{'counting':<14s}{'tree':>8s}{'list':>8s}{'basic':>8s}",
+    ]
+    for layout, counting in product(
+        ("vertex-major", "orbit-major"), ("per-vertex", "rooted")
+    ):
+        app = OrangesApp(
+            "message_race",
+            num_vertices=num_vertices,
+            seed=1,
+            layout=layout,
+            counting=counting,
+        )
+        backends = {
+            m: app.make_backend(m, chunk_size=64) for m in ("tree", "list", "basic")
+        }
+        app.run(backends, num_checkpoints=10)
+        lines.append(
+            f"{layout:<16s}{counting:<14s}"
+            + "".join(f"{backends[m].dedup_ratio():>7.2f}x" for m in ("tree", "list", "basic"))
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_workload(benchmark, capsys):
+    table = run_once(benchmark, lambda: run(bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))

@@ -1,0 +1,59 @@
+"""Figure 4 (a-d) — impact of chunk size on de-duplication ratio and
+throughput: Tree vs Full/Basic/List on the four single-GPU graphs.
+
+Paper shapes this bench regenerates:
+  * Tree achieves the best ratio at every chunk size; its advantage is
+    largest at the smallest chunks (paper: 5x over List at 64 B on
+    Message Race; 37% on Hugebubbles at <=64 B).
+  * List's metadata grows steeply below 256 B (its ratio decline).
+  * Throughput of all dedup methods degrades for small chunks; Full's
+    flush throughput is chunk-independent and lowest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench import (
+    CHUNK_SIZES,
+    SINGLE_GPU_GRAPHS,
+    BenchConfig,
+    chunk_size_table,
+    run_chunk_size_sweep,
+)
+from repro.bench.reporting import header
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run_graph(graph: str, num_vertices: int) -> str:
+    config = BenchConfig(num_vertices=num_vertices, seed=1, num_checkpoints=10)
+    results = run_chunk_size_sweep(graph, config, chunk_sizes=CHUNK_SIZES)
+    return "\n".join(
+        [header(f"Figure 4 — {graph} (|V|≈{num_vertices})"), chunk_size_table(results)]
+    )
+
+
+def run(num_vertices: int = None) -> str:
+    """Uniform CLI entry point: all four graphs at one scale."""
+    nv = num_vertices or bench_vertices()
+    return "\n\n".join(run_graph(g, nv) for g in SINGLE_GPU_GRAPHS)
+
+
+@pytest.mark.parametrize("graph", SINGLE_GPU_GRAPHS)
+def test_fig4(benchmark, capsys, graph):
+    table = run_once(benchmark, lambda: run_graph(graph, bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    nv = int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()
+    for g in SINGLE_GPU_GRAPHS:
+        print(run_graph(g, nv))
+        print()

@@ -1,0 +1,56 @@
+"""Figure 6 (a, b) — strong scaling on the Delaunay graph, 1-64 simulated
+GPUs, Tree vs Full: total checkpoint size and aggregate throughput.
+
+Paper shapes this bench regenerates:
+  * Tree's total checkpoint size sits orders of magnitude below Full's
+    and the reduction factor grows with the process count (paper: 215x
+    at 64 GPUs — 4.33 TB down to 20 GB).
+  * Tree's aggregate throughput exceeds Full's and holds or improves as
+    processes are added (throughput is total data over the slowest
+    process, per §3.3).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.bench import BenchConfig, run_scaling_sweep, scaling_table
+from repro.bench.reporting import header
+
+try:
+    from conftest import run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import run_once  # type: ignore
+
+
+def process_counts():
+    max_p = int(os.environ.get("REPRO_BENCH_MAX_PROCS", 64))
+    return tuple(p for p in (1, 2, 4, 8, 16, 32, 64) if p <= max_p)
+
+
+def run(num_vertices: int) -> str:
+    config = BenchConfig(num_vertices=num_vertices, seed=1, num_checkpoints=10)
+    results = run_scaling_sweep(
+        process_counts=process_counts(), config=config, methods=("full", "tree")
+    )
+    return "\n".join(
+        [
+            header(
+                f"Figure 6 — strong scaling, delaunay |V|≈{num_vertices}, "
+                f"{config.num_checkpoints} checkpoints"
+            ),
+            scaling_table(results),
+        ]
+    )
+
+
+def test_fig6(benchmark, capsys):
+    nv = int(os.environ.get("REPRO_BENCH_VERTICES", 4096))
+    table = run_once(benchmark, lambda: run(nv))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else 4096))

@@ -1,0 +1,62 @@
+"""Future-work feature — scalable reconstruction (§5).
+
+Compares the I/O volume of restoring checkpoint k with the naive chain
+restorer (reconstruct 0..k, reading every diff fully) against the
+selective restorer (gather only the regions that contribute to k) on an
+ORANGES checkpoint record.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.reporting import header
+from repro.core import SelectiveRestorer
+from repro.oranges import OrangesApp
+from repro.utils.units import format_bytes
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+
+def run(num_vertices: int, num_checkpoints: int = 10) -> str:
+    app = OrangesApp("message_race", num_vertices=num_vertices, seed=1)
+    backend = app.make_backend("tree", chunk_size=128)
+    app.run({"tree": backend}, num_checkpoints=num_checkpoints)
+    diffs = backend.record.diffs
+
+    lines = [
+        header(
+            f"Scalable reconstruction — message_race |V|≈{num_vertices}, "
+            f"tree record of {num_checkpoints} checkpoints"
+        ),
+        f"{'restore k':>10s}{'chain I/O':>14s}{'selective I/O':>15s}"
+        f"{'saving':>9s}{'diffs':>7s}{'segments':>10s}{'depth':>7s}",
+    ]
+    restorer = SelectiveRestorer()
+    for k in (0, num_checkpoints // 2, num_checkpoints - 1):
+        chain_io = sum(d.serialized_size for d in diffs[: k + 1])
+        _, plan = restorer.restore(diffs, k)
+        saving = chain_io / plan.total_bytes_read if plan.total_bytes_read else 0.0
+        lines.append(
+            f"{k:>10d}{format_bytes(chain_io):>14s}"
+            f"{format_bytes(plan.total_bytes_read):>15s}{saving:>8.2f}x"
+            f"{plan.diffs_touched:>7d}{plan.segments:>10d}{plan.max_depth:>7d}"
+        )
+    lines.append(
+        "\nselective restore reads exactly data_len bytes spread across the "
+        "record; the chain restorer replays every intervening diff."
+    )
+    return "\n".join(lines)
+
+
+def test_restore(benchmark, capsys):
+    table = run_once(benchmark, lambda: run(bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))

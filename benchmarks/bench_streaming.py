@@ -1,0 +1,64 @@
+"""Future-work feature — streaming dedup/transfer overlap (§5).
+
+Re-prices real Tree checkpoints under the window-pipelined schedule of
+:class:`repro.runtime.StreamingScheduler`: window i's D2H transfer
+overlaps window i+1's de-duplication.  Reports the makespan per window
+count and the best pick — worthwhile exactly when device time and
+transfer time are comparable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bench.reporting import header
+from repro.core import TreeDedup
+from repro.gpusim import KernelCostModel, a100
+from repro.runtime import StreamingScheduler
+from repro.utils.rng import seeded_rng
+
+try:
+    from conftest import run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import run_once  # type: ignore
+
+
+def run(data_len: int = 16 << 20, chunk_size: int = 128) -> str:
+    rng = seeded_rng(9)
+    base = rng.integers(0, 256, data_len, dtype=np.uint8)
+    engine = TreeDedup(data_len, chunk_size)
+    engine.checkpoint(base)
+    # A checkpoint with a healthy mix of new data and duplicates.
+    nxt = base.copy()
+    nxt[: 2 << 20] = rng.integers(0, 256, 2 << 20, dtype=np.uint8)
+    nxt[8 << 20 : 10 << 20] = base[0 : 2 << 20]
+    engine.checkpoint(nxt)
+    cost = KernelCostModel(a100()).price(engine.space.ledger)
+
+    lines = [
+        header("Streaming overlap — window-pipelined Tree checkpoint (A100)"),
+        f"serial: kernel {cost.kernel_seconds * 1e6:.1f}us + transfer "
+        f"{cost.transfer_seconds * 1e6:.1f}us = {cost.total_seconds * 1e6:.1f}us",
+        "",
+        f"{'windows':>8s}{'makespan':>12s}{'speedup':>10s}",
+    ]
+    for w in (1, 2, 4, 8, 16, 32):
+        est = StreamingScheduler(a100(), w).estimate(cost)
+        lines.append(
+            f"{w:>8d}{est.streamed_seconds * 1e6:>10.1f}us{est.speedup:>9.2f}x"
+        )
+    best = StreamingScheduler(a100()).best_window_count(cost)
+    lines.append(f"\nbest: {best.windows} windows → {best.speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def test_streaming(benchmark, capsys):
+    table = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,64 @@
+"""Table 1 — input graph inventory (|V|, |E|, GDV size) plus the
+structural columns the paper's analysis leans on.
+
+Paper values (full scale):
+    Message Race       11,174,336 V   16,761,248 E   3.26 GB
+    Unstructured Mesh  14,418,368 V   21,627,296 E   4.21 GB
+    Asia OSM           11,950,757 V   25,423,206 E   3.49 GB
+    Hugebubbles        18,318,143 V   54,940,162 E   5.35 GB
+    Delaunay N24       16,777,216 V  100,663,202 E   4.9  GB
+
+This reproduction generates structurally-faithful graphs at laptop scale;
+the |E|/|V| column and triangle structure are the comparable quantities.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.reporting import header
+from repro.graphs import GRAPH_GENERATORS, compute_stats, generate
+from repro.utils.units import format_bytes
+
+try:
+    from conftest import bench_vertices, run_once
+except ImportError:  # direct execution
+    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+
+PAPER_EDGE_RATIO = {
+    "message_race": 16_761_248 / 11_174_336,
+    "unstructured_mesh": 21_627_296 / 14_418_368,
+    "asia_osm": 25_423_206 / 11_950_757,
+    "hugebubbles": 54_940_162 / 18_318_143,
+    "delaunay": 100_663_202 / 2 / 16_777_216,  # paper counts directed edges
+}
+
+
+def build_table(num_vertices: int) -> str:
+    lines = [
+        header(f"Table 1 — input graphs at scale |V|≈{num_vertices}"),
+        f"{'graph':<18s} {'|V|':>10s} {'|E|':>12s} {'deg':>7s} {'max':>6s} "
+        f"{'triangles':>10s} {'clust':>8s}   {'GDV size':>10s}  {'E/V (paper)':>12s}",
+    ]
+    for name in sorted(GRAPH_GENERATORS):
+        graph = generate(name, num_vertices, seed=1)
+        stats = compute_stats(name, graph)
+        gdv = format_bytes(graph.num_vertices * 73 * 4)
+        lines.append(
+            f"{stats.row()}   {gdv:>10s}  {PAPER_EDGE_RATIO[name]:>12.2f}"
+        )
+    return "\n".join(lines)
+
+
+#: Uniform bench entry point used by the repro CLI.
+run = build_table
+
+
+def test_table1(benchmark, capsys):
+    table = run_once(benchmark, lambda: build_table(bench_vertices()))
+    with capsys.disabled():
+        print("\n" + table)
+
+
+if __name__ == "__main__":
+    print(build_table(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))

@@ -1,0 +1,33 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Scale is controlled by ``REPRO_BENCH_VERTICES`` (default 2048); each bench
+prints the paper-style table to stdout (run pytest with ``-s`` to see it,
+or execute the bench file directly: ``python benchmarks/bench_fig4_chunksize.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchConfig
+
+
+def bench_vertices(default: int = 2048) -> int:
+    return int(os.environ.get("REPRO_BENCH_VERTICES", default))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig(num_vertices=bench_vertices(), seed=1, num_checkpoints=10)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are end-to-end sweeps (seconds each); statistical
+    repetition would multiply runtime without adding information — the
+    numbers of interest are the printed tables, not the wall time.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compare every checkpointing backend on one identical ORANGES stream.
+
+A miniature of the paper's Fig. 5: the four dedup methods plus all six
+compression codecs observe the same checkpoint snapshots; the table shows
+who stores least and who is fastest under the A100 cost model.
+
+Run:  python examples/method_comparison.py [num_vertices] [num_checkpoints]
+"""
+
+import sys
+
+from repro.bench import COMPRESSION_CODECS, DEDUP_METHODS
+from repro.oranges import OrangesApp
+from repro.utils.units import format_bytes
+
+num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+num_checkpoints = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+app = OrangesApp("unstructured_mesh", num_vertices=num_vertices, seed=3)
+backends = {}
+for method in DEDUP_METHODS:
+    backends[method] = app.make_backend(method, chunk_size=128)
+for codec in COMPRESSION_CODECS:
+    backends[f"compress:{codec}"] = app.make_backend(f"compress:{codec}")
+
+print(f"running ORANGES on unstructured_mesh |V|≈{num_vertices} with "
+      f"{len(backends)} backends, N={num_checkpoints} checkpoints ...\n")
+run = app.run(backends, num_checkpoints=num_checkpoints)
+
+rows = []
+for label, backend in backends.items():
+    record = getattr(backend, "record", None)
+    stored = (
+        record.total_stored_bytes()
+        if record is not None
+        else sum(s.stored_bytes for s in backend.stats)
+    )
+    rows.append(
+        (
+            stored,
+            label,
+            backend.dedup_ratio(skip_first=True),
+            backend.aggregate_throughput(skip_first=True) / 1e9,
+        )
+    )
+rows.sort()
+
+print(f"{'backend':<22s}{'total stored':>14s}{'ratio (skip-1st)':>18s}"
+      f"{'throughput':>14s}")
+for stored, label, ratio, thpt in rows:
+    print(f"{label:<22s}{format_bytes(stored):>14s}{ratio:>17.2f}x"
+          f"{thpt:>11.2f} GB/s")
+
+best_dedup = min(r for r in rows if not r[1].startswith("compress"))
+print(f"\nbest de-duplication backend: {best_dedup[1]} "
+      f"({format_bytes(best_dedup[0])} total)")
+print("note: de-dup ratios grow with N while compression stays flat — "
+      "rerun with N=20 to watch the gap close (the paper's Fig. 5 trend).")

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Multi-level asynchronous flushing — the Fig. 3 architecture story.
+
+Drives a high-frequency checkpoint cadence through the host → SSD → PFS
+hierarchy twice: once shipping full checkpoints, once shipping Tree
+diffs.  With full checkpoints the host staging buffer fills and the
+application blocks; with de-duplicated diffs the hierarchy keeps up.
+
+Run:  python examples/multilevel_runtime.py
+"""
+
+import numpy as np
+
+from repro.core import ENGINES
+from repro.runtime import AsyncFlushPipeline, StorageTier
+from repro.utils.rng import seeded_rng
+from repro.utils.units import MB, format_bytes
+
+CHECKPOINT_BYTES = 8 * MB
+INTERVAL_SECONDS = 0.004          # 4 ms checkpoint cadence (adjoint-style)
+NUM_CHECKPOINTS = 24
+
+rng = seeded_rng(11)
+base = rng.integers(0, 256, CHECKPOINT_BYTES, dtype=np.uint8)
+
+
+def make_pipeline():
+    # A deliberately tight staging budget: 2 checkpoints' worth of host
+    # memory, a 2 GB/s host drain, a 1.5 GB/s SSD drain.
+    return AsyncFlushPipeline(
+        [
+            StorageTier("host", 2 * CHECKPOINT_BYTES, 1.0e9),
+            StorageTier("ssd", 500 * CHECKPOINT_BYTES, 0.8e9),
+            StorageTier("pfs", 100_000 * CHECKPOINT_BYTES, 250.0e9),
+        ]
+    )
+
+
+for method in ("full", "tree"):
+    engine = ENGINES[method](CHECKPOINT_BYTES, 128)
+    pipeline = make_pipeline()
+    state = base.copy()
+    shipped = 0
+    for step in range(NUM_CHECKPOINTS):
+        diff = engine.checkpoint(state)
+        pipeline.submit(f"ck{step}", diff.serialized_size, now=step * INTERVAL_SECONDS)
+        shipped += diff.serialized_size
+        # Sparse updates between checkpoints.
+        state = state.copy()
+        at = rng.integers(0, CHECKPOINT_BYTES - 8192)
+        state[at : at + 8192] = rng.integers(0, 256, 8192, dtype=np.uint8)
+
+    peaks = pipeline.peak_usage()
+    print(f"method={method:<5s} shipped={format_bytes(shipped):>10s}  "
+          f"app blocked={pipeline.total_blocked_seconds * 1e3:7.1f} ms  "
+          f"all durable at t={pipeline.last_persisted_at * 1e3:8.1f} ms  "
+          f"host peak={format_bytes(peaks['host'])}")
+
+print("\nfull checkpoints outrun the staging hierarchy and block the "
+      "application; tree diffs keep every tier shallow (paper §2.3).")

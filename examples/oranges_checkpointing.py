@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""ORANGES with incremental checkpointing — the paper's driver workload.
+
+Generates a Message Race event graph, applies Gorder, runs the graphlet
+degree vector computation with ten evenly-spaced checkpoints through the
+Tree engine, then restores an intermediate GDV state and verifies it.
+
+Run:  python examples/oranges_checkpointing.py [num_vertices]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.oranges import GdvEngine, OrangesApp
+from repro.utils.units import format_bytes, format_ratio
+
+num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+
+print(f"generating message_race graph (|V|≈{num_vertices}) + Gorder ...")
+app = OrangesApp("message_race", num_vertices=num_vertices, seed=7)
+graph = app.graph
+print(f"graph: |V|={graph.num_vertices:,} |E|={graph.num_edges:,}  "
+      f"GDV buffer: {format_bytes(app.gdv_bytes)} "
+      f"({graph.num_vertices:,} vertices x 73 orbits x 4 B)")
+
+backend = app.make_backend("tree", chunk_size=128)
+run = app.run({"tree": backend}, num_checkpoints=10)
+
+print(f"\nenumerated {run.subgraphs_enumerated:,} graphlets across "
+      f"{run.num_checkpoints} checkpoint intervals\n")
+print(f"{'ckpt':>4s} {'stored':>12s} {'payload':>12s} {'metadata':>10s} "
+      f"{'first':>7s} {'shift':>7s}")
+for stats in backend.record.stats:
+    print(
+        f"{stats.ckpt_id:>4d} {format_bytes(stats.stored_bytes):>12s} "
+        f"{format_bytes(stats.payload_bytes):>12s} "
+        f"{format_bytes(stats.metadata_bytes):>10s} "
+        f"{stats.num_first:>7d} {stats.num_shift:>7d}"
+    )
+
+print(f"\nrecord de-duplication ratio: {format_ratio(backend.dedup_ratio())} "
+      f"(excluding the initial full checkpoint: "
+      f"{format_ratio(backend.dedup_ratio(skip_first=True))})")
+print(f"aggregate throughput (simulated A100): "
+      f"{backend.aggregate_throughput() / 1e9:.2f} GB/s")
+
+# Restore checkpoint 5 and verify it equals the GDV state at that point.
+print("\nverifying restore of checkpoint 5 against a recomputed run ...")
+reference = GdvEngine(app.graph, app.max_graphlet_size)
+snapshots = list(reference.checkpoint_stream(10))
+# snapshots are live views; recompute to capture ckpt 5 precisely.
+reference = GdvEngine(app.graph, app.max_graphlet_size)
+want = None
+for i, snap in enumerate(reference.checkpoint_stream(10)):
+    if i == 5:
+        want = snap.copy()
+        break
+restored = backend.restore(5)
+assert np.array_equal(restored, want.reshape(-1).view(np.uint8))
+print("checkpoint 5 reconstructed byte-exactly")

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Strong-scaling demo — a miniature of the paper's Fig. 6.
+
+Partitions a Delaunay graph across 1..16 simulated GPU processes (one
+ORANGES instance per rank, ThetaGPU node topology for PCIe contention),
+checkpointing through Tree and Full, and prints total checkpoint sizes
+and aggregate throughput per scale.
+
+Run:  python examples/scaling_demo.py [num_vertices]
+"""
+
+import sys
+
+from repro.graphs import generate
+from repro.runtime import StrongScalingDriver
+from repro.utils.units import format_bytes
+
+num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+process_counts = (1, 2, 4, 8, 16)
+
+print(f"generating delaunay graph |V|={num_vertices} ...")
+graph = generate("delaunay", num_vertices, seed=1)
+
+results = {}
+for method in ("full", "tree"):
+    driver = StrongScalingDriver(graph, method=method, chunk_size=128)
+    results[method] = {}
+    for p in process_counts:
+        results[method][p] = driver.run(p, num_checkpoints=10)
+        r = results[method][p]
+        print(f"  {method:<5s} P={p:<3d} stored={format_bytes(r.total_stored_bytes):>10s}  "
+              f"throughput={r.aggregate_throughput / 1e9:7.2f} GB/s")
+
+print(f"\n{'P':>3s} {'full size':>12s} {'tree size':>12s} {'reduction':>10s} "
+      f"{'full GB/s':>10s} {'tree GB/s':>10s}")
+for p in process_counts:
+    full = results["full"][p]
+    tree = results["tree"][p]
+    reduction = full.total_stored_bytes / tree.total_stored_bytes
+    print(f"{p:>3d} {format_bytes(full.total_stored_bytes):>12s} "
+          f"{format_bytes(tree.total_stored_bytes):>12s} {reduction:>9.1f}x "
+          f"{full.aggregate_throughput / 1e9:>10.2f} "
+          f"{tree.aggregate_throughput / 1e9:>10.2f}")
+
+print("\nthe reduction factor grows with scale and tree throughput holds — "
+      "the paper reports 215x and near-order-of-magnitude throughput gains "
+      "at 64 GPUs on the full-size Delaunay N24.")

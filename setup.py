@@ -1,0 +1,7 @@
+"""Setup shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels (no `wheel` package available offline). All real metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

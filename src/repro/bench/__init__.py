@@ -1,0 +1,39 @@
+"""Benchmark harness: experiment runners + paper-style table formatting."""
+
+from .harness import (
+    CHECKPOINT_COUNTS,
+    CHUNK_SIZES,
+    COMPRESSION_CODECS,
+    DEDUP_METHODS,
+    SINGLE_GPU_GRAPHS,
+    BenchConfig,
+    MethodResult,
+    run_chunk_size_sweep,
+    run_frequency_sweep,
+    run_scaling_sweep,
+)
+from .reporting import (
+    chunk_size_table,
+    frequency_table,
+    header,
+    metadata_table,
+    scaling_table,
+)
+
+__all__ = [
+    "CHECKPOINT_COUNTS",
+    "CHUNK_SIZES",
+    "COMPRESSION_CODECS",
+    "DEDUP_METHODS",
+    "SINGLE_GPU_GRAPHS",
+    "BenchConfig",
+    "MethodResult",
+    "run_chunk_size_sweep",
+    "run_frequency_sweep",
+    "run_scaling_sweep",
+    "chunk_size_table",
+    "frequency_table",
+    "header",
+    "metadata_table",
+    "scaling_table",
+]

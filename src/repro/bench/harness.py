@@ -1,0 +1,212 @@
+"""Shared experiment runners behind every benchmark in ``benchmarks/``.
+
+Each figure/table of the paper's evaluation maps to one runner here; the
+``benchmarks/bench_*.py`` files are thin pytest-benchmark wrappers plus
+standalone ``__main__`` entry points that print the paper-style rows.
+
+All runners share one principle: every compared backend observes the
+*identical* GDV snapshot stream (the app is executed once per
+configuration), exactly like the paper runs all methods on the same
+application trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..compress.base import list_codecs
+from ..graphs.generators import generate
+from ..oranges.app import OrangesApp
+from ..runtime.scaling import StrongScalingDriver
+from ..utils.validation import positive_int
+
+#: The four single-GPU input graphs of Figs. 4–5 (Table 1 minus Delaunay).
+SINGLE_GPU_GRAPHS = (
+    "message_race",
+    "unstructured_mesh",
+    "asia_osm",
+    "hugebubbles",
+)
+
+#: Paper chunk-size axis (Fig. 4).
+CHUNK_SIZES = (32, 64, 128, 256, 512)
+
+#: Paper checkpoint-frequency axis (Fig. 5).
+CHECKPOINT_COUNTS = (5, 10, 20)
+
+#: Dedup methods compared throughout.
+DEDUP_METHODS = ("full", "basic", "list", "tree")
+
+#: Compression codecs compared in Fig. 5.
+COMPRESSION_CODECS = ("lz4sim", "snappysim", "cascaded", "bitcomp", "deflate", "zstdsim")
+
+
+@dataclass
+class BenchConfig:
+    """Scale and determinism knobs shared by all runners."""
+
+    num_vertices: int = 2048
+    seed: int = 1
+    num_checkpoints: int = 10
+    max_graphlet_size: int = 4
+    apply_gorder: bool = True
+
+    def __post_init__(self) -> None:
+        positive_int(self.num_vertices, "num_vertices")
+        positive_int(self.num_checkpoints, "num_checkpoints")
+
+
+@dataclass
+class MethodResult:
+    """One (method/codec, configuration) measurement."""
+
+    graph: str
+    method: str
+    chunk_size: Optional[int]
+    num_checkpoints: int
+    dedup_ratio: float
+    throughput: float  # bytes / simulated second
+    total_stored_bytes: int
+    total_metadata_bytes: int = 0
+
+
+def _record_totals(backend) -> Dict[str, int]:
+    record = getattr(backend, "record", None)
+    if record is not None:
+        return {
+            "stored": record.total_stored_bytes(),
+            "metadata": record.total_metadata_bytes(),
+        }
+    return {"stored": sum(s.stored_bytes for s in backend.stats), "metadata": 0}
+
+
+# ----------------------------------------------------------------------
+# Figure 4: chunk-size sweep
+# ----------------------------------------------------------------------
+def run_chunk_size_sweep(
+    graph: str,
+    config: Optional[BenchConfig] = None,
+    chunk_sizes: Sequence[int] = CHUNK_SIZES,
+    methods: Sequence[str] = DEDUP_METHODS,
+) -> List[MethodResult]:
+    """Fig. 4 for one graph: every (method, chunk size) on one GDV stream.
+
+    The Full method is chunk-size independent; it is run once per chunk
+    size anyway so rows align with the figure's series.
+    """
+    config = config or BenchConfig()
+    app = OrangesApp(
+        graph,
+        num_vertices=config.num_vertices,
+        seed=config.seed,
+        apply_gorder=config.apply_gorder,
+        max_graphlet_size=config.max_graphlet_size,
+    )
+    backends = {}
+    for method in methods:
+        for cs in chunk_sizes:
+            backends[f"{method}@{cs}"] = app.make_backend(method, chunk_size=cs)
+    run = app.run(backends, num_checkpoints=config.num_checkpoints)
+
+    results = []
+    for method in methods:
+        for cs in chunk_sizes:
+            label = f"{method}@{cs}"
+            backend = run.backends[label]
+            totals = _record_totals(backend)
+            results.append(
+                MethodResult(
+                    graph=graph,
+                    method=method,
+                    chunk_size=cs,
+                    num_checkpoints=config.num_checkpoints,
+                    dedup_ratio=backend.dedup_ratio(),
+                    throughput=backend.aggregate_throughput(),
+                    total_stored_bytes=totals["stored"],
+                    total_metadata_bytes=totals["metadata"],
+                )
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 5: checkpoint-frequency sweep vs compression
+# ----------------------------------------------------------------------
+def run_frequency_sweep(
+    graph: str,
+    config: Optional[BenchConfig] = None,
+    checkpoint_counts: Sequence[int] = CHECKPOINT_COUNTS,
+    chunk_size: int = 128,
+    methods: Sequence[str] = DEDUP_METHODS,
+    codecs: Sequence[str] = COMPRESSION_CODECS,
+) -> List[MethodResult]:
+    """Fig. 5 for one graph: dedup methods + codecs at N ∈ {5, 10, 20}.
+
+    Aggregations exclude the initial full checkpoint, matching §3.2.
+    """
+    config = config or BenchConfig()
+    results = []
+    for n in checkpoint_counts:
+        app = OrangesApp(
+            graph,
+            num_vertices=config.num_vertices,
+            seed=config.seed,
+            apply_gorder=config.apply_gorder,
+            max_graphlet_size=config.max_graphlet_size,
+        )
+        backends = {}
+        for method in methods:
+            backends[method] = app.make_backend(method, chunk_size=chunk_size)
+        for codec in codecs:
+            backends[f"compress:{codec}"] = app.make_backend(f"compress:{codec}")
+        run = app.run(backends, num_checkpoints=n)
+        for label, backend in run.backends.items():
+            totals = _record_totals(backend)
+            results.append(
+                MethodResult(
+                    graph=graph,
+                    method=label,
+                    chunk_size=chunk_size if not label.startswith("compress") else None,
+                    num_checkpoints=n,
+                    dedup_ratio=backend.dedup_ratio(skip_first=True),
+                    throughput=backend.aggregate_throughput(skip_first=True),
+                    total_stored_bytes=totals["stored"],
+                    total_metadata_bytes=totals["metadata"],
+                )
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 6: strong scaling
+# ----------------------------------------------------------------------
+def run_scaling_sweep(
+    process_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    config: Optional[BenchConfig] = None,
+    methods: Sequence[str] = ("full", "tree"),
+    chunk_size: int = 128,
+):
+    """Fig. 6: Delaunay graph, 1–64 simulated GPUs, Tree vs Full.
+
+    The graph scales with the process count is *not* how the paper does it
+    — strong scaling keeps the problem fixed — so the full Delaunay graph
+    is generated once at ``num_vertices`` and partitioned.
+    """
+    from ..runtime.scaling import ScalingResult  # local import to avoid cycle
+
+    config = config or BenchConfig(num_vertices=8192)
+    graph = generate("delaunay", config.num_vertices, seed=config.seed)
+    out: Dict[str, List[ScalingResult]] = {}
+    for method in methods:
+        driver = StrongScalingDriver(
+            graph,
+            method=method,
+            chunk_size=chunk_size,
+            max_graphlet_size=config.max_graphlet_size,
+        )
+        out[method] = [
+            driver.run(p, num_checkpoints=config.num_checkpoints)
+            for p in process_counts
+        ]
+    return out

@@ -1,0 +1,118 @@
+"""Row formatting for the paper-style benchmark output.
+
+Every bench prints fixed-width tables shaped like the paper's figures so
+EXPERIMENTS.md can quote paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..utils.units import format_bytes, format_ratio
+from .harness import MethodResult
+
+
+def _gbps(bytes_per_second: float) -> str:
+    if bytes_per_second == float("inf"):
+        return "     inf"
+    return f"{bytes_per_second / 1e9:8.2f}"
+
+
+def header(title: str) -> str:
+    """Section banner used by every bench."""
+    bar = "=" * max(len(title), 60)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def chunk_size_table(results: Sequence[MethodResult]) -> str:
+    """Fig. 4-style table: rows = chunk size, columns = methods."""
+    methods = []
+    for r in results:
+        if r.method not in methods:
+            methods.append(r.method)
+    chunk_sizes = sorted({r.chunk_size for r in results})
+    by_key = {(r.method, r.chunk_size): r for r in results}
+
+    lines = []
+    head = "chunk   " + "".join(f"{m:>12s}" for m in methods)
+    lines.append("de-duplication ratio (x):")
+    lines.append(head)
+    for cs in chunk_sizes:
+        row = f"{cs:>5d}B  " + "".join(
+            f"{by_key[(m, cs)].dedup_ratio:12.2f}" for m in methods
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append("de-duplication throughput (GB/s, simulated):")
+    lines.append(head)
+    for cs in chunk_sizes:
+        row = f"{cs:>5d}B  " + "".join(
+            f"{by_key[(m, cs)].throughput / 1e9:12.2f}" for m in methods
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def frequency_table(results: Sequence[MethodResult]) -> str:
+    """Fig. 5-style table: rows = method/codec, columns = N."""
+    counts = sorted({r.num_checkpoints for r in results})
+    methods = []
+    for r in results:
+        if r.method not in methods:
+            methods.append(r.method)
+    by_key = {(r.method, r.num_checkpoints): r for r in results}
+
+    lines = ["ratio (x) / throughput (GB/s) by checkpoint count:"]
+    head = f"{'method':<20s}" + "".join(f"{f'N={n}':>20s}" for n in counts)
+    lines.append(head)
+    for m in methods:
+        cells = []
+        for n in counts:
+            r = by_key[(m, n)]
+            cells.append(f"{r.dedup_ratio:9.2f} /{r.throughput / 1e9:8.2f}")
+        lines.append(f"{m:<20s}" + "".join(f"{c:>20s}" for c in cells))
+    return "\n".join(lines)
+
+
+def scaling_table(results_by_method) -> str:
+    """Fig. 6-style table: total size + throughput per process count."""
+    methods = list(results_by_method)
+    counts = [r.num_processes for r in results_by_method[methods[0]]]
+    lines = ["total checkpoint size / aggregate throughput (GB/s):"]
+    head = f"{'procs':<8s}" + "".join(f"{m:>26s}" for m in methods)
+    lines.append(head)
+    for i, p in enumerate(counts):
+        cells = []
+        for m in methods:
+            r = results_by_method[m][i]
+            cells.append(
+                f"{format_bytes(r.total_stored_bytes):>12s} /"
+                f"{_gbps(r.aggregate_throughput)}"
+            )
+        lines.append(f"{p:<8d}" + "".join(f"{c:>26s}" for c in cells))
+    # Headline: the paper's 215x size reduction at 64 processes.
+    if "full" in results_by_method and "tree" in results_by_method:
+        last_full = results_by_method["full"][-1]
+        last_tree = results_by_method["tree"][-1]
+        reduction = (
+            last_full.total_stored_bytes / last_tree.total_stored_bytes
+            if last_tree.total_stored_bytes
+            else float("inf")
+        )
+        lines.append(
+            f"\nsize reduction Tree vs Full at {last_tree.num_processes} "
+            f"processes: {format_ratio(reduction)}"
+        )
+    return "\n".join(lines)
+
+
+def metadata_table(results: Sequence[MethodResult]) -> str:
+    """Metadata-bytes comparison (the compaction ablation)."""
+    lines = [f"{'method':<12s}{'chunk':>8s}{'metadata':>14s}{'stored':>14s}"]
+    for r in results:
+        lines.append(
+            f"{r.method:<12s}{str(r.chunk_size):>8s}"
+            f"{format_bytes(r.total_metadata_bytes):>14s}"
+            f"{format_bytes(r.total_stored_bytes):>14s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+demo
+    Run a small end-to-end demonstration (checkpoint → diff → restore)
+    and optionally save the record to disk.
+inspect <dir>
+    Print the per-checkpoint composition of a stored record and run the
+    structural verifier.
+restore <dir>
+    Reconstruct a checkpoint from a stored record into a raw binary file.
+bench <name>
+    Run one of the paper-reproduction benches (table1, fig4, fig5, fig6,
+    fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
+    restore).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    IncrementalCheckpointer,
+    SelectiveRestorer,
+    composition_report,
+    verify_chain,
+)
+from .core.store import load_record, record_manifest, save_record
+from .utils.rng import seeded_rng
+from .utils.units import format_bytes, format_ratio
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    rng = seeded_rng(args.seed)
+    data = rng.integers(0, 256, args.size, dtype=np.uint8)
+    ckpt = IncrementalCheckpointer(
+        data_len=args.size, chunk_size=args.chunk_size, method=args.method
+    )
+    for step in range(args.checkpoints):
+        stats = ckpt.checkpoint(data)
+        print(
+            f"ckpt {stats.ckpt_id}: stored {format_bytes(stats.stored_bytes)} "
+            f"({format_ratio(stats.dedup_ratio)}), "
+            f"{stats.simulated_seconds * 1e6:.1f} us simulated"
+        )
+        data = data.copy()
+        at = int(rng.integers(0, args.size - 4096))
+        data[at : at + 4096] = rng.integers(0, 256, 4096, dtype=np.uint8)
+    print(f"\n{ckpt.record.summary()}")
+    if args.save:
+        path = save_record(ckpt.record.diffs, args.save, method=args.method)
+        print(f"record saved to {path}")
+    restored = ckpt.restore(args.checkpoints - 1)
+    print(f"restore({args.checkpoints - 1}) ok: {restored.nbytes} bytes")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    manifest = record_manifest(args.record)
+    diffs = load_record(args.record)
+    print(
+        f"record: method={manifest['method']} checkpoints={len(diffs)} "
+        f"data={format_bytes(manifest['data_len'])} "
+        f"chunk={manifest['chunk_size']} B\n"
+    )
+    print(composition_report(diffs))
+    problems = verify_chain(diffs)
+    if problems:
+        print("\nINTEGRITY PROBLEMS:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nchain verified: no structural problems")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    diffs = load_record(args.record)
+    upto = args.checkpoint if args.checkpoint is not None else len(diffs) - 1
+    buffer, plan = SelectiveRestorer().restore(diffs, upto)
+    Path(args.output).write_bytes(buffer.tobytes())
+    print(
+        f"checkpoint {upto} → {args.output} ({format_bytes(buffer.nbytes)}); "
+        f"read {format_bytes(plan.total_bytes_read)} from "
+        f"{plan.diffs_touched} diffs in {plan.segments} segments"
+    )
+    return 0
+
+
+_BENCHES = {
+    "table1": "bench_table1_graphs",
+    "fig4": "bench_fig4_chunksize",
+    "fig5": "bench_fig5_frequency",
+    "fig6": "bench_fig6_scaling",
+    "fusion": "bench_ablation_fusion",
+    "metadata": "bench_ablation_metadata",
+    "gorder": "bench_ablation_gorder",
+    "hybrid": "bench_ablation_hybrid",
+    "workload": "bench_ablation_workload",
+    "hashfn": "bench_ablation_hashfn",
+    "streaming": "bench_streaming",
+    "restore": "bench_restore",
+    "overhead": "bench_runtime_overhead",
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import importlib.util
+
+    module_name = _BENCHES[args.name]
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    path = bench_dir / f"{module_name}.py"
+    if not path.exists():
+        print(f"bench file not found: {path}", file=sys.stderr)
+        return 1
+    sys.path.insert(0, str(bench_dir))
+    try:
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        if args.vertices:
+            print(module.run(args.vertices))
+        else:
+            print(module.run())
+    finally:
+        sys.path.remove(str(bench_dir))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU-accelerated de-duplication checkpointing (ICPP'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end checkpoint/restore demo")
+    demo.add_argument("--size", type=int, default=1 << 20, help="buffer bytes")
+    demo.add_argument("--chunk-size", type=int, default=128)
+    demo.add_argument("--method", default="tree",
+                      choices=["tree", "list", "basic", "full"])
+    demo.add_argument("--checkpoints", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--save", help="directory to persist the record to")
+    demo.set_defaults(func=_cmd_demo)
+
+    inspect = sub.add_parser("inspect", help="analyze a stored record")
+    inspect.add_argument("record", help="record directory")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    restore = sub.add_parser("restore", help="reconstruct a checkpoint")
+    restore.add_argument("record", help="record directory")
+    restore.add_argument("-k", "--checkpoint", type=int, default=None)
+    restore.add_argument("-o", "--output", default="restored.bin")
+    restore.set_defaults(func=_cmd_restore)
+
+    bench = sub.add_parser("bench", help="run a paper-reproduction bench")
+    bench.add_argument("name", choices=sorted(_BENCHES))
+    bench.add_argument("--vertices", type=int, default=0,
+                       help="graph scale override")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Lossless compression baselines (the nvCOMP comparison of §3.2).
+
+Importing this package registers all codecs:
+
+>>> from repro.compress import list_codecs
+>>> sorted(set(list_codecs()) >= {"cascaded", "bitcomp", "deflate"})
+"""
+
+from .base import Codec, get_codec, list_codecs, register
+from .bitcomp import BitcompCodec
+from .bitpack import (
+    pack_bits,
+    required_width,
+    unpack_bits,
+    zigzag_decode,
+    zigzag_encode,
+)
+from .cascaded import CascadedCodec
+from .checkpointing import CompressionCheckpointer
+from .stdlib_codecs import DeflateCodec, Lz4SimCodec, SnappySimCodec, ZstdSimCodec
+
+__all__ = [
+    "Codec",
+    "get_codec",
+    "list_codecs",
+    "register",
+    "BitcompCodec",
+    "CascadedCodec",
+    "CompressionCheckpointer",
+    "DeflateCodec",
+    "Lz4SimCodec",
+    "SnappySimCodec",
+    "ZstdSimCodec",
+    "pack_bits",
+    "required_width",
+    "unpack_bits",
+    "zigzag_decode",
+    "zigzag_encode",
+]

@@ -1,0 +1,77 @@
+"""Codec interface and registry for the compression baselines.
+
+The paper compares against lossless nvCOMP codecs (§3.2) — GPU
+compressors whose throughput comes from the device, not the host.  Each
+codec here provides a *real, byte-exact* compress/decompress pair (the
+ratios in the benches are measured, never modeled) plus a modeled device
+throughput used to price the compression kernel, since running zlib on a
+laptop says nothing about an A100.  DESIGN.md §1 records which codecs are
+faithful re-implementations (cascaded, bitcomp) and which are stand-ins
+backed by stdlib compressors (lz4sim, snappysim, deflate, zstdsim).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+from ..errors import CompressionError, ConfigurationError
+from ..utils.units import GB
+
+
+class Codec(ABC):
+    """A lossless codec with a modeled device-side throughput."""
+
+    #: Registry key, e.g. ``"cascaded"``.
+    name: str = "?"
+    #: Modeled A100 compression throughput, bytes/second (nvCOMP class).
+    device_compress_throughput: float = 10.0 * GB
+    #: Modeled A100 decompression throughput, bytes/second.
+    device_decompress_throughput: float = 20.0 * GB
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress *data*; must be invertible by :meth:`decompress`."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes) -> bytes:
+        """Invert :meth:`compress` exactly."""
+
+    def ratio(self, data: bytes) -> float:
+        """Measured compression ratio on *data*."""
+        if not data:
+            return 1.0
+        compressed = self.compress(data)
+        return len(data) / len(compressed) if compressed else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Codec {self.name}>"
+
+
+_REGISTRY: Dict[str, Type[Codec]] = {}
+
+
+def register(cls: Type[Codec]) -> Type[Codec]:
+    """Class decorator adding a codec to the registry."""
+    if not issubclass(cls, Codec):
+        raise ConfigurationError(f"{cls!r} is not a Codec subclass")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"codec {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Instantiate a registered codec by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def list_codecs() -> List[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,131 @@
+"""Compression-based checkpointing, the nvCOMP baseline pipeline.
+
+Each checkpoint is compressed independently on the device and flushed to
+host memory — no temporal reuse across checkpoints, which is precisely why
+the Tree method overtakes compression as checkpoint frequency grows
+(Fig. 5).  The class mirrors the
+:class:`~repro.core.IncrementalCheckpointer` interface so the bench
+harness can sweep methods and codecs uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.chunking import BufferLike, as_uint8
+from ..core.record import CheckpointStats
+from ..errors import RestoreError
+from ..gpusim.device import DeviceSpec, a100
+from ..gpusim.perfmodel import CostBreakdown
+from ..kokkos.execution import DeviceSpace
+from ..utils.validation import positive_float, positive_int
+from .base import Codec, get_codec
+
+
+class CompressionCheckpointer:
+    """Per-checkpoint device compression + D2H flush.
+
+    Parameters
+    ----------
+    data_len:
+        Fixed checkpoint size in bytes.
+    codec:
+        A :class:`~repro.compress.base.Codec` instance or registry name.
+    device / pcie_contention:
+        Same cost-model knobs as the dedup checkpointer.
+    """
+
+    def __init__(
+        self,
+        data_len: int,
+        codec: Union[str, Codec],
+        device: Optional[DeviceSpec] = None,
+        pcie_contention: float = 1.0,
+    ) -> None:
+        positive_int(data_len, "data_len")
+        positive_float(pcie_contention, "pcie_contention")
+        self.data_len = data_len
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
+        self.method = f"compress:{self.codec.name}"
+        self.device = device if device is not None else a100()
+        self.pcie_contention = pcie_contention
+        self.space = DeviceSpace(0)
+        self.blobs: List[bytes] = []
+        self.stats: List[CheckpointStats] = []
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, data: BufferLike) -> CheckpointStats:
+        """Compress and (virtually) flush one checkpoint."""
+        flat = as_uint8(data)
+        if flat.shape[0] != self.data_len:
+            raise RestoreError(
+                f"checkpoint is {flat.shape[0]} bytes, expected {self.data_len}"
+            )
+        wall_start = time.perf_counter()
+        blob = self.codec.compress(flat.tobytes())
+        wall = time.perf_counter() - wall_start
+        self.blobs.append(blob)
+
+        # Cost: a device compression pass at the codec's modeled rate plus
+        # one consolidated D2H transfer of the compressed blob.
+        compress_seconds = self.data_len / self.codec.device_compress_throughput
+        transfer_seconds = (
+            self.device.pcie_latency
+            + len(blob) / (self.device.pcie_bandwidth / self.pcie_contention)
+        )
+        cost = CostBreakdown(
+            stream_seconds=compress_seconds,
+            transfer_seconds=transfer_seconds,
+            per_kernel={f"compress.{self.codec.name}": compress_seconds},
+        )
+        stats = CheckpointStats(
+            ckpt_id=len(self.stats),
+            data_len=self.data_len,
+            stored_bytes=len(blob),
+            metadata_bytes=0,
+            payload_bytes=len(blob),
+            num_first=0,
+            num_shift=0,
+            cost=cost,
+            wall_seconds=wall,
+        )
+        self.stats.append(stats)
+        return stats
+
+    def restore(self, upto: Optional[int] = None) -> np.ndarray:
+        """Decompress checkpoint *upto* (default latest)."""
+        if not self.blobs:
+            raise RestoreError("no checkpoints captured")
+        if upto is None:
+            upto = len(self.blobs) - 1
+        if not 0 <= upto < len(self.blobs):
+            raise RestoreError(f"checkpoint {upto} outside record")
+        data = self.codec.decompress(self.blobs[upto])
+        if len(data) != self.data_len:
+            raise RestoreError(
+                f"decompressed {len(data)} bytes, expected {self.data_len}"
+            )
+        return np.frombuffer(data, dtype=np.uint8).copy()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_checkpoints(self) -> int:
+        """Checkpoints captured so far."""
+        return len(self.stats)
+
+    def dedup_ratio(self, skip_first: bool = False) -> float:
+        """Record-level compression ratio (same definition as dedup)."""
+        stats = self.stats[1:] if skip_first else self.stats
+        stored = sum(s.stored_bytes for s in stats)
+        full = sum(s.data_len for s in stats)
+        return full / stored if stored else float("inf")
+
+    def aggregate_throughput(self, skip_first: bool = False) -> float:
+        """Record-level throughput (original bytes / simulated seconds)."""
+        stats = self.stats[1:] if skip_first else self.stats
+        seconds = sum(s.simulated_seconds for s in stats)
+        full = sum(s.data_len for s in stats)
+        return full / seconds if seconds else float("inf")

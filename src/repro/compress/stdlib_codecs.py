@@ -1,0 +1,122 @@
+"""LZ-family codecs backed by the Python standard library.
+
+nvCOMP's LZ4, Snappy, Deflate/GDeflate and Zstd are general-purpose LZ
+compressors.  Re-implementing production LZ engines in pure Python would
+be both slow and pointless for the paper's questions (the benches need
+their *ratios* on real checkpoint bytes and their modeled device
+throughputs), so each stand-in maps to a stdlib compressor from the same
+algorithmic family with a matching ratio/speed trade-off:
+
+========  =====================================  =======================
+codec      stdlib backing                         stands in for
+========  =====================================  =======================
+deflate    zlib level 6                           nvCOMP Deflate/GDeflate
+lz4sim     raw zlib level 1 (greedy, fast)        nvCOMP LZ4
+snappysim  zlib level 1, Z_RLE strategy           nvCOMP Snappy
+zstdsim    lzma preset 0 (large window)           nvCOMP Zstd
+========  =====================================  =======================
+
+Ratios are measured on the actual data; the modeled device throughputs
+follow nvCOMP's published ordering (bitcomp > cascaded > snappy > lz4 >
+deflate ≈ zstd).  DESIGN.md §1 records the substitution.
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+
+from ..errors import CompressionError
+from ..utils.units import GB
+from .base import Codec, register
+
+
+@register
+class DeflateCodec(Codec):
+    """zlib/Deflate at the default level — the GDeflate stand-in."""
+
+    name = "deflate"
+    device_compress_throughput = 15.0 * GB
+    device_decompress_throughput = 60.0 * GB
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise CompressionError(f"deflate level must be 1..9, got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(blob)
+        except zlib.error as exc:
+            raise CompressionError(f"deflate decompression failed: {exc}") from exc
+
+
+@register
+class Lz4SimCodec(Codec):
+    """Fast greedy LZ77 (raw deflate, level 1) — the LZ4 stand-in."""
+
+    name = "lz4sim"
+    device_compress_throughput = 45.0 * GB
+    device_decompress_throughput = 100.0 * GB
+
+    def compress(self, data: bytes) -> bytes:
+        compressor = zlib.compressobj(level=1, wbits=-15)
+        return compressor.compress(data) + compressor.flush()
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(blob, wbits=-15)
+        except zlib.error as exc:
+            raise CompressionError(f"lz4sim decompression failed: {exc}") from exc
+
+
+@register
+class SnappySimCodec(Codec):
+    """Run-length-biased LZ (zlib Z_RLE) — the Snappy stand-in."""
+
+    name = "snappysim"
+    device_compress_throughput = 60.0 * GB
+    device_decompress_throughput = 120.0 * GB
+
+    def compress(self, data: bytes) -> bytes:
+        compressor = zlib.compressobj(level=1, wbits=-15, strategy=zlib.Z_RLE)
+        return compressor.compress(data) + compressor.flush()
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(blob, wbits=-15)
+        except zlib.error as exc:
+            raise CompressionError(f"snappysim decompression failed: {exc}") from exc
+
+
+@register
+class ZstdSimCodec(Codec):
+    """Large-window entropy-coded LZ (lzma preset 0) — the Zstd stand-in.
+
+    Zstd typically out-compresses deflate thanks to its larger window and
+    modern entropy stage; lzma at its fastest preset has the same
+    relationship to zlib, which is the property the Fig. 5 comparison
+    depends on (Zstd beats the Tree method at low checkpoint counts).
+    """
+
+    name = "zstdsim"
+    device_compress_throughput = 12.0 * GB
+    device_decompress_throughput = 40.0 * GB
+
+    _FILTERS = [{"id": lzma.FILTER_LZMA2, "preset": 0}]
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(
+            data, format=lzma.FORMAT_RAW, filters=self._FILTERS
+        )
+
+    def decompress(self, blob: bytes) -> bytes:
+        try:
+            return lzma.decompress(
+                blob, format=lzma.FORMAT_RAW, filters=self._FILTERS
+            )
+        except lzma.LZMAError as exc:
+            raise CompressionError(f"zstdsim decompression failed: {exc}") from exc

@@ -1,0 +1,76 @@
+"""The paper's primary contribution: GPU-accelerated incremental
+checkpointing by Merkle-tree de-duplication, plus the Full/Basic/List
+baselines it is evaluated against, the diff wire format, and restore.
+"""
+
+from .analysis import (
+    DiffComposition,
+    analyze_diff,
+    analyze_record,
+    composition_report,
+    verify_chain,
+)
+from .base import DedupEngine
+from .checkpointer import ENGINES, IncrementalCheckpointer
+from .chunking import ChunkSpec, as_uint8, min_recommended_chunk_size
+from .dedup_basic import BasicDedup
+from .dedup_full import FullCheckpoint
+from .dedup_list import ListDedup
+from .dedup_tree import TreeDedup
+from .diff import FIRST_ENTRY_BYTES, METHODS, SHIFT_ENTRY_BYTES, CheckpointDiff
+from .labels import (
+    FIRST_OCUR,
+    FIXED_DUPL,
+    MIXED,
+    SHIFT_DUPL,
+    UNLABELED,
+    count_labels,
+    label_name,
+)
+from .merkle import MerkleTree, TreeLayout
+from .record import CheckpointRecord, CheckpointStats, merge_records
+from .restore import Restorer, restore_latest
+from .retention import payload_dependencies, rebase_record, required_payloads
+from .selective import RestorePlan, SelectiveRestorer, selective_restore
+
+__all__ = [
+    "DiffComposition",
+    "analyze_diff",
+    "analyze_record",
+    "composition_report",
+    "verify_chain",
+    "DedupEngine",
+    "ENGINES",
+    "IncrementalCheckpointer",
+    "ChunkSpec",
+    "as_uint8",
+    "min_recommended_chunk_size",
+    "BasicDedup",
+    "FullCheckpoint",
+    "ListDedup",
+    "TreeDedup",
+    "FIRST_ENTRY_BYTES",
+    "METHODS",
+    "SHIFT_ENTRY_BYTES",
+    "CheckpointDiff",
+    "FIRST_OCUR",
+    "FIXED_DUPL",
+    "MIXED",
+    "SHIFT_DUPL",
+    "UNLABELED",
+    "count_labels",
+    "label_name",
+    "MerkleTree",
+    "TreeLayout",
+    "CheckpointRecord",
+    "CheckpointStats",
+    "merge_records",
+    "Restorer",
+    "restore_latest",
+    "payload_dependencies",
+    "rebase_record",
+    "required_payloads",
+    "RestorePlan",
+    "SelectiveRestorer",
+    "selective_restore",
+]

@@ -1,0 +1,117 @@
+"""Checkpoint chunking.
+
+The paper splits each checkpoint into fine-grained chunks of tens to
+hundreds of bytes (§2.1) — chunk size is *the* tuning knob studied in
+Fig. 4.  This module owns the arithmetic: how many chunks a buffer yields,
+the byte range of each chunk, and reinterpreting arbitrary numeric buffers
+(the GDV array is ``uint32``) as flat ``uint8`` streams.
+
+A chunk size below 32 bytes (twice the 16-byte digest) makes interior
+Merkle nodes costlier than leaves (§2.4); we allow it but expose
+:func:`min_recommended_chunk_size` so callers can warn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import ChunkingError
+from ..hashing.murmur3 import DIGEST_BYTES
+from ..utils.validation import positive_int
+
+BufferLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def min_recommended_chunk_size() -> int:
+    """Smallest chunk size where leaves stay cheaper than interior nodes."""
+    return 2 * DIGEST_BYTES
+
+
+def as_uint8(data: BufferLike) -> np.ndarray:
+    """Reinterpret *data* as a flat uint8 array without copying when possible.
+
+    Accepts ``bytes``-like objects and any C-contiguous NumPy array; the GDV
+    checkpoints produced by ORANGES are ``uint32`` arrays, for instance.
+    """
+    if isinstance(data, np.ndarray):
+        if not data.flags["C_CONTIGUOUS"]:
+            raise ChunkingError("checkpoint buffers must be C-contiguous")
+        return data.reshape(-1).view(np.uint8)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return np.frombuffer(data, dtype=np.uint8)
+    raise ChunkingError(f"cannot interpret {type(data).__name__} as a byte buffer")
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """Chunk layout of a fixed-size checkpoint buffer.
+
+    Attributes
+    ----------
+    data_len:
+        Checkpoint size in bytes.
+    chunk_size:
+        Bytes per chunk; the final chunk may be shorter.
+    """
+
+    data_len: int
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        positive_int(self.data_len, "data_len")
+        positive_int(self.chunk_size, "chunk_size")
+        if self.chunk_size > self.data_len:
+            raise ChunkingError(
+                f"chunk_size {self.chunk_size} exceeds data length {self.data_len}"
+            )
+
+    @property
+    def num_chunks(self) -> int:
+        """Total chunks, counting a possibly-short tail chunk."""
+        return -(-self.data_len // self.chunk_size)
+
+    @property
+    def tail_len(self) -> int:
+        """Length of the final chunk (== chunk_size when evenly divisible)."""
+        rem = self.data_len % self.chunk_size
+        return rem if rem else self.chunk_size
+
+    def chunk_bounds(self, chunk: int) -> Tuple[int, int]:
+        """Byte range ``[start, end)`` of chunk index *chunk*."""
+        if not 0 <= chunk < self.num_chunks:
+            raise ChunkingError(
+                f"chunk index {chunk} out of range [0, {self.num_chunks})"
+            )
+        start = chunk * self.chunk_size
+        return start, min(start + self.chunk_size, self.data_len)
+
+    def chunk_len(self, chunk: int) -> int:
+        """Byte length of chunk *chunk*."""
+        start, end = self.chunk_bounds(chunk)
+        return end - start
+
+    def range_bounds(self, first_chunk: int, num: int) -> Tuple[int, int]:
+        """Byte range covered by *num* chunks starting at *first_chunk*."""
+        if num <= 0:
+            raise ChunkingError(f"region must cover at least one chunk, got {num}")
+        start, _ = self.chunk_bounds(first_chunk)
+        _, end = self.chunk_bounds(first_chunk + num - 1)
+        return start, end
+
+    def lengths(self) -> np.ndarray:
+        """Per-chunk byte lengths as an int64 array."""
+        out = np.full(self.num_chunks, self.chunk_size, dtype=np.int64)
+        out[-1] = self.tail_len
+        return out
+
+    def validate_buffer(self, data: np.ndarray) -> np.ndarray:
+        """Check a uint8 buffer matches this spec and return it."""
+        flat = as_uint8(data)
+        if flat.shape[0] != self.data_len:
+            raise ChunkingError(
+                f"buffer is {flat.shape[0]} bytes, spec expects {self.data_len}"
+            )
+        return flat

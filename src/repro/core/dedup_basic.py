@@ -1,0 +1,92 @@
+"""``Basic`` — positional incremental checkpointing with a change bitmap.
+
+The paper's Basic baseline (§3.2) hashes every chunk, compares each hash
+against the *same position* of the previous checkpoint, and stores a
+bitmap plus the changed chunks.  It captures temporal locality only: a
+chunk that moved, or that duplicates another chunk elsewhere, is stored
+again.  It shares the vectorized hashing and serialization machinery with
+the other engines ("for fairness, both the Basic and List methods benefit
+from the same massive parallelization optimizations").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.digest import digests_equal
+from ..hashing.murmur3 import hash_chunks
+from .base import DedupEngine
+from .diff import CheckpointDiff
+from .serialize import gather_chunk_payload, pack_bitmap
+
+
+class BasicDedup(DedupEngine):
+    """Bitmap-of-changed-chunks incremental checkpointing."""
+
+    name = "basic"
+
+    def __init__(self, data_len: int, chunk_size: int, **kwargs) -> None:
+        super().__init__(data_len, chunk_size, **kwargs)
+        self._prev_digests: np.ndarray | None = None
+
+    def device_state_bytes(self) -> int:
+        """The retained per-chunk digest array."""
+        return 0 if self._prev_digests is None else self._prev_digests.nbytes
+
+    def _process(self, flat: np.ndarray, ckpt_id: int) -> CheckpointDiff:
+        n = self.spec.num_chunks
+
+        with self.timer.phase("basic.hash"):
+            digests = hash_chunks(flat, self.spec.chunk_size)
+        self.space.launch(
+            "basic.hash",
+            items=n,
+            bytes_read=self.spec.data_len,
+            bytes_written=digests.nbytes,
+        )
+
+        if self._prev_digests is None:
+            # Checkpoint 0 is stored in full (all chunks "changed").
+            self._prev_digests = digests
+            self.space.launch(
+                "basic.serialize",
+                items=1,
+                bytes_read=self.spec.data_len,
+                bytes_written=self.spec.data_len,
+            )
+            return CheckpointDiff(
+                method="full",
+                ckpt_id=0,
+                data_len=self.spec.data_len,
+                chunk_size=self.spec.chunk_size,
+                payload=flat.tobytes(),
+            )
+
+        changed = ~digests_equal(digests, self._prev_digests)
+        self.space.launch(
+            "basic.compare",
+            items=n,
+            bytes_read=2 * digests.nbytes,
+            bytes_written=n,  # the boolean mask
+        )
+        self._prev_digests = digests
+
+        changed_ids = np.nonzero(changed)[0]
+        with self.timer.phase("basic.gather"):
+            payload = gather_chunk_payload(flat, self.spec, changed_ids)
+        bitmap = pack_bitmap(changed)
+        self.space.launch(
+            "basic.serialize",
+            items=int(changed_ids.shape[0]),
+            bytes_read=len(payload),
+            bytes_written=len(payload) + bitmap.nbytes,
+        )
+
+        return CheckpointDiff(
+            method=self.name,
+            ckpt_id=ckpt_id,
+            data_len=self.spec.data_len,
+            chunk_size=self.spec.chunk_size,
+            bitmap=bitmap,
+            payload=payload,
+        )

@@ -1,0 +1,28 @@
+"""``Full`` — the baseline that always ships the entire checkpoint.
+
+No device compute beyond handing the buffer to the DMA engine; its cost is
+pure PCIe transfer, which is exactly how the paper measures the Full
+method's "throughput" (GPU→host flush throughput, §3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DedupEngine
+from .diff import CheckpointDiff
+
+
+class FullCheckpoint(DedupEngine):
+    """Stores every checkpoint in full."""
+
+    name = "full"
+
+    def _process(self, flat: np.ndarray, ckpt_id: int) -> CheckpointDiff:
+        return CheckpointDiff(
+            method=self.name,
+            ckpt_id=ckpt_id,
+            data_len=self.spec.data_len,
+            chunk_size=self.spec.chunk_size,
+            payload=flat.tobytes(),
+        )

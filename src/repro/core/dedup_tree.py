@@ -1,0 +1,370 @@
+"""``Tree`` — the paper's Merkle-tree compact-metadata de-duplication.
+
+Implements Algorithm 1 (§2.2) in three vectorized passes over the flat
+Merkle tree:
+
+1. **Leaf pass** — hash every chunk; a chunk whose digest matches the same
+   leaf of the previous checkpoint is a *fixed duplicate*; otherwise it is
+   inserted into the historical record of unique hashes — success means
+   *first occurrence*, failure means *shifted duplicate* of the winning
+   entry.
+
+2. **First-occurrence consolidation** (two-stage scheduling, stage one) —
+   level by level bottom-up, a parent whose children are both FIRST_OCUR
+   becomes FIRST_OCUR itself: its digest is computed from the children and
+   inserted into the record so future checkpoints can match the *region*.
+   Parents of two FIXED_DUPL children are likewise FIXED_DUPL (they
+   contribute nothing and need no hash).
+
+3. **Shift consolidation + emission** (stage two) — level by level
+   bottom-up, a parent whose children are both SHIFT_DUPL is hashed and
+   looked up: if the region digest already exists in the record the parent
+   becomes a single SHIFT_DUPL region; otherwise, and for any parent with
+   disagreeing children, the children are emitted as the *roots* of the
+   compact metadata — FIRST regions carry payload, SHIFT regions carry a
+   ``(ref_node, ref_ckpt)`` pointer, FIXED regions are omitted entirely.
+
+Stage one runs to completion before stage two so that shifted duplicates
+can never race ahead of the first occurrences they depend on — the exact
+hazard the paper's two-stage parallelization avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import SerializationError
+from ..hashing.digest import digests_equal
+from ..hashing.murmur3 import hash_chunks, hash_digest_pairs
+from ..kokkos.unordered_map import DigestMap
+from .base import DedupEngine
+from .diff import CheckpointDiff
+from .labels import FIRST_OCUR, FIXED_DUPL, MIXED, SHIFT_DUPL, new_label_array
+from .merkle import MerkleTree, TreeLayout
+from .serialize import gather_region_payload
+
+
+class TreeDedup(DedupEngine):
+    """Merkle-tree de-duplication with compact region metadata.
+
+    Parameters beyond the base class:
+
+    payload_codec:
+        Optional codec from :mod:`repro.compress` applied to the
+        first-occurrence payload before serialization — the paper's
+        future-work hybrid (§5).  The diff then stores compressed payload
+        bytes; pass the same codec to the restorers (the codec choice is
+        record-level configuration, carried out-of-band like the chunk
+        size's engine-side counterpart).
+    """
+
+    name = "tree"
+
+    def __init__(
+        self,
+        data_len: int,
+        chunk_size: int,
+        payload_codec=None,
+        **kwargs,
+    ) -> None:
+        super().__init__(data_len, chunk_size, **kwargs)
+        self.layout = TreeLayout(self.spec.num_chunks)
+        self.tree = MerkleTree(self.layout)
+        # Worst case the record gains one entry per node per checkpoint
+        # epoch; leaves + interior = 2n - 1 for the first checkpoint.
+        self.map = DigestMap(capacity_hint=max(self.layout.num_nodes, 16))
+        self.payload_codec = payload_codec
+        #: Labels of the most recent checkpoint (exposed for tests/examples).
+        self.last_labels: np.ndarray | None = None
+
+    def device_state_bytes(self) -> int:
+        """Merkle digest array plus the historical hash record."""
+        return self.tree.nbytes + self.map.nbytes
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _process(self, flat: np.ndarray, ckpt_id: int) -> CheckpointDiff:
+        if ckpt_id == 0:
+            return self._initial_checkpoint(flat)
+        labels = new_label_array(self.layout.num_nodes)
+
+        self._leaf_pass(flat, ckpt_id, labels)
+        self._first_ocur_pass(ckpt_id, labels)
+        first_nodes, shift_nodes = self._shift_pass_and_emit(labels)
+        self.last_labels = labels
+
+        return self._serialize(flat, ckpt_id, first_nodes, shift_nodes)
+
+    def _initial_checkpoint(self, flat: np.ndarray) -> CheckpointDiff:
+        """Checkpoint 0: stored in full, with the *entire* Merkle tree
+        inserted into the historical record (§2.2 / Fig. 2: "the record of
+        unique hashes consists of all possible non-overlapping regions").
+
+        Seeding every region digest — not just the all-FIRST subtrees — is
+        what lets later checkpoints consolidate shifted duplicates of any
+        region of the initial state (repeated zero runs included).
+        """
+        n = self.spec.num_chunks
+        with self.timer.phase("tree.hash_leaves"):
+            digests = hash_chunks(flat, self.spec.chunk_size)
+        self.space.launch(
+            "tree.hash_leaves",
+            items=n,
+            bytes_read=self.spec.data_len,
+            bytes_written=digests.nbytes,
+        )
+        self.tree.set_leaves(digests)
+        with self.timer.phase("tree.build_interior"):
+            interior_hashes = self.tree.build_interior()
+        self.space.launch(
+            "tree.build_interior",
+            items=interior_hashes,
+            bytes_read=32 * interior_hashes,
+            bytes_written=16 * interior_hashes,
+        )
+
+        # Insert every node digest, leaves first (chunk order), then the
+        # interior bottom-up — first-wins matches the two-stage schedule.
+        order = [self.layout.node_of_leaf]
+        for level in self.layout.interior_levels_bottom_up():
+            order.append(level)
+        nodes = np.concatenate(order)
+        keys = np.ascontiguousarray(self.tree.digests[nodes])
+        values = np.empty((nodes.shape[0], 2), dtype=np.int64)
+        values[:, 0] = nodes
+        values[:, 1] = 0
+        probes_before = self.map.total_probes
+        with self.timer.phase("tree.map_seed"):
+            self.map.insert(keys, values)
+        self.space.launch(
+            "tree.map_seed",
+            items=int(nodes.shape[0]),
+            bytes_read=keys.nbytes,
+            random_accesses=self.map.total_probes - probes_before,
+        )
+
+        self.space.launch(
+            "tree.serialize",
+            items=1,
+            bytes_read=self.spec.data_len,
+            bytes_written=self.spec.data_len,
+        )
+        return CheckpointDiff(
+            method="full",
+            ckpt_id=0,
+            data_len=self.spec.data_len,
+            chunk_size=self.spec.chunk_size,
+            payload=flat.tobytes(),
+        )
+
+    def _leaf_pass(self, flat: np.ndarray, ckpt_id: int, labels: np.ndarray) -> None:
+        """Algorithm 1, lines 1-23."""
+        leaf_nodes = self.layout.node_of_leaf
+        n = self.spec.num_chunks
+
+        with self.timer.phase("tree.hash_leaves"):
+            digests = hash_chunks(flat, self.spec.chunk_size)
+        self.space.launch(
+            "tree.hash_leaves",
+            items=n,
+            bytes_read=self.spec.data_len,
+            bytes_written=digests.nbytes,
+        )
+
+        if ckpt_id == 0:
+            fixed = np.zeros(n, dtype=bool)
+        else:
+            prev = self.tree.digests[leaf_nodes]
+            fixed = digests_equal(digests, prev)
+            self.space.launch(
+                "tree.fixed_compare",
+                items=n,
+                bytes_read=2 * digests.nbytes,
+            )
+        labels[leaf_nodes[fixed]] = FIXED_DUPL
+
+        moving = np.nonzero(~fixed)[0]
+        values = np.empty((moving.shape[0], 2), dtype=np.int64)
+        values[:, 0] = leaf_nodes[moving]
+        values[:, 1] = ckpt_id
+        probes_before = self.map.total_probes
+        with self.timer.phase("tree.map_leaves"):
+            success, _ = self.map.insert(
+                np.ascontiguousarray(digests[moving]), values
+            )
+        self.space.launch(
+            "tree.classify_leaves",
+            items=int(moving.shape[0]),
+            bytes_read=digests.nbytes,
+            bytes_written=n,  # label array
+            random_accesses=self.map.total_probes - probes_before,
+        )
+        labels[leaf_nodes[moving[success]]] = FIRST_OCUR
+        labels[leaf_nodes[moving[~success]]] = SHIFT_DUPL
+
+        # Tree(leaf) <- digest (line 21); fixed leaves keep an equal value.
+        self.tree.digests[leaf_nodes] = digests
+
+    def _first_ocur_pass(self, ckpt_id: int, labels: np.ndarray) -> None:
+        """Algorithm 1, lines 24-32, plus FIXED_DUPL propagation."""
+        for interior in self.layout.interior_levels_bottom_up():
+            left = 2 * interior + 1
+            right = 2 * interior + 2
+            ll = labels[left]
+            lr = labels[right]
+
+            both_first = (ll == FIRST_OCUR) & (lr == FIRST_OCUR)
+            nodes = interior[both_first]
+            if nodes.size:
+                with self.timer.phase("tree.first_pass"):
+                    dig = hash_digest_pairs(
+                        self.tree.digests[2 * nodes + 1],
+                        self.tree.digests[2 * nodes + 2],
+                    )
+                    self.tree.digests[nodes] = dig
+                    vals = np.empty((nodes.shape[0], 2), dtype=np.int64)
+                    vals[:, 0] = nodes
+                    vals[:, 1] = ckpt_id
+                    probes_before = self.map.total_probes
+                    self.map.insert(dig, vals)
+                labels[nodes] = FIRST_OCUR
+                self.space.launch(
+                    "tree.first_pass",
+                    items=int(nodes.shape[0]),
+                    bytes_read=2 * 16 * int(nodes.shape[0]),
+                    bytes_written=16 * int(nodes.shape[0]),
+                    random_accesses=self.map.total_probes - probes_before,
+                )
+
+            both_fixed = (ll == FIXED_DUPL) & (lr == FIXED_DUPL)
+            labels[interior[both_fixed]] = FIXED_DUPL
+
+    def _shift_pass_and_emit(
+        self, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Algorithm 1, lines 33-46: consolidate shifted duplicates and
+        collect the compact-metadata region roots."""
+        first_out: List[np.ndarray] = []
+        shift_out: List[np.ndarray] = []
+
+        def emit(children: np.ndarray) -> None:
+            kinds = labels[children]
+            first_out.append(children[kinds == FIRST_OCUR])
+            shift_out.append(children[kinds == SHIFT_DUPL])
+            # FIXED children are omitted; MIXED children were emitted below.
+
+        for interior in self.layout.interior_levels_bottom_up():
+            # Nodes already consolidated by stage one (FIRST/FIXED) skip.
+            undecided = interior[
+                (labels[interior] != FIRST_OCUR) & (labels[interior] != FIXED_DUPL)
+            ]
+            if undecided.size == 0:
+                continue
+            left = 2 * undecided + 1
+            right = 2 * undecided + 2
+            ll = labels[left]
+            lr = labels[right]
+
+            both_shift = (ll == SHIFT_DUPL) & (lr == SHIFT_DUPL)
+            nodes = undecided[both_shift]
+            if nodes.size:
+                with self.timer.phase("tree.shift_pass"):
+                    dig = hash_digest_pairs(
+                        self.tree.digests[2 * nodes + 1],
+                        self.tree.digests[2 * nodes + 2],
+                    )
+                    self.tree.digests[nodes] = dig
+                    probes_before = self.map.total_probes
+                    found = self.map.contains(dig)
+                self.space.launch(
+                    "tree.shift_pass",
+                    items=int(nodes.shape[0]),
+                    bytes_read=2 * 16 * int(nodes.shape[0]),
+                    bytes_written=16 * int(nodes.shape[0]),
+                    random_accesses=self.map.total_probes - probes_before,
+                )
+                labels[nodes[found]] = SHIFT_DUPL
+                stopped = nodes[~found]
+                if stopped.size:
+                    emit(np.concatenate([2 * stopped + 1, 2 * stopped + 2]))
+                    labels[stopped] = MIXED
+
+            mixed = undecided[~both_shift]
+            if mixed.size:
+                emit(np.concatenate([2 * mixed + 1, 2 * mixed + 2]))
+                labels[mixed] = MIXED
+
+        # The root is never anyone's child: emit it if it carries a
+        # uniform non-fixed label.
+        root_label = labels[0]
+        if root_label == FIRST_OCUR:
+            first_out.append(np.array([0], dtype=np.int64))
+        elif root_label == SHIFT_DUPL:
+            shift_out.append(np.array([0], dtype=np.int64))
+
+        first_nodes = (
+            np.sort(np.concatenate(first_out)) if first_out else np.empty(0, np.int64)
+        )
+        shift_nodes = (
+            np.sort(np.concatenate(shift_out)) if shift_out else np.empty(0, np.int64)
+        )
+        return first_nodes.astype(np.int64), shift_nodes.astype(np.int64)
+
+    def _serialize(
+        self,
+        flat: np.ndarray,
+        ckpt_id: int,
+        first_nodes: np.ndarray,
+        shift_nodes: np.ndarray,
+    ) -> CheckpointDiff:
+        """Gather payload and resolve shifted-duplicate references."""
+        with self.timer.phase("tree.gather"):
+            payload, _ = gather_region_payload(
+                flat, self.spec, self.layout, first_nodes
+            )
+
+        if shift_nodes.size:
+            probes_before = self.map.total_probes
+            found, refs = self.map.lookup(
+                np.ascontiguousarray(self.tree.digests[shift_nodes])
+            )
+            if not found.all():  # pragma: no cover - algorithm invariant
+                raise SerializationError(
+                    "shifted-duplicate region missing from the hash record"
+                )
+            shift_ref_ids = refs[:, 0]
+            shift_ref_ckpts = refs[:, 1]
+            lookup_probes = self.map.total_probes - probes_before
+        else:
+            shift_ref_ids = np.empty(0, dtype=np.int64)
+            shift_ref_ckpts = np.empty(0, dtype=np.int64)
+            lookup_probes = 0
+
+        raw_payload = payload
+        if self.payload_codec is not None:
+            raw_payload = self.payload_codec.compress(payload)
+
+        self.space.launch(
+            "tree.serialize",
+            items=int(first_nodes.shape[0] + shift_nodes.shape[0]),
+            bytes_read=len(payload),
+            bytes_written=len(raw_payload)
+            + 4 * int(first_nodes.shape[0])
+            + 12 * int(shift_nodes.shape[0]),
+            random_accesses=lookup_probes,
+        )
+
+        return CheckpointDiff(
+            method=self.name,
+            ckpt_id=ckpt_id,
+            data_len=self.spec.data_len,
+            chunk_size=self.spec.chunk_size,
+            first_ids=first_nodes,
+            shift_ids=shift_nodes,
+            shift_ref_ids=shift_ref_ids,
+            shift_ref_ckpts=shift_ref_ckpts,
+            payload=raw_payload,
+        )

@@ -1,0 +1,243 @@
+"""On-wire checkpoint-diff format.
+
+A diff is what one process ships to host memory per checkpoint: a small
+header, method-specific metadata, and the payload of first-occurrence
+chunk bytes (§2.1's "consolidated difference").  All four methods of the
+paper's evaluation share the container:
+
+* ``full``  — no metadata; payload is the entire checkpoint.
+* ``basic`` — a changed-chunk bitmap; payload is the changed chunks.
+* ``list``  — per-chunk entries: first-occurrence chunk ids and
+  shifted-duplicate triples ``(chunk, ref_chunk, ref_ckpt)``; payload is
+  the first-occurrence chunks.
+* ``tree``  — per-*region* entries: first-occurrence node ids and
+  shifted-duplicate triples ``(node, ref_node, ref_ckpt)`` over the flat
+  Merkle tree; payload is the first-occurrence regions.
+
+Metadata entries use 4-byte ids on the wire (u32 node/chunk/checkpoint
+ids), which is what the paper's metadata-size comparison counts.  The
+binary encoding is little-endian and versioned; ``from_bytes`` round-trips
+``to_bytes`` exactly, and ``serialized_size`` predicts the encoded length
+without materialising it (the dedup engines use it to meter the D2H
+transfer).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SerializationError
+from ..utils.validation import non_negative_int, one_of, positive_int
+
+_MAGIC = b"RDIF"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHBBIQIIIIQ")
+# magic, version, method, flags, ckpt_id, data_len, chunk_size,
+# n_first, n_shift, bitmap_bytes, payload_len
+
+METHODS = ("full", "basic", "list", "tree")
+_METHOD_CODE = {name: i for i, name in enumerate(METHODS)}
+
+#: Wire width of one first-occurrence metadata entry (u32 id).
+FIRST_ENTRY_BYTES = 4
+#: Wire width of one shifted-duplicate entry (u32 id, u32 ref id, u32 ckpt).
+SHIFT_ENTRY_BYTES = 12
+
+
+def _as_u32(arr: Optional[np.ndarray], name: str) -> np.ndarray:
+    if arr is None:
+        return np.empty(0, dtype=np.uint32)
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise SerializationError(f"{name} must be 1-D, got shape {out.shape}")
+    if out.size and (out.min() < 0 or out.max() > np.iinfo(np.uint32).max):
+        raise SerializationError(f"{name} contains values outside u32 range")
+    return out.astype(np.uint32)
+
+
+@dataclass
+class CheckpointDiff:
+    """One serialized incremental checkpoint.
+
+    ``first_ids``/``shift_*`` are node ids for the tree method and chunk
+    ids for the list method; ``bitmap`` is only present for the basic
+    method.  ``payload`` holds the concatenated first-occurrence bytes in
+    the order of ``first_ids`` (changed chunks in ascending order for
+    basic; the whole buffer for full).
+    """
+
+    method: str
+    ckpt_id: int
+    data_len: int
+    chunk_size: int
+    first_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint32))
+    shift_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint32))
+    shift_ref_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint32))
+    shift_ref_ckpts: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint32))
+    bitmap: Optional[np.ndarray] = None  # packed uint8, basic method only
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        one_of(self.method, METHODS, "method")
+        non_negative_int(self.ckpt_id, "ckpt_id")
+        positive_int(self.data_len, "data_len")
+        positive_int(self.chunk_size, "chunk_size")
+        self.first_ids = _as_u32(self.first_ids, "first_ids")
+        self.shift_ids = _as_u32(self.shift_ids, "shift_ids")
+        self.shift_ref_ids = _as_u32(self.shift_ref_ids, "shift_ref_ids")
+        self.shift_ref_ckpts = _as_u32(self.shift_ref_ckpts, "shift_ref_ckpts")
+        if not (
+            self.shift_ids.shape
+            == self.shift_ref_ids.shape
+            == self.shift_ref_ckpts.shape
+        ):
+            raise SerializationError("shift metadata arrays must share a length")
+        if self.bitmap is not None:
+            self.bitmap = np.asarray(self.bitmap, dtype=np.uint8)
+        if self.method == "basic" and self.bitmap is None:
+            raise SerializationError("basic diffs require a bitmap")
+        if self.method != "basic" and self.bitmap is not None:
+            raise SerializationError(f"{self.method} diffs must not carry a bitmap")
+
+    # ------------------------------------------------------------------
+    # Size accounting (the paper's metadata-vs-data breakdown)
+    # ------------------------------------------------------------------
+    @property
+    def num_first(self) -> int:
+        """Count of first-occurrence metadata entries."""
+        return int(self.first_ids.shape[0])
+
+    @property
+    def num_shift(self) -> int:
+        """Count of shifted-duplicate metadata entries."""
+        return int(self.shift_ids.shape[0])
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Bytes of method metadata on the wire (excluding the header)."""
+        total = self.num_first * FIRST_ENTRY_BYTES + self.num_shift * SHIFT_ENTRY_BYTES
+        if self.bitmap is not None:
+            total += self.bitmap.nbytes
+        return total
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of stored chunk content."""
+        return len(self.payload)
+
+    @property
+    def header_bytes(self) -> int:
+        """Fixed header size."""
+        return _HEADER.size
+
+    @property
+    def serialized_size(self) -> int:
+        """Exact length of :meth:`to_bytes` output."""
+        return self.header_bytes + self.metadata_bytes + self.payload_bytes
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned little-endian wire format."""
+        bitmap_bytes = self.bitmap.nbytes if self.bitmap is not None else 0
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            _METHOD_CODE[self.method],
+            0,
+            self.ckpt_id,
+            self.data_len,
+            self.chunk_size,
+            self.num_first,
+            self.num_shift,
+            bitmap_bytes,
+            len(self.payload),
+        )
+        parts = [header]
+        parts.append(self.first_ids.astype("<u4").tobytes())
+        shift = np.empty((self.num_shift, 3), dtype="<u4")
+        shift[:, 0] = self.shift_ids
+        shift[:, 1] = self.shift_ref_ids
+        shift[:, 2] = self.shift_ref_ckpts
+        parts.append(shift.tobytes())
+        if self.bitmap is not None:
+            parts.append(self.bitmap.tobytes())
+        parts.append(self.payload)
+        out = b"".join(parts)
+        if len(out) != self.serialized_size:  # pragma: no cover - invariant
+            raise SerializationError(
+                f"encoded size {len(out)} != predicted {self.serialized_size}"
+            )
+        return out
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CheckpointDiff":
+        """Parse a diff previously produced by :meth:`to_bytes`."""
+        if len(blob) < _HEADER.size:
+            raise SerializationError(f"diff blob too short ({len(blob)} bytes)")
+        (
+            magic,
+            version,
+            method_code,
+            _flags,
+            ckpt_id,
+            data_len,
+            chunk_size,
+            n_first,
+            n_shift,
+            bitmap_bytes,
+            payload_len,
+        ) = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise SerializationError(f"bad magic {magic!r}")
+        if version != _VERSION:
+            raise SerializationError(f"unsupported diff version {version}")
+        if method_code >= len(METHODS):
+            raise SerializationError(f"unknown method code {method_code}")
+        method = METHODS[method_code]
+
+        off = _HEADER.size
+        need = off + 4 * n_first + 12 * n_shift + bitmap_bytes + payload_len
+        if len(blob) != need:
+            raise SerializationError(
+                f"diff blob length {len(blob)} != expected {need}"
+            )
+        first_ids = np.frombuffer(blob, dtype="<u4", count=n_first, offset=off).copy()
+        off += 4 * n_first
+        shift = (
+            np.frombuffer(blob, dtype="<u4", count=3 * n_shift, offset=off)
+            .reshape(n_shift, 3)
+            .copy()
+        )
+        off += 12 * n_shift
+        bitmap = None
+        if method == "basic":
+            bitmap = np.frombuffer(
+                blob, dtype=np.uint8, count=bitmap_bytes, offset=off
+            ).copy()
+        off += bitmap_bytes
+        payload = blob[off : off + payload_len]
+        return cls(
+            method=method,
+            ckpt_id=ckpt_id,
+            data_len=data_len,
+            chunk_size=chunk_size,
+            first_ids=first_ids,
+            shift_ids=shift[:, 0],
+            shift_ref_ids=shift[:, 1],
+            shift_ref_ckpts=shift[:, 2],
+            bitmap=bitmap,
+            payload=payload,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CheckpointDiff {self.method} #{self.ckpt_id} "
+            f"first={self.num_first} shift={self.num_shift} "
+            f"payload={self.payload_bytes}B total={self.serialized_size}B>"
+        )

@@ -1,0 +1,50 @@
+"""Region labels used by the de-duplication passes (Algorithm 1).
+
+Every tree node carries one label per checkpoint:
+
+* ``FIXED_DUPL``  — content identical to the *same position* in the
+  previous checkpoint; contributes nothing to the diff.
+* ``FIRST_OCUR``  — content never seen before anywhere in the checkpoint
+  record; its chunks are stored and its digest enters the historical map.
+* ``SHIFT_DUPL``  — content that duplicates a *different position* (same
+  or earlier checkpoint); stored as a reference, no payload.
+* ``MIXED``       — interior-node marker meaning "children disagree; the
+  subtree has already been emitted below me".  Not part of the paper's
+  label set, but the natural sentinel for the level-by-level sweep.
+* ``UNLABELED``   — initial state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Label values (uint8).  Order matters only for readability.
+UNLABELED = np.uint8(0)
+FIXED_DUPL = np.uint8(1)
+FIRST_OCUR = np.uint8(2)
+SHIFT_DUPL = np.uint8(3)
+MIXED = np.uint8(4)
+
+LABEL_NAMES = {
+    int(UNLABELED): "UNLABELED",
+    int(FIXED_DUPL): "FIXED_DUPL",
+    int(FIRST_OCUR): "FIRST_OCUR",
+    int(SHIFT_DUPL): "SHIFT_DUPL",
+    int(MIXED): "MIXED",
+}
+
+
+def label_name(value: int) -> str:
+    """Human-readable name of a label value."""
+    return LABEL_NAMES.get(int(value), f"?{value}")
+
+
+def new_label_array(num_nodes: int) -> np.ndarray:
+    """Fresh all-``UNLABELED`` label array for one checkpoint pass."""
+    return np.zeros(num_nodes, dtype=np.uint8)
+
+
+def count_labels(labels: np.ndarray) -> dict:
+    """Histogram of label names → counts (diagnostics and tests)."""
+    values, counts = np.unique(labels, return_counts=True)
+    return {label_name(v): int(c) for v, c in zip(values, counts)}

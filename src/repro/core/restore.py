@@ -1,0 +1,235 @@
+"""Checkpoint reconstruction from diff chains.
+
+Restoring checkpoint *k* follows §2.2: start from the reconstruction of
+checkpoint *k-1* (fixed duplicates are simply the bytes that are never
+overwritten), write the first-occurrence payload into place, then resolve
+shifted duplicates by copying from the referenced checkpoint — which may
+be an earlier checkpoint or checkpoint *k* itself (a shifted duplicate of
+a first occurrence earlier in the same buffer).
+
+Shifted-duplicate references always point at content that was stored as a
+first occurrence, so after phase one of the current checkpoint every
+reference target is available in some reconstructed buffer.  The restorer
+keeps all reconstructed checkpoints of the chain in memory; callers that
+only need the final state can use :func:`restore_latest` which trims the
+history to the window actually referenced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import RestoreError
+from .chunking import ChunkSpec
+from .diff import CheckpointDiff
+from .merkle import TreeLayout
+from .serialize import unpack_bitmap
+
+
+class Restorer:
+    """Reconstructs full checkpoints from an ordered diff chain.
+
+    Parameters
+    ----------
+    payload_codec:
+        Codec whose ``decompress`` undoes the engine-side payload
+        compression (the hybrid mode of :class:`~repro.core.dedup_tree.
+        TreeDedup`); ``None`` for raw payloads.
+    """
+
+    def __init__(self, payload_codec=None) -> None:
+        self.payload_codec = payload_codec
+        self._layouts: Dict[int, TreeLayout] = {}
+
+    # ------------------------------------------------------------------
+    def restore_all(self, diffs: Sequence[CheckpointDiff]) -> List[np.ndarray]:
+        """Reconstruct every checkpoint in the chain, in order."""
+        history: List[np.ndarray] = []
+        for position, diff in enumerate(diffs):
+            if diff.ckpt_id != position:
+                raise RestoreError(
+                    f"diff chain out of order: position {position} holds "
+                    f"checkpoint {diff.ckpt_id}"
+                )
+            history.append(self._restore_one(diff, history))
+        return history
+
+    def restore(
+        self, diffs: Sequence[CheckpointDiff], upto: Optional[int] = None
+    ) -> np.ndarray:
+        """Reconstruct checkpoint *upto* (default: the last one)."""
+        if len(diffs) == 0:
+            raise RestoreError("cannot restore from an empty diff chain")
+        if upto is None:
+            upto = len(diffs) - 1
+        if not 0 <= upto < len(diffs):
+            raise RestoreError(f"checkpoint {upto} outside chain of {len(diffs)}")
+        return self.restore_all(diffs[: upto + 1])[upto]
+
+    # ------------------------------------------------------------------
+    def _restore_one(
+        self, diff: CheckpointDiff, history: List[np.ndarray]
+    ) -> np.ndarray:
+        spec = ChunkSpec(diff.data_len, diff.chunk_size)
+        if diff.ckpt_id == 0:
+            data = np.zeros(diff.data_len, dtype=np.uint8)
+        else:
+            prev = history[diff.ckpt_id - 1]
+            if prev.shape[0] != diff.data_len:
+                raise RestoreError(
+                    f"checkpoint length changed mid-chain at {diff.ckpt_id}"
+                )
+            data = prev.copy()
+
+        handler = {
+            "full": self._apply_full,
+            "basic": self._apply_basic,
+            "list": self._apply_list,
+            "tree": self._apply_tree,
+        }[diff.method]
+        handler(diff, spec, data, history)
+        return data
+
+    def _payload(self, diff: CheckpointDiff) -> bytes:
+        if self.payload_codec is not None and diff.method == "tree":
+            return self.payload_codec.decompress(diff.payload)
+        return diff.payload
+
+    # ------------------------------------------------------------------
+    def _apply_full(
+        self,
+        diff: CheckpointDiff,
+        spec: ChunkSpec,
+        data: np.ndarray,
+        history: List[np.ndarray],
+    ) -> None:
+        payload = self._payload(diff)
+        if len(payload) != diff.data_len:
+            raise RestoreError(
+                f"full checkpoint payload is {len(payload)} bytes, "
+                f"expected {diff.data_len}"
+            )
+        data[:] = np.frombuffer(payload, dtype=np.uint8)
+
+    def _apply_basic(
+        self,
+        diff: CheckpointDiff,
+        spec: ChunkSpec,
+        data: np.ndarray,
+        history: List[np.ndarray],
+    ) -> None:
+        changed = unpack_bitmap(diff.bitmap, spec.num_chunks)
+        payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
+        offset = 0
+        for chunk in np.nonzero(changed)[0]:
+            start, end = spec.chunk_bounds(int(chunk))
+            length = end - start
+            if offset + length > payload.shape[0]:
+                raise RestoreError("basic payload shorter than bitmap demands")
+            data[start:end] = payload[offset : offset + length]
+            offset += length
+        if offset != payload.shape[0]:
+            raise RestoreError(
+                f"basic payload has {payload.shape[0] - offset} trailing bytes"
+            )
+
+    def _apply_list(
+        self,
+        diff: CheckpointDiff,
+        spec: ChunkSpec,
+        data: np.ndarray,
+        history: List[np.ndarray],
+    ) -> None:
+        payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
+        offset = 0
+        for chunk in diff.first_ids:
+            start, end = spec.chunk_bounds(int(chunk))
+            length = end - start
+            data[start:end] = payload[offset : offset + length]
+            offset += length
+        if offset != payload.shape[0]:
+            raise RestoreError("list payload length mismatch")
+
+        for i in range(diff.num_shift):
+            dst0, dst1 = spec.chunk_bounds(int(diff.shift_ids[i]))
+            src0, src1 = spec.chunk_bounds(int(diff.shift_ref_ids[i]))
+            if dst1 - dst0 != src1 - src0:
+                raise RestoreError(
+                    f"shifted chunk {int(diff.shift_ids[i])} length mismatch"
+                )
+            source = self._source_buffer(
+                int(diff.shift_ref_ckpts[i]), diff.ckpt_id, data, history
+            )
+            data[dst0:dst1] = source[src0:src1]
+
+    def _apply_tree(
+        self,
+        diff: CheckpointDiff,
+        spec: ChunkSpec,
+        data: np.ndarray,
+        history: List[np.ndarray],
+    ) -> None:
+        layout = self._layout_for(spec.num_chunks)
+        payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
+        offset = 0
+        for node in diff.first_ids:
+            start, end = self._node_bounds(spec, layout, int(node))
+            length = end - start
+            if offset + length > payload.shape[0]:
+                raise RestoreError("tree payload shorter than regions demand")
+            data[start:end] = payload[offset : offset + length]
+            offset += length
+        if offset != payload.shape[0]:
+            raise RestoreError(
+                f"tree payload has {payload.shape[0] - offset} trailing bytes"
+            )
+
+        for i in range(diff.num_shift):
+            dst0, dst1 = self._node_bounds(spec, layout, int(diff.shift_ids[i]))
+            src0, src1 = self._node_bounds(spec, layout, int(diff.shift_ref_ids[i]))
+            if dst1 - dst0 != src1 - src0:
+                raise RestoreError(
+                    f"shifted region {int(diff.shift_ids[i])} length mismatch"
+                )
+            source = self._source_buffer(
+                int(diff.shift_ref_ckpts[i]), diff.ckpt_id, data, history
+            )
+            data[dst0:dst1] = source[src0:src1]
+
+    # ------------------------------------------------------------------
+    def _layout_for(self, num_chunks: int) -> TreeLayout:
+        layout = self._layouts.get(num_chunks)
+        if layout is None:
+            layout = TreeLayout(num_chunks)
+            self._layouts[num_chunks] = layout
+        return layout
+
+    @staticmethod
+    def _node_bounds(spec: ChunkSpec, layout: TreeLayout, node: int):
+        if not 0 <= node < layout.num_nodes:
+            raise RestoreError(f"node id {node} outside tree of {layout.num_nodes}")
+        return spec.range_bounds(
+            int(layout.leaf_start[node]), int(layout.leaf_count[node])
+        )
+
+    @staticmethod
+    def _source_buffer(
+        ref_ckpt: int, current_ckpt: int, data: np.ndarray, history: List[np.ndarray]
+    ) -> np.ndarray:
+        if ref_ckpt == current_ckpt:
+            return data
+        if not 0 <= ref_ckpt < len(history):
+            raise RestoreError(
+                f"shifted duplicate references checkpoint {ref_ckpt}, "
+                f"which is not reconstructed yet"
+            )
+        return history[ref_ckpt]
+
+
+def restore_latest(
+    diffs: Sequence[CheckpointDiff], payload_codec=None
+) -> np.ndarray:
+    """Convenience wrapper: reconstruct only the final checkpoint."""
+    return Restorer(payload_codec=payload_codec).restore(diffs)

@@ -1,0 +1,118 @@
+"""Payload gathering — the consolidation step of §2.1/§2.4.
+
+First-occurrence chunks are scattered across the checkpoint buffer; the
+paper gathers them into one contiguous device buffer (team-of-threads
+copies, coalesced accesses) so a *single* D2H transfer moves the whole
+diff.  These helpers perform the equivalent vectorized gathers and report
+the byte traffic so the engines can meter the serialization kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SerializationError
+from .chunking import ChunkSpec
+from .merkle import TreeLayout
+
+
+def gather_chunk_payload(
+    flat: np.ndarray, spec: ChunkSpec, chunk_ids: np.ndarray
+) -> bytes:
+    """Concatenate the bytes of *chunk_ids* (ascending or not) in order.
+
+    Fast path: all-full-size chunks gather via a single reshape+fancy-index;
+    the (at most one) tail chunk is patched in afterwards.
+    """
+    ids = np.asarray(chunk_ids, dtype=np.int64)
+    if ids.size == 0:
+        return b""
+    if ids.min() < 0 or ids.max() >= spec.num_chunks:
+        raise SerializationError("chunk id out of range for payload gather")
+
+    cs = spec.chunk_size
+    full_chunks = spec.data_len // cs
+    has_tail = spec.data_len % cs != 0
+
+    tail_positions = np.nonzero(ids == spec.num_chunks - 1)[0] if has_tail else []
+    if has_tail and len(tail_positions):
+        parts = []
+        body = flat[: full_chunks * cs].reshape(full_chunks, cs)
+        # Split around tail occurrences to preserve order.
+        prev = 0
+        for pos in tail_positions:
+            seg = ids[prev:pos]
+            if seg.size:
+                parts.append(body[seg].tobytes())
+            start, end = spec.chunk_bounds(spec.num_chunks - 1)
+            parts.append(flat[start:end].tobytes())
+            prev = pos + 1
+        seg = ids[prev:]
+        if seg.size:
+            parts.append(body[seg].tobytes())
+        return b"".join(parts)
+
+    body = flat[: full_chunks * cs].reshape(full_chunks, cs)
+    return body[ids].tobytes()
+
+
+def gather_region_payload(
+    flat: np.ndarray,
+    spec: ChunkSpec,
+    layout: TreeLayout,
+    nodes: np.ndarray,
+) -> Tuple[bytes, np.ndarray]:
+    """Concatenate the byte ranges covered by tree *nodes*, in order.
+
+    Returns ``(payload, region_lengths)`` where ``region_lengths[i]`` is the
+    byte length of region *i* — the deserializer needs the running offsets.
+    """
+    node_arr = np.asarray(nodes, dtype=np.int64)
+    if node_arr.size == 0:
+        return b"", np.empty(0, dtype=np.int64)
+    if node_arr.min() < 0 or node_arr.max() >= layout.num_nodes:
+        raise SerializationError("node id out of range for payload gather")
+
+    starts = layout.leaf_start[node_arr]
+    counts = layout.leaf_count[node_arr]
+    parts = []
+    lengths = np.empty(node_arr.shape[0], dtype=np.int64)
+    for i in range(node_arr.shape[0]):
+        b0, b1 = spec.range_bounds(int(starts[i]), int(counts[i]))
+        parts.append(flat[b0:b1])
+        lengths[i] = b1 - b0
+    payload = np.concatenate(parts).tobytes() if parts else b""
+    return payload, lengths
+
+
+def region_byte_lengths(
+    spec: ChunkSpec, layout: TreeLayout, nodes: Sequence[int]
+) -> np.ndarray:
+    """Byte length of each node's chunk range (no data movement)."""
+    node_arr = np.asarray(nodes, dtype=np.int64)
+    lengths = np.empty(node_arr.shape[0], dtype=np.int64)
+    for i, node in enumerate(node_arr):
+        b0, b1 = spec.range_bounds(
+            int(layout.leaf_start[node]), int(layout.leaf_count[node])
+        )
+        lengths[i] = b1 - b0
+    return lengths
+
+
+def pack_bitmap(changed: np.ndarray) -> np.ndarray:
+    """Pack a boolean changed-chunk mask into a uint8 bitmap (LSB-first)."""
+    if changed.dtype != bool or changed.ndim != 1:
+        raise SerializationError("bitmap packing expects a 1-D boolean mask")
+    return np.packbits(changed.astype(np.uint8), bitorder="little")
+
+
+def unpack_bitmap(bitmap: np.ndarray, num_chunks: int) -> np.ndarray:
+    """Inverse of :func:`pack_bitmap`, truncated to *num_chunks* entries."""
+    bits = np.unpackbits(np.asarray(bitmap, dtype=np.uint8), bitorder="little")
+    if bits.shape[0] < num_chunks:
+        raise SerializationError(
+            f"bitmap holds {bits.shape[0]} bits, need {num_chunks}"
+        )
+    return bits[:num_chunks].astype(bool)

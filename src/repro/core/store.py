@@ -1,0 +1,95 @@
+"""On-disk checkpoint record store.
+
+Persists a diff chain as one file per checkpoint plus a small JSON
+manifest — the shape a deployment would push down the Fig. 3 hierarchy.
+The wire format is the versioned encoding of
+:class:`~repro.core.diff.CheckpointDiff`, so records written here can be
+read by any tool that speaks it.
+
+Layout::
+
+    <dir>/record.json            manifest: method, count, geometry
+    <dir>/ckpt-00000.rdif        CheckpointDiff.to_bytes() per checkpoint
+    <dir>/ckpt-00001.rdif
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..errors import StorageError
+from .diff import CheckpointDiff
+
+_MANIFEST = "record.json"
+_PATTERN = "ckpt-{:05d}.rdif"
+_FORMAT_VERSION = 1
+
+
+def save_record(
+    diffs: List[CheckpointDiff], directory: Union[str, Path], method: str = ""
+) -> Path:
+    """Write a diff chain to *directory* (created if missing).
+
+    Refuses to overwrite a directory already holding a different record
+    length unless it holds a strict prefix of this chain (append-style
+    updates are fine).
+    """
+    if not diffs:
+        raise StorageError("cannot save an empty record")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    manifest_path = path / _MANIFEST
+    if manifest_path.exists():
+        existing = json.loads(manifest_path.read_text())
+        if existing.get("num_checkpoints", 0) > len(diffs):
+            raise StorageError(
+                f"{path} already holds a longer record "
+                f"({existing['num_checkpoints']} checkpoints)"
+            )
+
+    for diff in diffs:
+        (path / _PATTERN.format(diff.ckpt_id)).write_bytes(diff.to_bytes())
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "method": method or diffs[-1].method,
+        "num_checkpoints": len(diffs),
+        "data_len": diffs[0].data_len,
+        "chunk_size": diffs[0].chunk_size,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_record(directory: Union[str, Path]) -> List[CheckpointDiff]:
+    """Read a diff chain previously written by :func:`save_record`."""
+    path = Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"{path} holds no record manifest")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported record format {manifest.get('format_version')!r}"
+        )
+    count = int(manifest["num_checkpoints"])
+    diffs = []
+    for i in range(count):
+        blob_path = path / _PATTERN.format(i)
+        if not blob_path.exists():
+            raise StorageError(f"record is missing checkpoint file {blob_path.name}")
+        diffs.append(CheckpointDiff.from_bytes(blob_path.read_bytes()))
+        if diffs[-1].ckpt_id != i:
+            raise StorageError(f"{blob_path.name} holds checkpoint {diffs[-1].ckpt_id}")
+    return diffs
+
+
+def record_manifest(directory: Union[str, Path]) -> dict:
+    """Read just the manifest of a stored record."""
+    path = Path(directory) / _MANIFEST
+    if not path.exists():
+        raise StorageError(f"{Path(directory)} holds no record manifest")
+    return json.loads(path.read_text())

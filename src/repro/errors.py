@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (hash table, storage tier) overflowed."""
+
+
+class ChunkingError(ReproError):
+    """Checkpoint data could not be split into chunks as requested."""
+
+
+class SerializationError(ReproError):
+    """A checkpoint diff could not be serialized or parsed."""
+
+
+class RestoreError(ReproError):
+    """A checkpoint could not be reconstructed from its diff chain."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class GraphError(ReproError):
+    """An input graph is malformed or a generator received bad parameters."""
+
+
+class SimulationError(ReproError):
+    """The GPU/cluster simulation was driven into an invalid state."""
+
+
+class StorageError(ReproError):
+    """A storage tier operation failed (missing object, tier overflow)."""

@@ -1,0 +1,160 @@
+"""Node and cluster topology for the strong-scaling experiments.
+
+Figure 6 of the paper runs 1–64 GPUs: ThetaGPU packs 8 A100s per DGX node,
+Polaris 4 per Apollo node, and all nodes share a Lustre file system with a
+fixed aggregate bandwidth (250 GB/s on ThetaGPU).  Each process dedups on
+its own GPU independently — "the only bottleneck is the competition for
+PCIe bandwidth between the GPUs" (§2.3) plus the shared parallel file
+system further down the hierarchy.
+
+This module captures exactly those two contention points:
+
+* :class:`NodeSpec` — how many GPUs share one host and how much aggregate
+  host-link bandwidth the node provides (DGX boxes have PCIe switches, so
+  GPUs are oversubscribed when all flush at once);
+* :class:`ClusterSpec` — node count and shared PFS bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SimulationError
+from ..utils.units import GB
+from ..utils.validation import positive_float, positive_int
+from .device import DeviceSpec, a100
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node holding several GPUs."""
+
+    name: str
+    device: DeviceSpec
+    gpus_per_node: int
+    #: Aggregate host-link bandwidth the node can sustain across all GPUs
+    #: simultaneously, bytes/second.
+    host_link_bandwidth: float
+    #: Host DRAM available for staging checkpoints, bytes.
+    host_memory_bytes: int
+    #: Node-local SSD bandwidth (one device per node), bytes/second.
+    local_ssd_bandwidth: float = 3.2 * GB
+    local_ssd_bytes: int = 3200 * GB
+
+    def __post_init__(self) -> None:
+        positive_int(self.gpus_per_node, "gpus_per_node")
+        positive_float(self.host_link_bandwidth, "host_link_bandwidth")
+        positive_int(self.host_memory_bytes, "host_memory_bytes")
+
+    def pcie_contention(self, active_gpus: int) -> float:
+        """Slowdown factor for concurrent D2H flushes from *active_gpus*.
+
+        With demand ``active * per_gpu_pcie`` against supply
+        ``host_link_bandwidth`` the factor is ``max(1, demand / supply)``.
+        """
+        positive_int(active_gpus, "active_gpus")
+        if active_gpus > self.gpus_per_node:
+            raise SimulationError(
+                f"{active_gpus} active GPUs on a {self.gpus_per_node}-GPU node"
+            )
+        demand = active_gpus * self.device.pcie_bandwidth
+        return max(1.0, demand / self.host_link_bandwidth)
+
+
+def thetagpu_node() -> NodeSpec:
+    """ALCF ThetaGPU: DGX A100, 8 GPUs, 1 TB DDR4 per node."""
+    return NodeSpec(
+        name="ThetaGPU-DGX",
+        device=a100(memory_bytes=40 * GB),
+        gpus_per_node=8,
+        host_link_bandwidth=4 * 25.0 * GB,  # PCIe switches pair GPUs 2:1
+        host_memory_bytes=1000 * GB,
+    )
+
+
+def polaris_node() -> NodeSpec:
+    """ALCF Polaris: HPE Apollo, 4 A100s, 512 GB DDR4 per node."""
+    return NodeSpec(
+        name="Polaris-Apollo",
+        device=a100(memory_bytes=40 * GB),
+        gpus_per_node=4,
+        host_link_bandwidth=2 * 25.0 * GB,
+        host_memory_bytes=512 * GB,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes behind one parallel file system."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    #: Aggregate PFS bandwidth shared by every node, bytes/second.
+    pfs_bandwidth: float
+
+    def __post_init__(self) -> None:
+        positive_int(self.num_nodes, "num_nodes")
+        positive_float(self.pfs_bandwidth, "pfs_bandwidth")
+
+    @property
+    def total_gpus(self) -> int:
+        """Cluster-wide GPU count."""
+        return self.num_nodes * self.node.gpus_per_node
+
+    def place(self, num_processes: int) -> List[int]:
+        """Pack *num_processes* one-per-GPU, filling nodes in order.
+
+        Returns the per-node process counts (paper deployments fill each
+        node before moving on, matching ALCF's default placement).
+        """
+        positive_int(num_processes, "num_processes")
+        if num_processes > self.total_gpus:
+            raise SimulationError(
+                f"cannot place {num_processes} processes on {self.total_gpus} GPUs"
+            )
+        counts = []
+        remaining = num_processes
+        for _ in range(self.num_nodes):
+            take = min(remaining, self.node.gpus_per_node)
+            if take:
+                counts.append(take)
+            remaining -= take
+            if remaining == 0:
+                break
+        return counts
+
+    def pcie_contention_for(self, num_processes: int) -> List[float]:
+        """Per-process PCIe contention factors under this placement."""
+        factors: List[float] = []
+        for node_count in self.place(num_processes):
+            factor = self.node.pcie_contention(node_count)
+            factors.extend([factor] * node_count)
+        return factors
+
+    def pfs_flush_seconds(self, total_bytes: int) -> float:
+        """Time to drain *total_bytes* from all nodes into the PFS."""
+        if total_bytes < 0:
+            raise SimulationError(f"negative flush size {total_bytes}")
+        return total_bytes / self.pfs_bandwidth
+
+
+def thetagpu(num_nodes: int = 24) -> ClusterSpec:
+    """The ThetaGPU system used for the paper's scaling runs (Fig. 6)."""
+    return ClusterSpec(
+        name="ThetaGPU",
+        node=thetagpu_node(),
+        num_nodes=num_nodes,
+        pfs_bandwidth=250.0 * GB,
+    )
+
+
+def polaris(num_nodes: int = 560) -> ClusterSpec:
+    """The Polaris system (§3.1)."""
+    return ClusterSpec(
+        name="Polaris",
+        node=polaris_node(),
+        num_nodes=num_nodes,
+        pfs_bandwidth=650.0 * GB,
+    )

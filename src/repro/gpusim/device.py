@@ -1,0 +1,117 @@
+"""Simulated GPU device specifications.
+
+The paper evaluates on NVIDIA A100s (ThetaGPU DGX nodes and Polaris Apollo
+nodes, §3.1).  Since this reproduction runs without a GPU, throughput is
+produced by an analytic cost model parameterised by the handful of device
+quantities that actually determine where time goes in this workload:
+
+* **HBM bandwidth** — chunk hashing and diff serialization are streaming,
+  memory-bound passes;
+* **random-access cost** — hash-table probes and scattered label reads hit
+  uncoalesced cachelines; this is the term that makes very small chunks
+  expensive (more chunks → more probes per byte);
+* **kernel-launch latency** — why the paper fuses kernels (§2.1);
+* **PCIe bandwidth + per-copy latency** — why the diff is consolidated on
+  the device before a single D2H copy (§2.1).
+
+The default constants are calibrated to public A100 figures (1.56 TB/s HBM,
+PCIe gen4 x16 ≈ 25 GB/s, ~4 µs launch latency) and to ~0.5 GOp/s effective
+GPU hash-table probe throughput (dependent uncoalesced cacheline reads),
+which places the throughput knee of the chunk-size sweep at the paper's
+~256 B; EXPERIMENTS.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.units import GB
+from ..utils.validation import positive_float, positive_int
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static performance characteristics of one simulated GPU."""
+
+    name: str
+    #: Device (HBM) memory bandwidth in bytes/second for coalesced streams.
+    mem_bandwidth: float
+    #: Fraction of peak HBM bandwidth streaming kernels actually achieve.
+    stream_efficiency: float
+    #: Seconds per uncoalesced memory operation (hash-table probe, gather
+    #: of a scattered label).  Amortised: includes the cacheline traffic.
+    random_access_cost: float
+    #: Seconds of fixed overhead per kernel launch.
+    kernel_launch_latency: float
+    #: Host link (PCIe) bandwidth in bytes/second, per direction.
+    pcie_bandwidth: float
+    #: Fixed setup cost per DMA copy in seconds; dominates when a transfer
+    #: is split into many small copies (the "naive scattered chunks"
+    #: anti-pattern of §2.1).
+    pcie_latency: float
+    #: Total device memory in bytes (bounds the hash record + tree).
+    memory_bytes: int = 40 * GB
+
+    def __post_init__(self) -> None:
+        positive_float(self.mem_bandwidth, "mem_bandwidth")
+        positive_float(self.stream_efficiency, "stream_efficiency")
+        positive_float(self.random_access_cost, "random_access_cost")
+        positive_float(self.kernel_launch_latency, "kernel_launch_latency")
+        positive_float(self.pcie_bandwidth, "pcie_bandwidth")
+        positive_float(self.pcie_latency, "pcie_latency")
+        positive_int(self.memory_bytes, "memory_bytes")
+
+    @property
+    def effective_stream_bandwidth(self) -> float:
+        """Achievable bytes/second for coalesced streaming kernels."""
+        return self.mem_bandwidth * self.stream_efficiency
+
+
+def a100(memory_bytes: int = 40 * GB) -> DeviceSpec:
+    """NVIDIA A100 (SXM/PCIe hybrid figures used by the paper's testbeds)."""
+    return DeviceSpec(
+        name="A100",
+        mem_bandwidth=1.555e12,
+        stream_efficiency=0.80,
+        random_access_cost=2.0e-9,
+        kernel_launch_latency=4.0e-6,
+        pcie_bandwidth=25.0 * GB,
+        pcie_latency=10.0e-6,
+        memory_bytes=memory_bytes,
+    )
+
+
+def v100(memory_bytes: int = 16 * GB) -> DeviceSpec:
+    """NVIDIA V100 — a slower point for sensitivity experiments."""
+    return DeviceSpec(
+        name="V100",
+        mem_bandwidth=0.9e12,
+        stream_efficiency=0.75,
+        random_access_cost=3.5e-9,
+        kernel_launch_latency=5.0e-6,
+        pcie_bandwidth=12.0 * GB,
+        pcie_latency=10.0e-6,
+        memory_bytes=memory_bytes,
+    )
+
+
+def laptop_gpu(memory_bytes: int = 4 * GB) -> DeviceSpec:
+    """A small integrated GPU; exaggerates every overhead, handy in tests."""
+    return DeviceSpec(
+        name="laptop",
+        mem_bandwidth=100.0 * GB,
+        stream_efficiency=0.6,
+        random_access_cost=5.0e-9,
+        kernel_launch_latency=10.0e-6,
+        pcie_bandwidth=6.0 * GB,
+        pcie_latency=20.0e-6,
+        memory_bytes=memory_bytes,
+    )
+
+
+#: Registry used by the bench harness ``--device`` flag.
+DEVICE_PRESETS = {
+    "a100": a100,
+    "v100": v100,
+    "laptop": laptop_gpu,
+}

@@ -1,0 +1,108 @@
+"""Kernel cost model: prices a :class:`~repro.kokkos.KernelLedger` into
+simulated GPU seconds.
+
+The model is deliberately simple — four linear terms per kernel — because
+that is all the paper's performance story needs:
+
+``time(kernel) = launches * launch_latency
+              + (bytes_read + bytes_written) / effective_stream_bandwidth
+              + random_accesses * random_access_cost``
+
+``time(transfer) = count * pcie_latency + nbytes / pcie_bandwidth(contention)``
+
+Contention models the multi-GPU case of §2.3/§3.3: several GPUs on one
+node share host-link bandwidth, so D2H copies slow down by the node's
+oversubscription factor while kernel time is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..kokkos.execution import KernelLedger
+from ..utils.validation import positive_float
+from .device import DeviceSpec
+
+
+@dataclass
+class CostBreakdown:
+    """Simulated seconds attributed to each cost component."""
+
+    launch_seconds: float = 0.0
+    stream_seconds: float = 0.0
+    random_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    #: Per-kernel-name totals (launch+stream+random), for reports/ablations.
+    per_kernel: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Total on-device compute time."""
+        return self.launch_seconds + self.stream_seconds + self.random_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Device compute plus host transfers (serialized, as in the paper's
+        blocking de-dup + copy measurement window)."""
+        return self.kernel_seconds + self.transfer_seconds
+
+    def merged(self, other: "CostBreakdown") -> "CostBreakdown":
+        """Sum two breakdowns (used when aggregating checkpoints)."""
+        out = CostBreakdown(
+            launch_seconds=self.launch_seconds + other.launch_seconds,
+            stream_seconds=self.stream_seconds + other.stream_seconds,
+            random_seconds=self.random_seconds + other.random_seconds,
+            transfer_seconds=self.transfer_seconds + other.transfer_seconds,
+            per_kernel=dict(self.per_kernel),
+        )
+        for name, secs in other.per_kernel.items():
+            out.per_kernel[name] = out.per_kernel.get(name, 0.0) + secs
+        return out
+
+
+class KernelCostModel:
+    """Prices ledgers against a :class:`DeviceSpec`.
+
+    Parameters
+    ----------
+    device:
+        The simulated GPU.
+    pcie_contention:
+        ≥ 1.0 multiplier on transfer time; the node/cluster layer sets this
+        to the host-link oversubscription factor when several GPUs flush
+        concurrently.
+    """
+
+    def __init__(self, device: DeviceSpec, pcie_contention: float = 1.0) -> None:
+        self.device = device
+        positive_float(pcie_contention, "pcie_contention")
+        if pcie_contention < 1.0:
+            raise ValueError(f"pcie_contention must be >= 1, got {pcie_contention}")
+        self.pcie_contention = pcie_contention
+
+    def price(self, ledger: KernelLedger) -> CostBreakdown:
+        """Compute the cost breakdown of everything recorded in *ledger*."""
+        dev = self.device
+        out = CostBreakdown()
+        for k in ledger.kernels:
+            launch = k.launches * dev.kernel_launch_latency
+            stream = (k.bytes_read + k.bytes_written) / dev.effective_stream_bandwidth
+            random = k.random_accesses * dev.random_access_cost
+            out.launch_seconds += launch
+            out.stream_seconds += stream
+            out.random_seconds += random
+            out.per_kernel[k.name] = out.per_kernel.get(k.name, 0.0) + (
+                launch + stream + random
+            )
+        bandwidth = dev.pcie_bandwidth / self.pcie_contention
+        for t in ledger.transfers:
+            out.transfer_seconds += t.count * dev.pcie_latency + t.nbytes / bandwidth
+        return out
+
+    def throughput(self, ledger: KernelLedger, payload_bytes: int) -> float:
+        """Paper metric: original data size / simulated end-to-end seconds."""
+        seconds = self.price(ledger).total_seconds
+        if seconds <= 0.0:
+            return float("inf")
+        return payload_bytes / seconds

@@ -1,0 +1,31 @@
+"""Graph substrate: CSR structure, Table 1 graph generators, Gorder."""
+
+from .csr import Graph
+from .generators import (
+    GRAPH_GENERATORS,
+    delaunay,
+    generate,
+    hugebubbles,
+    message_race,
+    road_network,
+    unstructured_mesh,
+)
+from .gorder import gorder, locality_score
+from .stats import GraphStats, compute_stats, count_triangles, count_wedges
+
+__all__ = [
+    "Graph",
+    "GRAPH_GENERATORS",
+    "delaunay",
+    "generate",
+    "hugebubbles",
+    "message_race",
+    "road_network",
+    "unstructured_mesh",
+    "gorder",
+    "locality_score",
+    "GraphStats",
+    "compute_stats",
+    "count_triangles",
+    "count_wedges",
+]

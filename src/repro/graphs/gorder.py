@@ -1,0 +1,126 @@
+"""Gorder vertex reordering (Wei et al., SIGMOD'16).
+
+The paper pre-processes every input graph with Gorder (§3.2): a greedy
+sliding-window ordering that places strongly-connected vertices next to
+each other, improving cache reuse — and, for checkpointing, concentrating
+GDV updates into contiguous buffer regions, which is what gives the Tree
+method long consolidatable runs.
+
+This is the real algorithm: maximise
+``sum over pairs (u, w) within a window of size w of s(u, w)`` where
+``s(u, w)`` counts shared in-neighbours plus direct adjacency, via the
+greedy max-priority selection with lazy-update heap described in the
+paper.  (Undirected graphs here, so in-neighbours are neighbours.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..utils.validation import positive_int
+from .csr import Graph
+
+
+def gorder(graph: Graph, window: int = 5, start: Optional[int] = None) -> np.ndarray:
+    """Compute a Gorder permutation.
+
+    Returns ``order`` with ``order[i]`` = the old vertex id placed at new
+    position ``i`` (feed it to :meth:`Graph.relabel`).
+
+    Parameters
+    ----------
+    window:
+        The locality window *w* (Gorder's default is 5).
+    start:
+        Seed vertex; defaults to the maximum-degree vertex, as in the
+        reference implementation.
+    """
+    positive_int(window, "window")
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    degrees = graph.degree()
+    if start is None:
+        start = int(np.argmax(degrees))
+
+    placed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    # score[v]: current priority = Σ over window vertices u of s(u, v).
+    score = np.zeros(n, dtype=np.int64)
+    # Lazy heap of (-score, vertex); stale entries skipped on pop.
+    heap: list = []
+
+    def bump(vertex: int, delta: int) -> None:
+        score[vertex] += delta
+        heapq.heappush(heap, (-score[vertex], vertex))
+
+    def adjust_for(pivot: int, delta: int) -> None:
+        """± the contribution of window vertex *pivot* to all candidates."""
+        neigh = graph.neighbors(pivot)
+        # Direct adjacency term of s(pivot, v).
+        for v in neigh:
+            if not placed[v]:
+                bump(int(v), delta)
+        # Shared-neighbour term: every 2-hop vertex through a common
+        # neighbour gains one per path.
+        for u in neigh:
+            for v in graph.neighbors(int(u)):
+                if v != pivot and not placed[v]:
+                    bump(int(v), delta)
+
+    window_queue: list = []
+    current = start
+    for position in range(n):
+        placed[current] = True
+        order[position] = current
+        score[current] = -1  # poison: never selected again
+        window_queue.append(current)
+        adjust_for(current, +1)
+        if len(window_queue) > window:
+            expired = window_queue.pop(0)
+            adjust_for(expired, -1)
+
+        if position == n - 1:
+            break
+        # Pop the best unplaced, skipping stale heap entries.
+        nxt = -1
+        while heap:
+            neg, cand = heapq.heappop(heap)
+            if not placed[cand] and -neg == score[cand]:
+                nxt = cand
+                break
+        if nxt < 0:
+            # Disconnected remainder: jump to the highest-degree unplaced.
+            remaining = np.nonzero(~placed)[0]
+            nxt = int(remaining[np.argmax(degrees[remaining])])
+        current = nxt
+    return order
+
+
+def locality_score(graph: Graph, order: np.ndarray, window: int = 5) -> float:
+    """The objective Gorder maximises, per vertex (for tests/ablation).
+
+    Average over positions i of Σ_{j ∈ (i-w, i)} s(order[j], order[i]).
+    """
+    positive_int(window, "window")
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+
+    neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(n)]
+    total = 0
+    for i in range(n):
+        v = int(order[i])
+        for j in range(max(0, i - window), i):
+            u = int(order[j])
+            s = len(neighbor_sets[u] & neighbor_sets[v])
+            if v in neighbor_sets[u]:
+                s += 1
+            total += s
+    return total / n

@@ -1,0 +1,52 @@
+"""Chunk fingerprinting: MurmurHash3 x64-128, scalar and batch-vectorized.
+
+The paper (§2.4) picks 128-bit Murmur3 because a fast non-cryptographic
+hash keeps the de-duplication pipeline memory-bound rather than
+compute-bound; this package provides a bit-exact reproduction plus the
+digest-array utilities the rest of the library builds on.
+"""
+
+from .alternatives import (
+    HASH_FUNCTIONS,
+    HashFunction,
+    get_hash_function,
+    modeled_hash_seconds,
+)
+from .digest import (
+    DIGEST_BYTES,
+    DIGEST_LANES,
+    check_digests,
+    digest_to_hex,
+    digests_equal,
+    digests_to_hex,
+    digests_to_structured,
+    unique_digests,
+)
+from .murmur3 import (
+    hash_batch,
+    hash_bytes,
+    hash_chunks,
+    hash_digest_pairs,
+)
+from .scalar import murmur3_hex, murmur3_x64_128
+
+__all__ = [
+    "HASH_FUNCTIONS",
+    "HashFunction",
+    "get_hash_function",
+    "modeled_hash_seconds",
+    "DIGEST_BYTES",
+    "DIGEST_LANES",
+    "check_digests",
+    "digest_to_hex",
+    "digests_equal",
+    "digests_to_hex",
+    "digests_to_structured",
+    "unique_digests",
+    "hash_batch",
+    "hash_bytes",
+    "hash_chunks",
+    "hash_digest_pairs",
+    "murmur3_hex",
+    "murmur3_x64_128",
+]

@@ -1,0 +1,87 @@
+"""Digest-array helpers.
+
+Digests flow through the library as ``(n, 2)`` uint64 arrays.  The hash
+table and restore paths occasionally need a *scalar* key per digest, a hex
+rendering for debugging, or stable sorting — those conversions live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ChunkingError
+
+#: Number of uint64 lanes per digest.
+DIGEST_LANES = 2
+#: Digest width in bytes.
+DIGEST_BYTES = 16
+
+
+def check_digests(digests: np.ndarray, name: str = "digests") -> np.ndarray:
+    """Validate the canonical ``(n, 2)`` uint64 digest layout."""
+    if (
+        not isinstance(digests, np.ndarray)
+        or digests.ndim != 2
+        or digests.shape[1] != DIGEST_LANES
+        or digests.dtype != np.uint64
+    ):
+        raise ChunkingError(
+            f"{name} must be an (n, 2) uint64 array, got "
+            f"{getattr(digests, 'shape', None)} {getattr(digests, 'dtype', None)}"
+        )
+    return digests
+
+
+def digest_to_hex(digest: np.ndarray) -> str:
+    """Render one ``(2,)`` digest as the canonical 32-hex-char string."""
+    d = np.asarray(digest, dtype=np.uint64).reshape(2)
+    return (int(d[0]).to_bytes(8, "little") + int(d[1]).to_bytes(8, "little")).hex()
+
+
+def digests_to_hex(digests: np.ndarray) -> list:
+    """Render an ``(n, 2)`` digest array as a list of hex strings."""
+    check_digests(digests)
+    return [digest_to_hex(digests[i]) for i in range(digests.shape[0])]
+
+
+def digests_to_structured(digests: np.ndarray) -> np.ndarray:
+    """View ``(n, 2)`` digests as a 1-D structured array for np.unique.
+
+    ``np.unique`` on a 2-D array with ``axis=0`` is substantially slower
+    than on a 1-D void view; this helper performs the reinterpretation
+    safely (requires a contiguous input and produces a view, not a copy).
+    """
+    check_digests(digests)
+    contiguous = np.ascontiguousarray(digests)
+    return contiguous.view([("h1", np.uint64), ("h2", np.uint64)]).reshape(-1)
+
+
+def unique_digests(digests: np.ndarray):
+    """First-occurrence-stable unique rows of an ``(n, 2)`` digest array.
+
+    Returns ``(first_index, inverse)`` where ``first_index[j]`` is the row
+    index of the *first* occurrence of unique digest ``j`` in input order
+    and ``inverse[i]`` maps row ``i`` to its unique id.  "First wins" is the
+    semantics the paper's two-stage parallelization guarantees for
+    concurrent hash-table inserts, so the batch layer must preserve it.
+    """
+    structured = digests_to_structured(digests)
+    _, first_index, inverse = np.unique(
+        structured, return_index=True, return_inverse=True
+    )
+    # np.unique sorts by value; re-rank unique ids by first appearance so
+    # that inverse ids are assigned in first-occurrence order (stable ids
+    # make debugging and tests deterministic).
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.shape[0])
+    return first_index[order], rank[inverse.reshape(-1)]
+
+
+def digests_equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise equality of two ``(n, 2)`` digest arrays → boolean ``(n,)``."""
+    check_digests(a, "a")
+    check_digests(b, "b")
+    if a.shape != b.shape:
+        raise ChunkingError(f"digest arrays differ in shape: {a.shape} vs {b.shape}")
+    return (a[:, 0] == b[:, 0]) & (a[:, 1] == b[:, 1])

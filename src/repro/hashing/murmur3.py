@@ -1,0 +1,231 @@
+"""Vectorized MurmurHash3 x64-128 over batches of equal-sized chunks.
+
+The paper's hashing kernel assigns *successive GPU threads to successive
+chunks* so that global-memory accesses coalesce (§2.4).  The NumPy analogue
+of that kernel is lockstep SIMD over the chunk axis: every 16-byte block
+position is processed for **all** chunks at once, so the inner Python loop
+runs ``chunk_size / 16`` times regardless of how many chunks there are.
+
+Digests are returned as ``(n, 2)`` ``uint64`` arrays, ``[:, 0]`` being the
+``h1`` half and ``[:, 1]`` the ``h2`` half — identical to the tuple
+returned by :func:`repro.hashing.scalar.murmur3_x64_128`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from ..errors import ChunkingError
+from ..utils.validation import non_negative_int, positive_int
+from .scalar import murmur3_x64_128
+
+if sys.byteorder != "little":  # pragma: no cover - dev machines are LE
+    raise ImportError(
+        "repro.hashing.murmur3 requires a little-endian host (the batch "
+        "kernel reinterprets uint8 chunk bytes as uint64 lanes in place)"
+    )
+
+_C1 = np.uint64(0x87C37B91114253D5)
+_C2 = np.uint64(0x4CF5BA1D7CB769B9)
+_FMIX1 = np.uint64(0xFF51AFD7ED558CCD)
+_FMIX2 = np.uint64(0xC4CEB9FE1A85EC53)
+_M5 = np.uint64(5)
+_N1 = np.uint64(0x52DCE729)
+_N2 = np.uint64(0x38495AB5)
+
+DIGEST_BYTES = 16
+DIGEST_DTYPE = np.uint64
+
+
+def _rotl64(x: np.ndarray, r: int) -> np.ndarray:
+    rr = np.uint64(r)
+    return (x << rr) | (x >> (np.uint64(64) - rr))
+
+
+def _fmix64(k: np.ndarray) -> np.ndarray:
+    k = k ^ (k >> np.uint64(33))
+    k = k * _FMIX1
+    k = k ^ (k >> np.uint64(33))
+    k = k * _FMIX2
+    k = k ^ (k >> np.uint64(33))
+    return k
+
+
+def hash_batch(rows: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash every row of a ``(n, length)`` uint8 array.
+
+    All rows share one length, which is the case for checkpoint chunks
+    (only the final chunk of a checkpoint may be shorter; the chunking
+    layer pads or hashes it separately).
+
+    Returns an ``(n, 2)`` uint64 digest array.
+    """
+    if rows.ndim != 2:
+        raise ChunkingError(f"hash_batch expects a 2-D array, got ndim={rows.ndim}")
+    if rows.dtype != np.uint8:
+        raise ChunkingError(f"hash_batch expects uint8 rows, got {rows.dtype}")
+    non_negative_int(seed, "seed")
+
+    n, length = rows.shape
+    h1 = np.full(n, np.uint64(seed), dtype=np.uint64)
+    h2 = np.full(n, np.uint64(seed), dtype=np.uint64)
+    nblocks = length // 16
+
+    if nblocks:
+        body = np.ascontiguousarray(rows[:, : nblocks * 16])
+        lanes = body.view(np.uint64).reshape(n, nblocks * 2)
+        for b in range(nblocks):
+            k1 = lanes[:, 2 * b].copy()
+            k2 = lanes[:, 2 * b + 1].copy()
+
+            k1 *= _C1
+            k1 = _rotl64(k1, 31)
+            k1 *= _C2
+            h1 ^= k1
+
+            h1 = _rotl64(h1, 27)
+            h1 += h2
+            h1 = h1 * _M5 + _N1
+
+            k2 *= _C2
+            k2 = _rotl64(k2, 33)
+            k2 *= _C1
+            h2 ^= k2
+
+            h2 = _rotl64(h2, 31)
+            h2 += h1
+            h2 = h2 * _M5 + _N2
+
+    tlen = length - nblocks * 16
+    if tlen:
+        tail = rows[:, nblocks * 16 :]
+        if tlen > 8:
+            k2 = np.zeros(n, dtype=np.uint64)
+            for i in range(tlen - 1, 7, -1):
+                k2 = (k2 << np.uint64(8)) | tail[:, i].astype(np.uint64)
+            k2 *= _C2
+            k2 = _rotl64(k2, 33)
+            k2 *= _C1
+            h2 ^= k2
+        k1 = np.zeros(n, dtype=np.uint64)
+        for i in range(min(tlen, 8) - 1, -1, -1):
+            k1 = (k1 << np.uint64(8)) | tail[:, i].astype(np.uint64)
+        k1 *= _C1
+        k1 = _rotl64(k1, 31)
+        k1 *= _C2
+        h1 ^= k1
+
+    ln = np.uint64(length)
+    h1 ^= ln
+    h2 ^= ln
+    h1 += h2
+    h2 += h1
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 += h2
+    h2 += h1
+    return np.stack([h1, h2], axis=1)
+
+
+def hash_chunks(data: np.ndarray, chunk_size: int, seed: int = 0) -> np.ndarray:
+    """Split a flat uint8 buffer into *chunk_size* chunks and hash them all.
+
+    The final chunk may be shorter than *chunk_size*; it is hashed over its
+    true length (Murmur3 folds the length into the digest, so a short tail
+    chunk never aliases a full chunk with the same prefix).
+
+    Returns an ``(num_chunks, 2)`` uint64 digest array.
+    """
+    if data.ndim != 1 or data.dtype != np.uint8:
+        raise ChunkingError(
+            f"hash_chunks expects a 1-D uint8 buffer, got shape {data.shape}, "
+            f"dtype {data.dtype}"
+        )
+    positive_int(chunk_size, "chunk_size")
+    total = data.shape[0]
+    if total == 0:
+        return np.empty((0, 2), dtype=np.uint64)
+
+    full = total // chunk_size
+    rem = total - full * chunk_size
+
+    parts = []
+    if full:
+        rows = data[: full * chunk_size].reshape(full, chunk_size)
+        parts.append(hash_batch(rows, seed))
+    if rem:
+        tail_digest = hash_batch(data[full * chunk_size :].reshape(1, rem), seed)
+        parts.append(tail_digest)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts, axis=0)
+
+
+def hash_digest_pairs(left: np.ndarray, right: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash the 32-byte concatenation ``left_digest || right_digest`` per row.
+
+    This is the Merkle interior-node hash: the parent digest is
+    ``Murmur3(child_left.bytes + child_right.bytes)``.  Because digests are
+    stored little-endian as ``(n, 2)`` uint64, the concatenated 32-byte
+    input is exactly the four uint64 lanes ``[L0, L1, R0, R1]`` — no byte
+    materialisation needed, mirroring the fused-kernel design of §2.1.
+
+    Returns an ``(n, 2)`` uint64 digest array.
+    """
+    if left.shape != right.shape or left.ndim != 2 or left.shape[1] != 2:
+        raise ChunkingError(
+            f"hash_digest_pairs expects matching (n, 2) arrays, got "
+            f"{left.shape} and {right.shape}"
+        )
+    non_negative_int(seed, "seed")
+    n = left.shape[0]
+    h1 = np.full(n, np.uint64(seed), dtype=np.uint64)
+    h2 = np.full(n, np.uint64(seed), dtype=np.uint64)
+
+    lanes = (
+        left[:, 0].astype(np.uint64, copy=False),
+        left[:, 1].astype(np.uint64, copy=False),
+        right[:, 0].astype(np.uint64, copy=False),
+        right[:, 1].astype(np.uint64, copy=False),
+    )
+    # Two 16-byte blocks, no tail: unrolled body loop.
+    for b in range(2):
+        k1 = lanes[2 * b].copy()
+        k2 = lanes[2 * b + 1].copy()
+
+        k1 *= _C1
+        k1 = _rotl64(k1, 31)
+        k1 *= _C2
+        h1 ^= k1
+
+        h1 = _rotl64(h1, 27)
+        h1 += h2
+        h1 = h1 * _M5 + _N1
+
+        k2 *= _C2
+        k2 = _rotl64(k2, 33)
+        k2 *= _C1
+        h2 ^= k2
+
+        h2 = _rotl64(h2, 31)
+        h2 += h1
+        h2 = h2 * _M5 + _N2
+
+    ln = np.uint64(32)
+    h1 ^= ln
+    h2 ^= ln
+    h1 += h2
+    h2 += h1
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 += h2
+    h2 += h1
+    return np.stack([h1, h2], axis=1)
+
+
+def hash_bytes(data: bytes, seed: int = 0) -> np.ndarray:
+    """Hash a single ``bytes`` payload, returning a ``(2,)`` uint64 digest."""
+    h1, h2 = murmur3_x64_128(data, seed)
+    return np.array([h1, h2], dtype=np.uint64)

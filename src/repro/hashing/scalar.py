@@ -1,0 +1,114 @@
+"""Scalar reference implementation of MurmurHash3 x64-128.
+
+This is a direct transcription of Austin Appleby's public-domain
+``MurmurHash3_x64_128`` (the hash the paper uses for chunk fingerprints,
+§2.4).  It exists for two reasons:
+
+* it is the ground truth the vectorized implementation in
+  :mod:`repro.hashing.murmur3` is tested against, byte for byte, and
+* it handles arbitrary-length inputs, whereas the batch version is
+  specialised for fixed-size chunk arrays.
+
+All arithmetic is done with Python ints masked to 64 bits, which is slow
+but unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+_MASK64 = (1 << 64) - 1
+
+_C1 = 0x87C37B91114253D5
+_C2 = 0x4CF5BA1D7CB769B9
+
+_FMIX1 = 0xFF51AFD7ED558CCD
+_FMIX2 = 0xC4CEB9FE1A85EC53
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _fmix64(k: int) -> int:
+    k ^= k >> 33
+    k = (k * _FMIX1) & _MASK64
+    k ^= k >> 33
+    k = (k * _FMIX2) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_x64_128(data: bytes, seed: int = 0) -> Tuple[int, int]:
+    """Return the 128-bit Murmur3 digest of *data* as ``(low64, high64)``.
+
+    The two halves correspond to ``h1`` and ``h2`` of the reference
+    implementation (i.e. bytes 0-7 and 8-15 of the little-endian digest).
+    """
+    length = len(data)
+    nblocks = length // 16
+
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+
+    # Body: 16-byte blocks.
+    for b in range(nblocks):
+        off = b * 16
+        k1 = int.from_bytes(data[off : off + 8], "little")
+        k2 = int.from_bytes(data[off + 8 : off + 16], "little")
+
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+
+        h1 = _rotl64(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+
+        h2 = _rotl64(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    # Tail: up to 15 remaining bytes.  The reference mixes k2 (bytes 8..14)
+    # before k1 (bytes 0..7).
+    tail = data[nblocks * 16 :]
+    k1 = 0
+    k2 = 0
+    tlen = len(tail)
+    if tlen > 8:
+        for i in range(tlen - 1, 7, -1):
+            k2 = (k2 << 8) | tail[i]
+        k2 = (k2 * _C2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * _C1) & _MASK64
+        h2 ^= k2
+    if tlen:
+        for i in range(min(tlen, 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[i]
+        k1 = (k1 * _C1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * _C2) & _MASK64
+        h1 ^= k1
+
+    # Finalization.
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return h1, h2
+
+
+def murmur3_hex(data: bytes, seed: int = 0) -> str:
+    """Return the canonical 32-hex-char digest (little-endian byte order)."""
+    h1, h2 = murmur3_x64_128(data, seed)
+    return (h1.to_bytes(8, "little") + h2.to_bytes(8, "little")).hex()

@@ -1,0 +1,328 @@
+"""``DigestMap`` — the historical record of unique hashes.
+
+The paper keeps one GPU-resident hash table per process mapping a 128-bit
+chunk/region digest to the ``(node, checkpoint_id)`` where that content
+first occurred, implemented with Kokkos' lock-free ``UnorderedMap`` (§2.4).
+This module reproduces that table as an open-addressing (linear probing)
+structure over pre-allocated NumPy arrays with *batched* vectorized
+operations.
+
+Concurrency semantics matter here: on the GPU, thousands of threads insert
+simultaneously and **the first CAS wins**; Algorithm 1 depends on losers
+receiving the winner's ``(node, chkptID)`` entry.  The batch insert below
+reproduces exactly that outcome deterministically — within a batch, the
+lowest row index holding a given digest wins, everyone else observes the
+winner's value — which is also what the paper's two-stage scheduling
+(first-occurrence subtrees before shifted-duplicate subtrees) guarantees.
+
+Probe counts are tracked so the dedup engines can charge the GPU cost
+model for the (non-coalesced) global-memory traffic of map operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigurationError
+from ..hashing.digest import check_digests, unique_digests
+from ..utils.validation import positive_int
+from .execution import ExecutionSpace, default_device
+
+_EMPTY = np.uint8(0)
+_FULL = np.uint8(1)
+
+#: Default number of value lanes (node id, checkpoint id).
+VALUE_LANES = 2
+
+_MIN_CAPACITY = 8
+
+
+def _next_pow2(n: int) -> int:
+    p = _MIN_CAPACITY
+    while p < n:
+        p <<= 1
+    return p
+
+
+class DigestMap:
+    """Open-addressing digest → ``(int64, int64)`` map with batch ops.
+
+    Parameters
+    ----------
+    capacity_hint:
+        Expected number of entries; the table pre-allocates
+        ``next_pow2(capacity_hint / max_load_factor)`` slots, mirroring the
+        paper's pre-sized UnorderedMap (rehashing on the GPU is expensive,
+        so the real system sizes the map for the worst case of leaves +
+        interior nodes).
+    max_load_factor:
+        Occupancy threshold that triggers growth when ``auto_grow``.
+    auto_grow:
+        If False, exceeding the load factor raises
+        :class:`~repro.errors.CapacityError` instead (the paper's fixed
+        pre-allocation behaviour).
+    """
+
+    def __init__(
+        self,
+        capacity_hint: int = 1024,
+        max_load_factor: float = 0.7,
+        auto_grow: bool = True,
+        space: Optional[ExecutionSpace] = None,
+    ) -> None:
+        positive_int(capacity_hint, "capacity_hint")
+        if not (0.1 <= max_load_factor <= 0.95):
+            raise ConfigurationError(
+                f"max_load_factor must be in [0.1, 0.95], got {max_load_factor}"
+            )
+        self.max_load_factor = float(max_load_factor)
+        self.auto_grow = bool(auto_grow)
+        self.space = space if space is not None else default_device()
+        self._count = 0
+        self.total_probes = 0  # cumulative, never reset by clear()
+        self._allocate(_next_pow2(int(capacity_hint / max_load_factor) + 1))
+
+    def _allocate(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._mask = np.uint64(capacity - 1)
+        self._keys = np.zeros((capacity, 2), dtype=np.uint64)
+        self._vals = np.zeros((capacity, VALUE_LANES), dtype=np.int64)
+        self._state = np.zeros(capacity, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots allocated."""
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        """Current occupancy fraction."""
+        return self._count / self._capacity
+
+    @property
+    def nbytes(self) -> int:
+        """Device memory footprint of the table arrays."""
+        return self._keys.nbytes + self._vals.nbytes + self._state.nbytes
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(keys, values)`` arrays of the occupied entries."""
+        occ = self._state == _FULL
+        return self._keys[occ].copy(), self._vals[occ].copy()
+
+    def clear(self) -> None:
+        """Remove all entries, keeping the allocation."""
+        self._state[:] = _EMPTY
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Probing core
+    # ------------------------------------------------------------------
+    def _probe(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Linear-probe each key to its match or first empty slot.
+
+        Returns ``(found, slot)``: ``found[i]`` is True when the key sits in
+        the table, in which case ``slot[i]`` is its slot; otherwise
+        ``slot[i]`` is the empty slot where an insert would place it.
+        """
+        m = keys.shape[0]
+        found = np.zeros(m, dtype=bool)
+        slot = (keys[:, 0] & self._mask).astype(np.int64)
+        active = np.arange(m)
+        rounds = 0
+        while active.size:
+            rounds += 1
+            if rounds > self._capacity + 1:
+                raise CapacityError("DigestMap probe did not terminate (table full?)")
+            self.total_probes += active.size
+            s = slot[active]
+            occupied = self._state[s] == _FULL
+            idx_occ = active[occupied]
+            if idx_occ.size:
+                s_occ = slot[idx_occ]
+                match = (self._keys[s_occ, 0] == keys[idx_occ, 0]) & (
+                    self._keys[s_occ, 1] == keys[idx_occ, 1]
+                )
+                found[idx_occ[match]] = True
+                advance = idx_occ[~match]
+                slot[advance] = (slot[advance] + 1) % self._capacity
+            else:
+                advance = np.empty(0, dtype=np.int64)
+            # Keys at empty slots are done probing (absent); keys that
+            # mismatched keep going.
+            active = advance
+        return found, slot
+
+    # ------------------------------------------------------------------
+    # Lookup / contains
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch lookup.
+
+        Returns ``(found, values)`` where ``values[i]`` is the stored value
+        for found keys and zeros otherwise.
+        """
+        check_digests(keys, "keys")
+        found, slot = self._probe(keys)
+        values = np.zeros((keys.shape[0], VALUE_LANES), dtype=np.int64)
+        if found.any():
+            values[found] = self._vals[slot[found]]
+        return found, values
+
+    def contains(self, keys: np.ndarray) -> np.ndarray:
+        """Batch existence query → boolean array."""
+        check_digests(keys, "keys")
+        found, _ = self._probe(keys)
+        return found
+
+    def get(self, key: np.ndarray) -> Optional[np.ndarray]:
+        """Scalar convenience lookup: ``(2,)`` digest → value or ``None``."""
+        keys = np.asarray(key, dtype=np.uint64).reshape(1, 2)
+        found, values = self.lookup(keys)
+        return values[0] if found[0] else None
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch insert-if-absent with GPU first-wins semantics.
+
+        Parameters
+        ----------
+        keys:
+            ``(n, 2)`` uint64 digests.
+        values:
+            ``(n, 2)`` int64 payloads (conventionally ``(node, ckpt_id)``).
+
+        Returns
+        -------
+        (success, out_values):
+            ``success[i]`` is True iff row *i* created a new entry — i.e.
+            its digest was absent from the table **and** row *i* is the
+            first row in the batch carrying that digest.  ``out_values[i]``
+            is the entry now associated with the digest: the row's own
+            value on success, otherwise the winning entry (pre-existing or
+            inserted by an earlier row of this batch).
+        """
+        check_digests(keys, "keys")
+        n = keys.shape[0]
+        if values.shape != (n, VALUE_LANES):
+            raise ConfigurationError(
+                f"values must be ({n}, {VALUE_LANES}) int64, got {values.shape}"
+            )
+        values = values.astype(np.int64, copy=False)
+        if n == 0:
+            return np.zeros(0, dtype=bool), np.zeros((0, VALUE_LANES), dtype=np.int64)
+
+        first_idx, inverse = unique_digests(keys)
+        ukeys = np.ascontiguousarray(keys[first_idx])
+        uvals = values[first_idx]
+        m = ukeys.shape[0]
+
+        self._maybe_grow(self._count + m)
+
+        found, slot = self._probe(ukeys)
+        new = np.nonzero(~found)[0]
+        if new.size:
+            # All unique keys probe to distinct empty slots... except when
+            # two distinct keys chain to the same empty slot.  Resolve by
+            # rounds: lowest batch index per slot wins, losers re-probe
+            # (they will now collide with the winner and advance).
+            pending = new
+            while pending.size:
+                s = slot[pending]
+                state = self._state[s]
+                empty = state == _EMPTY
+                claimants = pending[empty]
+                if claimants.size:
+                    s_cl = slot[claimants]
+                    _, first_per_slot = np.unique(s_cl, return_index=True)
+                    winners = claimants[first_per_slot]
+                    ws = slot[winners]
+                    self._keys[ws] = ukeys[winners]
+                    self._vals[ws] = uvals[winners]
+                    self._state[ws] = _FULL
+                    self._count += winners.size
+                    self.total_probes += winners.size
+                    losers = np.setdiff1d(claimants, winners, assume_unique=True)
+                else:
+                    losers = np.empty(0, dtype=np.int64)
+                # Rows whose slot got occupied since probing: match or advance.
+                blocked = pending[~empty]
+                if blocked.size:
+                    bs = slot[blocked]
+                    match = (self._keys[bs, 0] == ukeys[blocked, 0]) & (
+                        self._keys[bs, 1] == ukeys[blocked, 1]
+                    )
+                    found[blocked[match]] = True
+                    advance = blocked[~match]
+                    slot[advance] = (slot[advance] + 1) % self._capacity
+                    self.total_probes += blocked.size
+                    # Advanced rows must re-probe to the next empty/match.
+                    if advance.size:
+                        sub_found, sub_slot = self._probe(
+                            np.ascontiguousarray(ukeys[advance])
+                        )
+                        found[advance[sub_found]] = True
+                        slot[advance] = sub_slot
+                        advance = advance[~sub_found]
+                else:
+                    advance = np.empty(0, dtype=np.int64)
+                pending = np.union1d(losers, advance).astype(np.int64)
+
+        inserted_unique = np.zeros(m, dtype=bool)
+        inserted_unique[~found] = False  # refined below
+        # A unique key was inserted by this batch iff it was not found
+        # during its final probe resolution; after the rounds above every
+        # unique key is in the table, so "inserted" == "not found".
+        inserted_unique = ~found
+
+        # Gather authoritative values for every unique key.
+        _, table_vals = self.lookup(ukeys)
+
+        success = np.zeros(n, dtype=bool)
+        winners_rows = first_idx[inserted_unique]
+        success[winners_rows] = True
+        out_values = table_vals[inverse]
+        return success, out_values
+
+    def insert_one(self, key: np.ndarray, value) -> bool:
+        """Scalar convenience insert; returns True if newly inserted."""
+        keys = np.asarray(key, dtype=np.uint64).reshape(1, 2)
+        vals = np.asarray(value, dtype=np.int64).reshape(1, VALUE_LANES)
+        success, _ = self.insert(keys, vals)
+        return bool(success[0])
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _maybe_grow(self, needed: int) -> None:
+        if needed <= self._capacity * self.max_load_factor:
+            return
+        if not self.auto_grow:
+            raise CapacityError(
+                f"DigestMap over capacity: need {needed} entries, have "
+                f"{self._capacity} slots at load factor {self.max_load_factor}"
+            )
+        new_capacity = _next_pow2(int(needed / self.max_load_factor) + 1)
+        old_keys, old_vals = self.items()
+        self._allocate(new_capacity)
+        self._count = 0
+        if old_keys.shape[0]:
+            # Reinsert; all keys are unique so this cannot recurse.
+            self.insert(old_keys, old_vals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DigestMap {self._count}/{self._capacity} "
+            f"load={self.load_factor:.2f}>"
+        )

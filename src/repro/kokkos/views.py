@@ -1,0 +1,167 @@
+"""Kokkos-style ``View`` arrays with per-space memory accounting.
+
+A ``View`` is a labelled NumPy array bound to an execution space.  The
+point of wrapping instead of using bare ndarrays is bookkeeping the paper
+cares about: *spare GPU memory for checkpointing is limited* (§2.1), so the
+device space tracks how many bytes its live views occupy and the dedup
+engine can report the device-resident footprint of the hash record and
+Merkle tree.  ``deep_copy`` between spaces records a PCIe transfer on the
+device ledger, exactly where the real implementation would call
+``Kokkos::deep_copy``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .execution import ExecutionSpace, HostSpace, default_device
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+class MemoryCounter:
+    """Tracks live bytes per execution space (weak map by space identity)."""
+
+    def __init__(self) -> None:
+        self._live: Dict[int, int] = {}
+        self._peak: Dict[int, int] = {}
+
+    def allocate(self, space: ExecutionSpace, nbytes: int) -> None:
+        key = id(space)
+        self._live[key] = self._live.get(key, 0) + nbytes
+        self._peak[key] = max(self._peak.get(key, 0), self._live[key])
+
+    def release(self, space: ExecutionSpace, nbytes: int) -> None:
+        key = id(space)
+        current = self._live.get(key, 0)
+        if nbytes > current:
+            raise SimulationError(
+                f"releasing {nbytes} bytes from space {space.name} which has "
+                f"only {current} live"
+            )
+        self._live[key] = current - nbytes
+
+    def live_bytes(self, space: ExecutionSpace) -> int:
+        return self._live.get(id(space), 0)
+
+    def peak_bytes(self, space: ExecutionSpace) -> int:
+        return self._peak.get(id(space), 0)
+
+
+#: Process-wide memory counter shared by all Views.
+memory = MemoryCounter()
+
+
+class View:
+    """A labelled array living in an execution space.
+
+    Supports the small slice of the Kokkos View API the dedup engines use:
+    ``data`` (the underlying ndarray), item access, ``resize``, and
+    ``free``.  Arithmetic should be done on ``.data`` directly — the class
+    deliberately does not pretend to be an ndarray.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        shape: ShapeLike,
+        dtype=np.uint8,
+        space: Optional[ExecutionSpace] = None,
+        fill: Optional[int] = None,
+    ) -> None:
+        if isinstance(shape, int):
+            shape = (shape,)
+        if any(int(s) < 0 for s in shape):
+            raise ConfigurationError(f"View shape must be non-negative, got {shape}")
+        self.label = label
+        self.space = space if space is not None else default_device()
+        if fill is None:
+            self._data = np.zeros(shape, dtype=dtype)
+        else:
+            self._data = np.full(shape, fill, dtype=dtype)
+        self._freed = False
+        memory.allocate(self.space, self._data.nbytes)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing ndarray."""
+        if self._freed:
+            raise SimulationError(f"View {self.label!r} used after free()")
+        return self._data
+
+    @property
+    def nbytes(self) -> int:
+        """Allocation size in bytes."""
+        return 0 if self._freed else self._data.nbytes
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.data[idx] = value
+
+    def resize(self, shape: ShapeLike) -> None:
+        """Reallocate to *shape*, preserving the overlapping prefix.
+
+        Mirrors ``Kokkos::resize``; used when the historical hash record
+        grows past its capacity.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        old = self.data
+        new = np.zeros(shape, dtype=old.dtype)
+        overlap = tuple(slice(0, min(a, b)) for a, b in zip(old.shape, new.shape))
+        if len(old.shape) != len(new.shape):
+            raise ConfigurationError(
+                f"resize cannot change rank: {old.shape} -> {new.shape}"
+            )
+        new[overlap] = old[overlap]
+        memory.release(self.space, old.nbytes)
+        memory.allocate(self.space, new.nbytes)
+        self._data = new
+
+    def free(self) -> None:
+        """Release the allocation (idempotent)."""
+        if not self._freed:
+            memory.release(self.space, self._data.nbytes)
+            self._freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "freed" if self._freed else f"{self._data.shape} {self._data.dtype}"
+        return f"<View {self.label!r} [{self.space.name}] {state}>"
+
+
+def deep_copy(dst: View, src: View) -> None:
+    """Copy ``src`` into ``dst`` (shapes/dtypes must match), recording a
+    PCIe transfer when the copy crosses the host/device boundary."""
+    if dst.shape != src.shape or dst.dtype != src.dtype:
+        raise ConfigurationError(
+            f"deep_copy mismatch: {src.shape}/{src.dtype} -> {dst.shape}/{dst.dtype}"
+        )
+    dst.data[...] = src.data
+    src_dev = src.space.metered
+    dst_dev = dst.space.metered
+    if src_dev and not dst_dev:
+        src.space.transfer("D2H", src.nbytes)
+    elif dst_dev and not src_dev:
+        dst.space.transfer("H2D", src.nbytes)
+
+
+def host_mirror(view: View, host: Optional[HostSpace] = None) -> View:
+    """Allocate an uninitialised host-space View with the same extents."""
+    space = host if host is not None else HostSpace()
+    return View(f"{view.label}::mirror", view.shape, dtype=view.dtype, space=space)

@@ -1,0 +1,48 @@
+"""ORANGES: ORbit ANd Graphlet Enumeration at Scale (the driver app, §3.2).
+
+Computes per-vertex graphlet degree vectors over 2–5-vertex graphlets via
+ESU enumeration and a programmatically-derived graphlet/orbit atlas; the
+progressive engine exposes the evolving GDV buffer as the checkpoint
+stream every evaluation scenario feeds on.
+"""
+
+from .app import OrangesApp, OrangesRun
+from .esu import EsuEnumerator, count_subgraphs_by_size, enumerate_subgraphs
+from .formulas import (
+    adjacency_matrix,
+    graphlet_totals_2_3,
+    orbit_counts_0_to_3,
+    triangles_per_vertex,
+    wedge_ends_per_vertex,
+)
+from .gdv import GdvEngine
+from .graphlets import (
+    EXPECTED_GRAPHLETS,
+    EXPECTED_ORBITS,
+    MAX_GRAPHLET_SIZE,
+    GraphletAtlas,
+    GraphletInfo,
+    get_atlas,
+    pair_bit,
+)
+
+__all__ = [
+    "OrangesApp",
+    "OrangesRun",
+    "EsuEnumerator",
+    "count_subgraphs_by_size",
+    "enumerate_subgraphs",
+    "GdvEngine",
+    "adjacency_matrix",
+    "graphlet_totals_2_3",
+    "orbit_counts_0_to_3",
+    "triangles_per_vertex",
+    "wedge_ends_per_vertex",
+    "EXPECTED_GRAPHLETS",
+    "EXPECTED_ORBITS",
+    "MAX_GRAPHLET_SIZE",
+    "GraphletAtlas",
+    "GraphletInfo",
+    "get_atlas",
+    "pair_bit",
+]

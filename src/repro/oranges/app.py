@@ -1,0 +1,160 @@
+"""ORANGES driver: graph prep + progressive GDV + checkpointing.
+
+Ties the full paper pipeline together: generate/accept a graph, apply the
+Gorder pre-processing pass (§3.2), run the progressive GDV engine, and
+feed its evenly-spaced snapshots to any number of checkpointing backends
+(dedup methods and/or compression codecs) so every method observes the
+*identical* checkpoint stream — how the paper's comparisons are made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..compress.checkpointing import CompressionCheckpointer
+from ..core.checkpointer import IncrementalCheckpointer
+from ..errors import ConfigurationError
+from ..graphs.csr import Graph
+from ..graphs.generators import generate
+from ..graphs.gorder import gorder
+from ..utils.validation import positive_int
+from .gdv import GdvEngine
+
+Backend = Union[IncrementalCheckpointer, CompressionCheckpointer]
+
+
+@dataclass
+class OrangesRun:
+    """Results of one ORANGES execution with checkpointing."""
+
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    gdv_bytes: int
+    num_checkpoints: int
+    subgraphs_enumerated: int
+    #: backend label → the backend, with its populated record/stats.
+    backends: Dict[str, Backend] = field(default_factory=dict)
+
+    def ratio(self, label: str, skip_first: bool = False) -> float:
+        """De-duplication/compression ratio of one backend."""
+        return self.backends[label].dedup_ratio(skip_first)
+
+    def throughput(self, label: str, skip_first: bool = False) -> float:
+        """Aggregate throughput of one backend (bytes/simulated second)."""
+        return self.backends[label].aggregate_throughput(skip_first)
+
+
+class OrangesApp:
+    """Configurable ORANGES application instance.
+
+    Parameters
+    ----------
+    graph:
+        Either a graph name from
+        :data:`~repro.graphs.generators.GRAPH_GENERATORS` or a prebuilt
+        :class:`~repro.graphs.Graph`.
+    num_vertices:
+        Scale when *graph* is a name.
+    apply_gorder:
+        Run the Gorder pre-processing pass (paper default: yes).
+    max_graphlet_size:
+        4 (fast, orbits 0–14) or 5 (complete GDV).
+    """
+
+    def __init__(
+        self,
+        graph: Union[str, Graph],
+        num_vertices: int = 4096,
+        seed: Optional[int] = None,
+        apply_gorder: bool = True,
+        gorder_window: int = 5,
+        max_graphlet_size: int = 4,
+        layout: str = "vertex-major",
+        counting: str = "per-vertex",
+    ) -> None:
+        if isinstance(graph, str):
+            self.graph_name = graph
+            self.graph = generate(graph, num_vertices, seed=seed)
+        else:
+            self.graph_name = "custom"
+            self.graph = graph
+        if apply_gorder:
+            order = gorder(self.graph, window=gorder_window)
+            self.graph = self.graph.relabel(order)
+        self.max_graphlet_size = max_graphlet_size
+        self.layout = layout
+        self.counting = counting
+        self._engine: Optional[GdvEngine] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def gdv_bytes(self) -> int:
+        """Checkpoint size this graph produces (Table 1 column)."""
+        return self.graph.num_vertices * 73 * 4
+
+    def fresh_engine(self) -> GdvEngine:
+        """A new progressive engine over the prepared graph."""
+        return GdvEngine(
+            self.graph,
+            self.max_graphlet_size,
+            layout=self.layout,
+            counting=self.counting,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        backends: Dict[str, Backend],
+        num_checkpoints: int = 10,
+    ) -> OrangesRun:
+        """Execute ORANGES, checkpointing through every backend.
+
+        All backends must accept checkpoints of :attr:`gdv_bytes` bytes.
+        """
+        positive_int(num_checkpoints, "num_checkpoints")
+        if not backends:
+            raise ConfigurationError("run() needs at least one backend")
+        engine = self.fresh_engine()
+        for label, backend in backends.items():
+            expected = getattr(backend, "data_len", None)
+            if expected is None:
+                expected = backend.engine.spec.data_len  # type: ignore[union-attr]
+            if expected != self.gdv_bytes:
+                raise ConfigurationError(
+                    f"backend {label!r} sized for {expected} bytes, "
+                    f"GDV is {self.gdv_bytes}"
+                )
+        for snapshot in engine.checkpoint_stream(num_checkpoints):
+            for backend in backends.values():
+                backend.checkpoint(snapshot)
+        return OrangesRun(
+            graph_name=self.graph_name,
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            gdv_bytes=self.gdv_bytes,
+            num_checkpoints=num_checkpoints,
+            subgraphs_enumerated=engine.subgraphs_seen,
+            backends=dict(backends),
+        )
+
+    def make_backend(
+        self,
+        method: str,
+        chunk_size: int = 128,
+        **kwargs,
+    ) -> Backend:
+        """Construct a backend sized for this app's GDV buffer.
+
+        ``method`` is a dedup method name (``tree``/``list``/``basic``/
+        ``full``) or ``"compress:<codec>"``.
+        """
+        if method.startswith("compress:"):
+            codec = method.split(":", 1)[1]
+            return CompressionCheckpointer(self.gdv_bytes, codec, **kwargs)
+        return IncrementalCheckpointer(
+            data_len=self.gdv_bytes, chunk_size=chunk_size, method=method, **kwargs
+        )

@@ -1,0 +1,30 @@
+"""Multi-level asynchronous checkpoint runtime and scaling driver (Fig. 3,
+Fig. 6): storage tiers, FIFO flush pipeline with blocking host admission,
+and the strong-scaling experiment harness."""
+
+from .async_flush import AsyncFlushPipeline, FlushReport
+from .node import NodeRuntime, NodeTimeline
+from .scaling import (
+    ScalingResult,
+    StrongScalingDriver,
+    induced_partition_graph,
+    partition_vertices,
+)
+from .streaming import StreamingEstimate, StreamingScheduler
+from .storage import StorageTier, StoredObject, default_hierarchy
+
+__all__ = [
+    "AsyncFlushPipeline",
+    "FlushReport",
+    "NodeRuntime",
+    "NodeTimeline",
+    "ScalingResult",
+    "StrongScalingDriver",
+    "induced_partition_graph",
+    "partition_vertices",
+    "StreamingEstimate",
+    "StreamingScheduler",
+    "StorageTier",
+    "StoredObject",
+    "default_hierarchy",
+]

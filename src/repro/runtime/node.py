@@ -1,0 +1,150 @@
+"""Integrated node runtime — Fig. 3 end to end.
+
+Combines everything on one simulated compute node: several application
+processes (one per GPU) produce checkpoints on a cadence; each process
+de-duplicates on its own GPU (priced with that node's PCIe contention),
+hands the consolidated diff to the shared asynchronous flush hierarchy,
+and resumes.  The runtime tracks the application-visible checkpoint
+overhead — the paper's bottom-line metric: blocking time on the device
+(de-dup + D2H) plus any stall waiting for host staging space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.base import DedupEngine
+from ..core.checkpointer import ENGINES
+from ..gpusim.cluster import NodeSpec, thetagpu_node
+from ..gpusim.perfmodel import KernelCostModel
+from ..utils.validation import positive_float, positive_int
+from .async_flush import AsyncFlushPipeline
+from .storage import StorageTier
+
+
+@dataclass
+class NodeTimeline:
+    """Per-process application timeline of one cadence run."""
+
+    process: int
+    #: Seconds the application spent inside checkpoint calls (device work
+    #: + D2H, the synchronous part of Fig. 1's flow).
+    blocking_device_seconds: float = 0.0
+    #: Seconds stalled waiting for host staging admission.
+    blocking_staging_seconds: float = 0.0
+    stored_bytes: int = 0
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Application-visible checkpointing overhead."""
+        return self.blocking_device_seconds + self.blocking_staging_seconds
+
+
+class NodeRuntime:
+    """Drives N per-GPU checkpoint pipelines over one node's hierarchy.
+
+    Parameters
+    ----------
+    data_len / chunk_size / method:
+        Per-process checkpoint configuration (homogeneous, as in the
+        paper's deployments).
+    num_processes:
+        Processes sharing the node (≤ the node's GPU count).
+    node:
+        Node topology; defaults to a ThetaGPU DGX node.
+    host_staging_bytes / host_drain_bandwidth / ssd_drain_bandwidth:
+        Hierarchy sizing; the defaults scale with the checkpoint size so
+        small test runs still exercise back-pressure realistically.
+    """
+
+    def __init__(
+        self,
+        data_len: int,
+        chunk_size: int,
+        method: str = "tree",
+        num_processes: int = 4,
+        node: Optional[NodeSpec] = None,
+        host_staging_bytes: Optional[int] = None,
+        host_drain_bandwidth: float = 3.0e9,
+        ssd_drain_bandwidth: float = 2.0e9,
+    ) -> None:
+        positive_int(num_processes, "num_processes")
+        self.node = node if node is not None else thetagpu_node()
+        if num_processes > self.node.gpus_per_node:
+            raise ValueError(
+                f"{num_processes} processes exceed the node's "
+                f"{self.node.gpus_per_node} GPUs"
+            )
+        self.num_processes = num_processes
+        contention = self.node.pcie_contention(num_processes)
+        self.engines: List[DedupEngine] = [
+            ENGINES[method](data_len, chunk_size) for _ in range(num_processes)
+        ]
+        self.cost_model = KernelCostModel(self.node.device, pcie_contention=contention)
+        staging = (
+            host_staging_bytes
+            if host_staging_bytes is not None
+            else 3 * data_len * num_processes
+        )
+        positive_float(host_drain_bandwidth, "host_drain_bandwidth")
+        positive_float(ssd_drain_bandwidth, "ssd_drain_bandwidth")
+        self.pipeline = AsyncFlushPipeline(
+            [
+                StorageTier("host", staging, host_drain_bandwidth),
+                StorageTier("ssd", max(staging * 200, 1), ssd_drain_bandwidth),
+                StorageTier("pfs", max(staging * 20_000, 1), 250.0e9),
+            ]
+        )
+        self.timelines = [NodeTimeline(process=p) for p in range(num_processes)]
+        self._ckpt_counter = 0
+
+    # ------------------------------------------------------------------
+    def checkpoint_all(
+        self, buffers: Sequence[np.ndarray], now: float
+    ) -> List[NodeTimeline]:
+        """All processes checkpoint their buffer at simulated time *now*.
+
+        Returns the updated per-process timelines.
+        """
+        if len(buffers) != self.num_processes:
+            raise ValueError(
+                f"expected {self.num_processes} buffers, got {len(buffers)}"
+            )
+        for p, (engine, buffer) in enumerate(zip(self.engines, buffers)):
+            diff = engine.checkpoint(buffer)
+            cost = self.cost_model.price(engine.space.ledger)
+            timeline = self.timelines[p]
+            timeline.blocking_device_seconds += cost.total_seconds
+            timeline.stored_bytes += diff.serialized_size
+            report = self.pipeline.submit(
+                f"p{p}-ck{self._ckpt_counter}",
+                diff.serialized_size,
+                now=now + cost.total_seconds,
+            )
+            timeline.blocking_staging_seconds += report.blocked_seconds
+        self._ckpt_counter += 1
+        return self.timelines
+
+    # ------------------------------------------------------------------
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Summed application-visible overhead across processes."""
+        return sum(t.total_overhead_seconds for t in self.timelines)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Total bytes shipped into the hierarchy."""
+        return sum(t.stored_bytes for t in self.timelines)
+
+    def overhead_report(self) -> Dict[str, float]:
+        """Aggregate numbers a bench prints."""
+        return {
+            "device_seconds": sum(t.blocking_device_seconds for t in self.timelines),
+            "staging_seconds": sum(t.blocking_staging_seconds for t in self.timelines),
+            "stored_bytes": float(self.total_stored_bytes),
+            "durable_at": self.pipeline.last_persisted_at,
+            "host_peak": float(self.pipeline.peak_usage()["host"]),
+        }

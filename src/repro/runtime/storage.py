@@ -1,0 +1,116 @@
+"""Storage tiers of the multi-level checkpointing hierarchy (Fig. 3).
+
+Each tier has a capacity and a drain bandwidth; checkpoint objects move
+host memory → node-local SSD → parallel file system asynchronously while
+the application keeps running.  The tier objects track occupancy over
+simulated time so the flush pipeline can reproduce the paper's argument
+that smaller diffs keep intermediate tiers from filling up (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import StorageError
+from ..utils.units import GB, format_bytes
+from ..utils.validation import non_negative_int, positive_float, positive_int
+
+
+@dataclass
+class StoredObject:
+    """One checkpoint object resident in a tier."""
+
+    key: str
+    nbytes: int
+    arrived_at: float
+
+
+class StorageTier:
+    """A capacity/bandwidth-constrained stage of the storage hierarchy."""
+
+    def __init__(self, name: str, capacity_bytes: int, bandwidth: float) -> None:
+        positive_int(capacity_bytes, "capacity_bytes")
+        positive_float(bandwidth, "bandwidth")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.bandwidth = bandwidth
+        self._objects: Dict[str, StoredObject] = {}
+        self._used = 0
+        #: Simulated time until which the tier's drain link is busy.
+        self.link_busy_until = 0.0
+        #: High-water mark of occupancy (reported by the runtime bench).
+        self.peak_used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Current occupancy."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self._used
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an object of *nbytes* can be admitted now."""
+        non_negative_int(nbytes, "nbytes")
+        return nbytes <= self.free_bytes
+
+    def put(self, key: str, nbytes: int, now: float) -> None:
+        """Admit an object; raises :class:`StorageError` when full."""
+        if key in self._objects:
+            raise StorageError(f"tier {self.name}: duplicate object {key!r}")
+        if not self.fits(nbytes):
+            raise StorageError(
+                f"tier {self.name} full: {format_bytes(nbytes)} requested, "
+                f"{format_bytes(self.free_bytes)} free"
+            )
+        self._objects[key] = StoredObject(key, nbytes, now)
+        self._used += nbytes
+        self.peak_used = max(self.peak_used, self._used)
+
+    def remove(self, key: str) -> int:
+        """Evict an object, returning its size."""
+        try:
+            obj = self._objects.pop(key)
+        except KeyError:
+            raise StorageError(f"tier {self.name}: no object {key!r}") from None
+        self._used -= obj.nbytes
+        return obj.nbytes
+
+    def contains(self, key: str) -> bool:
+        """Object residency check."""
+        return key in self._objects
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to push *nbytes* through this tier's drain link."""
+        non_negative_int(nbytes, "nbytes")
+        return nbytes / self.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<StorageTier {self.name} {format_bytes(self._used)}/"
+            f"{format_bytes(self.capacity_bytes)}>"
+        )
+
+
+def default_hierarchy(
+    host_memory_bytes: int = 64 * GB,
+    host_drain_bandwidth: float = 3.2 * GB,
+    ssd_bytes: int = 1600 * GB,
+    ssd_drain_bandwidth: float = 2.0 * GB,
+    pfs_bytes: int = 100_000 * GB,
+    pfs_bandwidth: float = 250.0 * GB,
+) -> List[StorageTier]:
+    """The host → SSD → PFS chain of Fig. 3 with ALCF-flavoured defaults.
+
+    Each tier's ``bandwidth`` is the rate at which objects drain *out of*
+    it toward the next tier (the PFS is terminal; its bandwidth caps
+    ingest and is shared cluster-wide by the Fig. 6 driver).
+    """
+    return [
+        StorageTier("host", host_memory_bytes, host_drain_bandwidth),
+        StorageTier("ssd", ssd_bytes, ssd_drain_bandwidth),
+        StorageTier("pfs", pfs_bytes, pfs_bandwidth),
+    ]

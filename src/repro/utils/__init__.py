@@ -1,0 +1,40 @@
+"""Shared utilities: units, timing, validation, deterministic RNG streams."""
+
+from .rng import seeded_rng, spawn_streams
+from .timing import PhaseTimer, Stopwatch
+from .units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    TIB,
+    format_bytes,
+    format_rate,
+    format_ratio,
+    parse_bytes,
+)
+from .validation import (
+    fraction,
+    non_negative_int,
+    one_of,
+    optional_positive_int,
+    positive_float,
+    positive_int,
+    power_of_two,
+    require,
+    same_length,
+)
+
+__all__ = [
+    "seeded_rng",
+    "spawn_streams",
+    "PhaseTimer",
+    "Stopwatch",
+    "KB", "MB", "GB", "TB", "KIB", "MIB", "GIB", "TIB",
+    "format_bytes", "format_rate", "format_ratio", "parse_bytes",
+    "fraction", "non_negative_int", "one_of", "optional_positive_int",
+    "positive_float", "positive_int", "power_of_two", "require", "same_length",
+]

@@ -1,0 +1,120 @@
+"""Wall-clock timing utilities.
+
+The library reports two distinct kinds of time:
+
+* **simulated time** — produced by :mod:`repro.gpusim`'s cost model; this is
+  what the paper-style throughput figures are computed from, and
+
+* **wall-clock time** — how long the pure-Python data path actually took,
+  useful for profiling and recorded alongside simulated results so the
+  substitution stays honest.
+
+This module covers the wall-clock side with a small stopwatch and a
+hierarchical phase timer used by the bench harness.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """A resumable stopwatch accumulating elapsed seconds.
+
+    >>> sw = Stopwatch()
+    >>> with sw.running():
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        """Start (or resume) the stopwatch; idempotent while running."""
+        if not self._running:
+            self._started_at = time.perf_counter()
+            self._running = True
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total accumulated seconds."""
+        if self._running:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._running = False
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulator and stop."""
+        self.elapsed = 0.0
+        self._running = False
+
+    @contextmanager
+    def running(self) -> Iterator["Stopwatch"]:
+        """Context manager that runs the stopwatch for the block's duration."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Used by the dedup engines to attribute time to ``hash-leaves``,
+    ``build-tree``, ``serialize`` etc.  Phases may repeat; their durations
+    accumulate.  Nesting is allowed and attributed independently.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            if name not in self._totals:
+                self._totals[name] = 0.0
+                self._counts[name] = 0
+                self._order.append(name)
+            self._totals[name] += duration
+            self._counts[name] += 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under *name* (0.0 if never timed)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """How many times *name* was entered."""
+        return self._counts.get(name, 0)
+
+    @property
+    def grand_total(self) -> float:
+        """Sum of all top-level phase durations."""
+        return sum(self._totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase-name → seconds, in first-use order."""
+        return {name: self._totals[name] for name in self._order}
+
+    def report(self) -> str:
+        """Multi-line human-readable report, longest phase first."""
+        lines = ["phase timing:"]
+        for name in sorted(self._order, key=lambda n: -self._totals[n]):
+            lines.append(
+                f"  {name:<24s} {self._totals[name] * 1e3:10.3f} ms"
+                f"  ({self._counts[name]}x)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Byte- and rate-unit helpers used across the library and bench harness.
+
+The simulator and bench harness constantly move between raw byte counts,
+human-readable sizes (``"4.21 GB"`` in Table 1 of the paper) and bandwidth
+figures (``GB/s``).  Keeping the conversions in one place avoids the classic
+1000-vs-1024 confusion: the paper (like most storage literature) reports
+decimal units, so :func:`format_bytes` is decimal by default while the
+binary helpers are available explicitly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+_DECIMAL_STEPS = [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+_BINARY_STEPS = [(TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")]
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KB, "mb": MB, "gb": GB, "tb": TB,
+    "kib": KIB, "mib": MIB, "gib": GIB, "tib": TIB,
+}
+
+
+def format_bytes(n: float, binary: bool = False, precision: int = 2) -> str:
+    """Render a byte count as a human-readable string.
+
+    >>> format_bytes(4_210_000_000)
+    '4.21 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        raise ConfigurationError(f"byte count must be non-negative, got {n}")
+    steps = _BINARY_STEPS if binary else _DECIMAL_STEPS
+    for factor, suffix in steps:
+        if n >= factor:
+            return f"{n / factor:.{precision}f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human-readable size such as ``"64 KB"`` or ``"1.5GiB"``.
+
+    >>> parse_bytes("64 KB")
+    64000
+    >>> parse_bytes("512")
+    512
+    """
+    s = text.strip().lower()
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)].strip()
+            try:
+                return int(float(number) * _SUFFIXES[suffix])
+            except ValueError as exc:
+                raise ConfigurationError(f"cannot parse size {text!r}") from exc
+    try:
+        return int(float(s))
+    except ValueError as exc:
+        raise ConfigurationError(f"cannot parse size {text!r}") from exc
+
+
+def format_rate(bytes_per_second: float, precision: int = 2) -> str:
+    """Render a bandwidth as e.g. ``"25.00 GB/s"``."""
+    return f"{format_bytes(bytes_per_second, precision=precision)}/s"
+
+
+def format_ratio(ratio: float, precision: int = 2) -> str:
+    """Render a de-duplication ratio as e.g. ``"215.00x"``."""
+    return f"{ratio:.{precision}f}x"

@@ -1,0 +1,89 @@
+"""Small argument-validation helpers.
+
+These keep constructor bodies readable: each helper raises
+:class:`~repro.errors.ConfigurationError` with a message naming the
+offending parameter, which is what the test-suite asserts on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def non_negative_int(value: int, name: str) -> int:
+    """Validate that *value* is a non-negative integer and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def positive_float(value: float, name: str) -> float:
+    """Validate that *value* is a positive finite number and return it as float."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if not out > 0 or out != out or out == float("inf"):
+        raise ConfigurationError(f"{name} must be positive and finite, got {value!r}")
+    return out
+
+
+def fraction(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if not (0.0 <= out <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return out
+
+
+def power_of_two(value: int, name: str) -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    positive_int(value, name)
+    if value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def one_of(value: T, allowed: Sequence[T], name: str) -> T:
+    """Validate that *value* is one of *allowed* and return it."""
+    if value not in allowed:
+        raise ConfigurationError(
+            f"{name} must be one of {list(allowed)!r}, got {value!r}"
+        )
+    return value
+
+
+def same_length(name_a: str, a: Iterable, name_b: str, b: Iterable) -> None:
+    """Validate that two sized iterables have equal length."""
+    la, lb = len(list(a) if not hasattr(a, "__len__") else a), len(
+        list(b) if not hasattr(b, "__len__") else b
+    )
+    if la != lb:
+        raise ConfigurationError(f"{name_a} (len {la}) and {name_b} (len {lb}) must match")
+
+
+def optional_positive_int(value: Optional[int], name: str) -> Optional[int]:
+    """Validate that *value* is ``None`` or a positive integer."""
+    if value is None:
+        return None
+    return positive_int(value, name)

@@ -1,0 +1,109 @@
+"""Tests for the bit-packing / zigzag / RLE primitives."""
+
+import numpy as np
+import pytest
+
+from repro.compress.bitpack import (
+    pack_bits,
+    required_width,
+    unpack_bits,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compress.cascaded import _rle_decode, _rle_encode
+from repro.errors import CompressionError
+
+
+class TestRequiredWidth:
+    @pytest.mark.parametrize(
+        "maxval,width", [(0, 0), (1, 1), (2, 2), (3, 2), (7, 3), (255, 8), (2**32 - 1, 32)]
+    )
+    def test_widths(self, maxval, width):
+        vals = np.array([0, maxval], dtype=np.uint32)
+        assert required_width(vals) == width
+
+    def test_empty(self):
+        assert required_width(np.empty(0, dtype=np.uint32)) == 0
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("width", [1, 3, 7, 8, 13, 16, 31, 32])
+    def test_roundtrip(self, rng, width):
+        hi = (1 << width) - 1
+        vals = rng.integers(0, hi + 1, 257, dtype=np.uint32)
+        packed = pack_bits(vals, width)
+        assert len(packed) == (257 * width + 7) // 8
+        assert np.array_equal(unpack_bits(packed, 257, width), vals)
+
+    def test_zero_width_all_zero(self):
+        vals = np.zeros(10, dtype=np.uint32)
+        assert pack_bits(vals, 0) == b""
+        assert np.array_equal(unpack_bits(b"", 10, 0), vals)
+
+    def test_zero_width_nonzero_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_bits(np.array([1], dtype=np.uint32), 0)
+
+    def test_value_too_big_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_bits(np.array([8], dtype=np.uint32), 3)
+
+    def test_blob_too_short_rejected(self):
+        with pytest.raises(CompressionError):
+            unpack_bits(b"\x00", 10, 8)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(CompressionError):
+            pack_bits(np.zeros(4, dtype=np.int64), 4)
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        deltas = np.array([0, -1, 1, -2, 2], dtype=np.int32)
+        assert zigzag_encode(deltas).tolist() == [0, 1, 2, 3, 4]
+
+    def test_roundtrip_extremes(self):
+        deltas = np.array(
+            [0, 1, -1, 2**31 - 1, -(2**31)], dtype=np.int32
+        )
+        assert np.array_equal(zigzag_decode(zigzag_encode(deltas)), deltas)
+
+    def test_roundtrip_random(self, rng):
+        deltas = rng.integers(-(2**31), 2**31, 10_000).astype(np.int32)
+        assert np.array_equal(zigzag_decode(zigzag_encode(deltas)), deltas)
+
+    def test_small_codes_for_small_magnitudes(self):
+        deltas = np.array([-3, 3], dtype=np.int32)
+        assert zigzag_encode(deltas).max() <= 6
+
+
+class TestRle:
+    def test_roundtrip(self, rng):
+        vals = np.repeat(
+            rng.integers(0, 5, 50, dtype=np.uint32), rng.integers(1, 9, 50)
+        ).astype(np.uint32)
+        rv, rl = _rle_encode(vals)
+        assert np.array_equal(_rle_decode(rv, rl), vals)
+
+    def test_uniform(self):
+        vals = np.full(1000, 7, dtype=np.uint32)
+        rv, rl = _rle_encode(vals)
+        assert rv.tolist() == [7]
+        assert rl.tolist() == [1000]
+
+    def test_alternating(self):
+        vals = np.array([1, 2, 1, 2], dtype=np.uint32)
+        rv, rl = _rle_encode(vals)
+        assert rv.tolist() == [1, 2, 1, 2]
+        assert rl.tolist() == [1, 1, 1, 1]
+
+    def test_empty(self):
+        rv, rl = _rle_encode(np.empty(0, dtype=np.uint32))
+        assert rv.shape == (0,)
+        assert _rle_decode(rv, rl).shape == (0,)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(CompressionError):
+            _rle_decode(
+                np.zeros(2, dtype=np.uint32), np.zeros(3, dtype=np.uint32)
+            )

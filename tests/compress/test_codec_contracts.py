@@ -1,0 +1,63 @@
+"""Codec contract tests: determinism, isolation, binary safety."""
+
+import numpy as np
+import pytest
+
+from repro.compress import get_codec, list_codecs
+
+
+@pytest.fixture(params=list_codecs())
+def codec(request):
+    return get_codec(request.param)
+
+
+class TestDeterminism:
+    def test_compress_is_deterministic(self, codec, rng):
+        data = rng.integers(0, 256, 20_000, dtype=np.uint8).tobytes()
+        assert codec.compress(data) == codec.compress(data)
+
+    def test_fresh_instances_agree(self, rng):
+        data = rng.integers(0, 256, 5_000, dtype=np.uint8).tobytes()
+        for name in list_codecs():
+            assert get_codec(name).compress(data) == get_codec(name).compress(data)
+
+
+class TestBinarySafety:
+    def test_all_byte_values(self, codec):
+        data = bytes(range(256)) * 64
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_high_entropy_large(self, codec, rng):
+        data = rng.integers(0, 256, 300_000, dtype=np.uint8).tobytes()
+        blob = codec.compress(data)
+        assert codec.decompress(blob) == data
+        # Lossless codecs cannot inflate noise catastrophically.
+        assert len(blob) < len(data) * 1.2
+
+    def test_long_zero_run_then_noise(self, codec, rng):
+        data = bytes(50_000) + rng.integers(0, 256, 50_000, dtype=np.uint8).tobytes()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestCrossCodecIsolation:
+    def test_blobs_not_interchangeable(self, rng):
+        """Decompressing another codec's blob must fail or mismatch —
+        never silently return wrong-but-plausible data of the right size."""
+        data = rng.integers(0, 256, 4_096, dtype=np.uint8).tobytes()
+        names = list_codecs()
+        blobs = {n: get_codec(n).compress(data) for n in names}
+        # lz4sim and snappysim intentionally share the raw-deflate
+        # container (same family, different match strategies), so their
+        # blobs are mutually decodable by design.
+        compatible = {frozenset({"lz4sim", "snappysim"})}
+        for producer in names:
+            for consumer in names:
+                if producer == consumer:
+                    continue
+                if frozenset({producer, consumer}) in compatible:
+                    continue
+                try:
+                    out = get_codec(consumer).decompress(blobs[producer])
+                except Exception:
+                    continue  # loud failure: good
+                assert out != data or blobs[producer] == blobs[consumer]

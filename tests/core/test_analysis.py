@@ -1,0 +1,133 @@
+"""Tests for record analytics and the chain verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ENGINES,
+    CheckpointDiff,
+    analyze_diff,
+    analyze_record,
+    composition_report,
+    verify_chain,
+)
+
+
+@pytest.fixture
+def tree_diffs(rng):
+    n = 64 * 128
+    base = rng.integers(0, 256, n, dtype=np.uint8)
+    engine = ENGINES["tree"](n, 64)
+    diffs = [engine.checkpoint(base)]
+    nxt = base.copy()
+    nxt[: 16 * 64] = rng.integers(0, 256, 16 * 64, dtype=np.uint8)  # FIRST run
+    nxt[32 * 64 : 40 * 64] = base[0 : 8 * 64]                       # SHIFT region
+    diffs.append(engine.checkpoint(nxt))
+    return diffs
+
+
+class TestAnalyzeDiff:
+    def test_composition_partitions_buffer(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[1])
+        assert comp.first_bytes + comp.shift_bytes + comp.fixed_bytes == comp.data_len
+        assert comp.first_bytes == 16 * 64
+        assert comp.shift_bytes == 8 * 64
+
+    def test_full_checkpoint_all_first(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[0])
+        assert comp.first_bytes == comp.data_len
+        assert comp.fixed_bytes == 0
+
+    def test_region_histograms(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[1])
+        # 16 contiguous aligned FIRST chunks consolidate into one region.
+        assert comp.first_region_chunks == {16: 1}
+        assert comp.shift_region_chunks == {8: 1}
+
+    def test_shift_targets(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[1])
+        assert comp.shift_targets == {0: 1}
+
+    def test_consolidation_factor(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[1])
+        assert comp.consolidation_factor == pytest.approx((16 + 8) / 2)
+
+    def test_changed_fraction(self, tree_diffs):
+        comp = analyze_diff(tree_diffs[1])
+        assert comp.changed_fraction == pytest.approx(24 * 64 / (128 * 64))
+
+    def test_basic_and_list_methods(self, rng):
+        n = 64 * 32
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        for method in ("basic", "list"):
+            engine = ENGINES[method](n, 64)
+            engine.checkpoint(base)
+            nxt = base.copy()
+            nxt[:64] = 0
+            comp = analyze_diff(engine.checkpoint(nxt))
+            assert comp.first_bytes == 64
+            assert comp.fixed_bytes == n - 64
+
+    def test_report_is_one_row_per_diff(self, tree_diffs):
+        report = composition_report(tree_diffs)
+        assert len(report.splitlines()) == len(tree_diffs) + 1
+
+    def test_analyze_record_empty(self):
+        assert analyze_record([]) == []
+
+
+class TestVerifyChain:
+    def test_sound_chains_pass(self, rng):
+        n = 64 * 64
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        for method in sorted(ENGINES):
+            engine = ENGINES[method](n, 64)
+            diffs = [engine.checkpoint(base)]
+            nxt = base.copy()
+            nxt[100:400] = 7
+            diffs.append(engine.checkpoint(nxt))
+            assert verify_chain(diffs) == [], method
+
+    def test_empty_chain_reported(self):
+        assert verify_chain([]) == ["chain is empty"]
+
+    def test_out_of_order_reported(self, tree_diffs):
+        assert any("out-of-order" in p for p in verify_chain([tree_diffs[1]]))
+
+    def test_payload_mismatch_reported(self, tree_diffs):
+        diff = tree_diffs[1]
+        broken = CheckpointDiff(
+            method=diff.method, ckpt_id=1, data_len=diff.data_len,
+            chunk_size=diff.chunk_size, first_ids=diff.first_ids,
+            shift_ids=diff.shift_ids, shift_ref_ids=diff.shift_ref_ids,
+            shift_ref_ckpts=diff.shift_ref_ckpts,
+            payload=diff.payload[:-4],
+        )
+        assert any("payload" in p for p in verify_chain([tree_diffs[0], broken]))
+
+    def test_future_reference_reported(self, tree_diffs):
+        diff = tree_diffs[1]
+        broken = CheckpointDiff(
+            method="tree", ckpt_id=1, data_len=diff.data_len,
+            chunk_size=diff.chunk_size,
+            shift_ids=np.array([254], dtype=np.uint32),
+            shift_ref_ids=np.array([253], dtype=np.uint32),
+            shift_ref_ckpts=np.array([9], dtype=np.uint32),
+        )
+        assert any("future" in p for p in verify_chain([tree_diffs[0], broken]))
+
+    def test_node_out_of_range_reported(self, tree_diffs):
+        broken = CheckpointDiff(
+            method="tree", ckpt_id=1, data_len=tree_diffs[0].data_len,
+            chunk_size=64,
+            first_ids=np.array([10**6], dtype=np.uint32),
+            payload=b"",
+        )
+        assert any("out of range" in p for p in verify_chain([tree_diffs[0], broken]))
+
+    def test_geometry_change_reported(self, rng):
+        d0 = CheckpointDiff(method="full", ckpt_id=0, data_len=128,
+                            chunk_size=64, payload=bytes(128))
+        d1 = CheckpointDiff(method="full", ckpt_id=1, data_len=256,
+                            chunk_size=64, payload=bytes(256))
+        assert any("geometry" in p for p in verify_chain([d0, d1]))

@@ -1,0 +1,93 @@
+"""Tests for checkpoint chunking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkingError
+from repro.core.chunking import ChunkSpec, as_uint8, min_recommended_chunk_size
+
+
+class TestAsUint8:
+    def test_bytes(self):
+        out = as_uint8(b"\x01\x02")
+        assert out.tolist() == [1, 2]
+
+    def test_uint32_array_reinterpreted(self):
+        arr = np.array([1], dtype="<u4")
+        assert as_uint8(arr).tolist() == [1, 0, 0, 0]
+
+    def test_2d_array_flattened(self):
+        arr = np.zeros((3, 4), dtype=np.uint8)
+        assert as_uint8(arr).shape == (12,)
+
+    def test_noncontiguous_rejected(self):
+        arr = np.zeros((4, 4), dtype=np.uint8)[:, ::2]
+        with pytest.raises(ChunkingError):
+            as_uint8(arr)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ChunkingError):
+            as_uint8([1, 2, 3])
+
+
+class TestChunkSpec:
+    def test_even_division(self):
+        spec = ChunkSpec(1024, 64)
+        assert spec.num_chunks == 16
+        assert spec.tail_len == 64
+
+    def test_tail_chunk(self):
+        spec = ChunkSpec(1000, 64)
+        assert spec.num_chunks == 16
+        assert spec.tail_len == 1000 - 15 * 64
+
+    def test_single_chunk(self):
+        spec = ChunkSpec(10, 10)
+        assert spec.num_chunks == 1
+
+    def test_chunk_bigger_than_data_rejected(self):
+        with pytest.raises(ChunkingError):
+            ChunkSpec(10, 11)
+
+    def test_bounds(self):
+        spec = ChunkSpec(1000, 64)
+        assert spec.chunk_bounds(0) == (0, 64)
+        assert spec.chunk_bounds(15) == (960, 1000)
+
+    def test_bounds_out_of_range(self):
+        spec = ChunkSpec(1000, 64)
+        with pytest.raises(ChunkingError):
+            spec.chunk_bounds(16)
+        with pytest.raises(ChunkingError):
+            spec.chunk_bounds(-1)
+
+    def test_chunk_len(self):
+        spec = ChunkSpec(1000, 64)
+        assert spec.chunk_len(0) == 64
+        assert spec.chunk_len(15) == 40
+
+    def test_range_bounds(self):
+        spec = ChunkSpec(1000, 64)
+        assert spec.range_bounds(2, 3) == (128, 320)
+        assert spec.range_bounds(14, 2) == (896, 1000)
+
+    def test_range_needs_positive_count(self):
+        with pytest.raises(ChunkingError):
+            ChunkSpec(1000, 64).range_bounds(0, 0)
+
+    def test_lengths_array(self):
+        spec = ChunkSpec(1000, 64)
+        lengths = spec.lengths()
+        assert lengths.sum() == 1000
+        assert lengths[-1] == 40
+        assert (lengths[:-1] == 64).all()
+
+    def test_validate_buffer(self):
+        spec = ChunkSpec(16, 4)
+        flat = spec.validate_buffer(np.zeros(4, dtype="<u4"))
+        assert flat.shape == (16,)
+        with pytest.raises(ChunkingError):
+            spec.validate_buffer(np.zeros(15, dtype=np.uint8))
+
+    def test_min_recommended(self):
+        assert min_recommended_chunk_size() == 32

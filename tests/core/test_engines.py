@@ -1,0 +1,146 @@
+"""Cross-engine behavioural tests: every method must round-trip any
+checkpoint stream, number checkpoints, meter a single D2H transfer, and
+obey the fixed-length contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, Restorer
+from repro.core.diff import CheckpointDiff
+from repro.errors import ChunkingError
+
+ALL_METHODS = sorted(ENGINES)
+
+
+@pytest.fixture(params=ALL_METHODS)
+def engine_cls(request):
+    return ENGINES[request.param]
+
+
+class TestRoundTrip:
+    def test_stream_roundtrip(self, engine_cls, checkpoint_stream):
+        n = checkpoint_stream[0].shape[0]
+        engine = engine_cls(n, 64)
+        diffs = [engine.checkpoint(c) for c in checkpoint_stream]
+        restored = Restorer().restore_all(diffs)
+        for want, got in zip(checkpoint_stream, restored):
+            assert np.array_equal(want, got)
+
+    def test_stream_roundtrip_through_wire_format(self, engine_cls, checkpoint_stream):
+        n = checkpoint_stream[0].shape[0]
+        engine = engine_cls(n, 128)
+        blobs = [engine.checkpoint(c).to_bytes() for c in checkpoint_stream]
+        diffs = [CheckpointDiff.from_bytes(b) for b in blobs]
+        restored = Restorer().restore_all(diffs)
+        for want, got in zip(checkpoint_stream, restored):
+            assert np.array_equal(want, got)
+
+    def test_identical_checkpoints(self, engine_cls, rng):
+        data = rng.integers(0, 256, 64 * 100, dtype=np.uint8)
+        engine = engine_cls(data.shape[0], 64)
+        diffs = [engine.checkpoint(data) for _ in range(3)]
+        restored = Restorer().restore_all(diffs)
+        for got in restored:
+            assert np.array_equal(data, got)
+        # Steady state must be (near) free for every incremental method.
+        if engine.name != "full":
+            assert diffs[2].payload_bytes == 0
+
+    def test_all_zero_buffer(self, engine_cls):
+        data = np.zeros(64 * 32, dtype=np.uint8)
+        engine = engine_cls(data.shape[0], 64)
+        d0 = engine.checkpoint(data)
+        data2 = data.copy()
+        data2[100] = 1
+        d1 = engine.checkpoint(data2)
+        restored = Restorer().restore_all([d0, d1])
+        assert np.array_equal(restored[1], data2)
+
+    def test_uint32_input_accepted(self, engine_cls, rng):
+        data = rng.integers(0, 2**32, 1024, dtype=np.uint32)
+        engine = engine_cls(4096, 64)
+        diff = engine.checkpoint(data)
+        restored = Restorer().restore_all([diff])[0]
+        assert np.array_equal(restored.view("<u4"), data)
+
+
+class TestContracts:
+    def test_checkpoint_ids_sequential(self, engine_cls, rng):
+        data = rng.integers(0, 256, 640, dtype=np.uint8)
+        engine = engine_cls(640, 64)
+        for expect in range(4):
+            assert engine.checkpoint(data).ckpt_id == expect
+
+    def test_length_change_rejected(self, engine_cls, rng):
+        engine = engine_cls(640, 64)
+        engine.checkpoint(rng.integers(0, 256, 640, dtype=np.uint8))
+        with pytest.raises(ChunkingError):
+            engine.checkpoint(rng.integers(0, 256, 641, dtype=np.uint8))
+
+    def test_single_d2h_transfer_per_checkpoint(self, engine_cls, rng):
+        data = rng.integers(0, 256, 640, dtype=np.uint8)
+        engine = engine_cls(640, 64)
+        diff = engine.checkpoint(data)
+        transfers = engine.space.ledger.transfers
+        assert len(transfers) == 1
+        assert transfers[0].kind == "D2H"
+        assert transfers[0].nbytes == diff.serialized_size
+        assert transfers[0].count == 1
+
+    def test_ledger_reset_between_checkpoints(self, engine_cls, rng):
+        data = rng.integers(0, 256, 640, dtype=np.uint8)
+        engine = engine_cls(640, 64)
+        engine.checkpoint(data)
+        first = engine.space.ledger.total_transfer_bytes
+        engine.checkpoint(data)
+        # Ledger describes only the latest checkpoint.
+        assert engine.space.ledger.total_transfer_bytes <= first
+
+    def test_fused_single_launch(self, engine_cls, rng):
+        data = rng.integers(0, 256, 64 * 64, dtype=np.uint8)
+        engine = engine_cls(data.shape[0], 64, fused=True)
+        engine.checkpoint(data)
+        engine.checkpoint(data)
+        if engine.name != "full":
+            assert engine.space.ledger.total_launches == 1
+
+    def test_unfused_many_launches(self, engine_cls, rng):
+        data = rng.integers(0, 256, 64 * 64, dtype=np.uint8)
+        engine = engine_cls(data.shape[0], 64, fused=False)
+        engine.checkpoint(data)
+        data = data.copy()
+        data[:64] = 0
+        engine.checkpoint(data)
+        if engine.name not in ("full",):
+            assert engine.space.ledger.total_launches > 1
+
+    def test_num_chunks(self, engine_cls):
+        assert engine_cls(1000, 64).num_chunks == 16
+
+    def test_first_checkpoint_is_full(self, engine_cls, rng):
+        data = rng.integers(0, 256, 640, dtype=np.uint8)
+        diff = engine_cls(640, 64).checkpoint(data)
+        assert diff.payload_bytes == 640
+        assert diff.metadata_bytes == 0
+
+
+class TestSizeOrdering:
+    def test_incremental_methods_beat_full(self, checkpoint_stream):
+        n = checkpoint_stream[0].shape[0]
+        totals = {}
+        for name, cls in ENGINES.items():
+            engine = cls(n, 64)
+            totals[name] = sum(
+                engine.checkpoint(c).serialized_size for c in checkpoint_stream
+            )
+        assert totals["tree"] < totals["full"]
+        assert totals["list"] < totals["full"]
+        assert totals["basic"] < totals["full"]
+
+    def test_tree_metadata_never_exceeds_list(self, checkpoint_stream):
+        n = checkpoint_stream[0].shape[0]
+        tree = ENGINES["tree"](n, 64)
+        lst = ENGINES["list"](n, 64)
+        tree_meta = sum(tree.checkpoint(c).metadata_bytes for c in checkpoint_stream)
+        list_meta = sum(lst.checkpoint(c).metadata_bytes for c in checkpoint_stream)
+        assert tree_meta <= list_meta

@@ -1,0 +1,38 @@
+"""Tests for label constants and helpers."""
+
+import numpy as np
+
+from repro.core import FIRST_OCUR, FIXED_DUPL, MIXED, SHIFT_DUPL, UNLABELED
+from repro.core.labels import count_labels, label_name, new_label_array
+
+
+class TestLabels:
+    def test_values_distinct(self):
+        values = {int(x) for x in (UNLABELED, FIXED_DUPL, FIRST_OCUR, SHIFT_DUPL, MIXED)}
+        assert len(values) == 5
+
+    def test_names(self):
+        assert label_name(FIXED_DUPL) == "FIXED_DUPL"
+        assert label_name(FIRST_OCUR) == "FIRST_OCUR"
+        assert label_name(SHIFT_DUPL) == "SHIFT_DUPL"
+        assert label_name(MIXED) == "MIXED"
+        assert label_name(UNLABELED) == "UNLABELED"
+
+    def test_unknown_name(self):
+        assert label_name(200) == "?200"
+
+    def test_new_array(self):
+        arr = new_label_array(9)
+        assert arr.shape == (9,)
+        assert arr.dtype == np.uint8
+        assert (arr == UNLABELED).all()
+
+    def test_count_labels(self):
+        arr = new_label_array(6)
+        arr[0] = FIRST_OCUR
+        arr[1] = FIRST_OCUR
+        arr[2] = SHIFT_DUPL
+        hist = count_labels(arr)
+        assert hist["FIRST_OCUR"] == 2
+        assert hist["SHIFT_DUPL"] == 1
+        assert hist["UNLABELED"] == 3

@@ -1,0 +1,132 @@
+"""Tests for the restore engine (error paths beyond the round-trip tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, Restorer, restore_latest
+from repro.core.diff import CheckpointDiff
+from repro.errors import RestoreError
+
+
+@pytest.fixture
+def tree_chain(rng):
+    n = 64 * 64
+    base = rng.integers(0, 256, n, dtype=np.uint8)
+    engine = ENGINES["tree"](n, 64)
+    diffs = [engine.checkpoint(base)]
+    cur = base.copy()
+    for _ in range(3):
+        cur = cur.copy()
+        cur[:128] = rng.integers(0, 256, 128, dtype=np.uint8)
+        diffs.append(engine.checkpoint(cur))
+    return diffs
+
+
+class TestRestoreApi:
+    def test_restore_specific_checkpoint(self, tree_chain):
+        out = Restorer().restore(tree_chain, upto=1)
+        assert out.shape[0] == tree_chain[0].data_len
+
+    def test_restore_default_latest(self, tree_chain):
+        latest = Restorer().restore(tree_chain)
+        explicit = Restorer().restore(tree_chain, upto=len(tree_chain) - 1)
+        assert np.array_equal(latest, explicit)
+
+    def test_restore_latest_helper(self, tree_chain):
+        assert np.array_equal(restore_latest(tree_chain), Restorer().restore(tree_chain))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(RestoreError):
+            Restorer().restore([])
+
+    def test_out_of_range_rejected(self, tree_chain):
+        with pytest.raises(RestoreError):
+            Restorer().restore(tree_chain, upto=len(tree_chain))
+
+    def test_out_of_order_chain_rejected(self, tree_chain):
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([tree_chain[1]])
+
+    def test_restore_all_returns_every_state(self, tree_chain):
+        out = Restorer().restore_all(tree_chain)
+        assert len(out) == len(tree_chain)
+
+
+class TestCorruptionDetection:
+    def test_full_payload_length_checked(self):
+        diff = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=100, chunk_size=10, payload=b"short"
+        )
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([diff])
+
+    def test_tree_payload_too_short(self, tree_chain):
+        broken = CheckpointDiff(
+            method=tree_chain[1].method,
+            ckpt_id=tree_chain[1].ckpt_id,
+            data_len=tree_chain[1].data_len,
+            chunk_size=tree_chain[1].chunk_size,
+            first_ids=tree_chain[1].first_ids,
+            shift_ids=tree_chain[1].shift_ids,
+            shift_ref_ids=tree_chain[1].shift_ref_ids,
+            shift_ref_ckpts=tree_chain[1].shift_ref_ckpts,
+            payload=tree_chain[1].payload[:-10],
+        )
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([tree_chain[0], broken])
+
+    def test_forward_reference_rejected(self, rng):
+        d0 = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=256, chunk_size=64,
+            payload=bytes(rng.integers(0, 256, 256, dtype=np.uint8)),
+        )
+        d1 = CheckpointDiff(
+            method="tree", ckpt_id=1, data_len=256, chunk_size=64,
+            shift_ids=np.array([3], dtype=np.uint32),
+            shift_ref_ids=np.array([4], dtype=np.uint32),
+            shift_ref_ckpts=np.array([7], dtype=np.uint32),  # future ckpt
+        )
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([d0, d1])
+
+    def test_node_out_of_tree_rejected(self, rng):
+        d0 = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=256, chunk_size=64,
+            payload=bytes(rng.integers(0, 256, 256, dtype=np.uint8)),
+        )
+        d1 = CheckpointDiff(
+            method="tree", ckpt_id=1, data_len=256, chunk_size=64,
+            first_ids=np.array([100], dtype=np.uint32),
+            payload=b"x" * 64,
+        )
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([d0, d1])
+
+    def test_length_change_mid_chain_rejected(self, rng):
+        d0 = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=256, chunk_size=64,
+            payload=bytes(256),
+        )
+        d1 = CheckpointDiff(
+            method="full", ckpt_id=1, data_len=512, chunk_size=64,
+            payload=bytes(512),
+        )
+        with pytest.raises(RestoreError):
+            Restorer().restore_all([d0, d1])
+
+
+class TestMixedMethodChain:
+    def test_full_then_tree_then_basic_like_chain(self, rng):
+        """Chains mixing methods restore as long as each diff is valid —
+        the initial full diff every engine emits is exactly this case."""
+        n = 64 * 32
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        tree = ENGINES["tree"](n, 64)
+        diffs = [tree.checkpoint(base)]
+        assert diffs[0].method == "full"
+        nxt = base.copy()
+        nxt[:64] = 0
+        diffs.append(tree.checkpoint(nxt))
+        assert diffs[1].method == "tree"
+        out = Restorer().restore_all(diffs)
+        assert np.array_equal(out[1], nxt)

@@ -1,0 +1,139 @@
+"""Tests for lineage retention: dependency analysis and rebase."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ENGINES,
+    Restorer,
+    SelectiveRestorer,
+    payload_dependencies,
+    rebase_record,
+    required_payloads,
+    verify_chain,
+)
+from repro.errors import RestoreError
+
+
+@pytest.fixture
+def stream(rng):
+    n = 64 * 150 + 21
+    base = rng.integers(0, 256, n, dtype=np.uint8)
+    out = [base.copy()]
+    cur = base
+    for _ in range(5):
+        cur = cur.copy()
+        idx = rng.integers(0, n, 50)
+        cur[idx] = rng.integers(0, 256, 50, dtype=np.uint8)
+        s = int(rng.integers(0, n - 1500))
+        d = int(rng.integers(0, n - 1500))
+        cur[d : d + 1500] = cur[s : s + 1500]
+        out.append(cur.copy())
+    return out
+
+
+def chain(stream, method="tree"):
+    engine = ENGINES[method](stream[0].shape[0], 64)
+    return [engine.checkpoint(c) for c in stream]
+
+
+class TestDependencies:
+    def test_checkpoint_zero_depends_only_on_itself(self, stream):
+        assert payload_dependencies(chain(stream), 0) == {0}
+
+    def test_dependencies_subset_of_prefix(self, stream):
+        diffs = chain(stream)
+        for k in range(len(diffs)):
+            deps = payload_dependencies(diffs, k)
+            assert deps <= set(range(k + 1))
+            assert k in deps or k > 0  # the latest diff usually contributes
+
+    def test_full_method_single_dependency(self, stream):
+        diffs = chain(stream, "full")
+        for k in range(len(diffs)):
+            assert payload_dependencies(diffs, k) == {k}
+
+    def test_required_payloads_union(self, stream):
+        diffs = chain(stream)
+        combined = required_payloads(diffs, [2, 4])
+        assert combined == payload_dependencies(diffs, 2) | payload_dependencies(
+            diffs, 4
+        )
+
+
+@pytest.mark.parametrize("method", sorted(ENGINES))
+class TestRebase:
+    def test_rebased_chain_restores_identically(self, stream, method):
+        diffs = chain(stream, method)
+        originals = Restorer().restore_all(diffs)
+        for at in (0, 1, 3, len(diffs) - 1):
+            rebased = rebase_record(diffs, at)
+            assert len(rebased) == len(diffs) - at
+            assert rebased[0].method == "full"
+            restored = Restorer().restore_all(rebased)
+            for k in range(at, len(diffs)):
+                assert np.array_equal(restored[k - at], originals[k]), (at, k)
+
+    def test_rebased_chain_verifies(self, stream, method):
+        diffs = chain(stream, method)
+        assert verify_chain(rebase_record(diffs, 2)) == []
+
+    def test_rebased_chain_selective_restores(self, stream, method):
+        diffs = chain(stream, method)
+        rebased = rebase_record(diffs, 2)
+        chain_out = Restorer().restore_all(rebased)
+        for k in range(len(rebased)):
+            buf, _ = SelectiveRestorer().restore(rebased, k)
+            assert np.array_equal(buf, chain_out[k])
+
+
+class TestRebaseProperties:
+    def test_no_references_into_discarded_prefix(self, stream):
+        diffs = chain(stream, "tree")
+        rebased = rebase_record(diffs, 3)
+        for diff in rebased[1:]:
+            if diff.num_shift:
+                assert int(diff.shift_ref_ckpts.min()) >= 0
+
+    def test_out_of_range_rejected(self, stream):
+        diffs = chain(stream)
+        with pytest.raises(RestoreError):
+            rebase_record(diffs, len(diffs))
+
+    def test_rebase_at_zero_replaces_only_base(self, stream):
+        diffs = chain(stream, "tree")
+        rebased = rebase_record(diffs, 0)
+        assert len(rebased) == len(diffs)
+        # Later diffs keep their metadata counts (no promotions needed —
+        # references to checkpoint 0 stay valid).
+        for old, new in zip(diffs[1:], rebased[1:]):
+            assert new.num_shift == old.num_shift
+            assert new.num_first == old.num_first
+
+    def test_promotion_grows_payload(self, stream):
+        """Rebasing past referenced history must materialise those bytes."""
+        diffs = chain(stream, "tree")
+        total_before = sum(d.payload_bytes for d in diffs[5:])
+        rebased = rebase_record(diffs, 4)
+        total_after = sum(d.payload_bytes for d in rebased[1:])
+        assert total_after >= total_before
+
+    def test_hybrid_payload_codec_roundtrip(self, rng):
+        from repro.compress import get_codec
+
+        codec = get_codec("deflate")
+        n = 64 * 64
+        base = rng.integers(0, 4, n, dtype=np.uint8)
+        engine = ENGINES["tree"](n, 64, payload_codec=codec)
+        stream = [base.copy()]
+        cur = base.copy()
+        cur[:512] = rng.integers(0, 4, 512, dtype=np.uint8)
+        stream.append(cur.copy())
+        cur = cur.copy()
+        cur[1024:1536] = base[:512]
+        stream.append(cur.copy())
+        diffs = [engine.checkpoint(c) for c in stream]
+        rebased = rebase_record(diffs, 1, payload_codec=codec)
+        restored = Restorer(payload_codec=codec).restore_all(rebased)
+        assert np.array_equal(restored[0], stream[1])
+        assert np.array_equal(restored[1], stream[2])

@@ -1,0 +1,115 @@
+"""Tests for the on-disk record store."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, Restorer
+from repro.core.store import load_record, record_manifest, save_record
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def diffs(rng):
+    n = 64 * 64
+    base = rng.integers(0, 256, n, dtype=np.uint8)
+    engine = ENGINES["tree"](n, 64)
+    out = [engine.checkpoint(base)]
+    nxt = base.copy()
+    nxt[:256] = 0
+    out.append(engine.checkpoint(nxt))
+    return out
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, diffs, tmp_path):
+        save_record(diffs, tmp_path / "rec", method="tree")
+        loaded = load_record(tmp_path / "rec")
+        assert len(loaded) == len(diffs)
+        for a, b in zip(diffs, loaded):
+            assert a.to_bytes() == b.to_bytes()
+
+    def test_restore_from_disk(self, diffs, tmp_path, rng):
+        save_record(diffs, tmp_path / "rec")
+        loaded = load_record(tmp_path / "rec")
+        direct = Restorer().restore_all(diffs)
+        from_disk = Restorer().restore_all(loaded)
+        for a, b in zip(direct, from_disk):
+            assert np.array_equal(a, b)
+
+    def test_manifest(self, diffs, tmp_path):
+        save_record(diffs, tmp_path / "rec", method="tree")
+        manifest = record_manifest(tmp_path / "rec")
+        assert manifest["method"] == "tree"
+        assert manifest["num_checkpoints"] == 2
+        assert manifest["data_len"] == diffs[0].data_len
+
+    def test_append_style_resave(self, diffs, tmp_path):
+        save_record(diffs[:1], tmp_path / "rec")
+        save_record(diffs, tmp_path / "rec")
+        assert len(load_record(tmp_path / "rec")) == 2
+
+    def test_truncating_resave_rejected(self, diffs, tmp_path):
+        save_record(diffs, tmp_path / "rec")
+        with pytest.raises(StorageError):
+            save_record(diffs[:1], tmp_path / "rec")
+
+    def test_empty_record_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_record([], tmp_path / "rec")
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_record(tmp_path)
+
+    def test_load_missing_blob(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00001.rdif").unlink()
+        with pytest.raises(StorageError):
+            load_record(path)
+
+
+class TestCli:
+    def test_demo_save_inspect_restore(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rec = tmp_path / "rec"
+        out = tmp_path / "out.bin"
+        assert main([
+            "demo", "--size", "65536", "--checkpoints", "3",
+            "--save", str(rec),
+        ]) == 0
+        assert main(["inspect", str(rec)]) == 0
+        captured = capsys.readouterr().out
+        assert "chain verified" in captured
+        assert main(["restore", str(rec), "-k", "1", "-o", str(out)]) == 0
+        assert out.stat().st_size == 65536
+
+    def test_demo_methods(self, capsys):
+        from repro.cli import main
+
+        for method in ("full", "basic", "list", "tree"):
+            assert main([
+                "demo", "--size", "8192", "--checkpoints", "2",
+                "--method", method,
+            ]) == 0
+
+    def test_inspect_detects_corruption(self, diffs, tmp_path, capsys):
+        from repro.cli import main
+
+        path = save_record(diffs, tmp_path / "rec")
+        blob = bytearray((path / "ckpt-00001.rdif").read_bytes())
+        # Truncate the payload: still parseable lengths? Corrupt the
+        # payload length consistency by rewriting with a wrong region —
+        # simplest: swap the two files.
+        (path / "ckpt-00001.rdif").write_bytes(
+            (path / "ckpt-00000.rdif").read_bytes()
+        )
+        # ckpt file 1 now holds checkpoint id 0 → load fails loudly.
+        with pytest.raises(StorageError):
+            main(["inspect", str(path)])
+
+    def test_bench_command_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table1", "--vertices", "256"]) == 0
+        assert "Table 1" in capsys.readouterr().out

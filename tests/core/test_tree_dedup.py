@@ -1,0 +1,201 @@
+"""Algorithm-level tests of the Tree method (Algorithm 1, §2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FIRST_OCUR, FIXED_DUPL, MIXED, SHIFT_DUPL, Restorer, TreeDedup
+from repro.core.labels import count_labels
+
+
+def chunk(tag, size=64):
+    rng = np.random.default_rng(abs(hash(tag)) % 2**31)
+    return rng.integers(0, 256, size, dtype=np.uint8)
+
+
+def buffer(tags, size=64):
+    return np.concatenate([chunk(t, size) for t in tags])
+
+
+class TestFigure2:
+    """The paper's worked example: 8 leaves, 7 naive entries → 3 compact."""
+
+    def setup_method(self):
+        self.engine = TreeDedup(8 * 64, 64)
+        # Checkpoint 1: 8 distinct chunks A..H on leaves 7..14.
+        self.c1 = buffer("ABCDEFGH")
+        # Checkpoint 2: I,J,K,L new; 5th chunk fixed (E); 6th shifted (=C);
+        # 7th,8th = old A,B (shifted pair -> region 6).
+        self.c2 = buffer(["I", "J", "K", "L", "E", "C", "A", "B"])
+
+    def test_initial_checkpoint_full_and_record_seeded(self):
+        d1 = self.engine.checkpoint(self.c1)
+        assert d1.method == "full"
+        assert d1.payload_bytes == 8 * 64
+        # The historical record holds all 15 node digests.
+        assert len(self.engine.map) == 15
+
+    def test_compact_metadata_is_three_entries(self):
+        self.engine.checkpoint(self.c1)
+        d2 = self.engine.checkpoint(self.c2)
+        assert d2.num_first + d2.num_shift == 3
+
+    def test_exact_regions(self):
+        self.engine.checkpoint(self.c1)
+        d2 = self.engine.checkpoint(self.c2)
+        # Region 1 = consolidated first occurrences I,J,K,L (chunks 0-3).
+        assert d2.first_ids.tolist() == [1]
+        # Regions 6 (chunks 6-7 -> old node 3) and leaf 12 (chunk 5 -> old
+        # leaf 9, i.e. chunk C).  Fixed chunk 11 omitted entirely.
+        assert d2.shift_ids.tolist() == [6, 12]
+        refs = dict(zip(d2.shift_ids.tolist(), d2.shift_ref_ids.tolist()))
+        assert refs[6] == 3
+        assert refs[12] == 9
+        assert d2.shift_ref_ckpts.tolist() == [0, 0]
+
+    def test_payload_only_first_occurrences(self):
+        self.engine.checkpoint(self.c1)
+        d2 = self.engine.checkpoint(self.c2)
+        assert d2.payload == self.c2[: 4 * 64].tobytes()
+
+    def test_labels_match_paper(self):
+        self.engine.checkpoint(self.c1)
+        self.engine.checkpoint(self.c2)
+        labels = self.engine.last_labels
+        # Leaves 7-10 FIRST; leaf 11 FIXED; leaves 12-14 SHIFT.
+        assert (labels[7:11] == FIRST_OCUR).all()
+        assert labels[11] == FIXED_DUPL
+        assert (labels[12:15] == SHIFT_DUPL).all()
+        # Region 1 consolidated FIRST; region 6 consolidated SHIFT.
+        assert labels[1] == FIRST_OCUR
+        assert labels[6] == SHIFT_DUPL
+
+    def test_restore_matches(self):
+        d1 = self.engine.checkpoint(self.c1)
+        d2 = self.engine.checkpoint(self.c2)
+        restored = Restorer().restore_all([d1, d2])
+        assert np.array_equal(restored[0], self.c1)
+        assert np.array_equal(restored[1], self.c2)
+
+
+class TestLabelSemantics:
+    def test_unchanged_buffer_all_fixed(self):
+        data = buffer("ABCD")
+        engine = TreeDedup(len(data), 64)
+        engine.checkpoint(data)
+        d = engine.checkpoint(data)
+        hist = count_labels(engine.last_labels)
+        assert hist.get("FIXED_DUPL", 0) == 7  # whole tree fixed
+        assert d.num_first == 0 and d.num_shift == 0
+        assert d.payload_bytes == 0
+
+    def test_fully_changed_buffer_single_first_region(self):
+        engine = TreeDedup(8 * 64, 64)
+        engine.checkpoint(buffer("ABCDEFGH"))
+        d = engine.checkpoint(buffer("IJKLMNOP"))
+        assert d.first_ids.tolist() == [0]  # the root
+        assert d.payload_bytes == 8 * 64
+
+    def test_spatial_duplicate_within_checkpoint(self):
+        engine = TreeDedup(4 * 64, 64)
+        engine.checkpoint(buffer("ABCD"))
+        # Chunks 0,1 new and identical: leaf FIRST then SHIFT of same ckpt.
+        d = engine.checkpoint(buffer(["X", "X", "C", "D"]))
+        assert d.num_first == 1
+        assert d.num_shift == 1
+        assert d.shift_ref_ckpts.tolist() == [1]  # refers to current ckpt
+
+    def test_shifted_duplicate_across_checkpoints(self):
+        engine = TreeDedup(4 * 64, 64)
+        engine.checkpoint(buffer("ABCD"))
+        engine.checkpoint(buffer("EBCD"))
+        d = engine.checkpoint(buffer(["E", "B", "C", "E"]))  # chunk3 = E
+        assert d.num_first == 0
+        assert d.num_shift == 1
+        # E first occurred at checkpoint 1, leaf of chunk 0.
+        assert d.shift_ref_ckpts.tolist() == [1]
+
+    def test_mixed_label_set(self, rng):
+        n = 64 * 64
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        engine = TreeDedup(n, 64)
+        engine.checkpoint(base)
+        nxt = base.copy()
+        nxt[0:64] = chunk("new")          # FIRST
+        nxt[10 * 64 : 11 * 64] = base[5 * 64 : 6 * 64]  # SHIFT
+        engine.checkpoint(nxt)
+        hist = count_labels(engine.last_labels)
+        assert hist.get("FIRST_OCUR", 0) >= 1
+        assert hist.get("SHIFT_DUPL", 0) >= 1
+        assert hist.get("FIXED_DUPL", 0) >= 1
+        assert hist.get("MIXED", 0) >= 1
+
+
+class TestConsolidation:
+    def test_aligned_region_copy_consolidates(self, rng):
+        cs = 32
+        n_chunks = 64
+        base = rng.integers(0, 256, cs * n_chunks, dtype=np.uint8)
+        engine = TreeDedup(len(base), cs)
+        engine.checkpoint(base)
+        nxt = base.copy()
+        # Copy an aligned, same-parity 8-chunk region.
+        nxt[16 * cs : 24 * cs] = base[0 : 8 * cs]
+        d = engine.checkpoint(nxt)
+        assert d.num_first == 0
+        assert d.num_shift == 1  # single consolidated region
+        assert d.payload_bytes == 0
+
+    def test_contiguous_first_run_consolidates(self, rng):
+        cs = 32
+        base = rng.integers(0, 256, cs * 64, dtype=np.uint8)
+        engine = TreeDedup(len(base), cs)
+        engine.checkpoint(base)
+        nxt = base.copy()
+        nxt[32 * cs : 48 * cs] = rng.integers(0, 256, 16 * cs, dtype=np.uint8)
+        d = engine.checkpoint(nxt)
+        # 16 new chunks aligned to a subtree: exactly one region entry.
+        assert d.num_first == 1
+        assert d.metadata_bytes == 4
+
+    def test_device_state_grows_with_record(self, rng):
+        engine = TreeDedup(64 * 16, 64)
+        before = engine.device_state_bytes()
+        engine.checkpoint(rng.integers(0, 256, 1024, dtype=np.uint8))
+        assert engine.device_state_bytes() >= before
+
+    def test_odd_chunk_count(self, rng):
+        # Incomplete tree: 13 chunks incl. short tail.
+        data = rng.integers(0, 256, 64 * 12 + 30, dtype=np.uint8)
+        engine = TreeDedup(len(data), 64)
+        d0 = engine.checkpoint(data)
+        nxt = data.copy()
+        nxt[64:128] = chunk("Q")
+        d1 = engine.checkpoint(nxt)
+        restored = Restorer().restore_all([d0, d1])
+        assert np.array_equal(restored[1], nxt)
+
+    def test_single_chunk_buffer(self):
+        data = chunk("A")
+        engine = TreeDedup(64, 64)
+        d0 = engine.checkpoint(data)
+        d1 = engine.checkpoint(chunk("B"))
+        assert d1.first_ids.tolist() == [0]
+        restored = Restorer().restore_all([d0, d1])
+        assert np.array_equal(restored[1], chunk("B"))
+
+
+class TestHybridCompression:
+    def test_payload_codec_roundtrip(self, rng):
+        from repro.compress import get_codec
+
+        codec = get_codec("deflate")
+        n = 64 * 64
+        base = rng.integers(0, 4, n, dtype=np.uint8)  # compressible
+        engine = TreeDedup(n, 64, payload_codec=codec)
+        d0 = engine.checkpoint(base)
+        nxt = base.copy()
+        nxt[: 64 * 8] = rng.integers(0, 4, 64 * 8, dtype=np.uint8)
+        d1 = engine.checkpoint(nxt)
+        restored = Restorer(payload_codec=codec).restore_all([d0, d1])
+        assert np.array_equal(restored[0], base)
+        assert np.array_equal(restored[1], nxt)

@@ -1,0 +1,65 @@
+"""Tests for node/cluster topology and contention."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim import polaris, polaris_node, thetagpu, thetagpu_node
+from repro.utils.units import GB
+
+
+class TestNodeSpec:
+    def test_thetagpu_shape(self):
+        node = thetagpu_node()
+        assert node.gpus_per_node == 8
+        assert node.device.name == "A100"
+
+    def test_polaris_shape(self):
+        node = polaris_node()
+        assert node.gpus_per_node == 4
+
+    def test_contention_grows_with_active_gpus(self):
+        node = thetagpu_node()
+        factors = [node.pcie_contention(k) for k in range(1, 9)]
+        assert factors[0] == 1.0
+        assert factors == sorted(factors)
+        assert factors[-1] == pytest.approx(8 * 25 * GB / node.host_link_bandwidth)
+
+    def test_too_many_active_rejected(self):
+        with pytest.raises(SimulationError):
+            thetagpu_node().pcie_contention(9)
+
+
+class TestClusterSpec:
+    def test_total_gpus(self):
+        assert thetagpu(num_nodes=24).total_gpus == 192
+        assert polaris(num_nodes=2).total_gpus == 8
+
+    def test_placement_fills_nodes(self):
+        cluster = thetagpu(num_nodes=4)
+        assert cluster.place(1) == [1]
+        assert cluster.place(8) == [8]
+        assert cluster.place(12) == [8, 4]
+        assert cluster.place(32) == [8, 8, 8, 8]
+
+    def test_placement_overflow_rejected(self):
+        with pytest.raises(SimulationError):
+            thetagpu(num_nodes=1).place(9)
+
+    def test_contention_factors_per_process(self):
+        cluster = thetagpu(num_nodes=2)
+        factors = cluster.pcie_contention_for(10)
+        assert len(factors) == 10
+        # First node fully packed: highest contention; second node 2 GPUs.
+        assert factors[0] > factors[-1]
+
+    def test_single_process_no_contention(self):
+        assert thetagpu().pcie_contention_for(1) == [1.0]
+
+    def test_pfs_flush_time(self):
+        cluster = thetagpu()
+        assert cluster.pfs_flush_seconds(int(250 * GB)) == pytest.approx(1.0)
+        assert cluster.pfs_flush_seconds(0) == 0.0
+
+    def test_negative_flush_rejected(self):
+        with pytest.raises(SimulationError):
+            thetagpu().pfs_flush_seconds(-1)

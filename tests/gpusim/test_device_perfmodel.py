@@ -1,0 +1,119 @@
+"""Tests for device specs and the kernel cost model."""
+
+import pytest
+
+from repro.gpusim import CostBreakdown, KernelCostModel, a100, laptop_gpu, v100
+from repro.gpusim.device import DEVICE_PRESETS, DeviceSpec
+from repro.kokkos import DeviceSpace
+from repro.utils.units import GB
+
+
+class TestDeviceSpec:
+    def test_presets_exist(self):
+        assert set(DEVICE_PRESETS) == {"a100", "v100", "laptop"}
+
+    def test_a100_figures(self):
+        dev = a100()
+        assert dev.mem_bandwidth > 1e12
+        assert dev.pcie_bandwidth == 25 * GB
+        assert 0 < dev.stream_efficiency <= 1
+
+    def test_effective_bandwidth(self):
+        dev = a100()
+        assert dev.effective_stream_bandwidth == pytest.approx(
+            dev.mem_bandwidth * dev.stream_efficiency
+        )
+
+    def test_ordering_a100_fastest(self):
+        assert a100().mem_bandwidth > v100().mem_bandwidth > laptop_gpu().mem_bandwidth
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(Exception):
+            DeviceSpec(
+                name="bad",
+                mem_bandwidth=-1,
+                stream_efficiency=0.5,
+                random_access_cost=1e-9,
+                kernel_launch_latency=1e-6,
+                pcie_bandwidth=1e9,
+                pcie_latency=1e-5,
+            )
+
+
+class TestCostModel:
+    def test_streaming_term(self):
+        dev = a100()
+        model = KernelCostModel(dev)
+        space = DeviceSpace(0)
+        space.launch("k", bytes_read=int(dev.effective_stream_bandwidth))
+        cost = model.price(space.ledger)
+        assert cost.stream_seconds == pytest.approx(1.0)
+        assert cost.launch_seconds == pytest.approx(dev.kernel_launch_latency)
+
+    def test_random_access_term(self):
+        dev = a100()
+        model = KernelCostModel(dev)
+        space = DeviceSpace(0)
+        space.launch("k", random_accesses=1_000_000)
+        cost = model.price(space.ledger)
+        assert cost.random_seconds == pytest.approx(1e6 * dev.random_access_cost)
+
+    def test_transfer_term(self):
+        dev = a100()
+        model = KernelCostModel(dev)
+        space = DeviceSpace(0)
+        space.transfer("D2H", int(dev.pcie_bandwidth))
+        cost = model.price(space.ledger)
+        assert cost.transfer_seconds == pytest.approx(1.0 + dev.pcie_latency)
+
+    def test_contention_slows_transfers_only(self):
+        dev = a100()
+        space = DeviceSpace(0)
+        space.launch("k", bytes_read=1 << 20)
+        space.transfer("D2H", 1 << 20)
+        solo = KernelCostModel(dev, pcie_contention=1.0).price(space.ledger)
+        shared = KernelCostModel(dev, pcie_contention=2.0).price(space.ledger)
+        assert shared.transfer_seconds > solo.transfer_seconds
+        assert shared.kernel_seconds == pytest.approx(solo.kernel_seconds)
+
+    def test_contention_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(a100(), pcie_contention=0.5)
+
+    def test_per_kernel_attribution(self):
+        model = KernelCostModel(a100())
+        space = DeviceSpace(0)
+        space.launch("hash", bytes_read=1 << 30)
+        space.launch("serialize", bytes_read=1 << 20)
+        cost = model.price(space.ledger)
+        assert cost.per_kernel["hash"] > cost.per_kernel["serialize"]
+
+    def test_throughput_metric(self):
+        model = KernelCostModel(a100())
+        space = DeviceSpace(0)
+        space.transfer("D2H", 25 * GB)  # ~1 second
+        thpt = model.throughput(space.ledger, payload_bytes=100 * GB)
+        assert thpt == pytest.approx(100 * GB / (1.0 + a100().pcie_latency))
+
+    def test_empty_ledger_infinite_throughput(self):
+        model = KernelCostModel(a100())
+        assert model.throughput(DeviceSpace(0).ledger, 100) == float("inf")
+
+    def test_merged_breakdowns(self):
+        a = CostBreakdown(stream_seconds=1.0, per_kernel={"x": 1.0})
+        b = CostBreakdown(stream_seconds=2.0, transfer_seconds=3.0, per_kernel={"x": 2.0, "y": 1.0})
+        m = a.merged(b)
+        assert m.stream_seconds == 3.0
+        assert m.transfer_seconds == 3.0
+        assert m.per_kernel == {"x": 3.0, "y": 1.0}
+        assert m.total_seconds == pytest.approx(6.0)
+
+    def test_launch_latency_dominates_tiny_kernels(self):
+        # The fused-kernel rationale: 1000 tiny launches cost ~1000x latency.
+        dev = a100()
+        model = KernelCostModel(dev)
+        space = DeviceSpace(0)
+        for _ in range(1000):
+            space.launch("tiny", bytes_read=64)
+        cost = model.price(space.ledger)
+        assert cost.launch_seconds > 100 * cost.stream_seconds

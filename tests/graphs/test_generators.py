@@ -1,0 +1,128 @@
+"""Tests for the Table 1 input-graph generators: determinism, scale, and
+the structural properties the paper's analysis relies on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    GRAPH_GENERATORS,
+    compute_stats,
+    count_triangles,
+    delaunay,
+    generate,
+    hugebubbles,
+    message_race,
+    road_network,
+    unstructured_mesh,
+)
+
+ALL_NAMES = sorted(GRAPH_GENERATORS)
+
+
+@pytest.fixture(params=ALL_NAMES)
+def named_graph(request):
+    return request.param, generate(request.param, 1024, seed=3)
+
+
+class TestCommonProperties:
+    def test_deterministic(self, named_graph):
+        name, g = named_graph
+        again = generate(name, 1024, seed=3)
+        assert np.array_equal(g.edges(), again.edges())
+
+    def test_seed_changes_graph(self, named_graph):
+        name, g = named_graph
+        other = generate(name, 1024, seed=4)
+        assert not np.array_equal(g.edges(), other.edges())
+
+    def test_roughly_requested_size(self, named_graph):
+        _, g = named_graph
+        assert 0.8 * 1024 <= g.num_vertices <= 1.05 * 1024
+
+    def test_connected_enough(self, named_graph):
+        # No isolated majority: generators model real connected systems.
+        _, g = named_graph
+        isolated = (g.degree() == 0).sum()
+        assert isolated < g.num_vertices * 0.05
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphError):
+            generate("petersen", 100)
+
+
+class TestStructuralShape:
+    """Table 1 / §3.2: event graphs are sparser and less clustered than
+    the SuiteSparse meshes — the property driving the dedup differences."""
+
+    def test_event_graphs_sparser_than_meshes(self):
+        event = generate("message_race", 2048, seed=1)
+        mesh = generate("hugebubbles", 2048, seed=1)
+        assert event.num_edges / event.num_vertices < mesh.num_edges / mesh.num_vertices
+
+    def test_event_graphs_triangle_free(self):
+        g = generate("message_race", 1024, seed=1)
+        assert count_triangles(g) == 0
+
+    def test_meshes_have_triangles(self):
+        assert count_triangles(generate("hugebubbles", 1024, seed=1)) > 100
+        assert count_triangles(generate("delaunay", 1024, seed=1)) > 100
+
+    def test_road_network_low_degree(self):
+        g = generate("asia_osm", 1024, seed=1)
+        assert g.degree().max() <= 8
+        assert 1.0 < g.num_edges / g.num_vertices < 2.5
+
+    def test_delaunay_edge_ratio(self):
+        g = generate("delaunay", 2048, seed=1)
+        assert 2.5 < g.num_edges / g.num_vertices < 3.1
+
+    def test_message_race_edge_ratio(self):
+        g = generate("message_race", 2048, seed=1)
+        assert 1.2 < g.num_edges / g.num_vertices < 1.9
+
+
+class TestGeneratorSpecifics:
+    def test_message_race_round_period(self):
+        g = message_race(1024, num_processes=32, round_period=4, seed=1)
+        assert g.num_vertices == 1024
+
+    def test_message_race_needs_events(self):
+        with pytest.raises(GraphError):
+            message_race(4, num_processes=8, seed=1)
+
+    def test_unstructured_mesh_needs_ranks(self):
+        with pytest.raises(GraphError):
+            unstructured_mesh(100, num_ranks=2, seed=1)
+
+    def test_road_network_square(self):
+        g = road_network(1024, seed=1)
+        assert g.num_vertices == 32 * 32
+
+    def test_hugebubbles_bubble_count(self):
+        g = hugebubbles(1024, num_bubbles=4, seed=1)
+        assert g.num_vertices > 900
+
+    def test_delaunay_planar_degree_bound(self):
+        g = delaunay(1024, seed=1)
+        # Planar: |E| <= 3|V| - 6.
+        assert g.num_edges <= 3 * g.num_vertices - 6
+
+
+class TestStats:
+    def test_stats_row(self):
+        g = generate("delaunay", 512, seed=1)
+        stats = compute_stats("delaunay", g)
+        assert stats.num_vertices == 512
+        assert stats.avg_degree == pytest.approx(
+            2 * g.num_edges / g.num_vertices
+        )
+        assert 0 <= stats.clustering <= 1
+        assert "delaunay" in stats.row()
+
+    def test_triangle_count_matches_networkx(self):
+        import networkx as nx
+
+        g = generate("delaunay", 256, seed=2)
+        expect = sum(nx.triangles(g.to_networkx()).values()) // 3
+        assert count_triangles(g) == expect

@@ -1,0 +1,65 @@
+"""Tests for the Gorder reordering pass."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generate, gorder, locality_score
+
+
+class TestGorder:
+    def test_returns_permutation(self, small_graph):
+        order = gorder(small_graph)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_deterministic(self, small_graph):
+        assert np.array_equal(gorder(small_graph), gorder(small_graph))
+
+    def test_starts_at_max_degree(self, small_graph):
+        order = gorder(small_graph)
+        degrees = small_graph.degree()
+        assert degrees[order[0]] == degrees.max()
+
+    def test_explicit_start(self, small_graph):
+        assert gorder(small_graph, start=5)[0] == 5
+
+    def test_improves_locality_over_random(self, rng):
+        g = generate("delaunay", 512, seed=1)
+        random_order = rng.permutation(g.num_vertices)
+        ordered = gorder(g)
+        assert locality_score(g, ordered) > locality_score(g, random_order)
+
+    def test_chain_stays_contiguous(self):
+        # On a path graph the optimal order is the path itself; Gorder
+        # must place chain neighbours adjacently.
+        n = 64
+        g = Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        order = gorder(g)
+        positions = np.empty(n, dtype=np.int64)
+        positions[order] = np.arange(n)
+        gaps = [abs(int(positions[i]) - int(positions[i + 1])) for i in range(n - 1)]
+        assert np.mean(gaps) < 2.0
+
+    def test_handles_disconnected_graph(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3)])  # two components + isolates
+        order = gorder(g)
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_single_vertex(self):
+        g = Graph.from_edges(1, [])
+        assert gorder(g).tolist() == [0]
+
+    def test_window_parameter(self, small_graph):
+        # Different windows may give different (still valid) orders.
+        o1 = gorder(small_graph, window=1)
+        o5 = gorder(small_graph, window=5)
+        assert sorted(o1.tolist()) == sorted(o5.tolist())
+
+
+class TestLocalityScore:
+    def test_zero_for_empty(self):
+        g = Graph.from_edges(3, [])
+        assert locality_score(g, np.arange(3)) == 0.0
+
+    def test_adjacent_neighbours_score_positive(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert locality_score(g, np.array([0, 1])) > 0

@@ -1,0 +1,65 @@
+"""Tests for alternative hash functions and their cost model."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing import (
+    HASH_FUNCTIONS,
+    get_hash_function,
+    hash_chunks,
+    modeled_hash_seconds,
+)
+
+
+class TestRegistry:
+    def test_expected_functions(self):
+        assert {"murmur3", "md5", "sha1"} <= set(HASH_FUNCTIONS)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_hash_function("crc32")
+
+    def test_murmur3_is_the_batch_kernel(self):
+        assert get_hash_function("murmur3").hash_chunks is hash_chunks
+
+    def test_crypto_flags(self):
+        assert get_hash_function("md5").cryptographic
+        assert get_hash_function("sha1").cryptographic
+        assert not get_hash_function("murmur3").cryptographic
+
+
+class TestDigests:
+    def test_md5_matches_hashlib(self, rng):
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        out = get_hash_function("md5").hash_chunks(data, 64)
+        assert out.shape == (4, 2)
+        expect = hashlib.md5(data[:64].tobytes()).digest()
+        assert int(out[0, 0]) == int.from_bytes(expect[:8], "little")
+        assert int(out[0, 1]) == int.from_bytes(expect[8:16], "little")
+
+    def test_sha1_distinct_chunks_distinct(self, rng):
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        out = get_hash_function("sha1").hash_chunks(data, 64)
+        assert len({(int(a), int(b)) for a, b in out}) == 4
+
+    def test_tail_chunk_handled(self, rng):
+        data = rng.integers(0, 256, 100, dtype=np.uint8)
+        out = get_hash_function("md5").hash_chunks(data, 64)
+        assert out.shape == (2, 2)
+        expect = hashlib.md5(data[64:].tobytes()).digest()
+        assert int(out[1, 0]) == int.from_bytes(expect[:8], "little")
+
+
+class TestModeledCost:
+    def test_murmur3_fastest(self):
+        n = 1 << 30
+        assert modeled_hash_seconds("murmur3", n) < modeled_hash_seconds("md5", n)
+        assert modeled_hash_seconds("md5", n) < modeled_hash_seconds("sha1", n)
+
+    def test_linear_in_bytes(self):
+        assert modeled_hash_seconds("md5", 2000) == pytest.approx(
+            2 * modeled_hash_seconds("md5", 1000)
+        )

@@ -1,0 +1,94 @@
+"""Tests for digest-array utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkingError
+from repro.hashing import (
+    check_digests,
+    digest_to_hex,
+    digests_equal,
+    digests_to_hex,
+    hash_chunks,
+    murmur3_hex,
+    unique_digests,
+)
+
+
+class TestCheckDigests:
+    def test_accepts_canonical(self):
+        d = np.zeros((3, 2), dtype=np.uint64)
+        assert check_digests(d) is d
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.zeros((3, 2), dtype=np.int64),
+            np.zeros((3, 3), dtype=np.uint64),
+            np.zeros(6, dtype=np.uint64),
+            "not an array",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ChunkingError):
+            check_digests(bad)
+
+
+class TestHex:
+    def test_matches_scalar_hex(self, rng):
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        d = hash_chunks(data, 64)
+        assert digest_to_hex(d[0]) == murmur3_hex(data.tobytes())
+
+    def test_digests_to_hex_length(self, rng):
+        d = hash_chunks(rng.integers(0, 256, 256, dtype=np.uint8), 64)
+        out = digests_to_hex(d)
+        assert len(out) == 4
+        assert all(len(h) == 32 for h in out)
+
+
+class TestUniqueDigests:
+    def test_first_occurrence_wins(self, rng):
+        base = hash_chunks(rng.integers(0, 256, 64 * 4, dtype=np.uint8), 64)
+        arr = np.concatenate([base, base[1:3]], axis=0)  # dups of rows 1,2
+        first_idx, inverse = unique_digests(arr)
+        assert sorted(first_idx.tolist()) == [0, 1, 2, 3]
+        assert inverse[4] == inverse[1]
+        assert inverse[5] == inverse[2]
+
+    def test_ids_in_first_occurrence_order(self, rng):
+        d = hash_chunks(rng.integers(0, 256, 64 * 6, dtype=np.uint8), 64)
+        first_idx, inverse = unique_digests(d)
+        # No duplicates: ids must be 0..5 in order.
+        assert np.array_equal(first_idx, np.arange(6))
+        assert np.array_equal(inverse, np.arange(6))
+
+    def test_all_identical(self):
+        row = np.array([[1, 2]], dtype=np.uint64)
+        arr = np.repeat(row, 5, axis=0)
+        first_idx, inverse = unique_digests(arr)
+        assert first_idx.tolist() == [0]
+        assert inverse.tolist() == [0] * 5
+
+    def test_empty(self):
+        first_idx, inverse = unique_digests(np.empty((0, 2), dtype=np.uint64))
+        assert first_idx.shape == (0,)
+        assert inverse.shape == (0,)
+
+
+class TestDigestsEqual:
+    def test_rowwise(self):
+        a = np.array([[1, 2], [3, 4], [5, 6]], dtype=np.uint64)
+        b = np.array([[1, 2], [3, 9], [5, 6]], dtype=np.uint64)
+        assert digests_equal(a, b).tolist() == [True, False, True]
+
+    def test_half_match_is_not_equal(self):
+        a = np.array([[1, 2]], dtype=np.uint64)
+        b = np.array([[1, 3]], dtype=np.uint64)
+        assert not digests_equal(a, b)[0]
+
+    def test_shape_mismatch(self):
+        a = np.zeros((2, 2), dtype=np.uint64)
+        b = np.zeros((3, 2), dtype=np.uint64)
+        with pytest.raises(ChunkingError):
+            digests_equal(a, b)

@@ -1,0 +1,142 @@
+"""Tests for the MurmurHash3 implementations (scalar and batch)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChunkingError
+from repro.hashing import (
+    hash_batch,
+    hash_bytes,
+    hash_chunks,
+    hash_digest_pairs,
+    murmur3_hex,
+    murmur3_x64_128,
+)
+
+
+class TestScalarReference:
+    def test_empty_is_zero(self):
+        assert murmur3_x64_128(b"") == (0, 0)
+
+    def test_empty_with_seed_not_zero(self):
+        assert murmur3_x64_128(b"", seed=1) != (0, 0)
+
+    def test_deterministic(self):
+        assert murmur3_x64_128(b"hello") == murmur3_x64_128(b"hello")
+
+    def test_seed_changes_digest(self):
+        assert murmur3_x64_128(b"hello", 0) != murmur3_x64_128(b"hello", 1)
+
+    def test_length_is_mixed_in(self):
+        # A prefix must hash differently from the padded value.
+        assert murmur3_x64_128(b"ab") != murmur3_x64_128(b"ab\x00")
+
+    def test_single_bit_avalanche(self):
+        a = murmur3_x64_128(b"\x00" * 32)
+        b = murmur3_x64_128(b"\x01" + b"\x00" * 31)
+        diff = bin((a[0] ^ b[0]) | ((a[1] ^ b[1]) << 64)).count("1")
+        assert diff > 32  # strong diffusion across the 128 bits
+
+    def test_hex_is_little_endian_bytes(self):
+        h1, h2 = murmur3_x64_128(b"xyz")
+        expect = (h1.to_bytes(8, "little") + h2.to_bytes(8, "little")).hex()
+        assert murmur3_hex(b"xyz") == expect
+
+    @pytest.mark.parametrize("length", [1, 7, 8, 9, 15, 16, 17, 31, 33])
+    def test_all_tail_lengths_distinct(self, length):
+        data = bytes(range(length % 251 + 1)) * 40
+        digest = murmur3_x64_128(data[:length])
+        assert digest != (0, 0)
+
+
+class TestBatchAgainstScalar:
+    @pytest.mark.parametrize(
+        "length", [1, 5, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 100, 255, 292]
+    )
+    def test_matches_scalar_every_tail_case(self, rng, length):
+        rows = rng.integers(0, 256, size=(7, length), dtype=np.uint8)
+        batch = hash_batch(rows, seed=13)
+        for i in range(rows.shape[0]):
+            assert tuple(int(x) for x in batch[i]) == murmur3_x64_128(
+                rows[i].tobytes(), seed=13
+            )
+
+    def test_noncontiguous_input(self, rng):
+        big = rng.integers(0, 256, size=(10, 128), dtype=np.uint8)
+        view = big[::2, :64]  # strided view
+        batch = hash_batch(np.ascontiguousarray(view))
+        for i in range(view.shape[0]):
+            assert tuple(int(x) for x in batch[i]) == murmur3_x64_128(
+                view[i].tobytes()
+            )
+
+    def test_rejects_non_uint8(self):
+        with pytest.raises(ChunkingError):
+            hash_batch(np.zeros((2, 8), dtype=np.uint32))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ChunkingError):
+            hash_batch(np.zeros(8, dtype=np.uint8))
+
+
+class TestHashChunks:
+    def test_chunk_count_with_tail(self, rng):
+        data = rng.integers(0, 256, 1000, dtype=np.uint8)
+        assert hash_chunks(data, 64).shape == (16, 2)
+
+    def test_chunk_count_exact(self, rng):
+        data = rng.integers(0, 256, 1024, dtype=np.uint8)
+        assert hash_chunks(data, 64).shape == (16, 2)
+
+    def test_tail_chunk_hashed_over_true_length(self, rng):
+        data = rng.integers(0, 256, 130, dtype=np.uint8)
+        digests = hash_chunks(data, 64)
+        expect = murmur3_x64_128(data[128:].tobytes())
+        assert tuple(int(x) for x in digests[2]) == expect
+
+    def test_empty_buffer(self):
+        assert hash_chunks(np.empty(0, dtype=np.uint8), 64).shape == (0, 2)
+
+    def test_equal_chunks_equal_digests(self):
+        data = np.tile(np.arange(64, dtype=np.uint8), 4)
+        digests = hash_chunks(data, 64)
+        assert np.array_equal(digests[0], digests[1])
+        assert np.array_equal(digests[0], digests[3])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ChunkingError):
+            hash_chunks(np.zeros((4, 4), dtype=np.uint8), 2)
+
+    def test_matches_scalar_per_chunk(self, rng):
+        data = rng.integers(0, 256, 640, dtype=np.uint8)
+        digests = hash_chunks(data, 128, seed=3)
+        for c in range(5):
+            expect = murmur3_x64_128(data[c * 128 : (c + 1) * 128].tobytes(), seed=3)
+            assert tuple(int(x) for x in digests[c]) == expect
+
+
+class TestHashDigestPairs:
+    def test_matches_concatenated_bytes(self, rng):
+        left = hash_chunks(rng.integers(0, 256, 256, dtype=np.uint8), 64)
+        right = hash_chunks(rng.integers(0, 256, 256, dtype=np.uint8), 64)
+        pairs = hash_digest_pairs(left, right)
+        for i in range(4):
+            expect = murmur3_x64_128(left[i].tobytes() + right[i].tobytes())
+            assert tuple(int(x) for x in pairs[i]) == expect
+
+    def test_order_matters(self, rng):
+        a = hash_chunks(rng.integers(0, 256, 64, dtype=np.uint8), 64)
+        b = hash_chunks(rng.integers(0, 256, 64, dtype=np.uint8), 64)
+        assert not np.array_equal(hash_digest_pairs(a, b), hash_digest_pairs(b, a))
+
+    def test_shape_mismatch_rejected(self):
+        a = np.zeros((2, 2), dtype=np.uint64)
+        b = np.zeros((3, 2), dtype=np.uint64)
+        with pytest.raises(ChunkingError):
+            hash_digest_pairs(a, b)
+
+
+class TestHashBytes:
+    def test_matches_scalar(self):
+        d = hash_bytes(b"abcdef", seed=9)
+        assert tuple(int(x) for x in d) == murmur3_x64_128(b"abcdef", seed=9)

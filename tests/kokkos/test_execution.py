@@ -1,0 +1,123 @@
+"""Tests for execution spaces, kernel records and fusion."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kokkos import (
+    DeviceSpace,
+    HostSpace,
+    KernelRecord,
+    TransferRecord,
+    default_device,
+)
+
+
+class TestKernelRecord:
+    def test_defaults(self):
+        r = KernelRecord("k")
+        assert r.launches == 1
+        assert r.bytes_read == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelRecord("k", bytes_read=-1)
+
+    def test_merge_sums_traffic(self):
+        a = KernelRecord("a", items=10, bytes_read=100, random_accesses=5)
+        b = KernelRecord("b", items=20, bytes_written=50, random_accesses=7)
+        m = a.merge(b)
+        assert m.bytes_read == 100
+        assert m.bytes_written == 50
+        assert m.random_accesses == 12
+        assert m.items == 20  # max, not sum: fused waves share the grid
+        assert m.launches == 1
+
+
+class TestTransferRecord:
+    def test_kinds(self):
+        TransferRecord("D2H", 10)
+        TransferRecord("H2D", 10)
+        with pytest.raises(ConfigurationError):
+            TransferRecord("sideways", 10)
+
+
+class TestLedger:
+    def test_launch_records(self):
+        s = DeviceSpace(0)
+        s.launch("a", items=4, bytes_read=10)
+        s.launch("b", bytes_written=20, random_accesses=3)
+        assert s.ledger.total_launches == 2
+        assert s.ledger.total_bytes_moved == 30
+        assert s.ledger.total_random_accesses == 3
+
+    def test_transfer_records(self):
+        s = DeviceSpace(0)
+        s.transfer("D2H", 1000)
+        s.transfer("D2H", 24)
+        assert s.ledger.total_transfer_bytes == 1024
+
+    def test_clear(self):
+        s = DeviceSpace(0)
+        s.launch("a")
+        s.transfer("D2H", 5)
+        s.ledger.clear()
+        assert s.ledger.total_launches == 0
+        assert s.ledger.total_transfer_bytes == 0
+
+    def test_by_name_folds(self):
+        s = DeviceSpace(0)
+        s.launch("hash", bytes_read=10)
+        s.launch("hash", bytes_read=20)
+        s.launch("other", bytes_read=1)
+        folded = s.ledger.by_name()
+        assert folded["hash"].bytes_read == 30
+        assert folded["hash"].launches == 2
+
+
+class TestFusion:
+    def test_fused_block_is_one_launch(self):
+        s = DeviceSpace(0)
+        with s.fused("dedup"):
+            s.launch("a", bytes_read=10)
+            s.launch("b", bytes_read=20, random_accesses=2)
+        assert s.ledger.total_launches == 1
+        rec = s.ledger.kernels[0]
+        assert rec.name == "dedup"
+        assert rec.bytes_read == 30
+        assert rec.random_accesses == 2
+
+    def test_unfused_launches_accumulate(self):
+        s = DeviceSpace(0)
+        s.launch("a")
+        s.launch("b")
+        assert s.ledger.total_launches == 2
+
+    def test_nested_fusion_folds_into_outer(self):
+        s = DeviceSpace(0)
+        with s.fused("outer"):
+            s.launch("x", bytes_read=1)
+            with s.fused("inner"):
+                s.launch("y", bytes_read=2)
+        assert s.ledger.total_launches == 1
+        assert s.ledger.kernels[0].bytes_read == 3
+
+    def test_transfers_not_fused(self):
+        s = DeviceSpace(0)
+        with s.fused("k"):
+            s.transfer("D2H", 100)
+        assert s.ledger.total_transfer_bytes == 100
+
+
+class TestSpaces:
+    def test_host_not_metered(self):
+        assert HostSpace().metered is False
+
+    def test_device_metered(self):
+        assert DeviceSpace(3).metered is True
+        assert DeviceSpace(3).device_id == 3
+
+    def test_default_device_singleton(self):
+        assert default_device() is default_device()
+
+    def test_fence_noop(self):
+        DeviceSpace(0).fence()

@@ -1,0 +1,191 @@
+"""Tests for DigestMap — the UnorderedMap stand-in.
+
+The crucial contract is GPU first-CAS-wins semantics reproduced
+deterministically: within a batch the lowest row index holding a digest
+wins and every loser observes the winner's value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hashing import hash_chunks
+from repro.kokkos import DigestMap
+
+
+def make_keys(rng, n, tag=0):
+    data = rng.integers(0, 256, 64 * n, dtype=np.uint8)
+    data[0] = tag % 256  # decorrelate batches
+    return hash_chunks(data, 64)
+
+
+def make_vals(n, ckpt=0, base=0):
+    vals = np.empty((n, 2), dtype=np.int64)
+    vals[:, 0] = np.arange(base, base + n)
+    vals[:, 1] = ckpt
+    return vals
+
+
+class TestBasics:
+    def test_fresh_map_empty(self):
+        m = DigestMap(16)
+        assert len(m) == 0
+        assert m.load_factor == 0.0
+
+    def test_insert_then_lookup(self, rng):
+        m = DigestMap(64)
+        keys = make_keys(rng, 10)
+        vals = make_vals(10)
+        success, out = m.insert(keys, vals)
+        assert success.all()
+        assert (out == vals).all()
+        found, got = m.lookup(keys)
+        assert found.all()
+        assert (got == vals).all()
+
+    def test_lookup_missing(self, rng):
+        m = DigestMap(64)
+        m.insert(make_keys(rng, 5, tag=1), make_vals(5))
+        found, _ = m.lookup(make_keys(rng, 5, tag=2))
+        assert not found.any()
+
+    def test_contains(self, rng):
+        m = DigestMap(64)
+        keys = make_keys(rng, 4)
+        m.insert(keys, make_vals(4))
+        probe = np.concatenate([keys[:2], make_keys(rng, 2, tag=9)])
+        assert m.contains(probe).tolist() == [True, True, False, False]
+
+    def test_empty_batch(self):
+        m = DigestMap(16)
+        success, out = m.insert(
+            np.empty((0, 2), dtype=np.uint64), np.empty((0, 2), dtype=np.int64)
+        )
+        assert success.shape == (0,)
+        assert out.shape == (0, 2)
+
+    def test_scalar_helpers(self, rng):
+        m = DigestMap(16)
+        key = make_keys(rng, 1)[0]
+        assert m.insert_one(key, (7, 3)) is True
+        assert m.insert_one(key, (9, 9)) is False
+        assert m.get(key).tolist() == [7, 3]
+        assert m.get(make_keys(rng, 1, tag=5)[0]) is None
+
+    def test_clear(self, rng):
+        m = DigestMap(32)
+        keys = make_keys(rng, 8)
+        m.insert(keys, make_vals(8))
+        m.clear()
+        assert len(m) == 0
+        assert not m.contains(keys).any()
+
+
+class TestFirstWinsSemantics:
+    def test_reinsert_fails_and_returns_winner(self, rng):
+        m = DigestMap(64)
+        keys = make_keys(rng, 6)
+        first = make_vals(6, ckpt=0)
+        m.insert(keys, first)
+        success, out = m.insert(keys, make_vals(6, ckpt=1, base=100))
+        assert not success.any()
+        assert (out == first).all()
+
+    def test_within_batch_duplicate_lowest_row_wins(self, rng):
+        m = DigestMap(64)
+        base = make_keys(rng, 3)
+        keys = np.concatenate([base, base])  # rows 3-5 duplicate 0-2
+        vals = make_vals(6)
+        success, out = m.insert(keys, vals)
+        assert success.tolist() == [True, True, True, False, False, False]
+        assert (out[3:] == vals[:3]).all()
+
+    def test_interleaved_duplicates(self, rng):
+        m = DigestMap(64)
+        k = make_keys(rng, 2)
+        keys = np.stack([k[0], k[1], k[0], k[1], k[0]]).astype(np.uint64)
+        vals = make_vals(5)
+        success, out = m.insert(keys, vals)
+        assert success.tolist() == [True, True, False, False, False]
+        assert out[2].tolist() == vals[0].tolist()
+        assert out[4].tolist() == vals[0].tolist()
+
+    def test_matches_python_dict_over_many_batches(self, rng):
+        m = DigestMap(512)
+        ref = {}
+        pool = make_keys(rng, 300)
+        for batch in range(15):
+            take = rng.integers(0, 300, 40)
+            keys = np.ascontiguousarray(pool[take])
+            vals = make_vals(40, ckpt=batch, base=batch * 1000)
+            success, out = m.insert(keys, vals)
+            for i in range(40):
+                key = (int(keys[i, 0]), int(keys[i, 1]))
+                if key not in ref:
+                    ref[key] = tuple(int(x) for x in vals[i])
+                    assert success[i]
+                else:
+                    assert not success[i]
+                assert tuple(int(x) for x in out[i]) == ref[key]
+        assert len(m) == len(ref)
+
+
+class TestCapacity:
+    def test_auto_grow(self, rng):
+        m = DigestMap(capacity_hint=4)
+        keys = make_keys(rng, 500)
+        m.insert(keys, make_vals(500))
+        assert len(m) == 500
+        assert m.contains(keys).all()
+        assert m.load_factor <= m.max_load_factor
+
+    def test_growth_preserves_entries(self, rng):
+        m = DigestMap(capacity_hint=8)
+        keys = make_keys(rng, 20)
+        vals = make_vals(20)
+        m.insert(keys[:10], vals[:10])
+        m.insert(keys[10:], vals[10:])  # may trigger growth
+        found, out = m.lookup(keys)
+        assert found.all()
+        assert (out == vals).all()
+
+    def test_fixed_capacity_overflows(self, rng):
+        m = DigestMap(capacity_hint=8, auto_grow=False)
+        keys = make_keys(rng, 200)
+        with pytest.raises(CapacityError):
+            m.insert(keys, make_vals(200))
+
+    def test_capacity_is_power_of_two(self):
+        assert DigestMap(100).capacity & (DigestMap(100).capacity - 1) == 0
+
+    def test_bad_load_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DigestMap(16, max_load_factor=0.99)
+
+
+class TestIntrospection:
+    def test_items_roundtrip(self, rng):
+        m = DigestMap(64)
+        keys = make_keys(rng, 12)
+        vals = make_vals(12)
+        m.insert(keys, vals)
+        got_keys, got_vals = m.items()
+        order = np.argsort(got_vals[:, 0])
+        assert (got_vals[order] == vals).all()
+
+    def test_probe_counter_monotone(self, rng):
+        m = DigestMap(64)
+        before = m.total_probes
+        m.insert(make_keys(rng, 10), make_vals(10))
+        mid = m.total_probes
+        assert mid > before
+        m.lookup(make_keys(rng, 10))
+        assert m.total_probes > mid
+
+    def test_nbytes_positive(self):
+        assert DigestMap(16).nbytes > 0
+
+    def test_value_shape_validated(self, rng):
+        m = DigestMap(16)
+        with pytest.raises(ConfigurationError):
+            m.insert(make_keys(rng, 3), np.zeros((3, 1), dtype=np.int64))

@@ -1,0 +1,128 @@
+"""Tests for Views, memory accounting, and deep_copy transfers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.kokkos import DeviceSpace, HostSpace, View, deep_copy, host_mirror, memory
+
+
+class TestViewBasics:
+    def test_allocation_and_shape(self):
+        v = View("x", (4, 5), dtype=np.float64, space=HostSpace())
+        assert v.shape == (4, 5)
+        assert v.nbytes == 4 * 5 * 8
+        v.free()
+
+    def test_fill(self):
+        v = View("x", 3, dtype=np.int32, space=HostSpace(), fill=7)
+        assert (v.data == 7).all()
+        v.free()
+
+    def test_indexing(self):
+        v = View("x", 4, dtype=np.int64, space=HostSpace())
+        v[2] = 9
+        assert v[2] == 9
+        assert len(v) == 4
+        v.free()
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            View("x", (-1,), space=HostSpace())
+
+    def test_use_after_free(self):
+        v = View("x", 4, space=HostSpace())
+        v.free()
+        with pytest.raises(SimulationError):
+            _ = v.data
+
+    def test_double_free_ok(self):
+        v = View("x", 4, space=HostSpace())
+        v.free()
+        v.free()
+
+
+class TestMemoryAccounting:
+    def test_live_bytes_track_alloc_free(self):
+        space = HostSpace()
+        before = memory.live_bytes(space)
+        v = View("x", 1000, space=space)
+        assert memory.live_bytes(space) == before + 1000
+        v.free()
+        assert memory.live_bytes(space) == before
+
+    def test_peak_monotone(self):
+        space = HostSpace()
+        v1 = View("a", 500, space=space)
+        peak = memory.peak_bytes(space)
+        v1.free()
+        assert memory.peak_bytes(space) >= peak
+
+    def test_resize_reaccounts(self):
+        space = HostSpace()
+        v = View("x", 100, space=space)
+        base = memory.live_bytes(space)
+        v.resize(300)
+        assert memory.live_bytes(space) == base + 200
+        v.free()
+
+
+class TestResize:
+    def test_preserves_prefix(self):
+        v = View("x", 4, dtype=np.int32, space=HostSpace())
+        v.data[:] = [1, 2, 3, 4]
+        v.resize(6)
+        assert v.data[:4].tolist() == [1, 2, 3, 4]
+        assert v.data[4:].tolist() == [0, 0]
+        v.free()
+
+    def test_shrink(self):
+        v = View("x", 4, dtype=np.int32, space=HostSpace())
+        v.data[:] = [1, 2, 3, 4]
+        v.resize(2)
+        assert v.data.tolist() == [1, 2]
+        v.free()
+
+    def test_rank_change_rejected(self):
+        v = View("x", (2, 2), space=HostSpace())
+        with pytest.raises(ConfigurationError):
+            v.resize((2, 2, 2))
+        v.free()
+
+
+class TestDeepCopy:
+    def test_d2h_records_transfer(self):
+        dev = DeviceSpace(0)
+        src = View("d", 100, space=dev)
+        dst = host_mirror(src)
+        src.data[:] = 5
+        deep_copy(dst, src)
+        assert (dst.data == 5).all()
+        assert dev.ledger.total_transfer_bytes == 100
+        assert dev.ledger.transfers[0].kind == "D2H"
+
+    def test_h2d_records_transfer(self):
+        dev = DeviceSpace(0)
+        dst = View("d", 64, space=dev)
+        src = View("h", 64, space=HostSpace())
+        deep_copy(dst, src)
+        assert dev.ledger.transfers[0].kind == "H2D"
+
+    def test_host_to_host_no_transfer(self):
+        a = View("a", 10, space=HostSpace())
+        b = View("b", 10, space=HostSpace())
+        deep_copy(b, a)  # must not raise; nothing metered anywhere
+
+    def test_shape_mismatch_rejected(self):
+        a = View("a", 10, space=HostSpace())
+        b = View("b", 11, space=HostSpace())
+        with pytest.raises(ConfigurationError):
+            deep_copy(b, a)
+
+    def test_mirror_matches_extents(self):
+        dev = DeviceSpace(0)
+        v = View("d", (3, 7), dtype=np.uint32, space=dev)
+        m = host_mirror(v)
+        assert m.shape == (3, 7)
+        assert m.dtype == np.uint32
+        assert m.space.metered is False

@@ -1,0 +1,88 @@
+"""Tests for the ORANGES application driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs import generate
+from repro.oranges import OrangesApp
+
+
+@pytest.fixture(scope="module")
+def app():
+    return OrangesApp("message_race", num_vertices=512, seed=1)
+
+
+class TestSetup:
+    def test_named_graph(self, app):
+        assert app.graph_name == "message_race"
+        assert app.graph.num_vertices == 512
+
+    def test_custom_graph(self):
+        g = generate("delaunay", 256, seed=2)
+        app = OrangesApp(g, apply_gorder=False)
+        assert app.graph_name == "custom"
+        assert app.graph is g
+
+    def test_gdv_bytes_table1(self, app):
+        assert app.gdv_bytes == 512 * 73 * 4
+
+    def test_gorder_applied_by_default(self):
+        raw = OrangesApp("delaunay", num_vertices=256, seed=1, apply_gorder=False)
+        ordered = OrangesApp("delaunay", num_vertices=256, seed=1, apply_gorder=True)
+        assert raw.graph.num_edges == ordered.graph.num_edges
+        assert not np.array_equal(raw.graph.edges(), ordered.graph.edges())
+
+
+class TestRun:
+    def test_multiple_backends_same_stream(self, app):
+        backends = {
+            "tree": app.make_backend("tree", chunk_size=64),
+            "full": app.make_backend("full", chunk_size=64),
+            "zstd": app.make_backend("compress:zstdsim"),
+        }
+        run = app.run(backends, num_checkpoints=4)
+        assert run.num_checkpoints == 4
+        assert run.subgraphs_enumerated > 0
+        for backend in backends.values():
+            assert backend.num_checkpoints == 4
+
+    def test_ratio_and_throughput_accessors(self, app):
+        backends = {"tree": app.make_backend("tree", chunk_size=64)}
+        run = app.run(backends, num_checkpoints=3)
+        assert run.ratio("tree") > 1.0
+        assert run.throughput("tree") > 0
+
+    def test_restore_matches_final_gdv(self, app):
+        backend = app.make_backend("tree", chunk_size=64)
+        app.run({"tree": backend}, num_checkpoints=3)
+        engine = app.fresh_engine()
+        engine.run_to_completion()
+        restored = backend.restore()
+        assert np.array_equal(
+            restored, engine.buffer.reshape(-1).view(np.uint8)
+        )
+
+    def test_wrong_size_backend_rejected(self, app):
+        from repro.core import IncrementalCheckpointer
+
+        bad = IncrementalCheckpointer(data_len=1024, chunk_size=64)
+        with pytest.raises(ConfigurationError):
+            app.run({"bad": bad}, num_checkpoints=2)
+
+    def test_no_backends_rejected(self, app):
+        with pytest.raises(ConfigurationError):
+            app.run({}, num_checkpoints=2)
+
+    def test_make_backend_compress(self, app):
+        backend = app.make_backend("compress:cascaded")
+        assert backend.method == "compress:cascaded"
+        assert backend.data_len == app.gdv_bytes
+
+    def test_incremental_beats_full_on_app_stream(self, app):
+        backends = {
+            "tree": app.make_backend("tree", chunk_size=64),
+            "full": app.make_backend("full", chunk_size=64),
+        }
+        run = app.run(backends, num_checkpoints=5)
+        assert run.ratio("tree") > 2 * run.ratio("full")

@@ -1,0 +1,115 @@
+"""Tests for ESU subgraph enumeration."""
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph
+from repro.oranges import EsuEnumerator, count_subgraphs_by_size, enumerate_subgraphs
+
+
+def brute_connected_subgraphs(gnx, k):
+    """All connected induced subgraphs of size exactly k, as frozensets."""
+    out = set()
+    for sub in combinations(gnx.nodes, k):
+        sg = gnx.subgraph(sub)
+        if nx.is_connected(sg):
+            out.add(frozenset(sub))
+    return out
+
+
+@pytest.fixture
+def random_gnx():
+    return nx.gnp_random_graph(18, 0.2, seed=11)
+
+
+@pytest.fixture
+def random_graph(random_gnx):
+    return Graph.from_edges(18, random_gnx.edges())
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_matches_brute_force(self, random_graph, random_gnx, k):
+        found = [
+            frozenset(s) for s in enumerate_subgraphs(random_graph, k) if len(s) == k
+        ]
+        assert len(found) == len(set(found)), "duplicates emitted"
+        assert set(found) == brute_connected_subgraphs(random_gnx, k)
+
+    def test_all_sizes_in_one_pass(self, random_graph, random_gnx):
+        counts = count_subgraphs_by_size(random_graph, 4)
+        assert counts[2] == random_gnx.number_of_edges()
+        assert counts[3] == len(brute_connected_subgraphs(random_gnx, 3))
+        assert counts[4] == len(brute_connected_subgraphs(random_gnx, 4))
+
+    def test_rooted_at_minimum_vertex(self, random_graph):
+        esu = EsuEnumerator(random_graph, 4)
+        for root in range(random_graph.num_vertices):
+            for sub in esu.subgraphs_rooted_at(root):
+                assert min(sub) == root
+                assert sub[0] == root
+
+
+class TestContaining:
+    def test_every_subgraph_containing_vertex(self, random_graph, random_gnx):
+        esu = EsuEnumerator(random_graph, 4)
+        for v in [0, 5, 17]:
+            found = [frozenset(s) for s in esu.subgraphs_containing(v)]
+            assert len(found) == len(set(found)), "duplicates emitted"
+            expect = set()
+            for k in (2, 3, 4):
+                expect |= {s for s in brute_connected_subgraphs(random_gnx, k) if v in s}
+            assert set(found) == expect
+
+    def test_first_position_is_vertex(self, random_graph):
+        esu = EsuEnumerator(random_graph, 4)
+        for sub in esu.subgraphs_containing(7):
+            assert sub[0] == 7
+
+    def test_sum_over_vertices_counts_each_k_times(self, random_graph):
+        esu = EsuEnumerator(random_graph, 3)
+        per_vertex = sum(
+            sum(1 for _ in esu.subgraphs_containing(v))
+            for v in range(random_graph.num_vertices)
+        )
+        # Each size-2 subgraph appears twice, each size-3 thrice.
+        by_size = count_subgraphs_by_size(random_graph, 3)
+        assert per_vertex == 2 * by_size[2] + 3 * by_size[3]
+
+
+class TestEdgeCases:
+    def test_isolated_vertex_yields_nothing(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        esu = EsuEnumerator(g, 4)
+        assert list(esu.subgraphs_rooted_at(2)) == []
+        assert list(esu.subgraphs_containing(2)) == []
+
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        assert list(enumerate_subgraphs(g, 5)) == [(0, 1)]
+
+    def test_roots_restriction(self, random_graph):
+        all_subs = list(enumerate_subgraphs(random_graph, 3))
+        some = list(enumerate_subgraphs(random_graph, 3, roots=[0, 1]))
+        assert len(some) < len(all_subs)
+        assert all(min(s) in (0, 1) for s in some)
+
+    def test_max_size_validated(self, random_graph):
+        with pytest.raises(GraphError):
+            EsuEnumerator(random_graph, 6)
+
+    def test_root_out_of_range(self, random_graph):
+        esu = EsuEnumerator(random_graph, 3)
+        with pytest.raises(GraphError):
+            list(esu.subgraphs_rooted_at(99))
+
+    def test_subgraph_mask_order(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        esu = EsuEnumerator(g, 3)
+        # vertices (1, 0, 2): pairs (1,0)=edge, (1,2)=edge, (0,2)=no
+        mask = esu.subgraph_mask((1, 0, 2))
+        assert mask == 0b011  # bit0=(pos0,pos1), bit1=(pos0,pos2), bit2=(pos1,pos2)

@@ -1,0 +1,89 @@
+"""Tests for the closed-form orbit counts (independent of the ESU path)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, generate
+from repro.oranges import (
+    GdvEngine,
+    graphlet_totals_2_3,
+    orbit_counts_0_to_3,
+    triangles_per_vertex,
+    wedge_ends_per_vertex,
+)
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("name", ["delaunay", "message_race", "hugebubbles"])
+    def test_matches_esu_on_generated_graphs(self, name):
+        g = generate(name, 512, seed=2)
+        engine = GdvEngine(g, 3)
+        engine.run_to_completion()
+        formulas = orbit_counts_0_to_3(g)
+        assert np.array_equal(engine.gdv_matrix()[:, :4].astype(np.int64), formulas)
+
+    def test_matches_esu_on_random_graph(self, rng):
+        gnx = nx.gnp_random_graph(60, 0.12, seed=9)
+        g = Graph.from_edges(60, gnx.edges())
+        engine = GdvEngine(g, 3)
+        engine.run_to_completion()
+        assert np.array_equal(
+            engine.gdv_matrix()[:, :4].astype(np.int64), orbit_counts_0_to_3(g)
+        )
+
+
+class TestAgainstNetworkx:
+    @pytest.fixture
+    def pair(self):
+        gnx = nx.gnp_random_graph(80, 0.1, seed=4)
+        return gnx, Graph.from_edges(80, gnx.edges())
+
+    def test_triangles(self, pair):
+        gnx, g = pair
+        expect = np.array([t for _, t in sorted(nx.triangles(gnx).items())])
+        assert np.array_equal(triangles_per_vertex(g), expect)
+
+    def test_wedges(self, pair):
+        gnx, g = pair
+        expect = np.array(
+            [
+                sum(gnx.degree(u) - 1 for u in gnx.neighbors(v))
+                for v in range(80)
+            ]
+        )
+        assert np.array_equal(wedge_ends_per_vertex(g), expect)
+
+    def test_totals_identities(self, pair):
+        gnx, g = pair
+        totals = graphlet_totals_2_3(g)
+        assert totals["edges"] == gnx.number_of_edges()
+        assert totals["triangles"] == sum(nx.triangles(gnx).values()) // 3
+        counts = orbit_counts_0_to_3(g)
+        # Each P3 has two ends and one middle.
+        assert counts[:, 1].sum() == 2 * counts[:, 2].sum()
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = Graph.from_edges(5, [])
+        assert (orbit_counts_0_to_3(g) == 0).all()
+
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        counts = orbit_counts_0_to_3(g)
+        assert counts[:, 0].tolist() == [1, 1]
+        assert (counts[:, 1:] == 0).all()
+
+    def test_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        counts = orbit_counts_0_to_3(g)
+        assert (counts[:, 3] == 1).all()
+        assert (counts[:, 1] == 0).all()
+        assert (counts[:, 2] == 0).all()
+
+    def test_star(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        counts = orbit_counts_0_to_3(g)
+        assert counts[0, 2] == 3   # center: C(3,2) wedges
+        assert counts[1, 1] == 2   # each leaf ends two P3s

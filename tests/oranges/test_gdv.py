@@ -1,0 +1,155 @@
+"""Tests for the progressive GDV engine."""
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, generate
+from repro.oranges import GdvEngine, get_atlas, pair_bit
+
+
+def brute_gdv(gnx, n, max_size):
+    atlas = get_atlas(max_size)
+    out = np.zeros((n, 73), dtype=np.uint32)
+    for k in range(2, max_size + 1):
+        for sub in combinations(range(n), k):
+            sg = gnx.subgraph(sub)
+            if not nx.is_connected(sg):
+                continue
+            mask = 0
+            for b, (i, j) in enumerate(combinations(range(k), 2)):
+                if sg.has_edge(sub[i], sub[j]):
+                    mask |= 1 << b
+            orbits = atlas.classify(k, mask)
+            for pos, v in enumerate(sub):
+                out[v, orbits[pos]] += 1
+    return out
+
+
+@pytest.fixture
+def random_pair():
+    gnx = nx.gnp_random_graph(20, 0.2, seed=6)
+    return gnx, Graph.from_edges(20, gnx.edges())
+
+
+class TestExactness:
+    @pytest.mark.parametrize("counting", ["per-vertex", "rooted"])
+    @pytest.mark.parametrize("max_size", [3, 4])
+    def test_matches_brute_force(self, random_pair, counting, max_size):
+        gnx, g = random_pair
+        engine = GdvEngine(g, max_size, counting=counting)
+        engine.run_to_completion()
+        assert np.array_equal(engine.gdv_matrix(), brute_gdv(gnx, 20, max_size))
+
+    def test_five_node_exact(self):
+        gnx = nx.gnp_random_graph(10, 0.3, seed=3)
+        g = Graph.from_edges(10, gnx.edges())
+        engine = GdvEngine(g, 5)
+        engine.run_to_completion()
+        assert np.array_equal(engine.gdv_matrix(), brute_gdv(gnx, 10, 5))
+
+    def test_layouts_agree(self, random_pair):
+        _, g = random_pair
+        a = GdvEngine(g, 4, layout="vertex-major")
+        b = GdvEngine(g, 4, layout="orbit-major")
+        a.run_to_completion()
+        b.run_to_completion()
+        assert np.array_equal(a.gdv_matrix(), b.gdv_matrix())
+
+    def test_orbit0_is_degree(self, random_pair):
+        gnx, g = random_pair
+        engine = GdvEngine(g, 4)
+        engine.run_to_completion()
+        degrees = np.array([d for _, d in sorted(gnx.degree())])
+        assert np.array_equal(engine.gdv_matrix()[:, 0], degrees)
+
+    def test_orbit3_is_triangles(self, random_pair):
+        gnx, g = random_pair
+        engine = GdvEngine(g, 4)
+        engine.run_to_completion()
+        triangles = np.array([t for _, t in sorted(nx.triangles(gnx).items())])
+        assert np.array_equal(engine.gdv_matrix()[:, 3], triangles)
+
+    def test_orbit_totals_orbit0_twice_edges(self, random_pair):
+        gnx, g = random_pair
+        engine = GdvEngine(g, 4)
+        engine.run_to_completion()
+        assert engine.orbit_totals()[0] == 2 * gnx.number_of_edges()
+
+
+class TestProgressiveApi:
+    def test_batches_cover_all_vertices(self, random_pair):
+        _, g = random_pair
+        engine = GdvEngine(g, 4)
+        while not engine.done:
+            engine.process_batch(3)
+        assert engine.next_vertex == 20
+
+    def test_partial_state_monotone(self, random_pair):
+        """Per-vertex counting finalises rows in order: counts never
+        decrease and untouched rows stay zero."""
+        _, g = random_pair
+        engine = GdvEngine(g, 4, counting="per-vertex")
+        engine.process_batch(10)
+        m = engine.gdv_matrix()
+        assert (m[10:] == 0).all()
+        full = GdvEngine(g, 4)
+        full.run_to_completion()
+        assert np.array_equal(m[:10], full.gdv_matrix()[:10])
+
+    def test_checkpoint_stream_count_and_final_state(self, random_pair):
+        _, g = random_pair
+        engine = GdvEngine(g, 4)
+        snaps = list(engine.checkpoint_stream(5))
+        assert len(snaps) == 5
+        assert engine.done
+        ref = GdvEngine(g, 4)
+        ref.run_to_completion()
+        assert np.array_equal(engine.gdv_matrix(), ref.gdv_matrix())
+
+    def test_checkpoint_stream_requires_fresh_engine(self, random_pair):
+        _, g = random_pair
+        engine = GdvEngine(g, 4)
+        engine.process_batch(1)
+        with pytest.raises(GraphError):
+            list(engine.checkpoint_stream(3))
+
+    def test_buffer_shape_table1(self, random_pair):
+        _, g = random_pair
+        engine = GdvEngine(g, 4)
+        assert engine.buffer_nbytes == 20 * 73 * 4
+
+    def test_gdv_of_accessor(self, random_pair):
+        _, g = random_pair
+        for layout in ("vertex-major", "orbit-major"):
+            engine = GdvEngine(g, 4, layout=layout)
+            engine.run_to_completion()
+            assert np.array_equal(engine.gdv_of(5), engine.gdv_matrix()[5])
+
+    def test_more_checkpoints_than_vertices_rejected_gracefully(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        engine = GdvEngine(g, 3)
+        snaps = list(engine.checkpoint_stream(3))
+        assert len(snaps) == 3
+
+
+class TestOnGeneratedGraphs:
+    def test_event_graph_gdv_sparse(self):
+        g = generate("message_race", 512, seed=1)
+        engine = GdvEngine(g, 4)
+        engine.run_to_completion()
+        m = engine.gdv_matrix()
+        # Triangle-free event graph: triangle-derived orbits all zero.
+        assert (m[:, 3] == 0).all()
+        assert (m[:, 14] == 0).all()
+        # But path orbits populated.
+        assert m[:, 1].sum() > 0
+
+    def test_mesh_graph_triangle_orbits_populated(self):
+        g = generate("delaunay", 256, seed=1)
+        engine = GdvEngine(g, 4)
+        engine.run_to_completion()
+        assert engine.gdv_matrix()[:, 3].sum() > 0

@@ -1,0 +1,134 @@
+"""Property-based tests on the core data structures: hashing, digest map,
+Merkle layout, bit-packing codecs."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compress import get_codec
+from repro.core.merkle import TreeLayout
+from repro.hashing import hash_batch, murmur3_x64_128, unique_digests
+from repro.kokkos import DigestMap
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(st.binary(min_size=0, max_size=200), st.integers(0, 2**32 - 1))
+@settings(**_SETTINGS)
+def test_scalar_batch_agree(data, seed):
+    if not data:
+        return
+    rows = np.frombuffer(data, dtype=np.uint8).reshape(1, -1)
+    batch = hash_batch(rows, seed=seed)
+    assert tuple(int(x) for x in batch[0]) == murmur3_x64_128(data, seed=seed)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+@settings(**_SETTINGS)
+def test_distinct_inputs_distinct_digests(a, b):
+    # Not a guarantee, but at 128 bits a collision in tests means a bug.
+    if a != b:
+        assert murmur3_x64_128(a) != murmur3_x64_128(b)
+
+
+@given(st.integers(min_value=1, max_value=5000))
+@settings(**_SETTINGS)
+def test_tree_layout_invariants(n):
+    layout = TreeLayout(n)
+    assert layout.num_nodes == 2 * n - 1
+    # Leaves partition the chunk range.
+    assert sorted(layout.leaf_of_node[layout.leaf_of_node >= 0].tolist()) == list(
+        range(n)
+    )
+    # Root covers everything; every interior node's children are adjacent.
+    assert layout.leaf_start[0] == 0 and layout.leaf_count[0] == n
+    interior = np.nonzero(layout.leaf_of_node < 0)[0]
+    left, right = 2 * interior + 1, 2 * interior + 2
+    assert (right < layout.num_nodes).all()
+    assert (
+        layout.leaf_start[right]
+        == layout.leaf_start[left] + layout.leaf_count[left]
+    ).all()
+    assert (
+        layout.leaf_count[interior]
+        == layout.leaf_count[left] + layout.leaf_count[right]
+    ).all()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+        min_size=0,
+        max_size=200,
+    )
+)
+@settings(**_SETTINGS)
+def test_digest_map_matches_dict(pairs):
+    """DigestMap with arbitrary (possibly colliding) keys behaves exactly
+    like first-wins dict insertion."""
+    keys = np.array(pairs, dtype=np.uint64).reshape(-1, 2)
+    vals = np.stack(
+        [np.arange(len(pairs), dtype=np.int64), np.zeros(len(pairs), dtype=np.int64)],
+        axis=1,
+    )
+    m = DigestMap(max(len(pairs), 8))
+    success, out = m.insert(keys, vals)
+    ref = {}
+    for i, key in enumerate(map(tuple, keys.tolist())):
+        if key not in ref:
+            ref[key] = i
+            assert success[i]
+        else:
+            assert not success[i]
+        assert out[i, 0] == ref[key]
+    assert len(m) == len(ref)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(**_SETTINGS)
+def test_unique_digests_first_occurrence(pairs):
+    arr = np.array(pairs, dtype=np.uint64).reshape(-1, 2)
+    first_idx, inverse = unique_digests(arr)
+    seen = {}
+    for i, key in enumerate(map(tuple, arr.tolist())):
+        uid = inverse[i]
+        if key in seen:
+            assert uid == seen[key]
+            assert first_idx[uid] < i
+        else:
+            seen[key] = uid
+            assert first_idx[uid] == i
+
+
+@given(st.binary(min_size=0, max_size=5000))
+@settings(**_SETTINGS)
+def test_cascaded_roundtrip_any_bytes(data):
+    codec = get_codec("cascaded")
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@given(st.binary(min_size=0, max_size=5000))
+@settings(**_SETTINGS)
+def test_bitcomp_roundtrip_any_bytes(data):
+    codec = get_codec("bitcomp")
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@given(
+    st.lists(st.integers(-(2**31), 2**31 - 1), min_size=0, max_size=500)
+)
+@settings(**_SETTINGS)
+def test_cascaded_roundtrip_int_streams(values):
+    codec = get_codec("cascaded")
+    data = np.array(values, dtype="<i4").tobytes()
+    assert codec.decompress(codec.compress(data)) == data

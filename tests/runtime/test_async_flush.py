@@ -1,0 +1,111 @@
+"""Tests for the asynchronous multi-level flush pipeline."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.runtime import AsyncFlushPipeline, StorageTier
+
+
+def small_pipeline(host_cap=1000, host_bw=100.0, ssd_bw=50.0):
+    return AsyncFlushPipeline(
+        [
+            StorageTier("host", host_cap, host_bw),
+            StorageTier("ssd", 100_000, ssd_bw),
+            StorageTier("pfs", 10_000_000, 1000.0),
+        ]
+    )
+
+
+class TestHappyPath:
+    def test_object_reaches_terminal_tier(self):
+        pipe = small_pipeline()
+        report = pipe.submit("ck0", 100, now=0.0)
+        assert report.blocked_seconds == 0.0
+        assert report.arrived["host"] == 0.0
+        assert report.arrived["ssd"] == pytest.approx(1.0)  # 100B / 100B/s
+        assert report.arrived["pfs"] == pytest.approx(1.0 + 2.0)
+        assert report.end_to_end_seconds == pytest.approx(3.0)
+
+    def test_fifo_link_serialization(self):
+        pipe = small_pipeline()
+        pipe.submit("a", 100, now=0.0)
+        report = pipe.submit("b", 100, now=0.0)
+        # Second object waits for the host link: starts at t=1.
+        assert report.arrived["ssd"] == pytest.approx(2.0)
+
+    def test_gap_between_submissions_idles_link(self):
+        pipe = small_pipeline()
+        pipe.submit("a", 100, now=0.0)
+        report = pipe.submit("b", 100, now=10.0)
+        assert report.arrived["ssd"] == pytest.approx(11.0)
+
+    def test_last_persisted(self):
+        pipe = small_pipeline()
+        pipe.submit("a", 100, now=0.0)
+        pipe.submit("b", 100, now=0.0)
+        # a: host→ssd [0,1], ssd→pfs [1,3]; b: host→ssd [1,2], waits for
+        # the ssd link until 3, ssd→pfs [3,5].
+        assert pipe.last_persisted_at == pytest.approx(5.0)
+
+    def test_zero_byte_object(self):
+        pipe = small_pipeline()
+        report = pipe.submit("empty", 0, now=0.0)
+        assert report.end_to_end_seconds == 0.0
+
+
+class TestBlocking:
+    def test_host_admission_blocks_when_full(self):
+        # Host only fits one object; second submission must wait until the
+        # first drains to SSD.
+        pipe = small_pipeline(host_cap=100)
+        pipe.submit("a", 100, now=0.0)
+        report = pipe.submit("b", 100, now=0.0)
+        assert report.blocked_seconds == pytest.approx(1.0)
+
+    def test_no_blocking_when_drained(self):
+        pipe = small_pipeline(host_cap=100)
+        pipe.submit("a", 100, now=0.0)
+        report = pipe.submit("b", 100, now=5.0)
+        assert report.blocked_seconds == 0.0
+
+    def test_total_blocked_accumulates(self):
+        pipe = small_pipeline(host_cap=100)
+        for i in range(4):
+            pipe.submit(f"ck{i}", 100, now=0.0)
+        assert pipe.total_blocked_seconds > 0
+
+    def test_smaller_diffs_block_less(self):
+        """The paper's core runtime argument: de-duplicated diffs keep the
+        staging tiers from filling (§2.3)."""
+        big = small_pipeline(host_cap=300)
+        small = small_pipeline(host_cap=300)
+        for i in range(6):
+            big.submit(f"ck{i}", 250, now=float(i) * 0.1)
+            small.submit(f"ck{i}", 25, now=float(i) * 0.1)
+        assert small.total_blocked_seconds < big.total_blocked_seconds
+
+    def test_oversized_object_rejected(self):
+        pipe = small_pipeline(host_cap=100)
+        with pytest.raises(StorageError):
+            pipe.submit("huge", 101, now=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(StorageError):
+            small_pipeline().submit("a", 10, now=-1.0)
+
+
+class TestConfiguration:
+    def test_needs_two_tiers(self):
+        with pytest.raises(StorageError):
+            AsyncFlushPipeline([StorageTier("only", 10, 1.0)])
+
+    def test_default_hierarchy_used(self):
+        pipe = AsyncFlushPipeline()
+        assert [t.name for t in pipe.tiers] == ["host", "ssd", "pfs"]
+
+    def test_peak_usage_reported(self):
+        pipe = small_pipeline()
+        pipe.submit("a", 500, now=0.0)
+        peaks = pipe.peak_usage()
+        assert peaks["host"] == 500
+        assert peaks["pfs"] == 500

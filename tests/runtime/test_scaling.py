@@ -1,0 +1,106 @@
+"""Tests for the strong-scaling driver (Fig. 6 harness)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim import thetagpu
+from repro.graphs import generate
+from repro.runtime import (
+    StrongScalingDriver,
+    induced_partition_graph,
+    partition_vertices,
+)
+
+
+class TestPartitioning:
+    def test_partition_covers_all_vertices(self):
+        parts = partition_vertices(100, 7)
+        assert sum(len(p) for p in parts) == 100
+        joined = np.concatenate(parts)
+        assert np.array_equal(joined, np.arange(100))
+
+    def test_balanced(self):
+        parts = partition_vertices(100, 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_vertices_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_vertices(3, 4)
+
+    def test_induced_partition_graph(self):
+        g = generate("delaunay", 256, seed=1)
+        parts = partition_vertices(g.num_vertices, 4)
+        local = induced_partition_graph(g, parts[1])
+        assert local.num_vertices == len(parts[1])
+        # Local edges are a subset of the global edge count.
+        assert local.num_edges <= g.num_edges
+
+    def test_partitions_cut_cross_edges(self):
+        g = generate("delaunay", 128, seed=1)
+        parts = partition_vertices(g.num_vertices, 2)
+        total_local = sum(
+            induced_partition_graph(g, p).num_edges for p in parts
+        )
+        assert total_local < g.num_edges  # some edges crossed the cut
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate("delaunay", 512, seed=1)
+
+    def test_single_process_run(self, graph):
+        driver = StrongScalingDriver(graph, method="tree", chunk_size=128)
+        result = driver.run(1, num_checkpoints=3)
+        assert result.num_processes == 1
+        assert result.dedup_ratio > 1.0
+        assert result.critical_path_seconds > 0
+
+    def test_tree_beats_full_in_stored_bytes(self, graph):
+        tree = StrongScalingDriver(graph, method="tree").run(2, num_checkpoints=3)
+        full = StrongScalingDriver(graph, method="full").run(2, num_checkpoints=3)
+        assert tree.total_stored_bytes < full.total_stored_bytes / 2
+        assert tree.total_full_bytes == full.total_full_bytes
+
+    def test_per_process_breakdown(self, graph):
+        result = StrongScalingDriver(graph).run(4, num_checkpoints=2)
+        assert len(result.per_process_stored) == 4
+        assert sum(result.per_process_stored) == result.total_stored_bytes
+
+    def test_contention_applied_at_scale(self, graph):
+        # 8 processes pack one ThetaGPU node (oversubscribed host link);
+        # an idealised node with an uncontended link must be faster.
+        from repro.gpusim import ClusterSpec, NodeSpec, a100
+        from repro.utils.units import GB
+
+        ideal_node = NodeSpec(
+            name="ideal",
+            device=a100(),
+            gpus_per_node=8,
+            host_link_bandwidth=8 * 25.0 * GB,
+            host_memory_bytes=1000 * GB,
+        )
+        ideal = ClusterSpec(name="ideal", node=ideal_node, num_nodes=1,
+                            pfs_bandwidth=250.0 * GB)
+        packed = StrongScalingDriver(
+            graph, cluster=thetagpu(num_nodes=1), method="full"
+        ).run(8, num_checkpoints=2)
+        uncontended = StrongScalingDriver(
+            graph, cluster=ideal, method="full"
+        ).run(8, num_checkpoints=2)
+        assert packed.critical_path_seconds > uncontended.critical_path_seconds
+
+    def test_aggregate_throughput_positive(self, graph):
+        result = StrongScalingDriver(graph).run(2, num_checkpoints=2)
+        assert 0 < result.aggregate_throughput < float("inf")
+
+    def test_parallel_workers_bit_identical(self, graph):
+        seq = StrongScalingDriver(graph, workers=1).run(4, num_checkpoints=2)
+        par = StrongScalingDriver(graph, workers=4).run(4, num_checkpoints=2)
+        assert seq.total_stored_bytes == par.total_stored_bytes
+        assert seq.per_process_stored == par.per_process_stored
+        assert seq.critical_path_seconds == pytest.approx(
+            par.critical_path_seconds, abs=0.0
+        )

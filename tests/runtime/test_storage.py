@@ -1,0 +1,65 @@
+"""Tests for storage tiers."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.runtime import StorageTier, default_hierarchy
+
+
+class TestStorageTier:
+    def test_put_and_occupancy(self):
+        tier = StorageTier("t", 1000, 100.0)
+        tier.put("a", 300, 0.0)
+        assert tier.used_bytes == 300
+        assert tier.free_bytes == 700
+        assert tier.contains("a")
+
+    def test_overflow_rejected(self):
+        tier = StorageTier("t", 100, 1.0)
+        with pytest.raises(StorageError):
+            tier.put("a", 101, 0.0)
+
+    def test_duplicate_key_rejected(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.put("a", 10, 0.0)
+        with pytest.raises(StorageError):
+            tier.put("a", 10, 0.0)
+
+    def test_remove_frees_space(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.put("a", 60, 0.0)
+        assert tier.remove("a") == 60
+        assert tier.used_bytes == 0
+        assert not tier.contains("a")
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(StorageError):
+            StorageTier("t", 100, 1.0).remove("ghost")
+
+    def test_peak_tracks_high_water(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.put("a", 80, 0.0)
+        tier.remove("a")
+        tier.put("b", 10, 1.0)
+        assert tier.peak_used == 80
+
+    def test_transfer_seconds(self):
+        tier = StorageTier("t", 100, 50.0)
+        assert tier.transfer_seconds(100) == pytest.approx(2.0)
+        assert tier.transfer_seconds(0) == 0.0
+
+    def test_fits(self):
+        tier = StorageTier("t", 100, 1.0)
+        assert tier.fits(100)
+        tier.put("a", 50, 0.0)
+        assert not tier.fits(51)
+
+
+class TestDefaultHierarchy:
+    def test_three_tiers_in_order(self):
+        tiers = default_hierarchy()
+        assert [t.name for t in tiers] == ["host", "ssd", "pfs"]
+
+    def test_capacities_grow_down_the_stack(self):
+        tiers = default_hierarchy()
+        assert tiers[0].capacity_bytes < tiers[1].capacity_bytes < tiers[2].capacity_bytes

@@ -1,0 +1,61 @@
+"""Tests for the streaming (window-pipelined) scheduler."""
+
+import pytest
+
+from repro.gpusim import CostBreakdown, a100
+from repro.runtime import StreamingScheduler
+
+
+def cost(kernel=100e-6, transfer=100e-6):
+    return CostBreakdown(stream_seconds=kernel, transfer_seconds=transfer)
+
+
+class TestStreamingScheduler:
+    def test_single_window_equals_serial(self):
+        c = cost()
+        est = StreamingScheduler(a100(), 1).estimate(c)
+        assert est.streamed_seconds == pytest.approx(c.total_seconds)
+        assert est.speedup == pytest.approx(1.0)
+
+    def test_balanced_stages_approach_2x(self):
+        c = cost(kernel=1.0, transfer=1.0)
+        est = StreamingScheduler(a100(), 32).estimate(c)
+        assert 1.7 < est.speedup < 2.0
+
+    def test_imbalanced_stages_bounded_by_long_stage(self):
+        c = cost(kernel=0.1, transfer=1.0)
+        est = StreamingScheduler(a100(), 16).estimate(c)
+        # Cannot beat the transfer-bound lower bound.
+        assert est.streamed_seconds >= 1.0
+        assert est.speedup < 1.2
+
+    def test_more_windows_monotone_until_latency_bites(self):
+        c = cost(kernel=200e-6, transfer=200e-6)
+        times = [
+            StreamingScheduler(a100(), w).estimate(c).streamed_seconds
+            for w in (1, 2, 4)
+        ]
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_latency_penalty_for_tiny_windows(self):
+        # Tiny work, many windows: per-window DMA latency dominates and the
+        # pipeline becomes slower than serial.
+        c = cost(kernel=5e-6, transfer=5e-6)
+        est = StreamingScheduler(a100(), 32).estimate(c)
+        assert est.streamed_seconds > c.total_seconds
+
+    def test_best_window_count_never_worse_than_serial(self):
+        for kernel, transfer in [(1e-3, 1e-3), (1e-5, 1e-3), (1e-3, 1e-5)]:
+            c = cost(kernel=kernel, transfer=transfer)
+            best = StreamingScheduler(a100()).best_window_count(c)
+            assert best.streamed_seconds <= c.total_seconds * (1 + 1e-9)
+
+    def test_windows_validated(self):
+        with pytest.raises(Exception):
+            StreamingScheduler(a100(), 0)
+
+    def test_estimate_fields(self):
+        est = StreamingScheduler(a100(), 4).estimate(cost())
+        assert est.windows == 4
+        assert est.serial_seconds > 0

@@ -1,0 +1,110 @@
+"""Tests for the bench harness and reporting (they feed EXPERIMENTS.md,
+so their aggregation math must be right)."""
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    MethodResult,
+    chunk_size_table,
+    frequency_table,
+    header,
+    metadata_table,
+    run_chunk_size_sweep,
+    run_frequency_sweep,
+)
+
+
+def make_result(method="tree", chunk=64, n=10, ratio=5.0, thpt=30e9):
+    return MethodResult(
+        graph="g",
+        method=method,
+        chunk_size=chunk,
+        num_checkpoints=n,
+        dedup_ratio=ratio,
+        throughput=thpt,
+        total_stored_bytes=1000,
+        total_metadata_bytes=100,
+    )
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = BenchConfig()
+        assert cfg.num_vertices == 2048
+        assert cfg.num_checkpoints == 10
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            BenchConfig(num_vertices=0)
+
+
+class TestReporting:
+    def test_header_banner(self):
+        out = header("Title")
+        assert "Title" in out
+        assert out.startswith("=")
+
+    def test_chunk_size_table_layout(self):
+        results = [
+            make_result(method=m, chunk=c)
+            for m in ("full", "tree")
+            for c in (32, 64)
+        ]
+        table = chunk_size_table(results)
+        assert "32B" in table and "64B" in table
+        assert "tree" in table and "full" in table
+        assert "ratio" in table and "throughput" in table
+
+    def test_frequency_table_layout(self):
+        results = [
+            make_result(method=m, n=n) for m in ("tree", "compress:zstdsim")
+            for n in (5, 20)
+        ]
+        table = frequency_table(results)
+        assert "N=5" in table and "N=20" in table
+        assert "compress:zstdsim" in table
+
+    def test_metadata_table_layout(self):
+        table = metadata_table([make_result()])
+        assert "tree" in table
+        assert "100 B" in table
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return BenchConfig(num_vertices=256, num_checkpoints=3)
+
+    def test_chunk_sweep_shape(self, tiny):
+        results = run_chunk_size_sweep(
+            "message_race", tiny, chunk_sizes=(64, 128), methods=("full", "tree")
+        )
+        assert len(results) == 4
+        keys = {(r.method, r.chunk_size) for r in results}
+        assert keys == {("full", 64), ("full", 128), ("tree", 64), ("tree", 128)}
+        for r in results:
+            assert r.dedup_ratio >= 0.99
+            assert r.throughput > 0
+
+    def test_frequency_sweep_shape(self, tiny):
+        results = run_frequency_sweep(
+            "message_race",
+            tiny,
+            checkpoint_counts=(3,),
+            methods=("tree",),
+            codecs=("cascaded",),
+        )
+        assert {r.method for r in results} == {"tree", "compress:cascaded"}
+        for r in results:
+            assert r.num_checkpoints == 3
+
+    def test_same_stream_for_all_backends(self, tiny):
+        """The defining property of the harness: identical ratios across
+        repeated runs (everything is deterministic)."""
+        a = run_chunk_size_sweep("message_race", tiny, chunk_sizes=(64,),
+                                 methods=("tree",))
+        b = run_chunk_size_sweep("message_race", tiny, chunk_sizes=(64,),
+                                 methods=("tree",))
+        assert a[0].dedup_ratio == b[0].dedup_ratio
+        assert a[0].total_stored_bytes == b[0].total_stored_bytes

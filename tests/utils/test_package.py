@@ -1,0 +1,74 @@
+"""Package-level tests: public API surface, version, error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        for name in (
+            "IncrementalCheckpointer",
+            "TreeDedup",
+            "ListDedup",
+            "BasicDedup",
+            "FullCheckpoint",
+            "CheckpointDiff",
+            "Restorer",
+            "CompressionCheckpointer",
+            "OrangesApp",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackages_importable(self):
+        import repro.bench
+        import repro.compress
+        import repro.core
+        import repro.gpusim
+        import repro.graphs
+        import repro.hashing
+        import repro.kokkos
+        import repro.oranges
+        import repro.runtime
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "CapacityError",
+            "ChunkingError",
+            "SerializationError",
+            "RestoreError",
+            "CompressionError",
+            "GraphError",
+            "SimulationError",
+            "StorageError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_catchable_as_base(self):
+        from repro.core import ChunkSpec
+
+        with pytest.raises(errors.ReproError):
+            ChunkSpec(10, 20)
+
+    def test_distinct_types(self):
+        assert errors.ChunkingError is not errors.RestoreError
+        with pytest.raises(errors.ChunkingError):
+            raise errors.ChunkingError("x")

@@ -1,0 +1,115 @@
+"""Tests for repro.utils.timing and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import DEFAULT_SEED, seeded_rng, spawn_streams
+from repro.utils.timing import PhaseTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_initially_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.running():
+            pass
+        first = sw.elapsed
+        with sw.running():
+            pass
+        assert sw.elapsed >= first
+
+    def test_stop_idempotent(self):
+        sw = Stopwatch()
+        sw.start()
+        a = sw.stop()
+        b = sw.stop()
+        assert a == b
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.running():
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestPhaseTimer:
+    def test_accumulates_per_phase(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        with t.phase("a"):
+            pass
+        with t.phase("b"):
+            pass
+        assert t.count("a") == 2
+        assert t.count("b") == 1
+        assert t.total("a") >= 0.0
+
+    def test_unknown_phase_zero(self):
+        t = PhaseTimer()
+        assert t.total("nope") == 0.0
+        assert t.count("nope") == 0
+
+    def test_grand_total(self):
+        t = PhaseTimer()
+        with t.phase("a"):
+            pass
+        assert t.grand_total == pytest.approx(t.total("a"))
+
+    def test_as_dict_order(self):
+        t = PhaseTimer()
+        with t.phase("z"):
+            pass
+        with t.phase("a"):
+            pass
+        assert list(t.as_dict()) == ["z", "a"]
+
+    def test_report_mentions_phases(self):
+        t = PhaseTimer()
+        with t.phase("hash-leaves"):
+            pass
+        assert "hash-leaves" in t.report()
+
+    def test_exception_still_recorded(self):
+        t = PhaseTimer()
+        with pytest.raises(ValueError):
+            with t.phase("boom"):
+                raise ValueError()
+        assert t.count("boom") == 1
+
+
+class TestRng:
+    def test_default_seed_reproducible(self):
+        a = seeded_rng().integers(0, 1000, 10)
+        b = seeded_rng().integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        a = seeded_rng(7).integers(0, 1000, 10)
+        b = seeded_rng(7).integers(0, 1000, 10)
+        c = seeded_rng(8).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seeded_rng(-1)
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_streams(4, seed=1)
+        draws = [s.integers(0, 1 << 30, 8) for s in streams]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_streams_reproducible(self):
+        a = spawn_streams(3, seed=2)[1].integers(0, 100, 5)
+        b = spawn_streams(3, seed=2)[1].integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 0x1C9923

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    MB,
+    format_bytes,
+    format_rate,
+    format_ratio,
+    parse_bytes,
+)
+
+
+class TestFormatBytes:
+    def test_bytes_below_kb(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_decimal_gb(self):
+        assert format_bytes(4_210_000_000) == "4.21 GB"
+
+    def test_decimal_kb_boundary(self):
+        assert format_bytes(1000) == "1.00 KB"
+
+    def test_binary_units(self):
+        assert format_bytes(GIB, binary=True) == "1.00 GiB"
+
+    def test_precision(self):
+        assert format_bytes(1_234_567, precision=1) == "1.2 MB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_bytes(-1)
+
+
+class TestParseBytes:
+    def test_plain_number(self):
+        assert parse_bytes("512") == 512
+
+    def test_kb(self):
+        assert parse_bytes("64 KB") == 64 * KB
+
+    def test_case_insensitive(self):
+        assert parse_bytes("2gb") == 2 * GB
+
+    def test_binary_suffix(self):
+        assert parse_bytes("1.5GiB") == int(1.5 * GIB)
+
+    def test_fractional(self):
+        assert parse_bytes("0.5 MB") == MB // 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("lots")
+
+    def test_roundtrip_of_format(self):
+        assert parse_bytes("4.21 GB") == 4_210_000_000
+
+
+class TestRateAndRatio:
+    def test_rate(self):
+        assert format_rate(25 * GB) == "25.00 GB/s"
+
+    def test_ratio(self):
+        assert format_ratio(215.0) == "215.00x"
+
+    def test_ratio_precision(self):
+        assert format_ratio(1.2345, precision=1) == "1.2x"

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    fraction,
+    non_negative_int,
+    one_of,
+    optional_positive_int,
+    positive_float,
+    positive_int,
+    power_of_two,
+    require,
+    same_length,
+)
+
+
+class TestPositiveInt:
+    def test_accepts(self):
+        assert positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True, None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            positive_int(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            positive_int(-5, "chunk_size")
+
+
+class TestNonNegativeInt:
+    def test_zero_ok(self):
+        assert non_negative_int(0, "x") == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            non_negative_int(bad, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts_int(self):
+        assert positive_float(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -0.1, float("inf"), float("nan"), "x"])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            positive_float(bad, "x")
+
+
+class TestFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert fraction(ok, "f") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, "half"])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            fraction(bad, "f")
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("ok", [1, 2, 64, 4096])
+    def test_accepts(self, ok):
+        assert power_of_two(ok, "x") == ok
+
+    @pytest.mark.parametrize("bad", [0, 3, 48, -8])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            power_of_two(bad, "x")
+
+
+class TestMisc:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_one_of(self):
+        assert one_of("a", ("a", "b"), "x") == "a"
+        with pytest.raises(ConfigurationError):
+            one_of("c", ("a", "b"), "x")
+
+    def test_same_length(self):
+        same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ConfigurationError):
+            same_length("a", [1], "b", [1, 2])
+
+    def test_optional_positive_int(self):
+        assert optional_positive_int(None, "x") is None
+        assert optional_positive_int(5, "x") == 5
+        with pytest.raises(ConfigurationError):
+            optional_positive_int(0, "x")
