@@ -1,0 +1,157 @@
+"""Hot-path wall-clock benchmark: hashing, DigestMap, end-to-end Tree.
+
+Measures the three kernels the overhaul targets and writes
+``BENCH_hotpath.json`` next to the repo root (or ``$REPRO_BENCH_OUT``):
+
+* ``hash``      — ``hash_chunks`` on a 1 MiB buffer at 128 B chunks (GB/s),
+* ``map``       — ``DigestMap.insert`` of 100k unique + 100k duplicate
+                  digests (Mops/s),
+* ``tree_e2e``  — Tree checkpoints/second on the Fig. 4 chunk-size sweep.
+
+Each section also records the seed implementation's best-of timing
+(measured on the same host at the seed commit, before the overhaul) and
+the resulting speedup, so the acceptance floors (≥2x hash, ≥1.5x insert)
+are auditable from the JSON alone.
+
+Run directly (``python benchmarks/bench_hotpath.py``) or under pytest
+(``pytest benchmarks/bench_hotpath.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TreeDedup
+from repro.hashing import hash_chunks
+from repro.hashing.native import native_available
+from repro.kokkos import DigestMap
+
+MB = 1 << 20
+
+#: Seed-implementation best-of wall times on the reference host (1 vCPU,
+#: NumPy lockstep kernels, pre-overhaul commit).  Used to report speedups.
+SEED_BASELINE = {
+    "hash_chunks_1mib_128b_ms": 1.09,
+    "map_insert_200k_ms": 236.0,
+}
+
+FIG4_CHUNK_SIZES = (32, 64, 128, 256)
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_hash() -> dict:
+    data = np.random.default_rng(1).integers(0, 256, MB, dtype=np.uint8)
+    hash_chunks(data, 128)  # warm-up: native build + allocator
+    secs = _best_of(lambda: hash_chunks(data, 128))
+    ms = secs * 1e3
+    return {
+        "buffer_bytes": MB,
+        "chunk_size": 128,
+        "best_ms": round(ms, 4),
+        "gb_per_s": round(MB / secs / 1e9, 3),
+        "native_kernel": native_available(),
+        "seed_best_ms": SEED_BASELINE["hash_chunks_1mib_128b_ms"],
+        "speedup_vs_seed": round(
+            SEED_BASELINE["hash_chunks_1mib_128b_ms"] / ms, 2
+        ),
+    }
+
+
+def bench_map() -> dict:
+    rng = np.random.default_rng(0)
+    uniq = rng.integers(1, 2**63, size=(100_000, 2), dtype=np.uint64)
+    keys = np.concatenate([uniq, uniq])
+    rng.shuffle(keys)
+    vals = np.zeros((200_000, 2), dtype=np.int64)
+    vals[:, 0] = np.arange(200_000)
+
+    def run():
+        m = DigestMap(capacity_hint=200_000)
+        m.insert(keys, vals)
+
+    secs = _best_of(run, reps=5)
+    ms = secs * 1e3
+    return {
+        "rows": 200_000,
+        "unique": 100_000,
+        "best_ms": round(ms, 2),
+        "mops_per_s": round(200_000 / secs / 1e6, 3),
+        "seed_best_ms": SEED_BASELINE["map_insert_200k_ms"],
+        "speedup_vs_seed": round(SEED_BASELINE["map_insert_200k_ms"] / ms, 2),
+    }
+
+
+def bench_tree_e2e(buffer_mb: int = 4, checkpoints: int = 6) -> list:
+    """Checkpoints/second for Tree across the Fig. 4 chunk sizes.
+
+    A synthetic trace with sparse in-place mutation between checkpoints —
+    the regime the incremental engine is built for.
+    """
+    out = []
+    nbytes = buffer_mb * MB
+    for chunk_size in FIG4_CHUNK_SIZES:
+        rng = np.random.default_rng(7)
+        buf = rng.integers(0, 256, nbytes, dtype=np.uint8)
+        tree = TreeDedup(nbytes, chunk_size)
+        tree.checkpoint(buf.copy())  # ckpt 0: full flush + map seeding
+        t0 = time.perf_counter()
+        for _ in range(checkpoints):
+            buf[rng.integers(0, nbytes, 4000)] ^= 0xFF
+            tree.checkpoint(buf.copy())
+        secs = time.perf_counter() - t0
+        out.append(
+            {
+                "chunk_size": chunk_size,
+                "buffer_bytes": nbytes,
+                "checkpoints": checkpoints,
+                "ckpt_per_s": round(checkpoints / secs, 2),
+                "ms_per_ckpt": round(secs / checkpoints * 1e3, 2),
+            }
+        )
+    return out
+
+
+def run(out_path: Path | None = None) -> dict:
+    report = {
+        "bench": "hotpath",
+        "hash": bench_hash(),
+        "map": bench_map(),
+        "tree_e2e": bench_tree_e2e(),
+    }
+    if out_path is None:
+        out_path = Path(
+            os.environ.get(
+                "REPRO_BENCH_OUT",
+                Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
+            )
+        )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    report["out_path"] = str(out_path)
+    return report
+
+
+def test_bench_hotpath(capsys):
+    report = run()
+    with capsys.disabled():
+        print()
+        print(json.dumps(report, indent=2))
+    assert report["hash"]["gb_per_s"] > 0
+    assert report["map"]["mops_per_s"] > 0
+    assert len(report["tree_e2e"]) == len(FIG4_CHUNK_SIZES)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=2))

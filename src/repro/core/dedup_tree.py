@@ -78,6 +78,11 @@ class TreeDedup(DedupEngine):
         self.payload_codec = payload_codec
         #: Labels of the most recent checkpoint (exposed for tests/examples).
         self.last_labels: np.ndarray | None = None
+        # Winner (ref_node, ref_ckpt) per SHIFT_DUPL node, captured from the
+        # fused insert_or_lookup / lookup results of the leaf and shift
+        # passes so serialization never re-probes the hash record.
+        self._shift_refs = np.zeros((self.layout.num_nodes, 2), dtype=np.int64)
+        self._shift_ref_valid = np.zeros(self.layout.num_nodes, dtype=bool)
 
     def device_state_bytes(self) -> int:
         """Merkle digest array plus the historical hash record."""
@@ -90,6 +95,7 @@ class TreeDedup(DedupEngine):
         if ckpt_id == 0:
             return self._initial_checkpoint(flat)
         labels = new_label_array(self.layout.num_nodes)
+        self._shift_ref_valid[:] = False
 
         self._leaf_pass(flat, ckpt_id, labels)
         self._first_ocur_pass(ckpt_id, labels)
@@ -192,7 +198,7 @@ class TreeDedup(DedupEngine):
         values[:, 1] = ckpt_id
         probes_before = self.map.total_probes
         with self.timer.phase("tree.map_leaves"):
-            success, _ = self.map.insert(
+            success, winners = self.map.insert_or_lookup(
                 np.ascontiguousarray(digests[moving]), values
             )
         self.space.launch(
@@ -203,16 +209,19 @@ class TreeDedup(DedupEngine):
             random_accesses=self.map.total_probes - probes_before,
         )
         labels[leaf_nodes[moving[success]]] = FIRST_OCUR
-        labels[leaf_nodes[moving[~success]]] = SHIFT_DUPL
+        shifted = leaf_nodes[moving[~success]]
+        labels[shifted] = SHIFT_DUPL
+        # The fused insert already yielded each loser's winning entry:
+        # keep it so serialization needs no second probe.
+        self._shift_refs[shifted] = winners[~success]
+        self._shift_ref_valid[shifted] = True
 
         # Tree(leaf) <- digest (line 21); fixed leaves keep an equal value.
         self.tree.digests[leaf_nodes] = digests
 
     def _first_ocur_pass(self, ckpt_id: int, labels: np.ndarray) -> None:
         """Algorithm 1, lines 24-32, plus FIXED_DUPL propagation."""
-        for interior in self.layout.interior_levels_bottom_up():
-            left = 2 * interior + 1
-            right = 2 * interior + 2
+        for interior, left, right in self.layout.interior_levels_with_children():
             ll = labels[left]
             lr = labels[right]
 
@@ -221,8 +230,8 @@ class TreeDedup(DedupEngine):
             if nodes.size:
                 with self.timer.phase("tree.first_pass"):
                     dig = hash_digest_pairs(
-                        self.tree.digests[2 * nodes + 1],
-                        self.tree.digests[2 * nodes + 2],
+                        self.tree.digests[left[both_first]],
+                        self.tree.digests[right[both_first]],
                     )
                     self.tree.digests[nodes] = dig
                     vals = np.empty((nodes.shape[0], 2), dtype=np.int64)
@@ -256,15 +265,14 @@ class TreeDedup(DedupEngine):
             shift_out.append(children[kinds == SHIFT_DUPL])
             # FIXED children are omitted; MIXED children were emitted below.
 
-        for interior in self.layout.interior_levels_bottom_up():
+        for interior, ch_left, ch_right in self.layout.interior_levels_with_children():
             # Nodes already consolidated by stage one (FIRST/FIXED) skip.
-            undecided = interior[
-                (labels[interior] != FIRST_OCUR) & (labels[interior] != FIXED_DUPL)
-            ]
+            keep = (labels[interior] != FIRST_OCUR) & (labels[interior] != FIXED_DUPL)
+            undecided = interior[keep]
             if undecided.size == 0:
                 continue
-            left = 2 * undecided + 1
-            right = 2 * undecided + 2
+            left = ch_left[keep]
+            right = ch_right[keep]
             ll = labels[left]
             lr = labels[right]
 
@@ -273,12 +281,14 @@ class TreeDedup(DedupEngine):
             if nodes.size:
                 with self.timer.phase("tree.shift_pass"):
                     dig = hash_digest_pairs(
-                        self.tree.digests[2 * nodes + 1],
-                        self.tree.digests[2 * nodes + 2],
+                        self.tree.digests[left[both_shift]],
+                        self.tree.digests[right[both_shift]],
                     )
                     self.tree.digests[nodes] = dig
                     probes_before = self.map.total_probes
-                    found = self.map.contains(dig)
+                    # Fused lookup: one probe yields both the existence bit
+                    # and the (ref_node, ref_ckpt) the serializer needs.
+                    found, refs = self.map.lookup(dig)
                 self.space.launch(
                     "tree.shift_pass",
                     items=int(nodes.shape[0]),
@@ -286,7 +296,10 @@ class TreeDedup(DedupEngine):
                     bytes_written=16 * int(nodes.shape[0]),
                     random_accesses=self.map.total_probes - probes_before,
                 )
-                labels[nodes[found]] = SHIFT_DUPL
+                consolidated = nodes[found]
+                labels[consolidated] = SHIFT_DUPL
+                self._shift_refs[consolidated] = refs[found]
+                self._shift_ref_valid[consolidated] = True
                 stopped = nodes[~found]
                 if stopped.size:
                     emit(np.concatenate([2 * stopped + 1, 2 * stopped + 2]))
@@ -327,21 +340,22 @@ class TreeDedup(DedupEngine):
             )
 
         if shift_nodes.size:
-            probes_before = self.map.total_probes
-            found, refs = self.map.lookup(
-                np.ascontiguousarray(self.tree.digests[shift_nodes])
-            )
-            if not found.all():  # pragma: no cover - algorithm invariant
+            # The leaf and shift passes already resolved every SHIFT node's
+            # winning (ref_node, ref_ckpt) through their fused map probes;
+            # serialization is a plain gather from the cached ref table.
+            if not self._shift_ref_valid[shift_nodes].all():
+                # pragma: no cover - algorithm invariant
                 raise SerializationError(
                     "shifted-duplicate region missing from the hash record"
                 )
-            shift_ref_ids = refs[:, 0]
-            shift_ref_ckpts = refs[:, 1]
-            lookup_probes = self.map.total_probes - probes_before
+            refs = self._shift_refs[shift_nodes]
+            shift_ref_ids = refs[:, 0].copy()
+            shift_ref_ckpts = refs[:, 1].copy()
+            ref_gather_accesses = int(shift_nodes.shape[0])
         else:
             shift_ref_ids = np.empty(0, dtype=np.int64)
             shift_ref_ckpts = np.empty(0, dtype=np.int64)
-            lookup_probes = 0
+            ref_gather_accesses = 0
 
         raw_payload = payload
         if self.payload_codec is not None:
@@ -354,7 +368,7 @@ class TreeDedup(DedupEngine):
             bytes_written=len(raw_payload)
             + 4 * int(first_nodes.shape[0])
             + 12 * int(shift_nodes.shape[0]),
-            random_accesses=lookup_probes,
+            random_accesses=ref_gather_accesses,
         )
 
         return CheckpointDiff(

@@ -65,22 +65,27 @@ class TreeLayout:
         self.leaf_of_node = leaf_of
 
         # Contiguous chunk coverage per node: [leaf_start, leaf_start+leaf_count)
+        # and, in the same bottom-up sweep, the per-level interior/child
+        # index cache the dedup passes iterate every checkpoint.
         leaf_start = np.zeros(self.num_nodes, dtype=np.int64)
         leaf_count = np.zeros(self.num_nodes, dtype=np.int64)
         leaf_start[node_of] = chunks
         leaf_count[node_of] = 1
+        self._interior_levels: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for lo, hi in reversed(self.level_ranges()):
             nodes = np.arange(lo, hi, dtype=np.int64)
             interior = nodes[leaf_of[lo:hi] < 0]
             if interior.size:
                 left = 2 * interior + 1
                 right = 2 * interior + 2
+                self._interior_levels.append((interior, left, right))
                 leaf_start[interior] = leaf_start[left]
                 leaf_count[interior] = leaf_count[left] + leaf_count[right]
                 # Children of an interior node must be adjacent regions.
                 bad = leaf_start[right] != leaf_start[left] + leaf_count[left]
                 if bad.any():  # pragma: no cover - layout invariant
                     raise ChunkingError("tree layout produced non-adjacent children")
+        self._interior_only = [lvl[0] for lvl in self._interior_levels]
         self.leaf_start = leaf_start
         self.leaf_count = leaf_count
 
@@ -123,14 +128,22 @@ class TreeLayout:
 
         A node appears in the list for the level it sits on; leaves are
         excluded.  The dedup passes iterate this to propagate labels.
+        The arrays are precomputed once at construction — treat them as
+        read-only.
         """
-        levels = []
-        for lo, hi in reversed(self.level_ranges()):
-            nodes = np.arange(lo, hi, dtype=np.int64)
-            interior = nodes[self.leaf_of_node[lo:hi] < 0]
-            if interior.size:
-                levels.append(interior)
-        return levels
+        return self._interior_only
+
+    def interior_levels_with_children(
+        self,
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """``(interior, left, right)`` index triples per level, deepest
+        level first.
+
+        The child arrays (``2*interior + 1`` / ``2*interior + 2``) are
+        cached at construction so the per-checkpoint tree passes never
+        recompute them.  Treat the arrays as read-only.
+        """
+        return self._interior_levels
 
 
 class MerkleTree:
@@ -176,10 +189,10 @@ class MerkleTree:
         Returns the number of interior hashes computed (for metering).
         """
         computed = 0
-        for interior in self.layout.interior_levels_bottom_up():
-            left = self.digests[2 * interior + 1]
-            right = self.digests[2 * interior + 2]
-            self.digests[interior] = hash_digest_pairs(left, right)
+        for interior, left, right in self.layout.interior_levels_with_children():
+            self.digests[interior] = hash_digest_pairs(
+                self.digests[left], self.digests[right]
+            )
             computed += interior.shape[0]
         return computed
 
@@ -197,10 +210,8 @@ class MerkleTree:
 
         Used by tests and the property suite; O(num_nodes) hashing.
         """
-        for interior in self.layout.interior_levels_bottom_up():
-            left = self.digests[2 * interior + 1]
-            right = self.digests[2 * interior + 2]
-            expect = hash_digest_pairs(left, right)
+        for interior, left, right in self.layout.interior_levels_with_children():
+            expect = hash_digest_pairs(self.digests[left], self.digests[right])
             if not np.array_equal(expect, self.digests[interior]):
                 return False
         return True

@@ -1,0 +1,141 @@
+/* Native MurmurHash3 x64-128 batch kernels.
+ *
+ * Compiled on demand by repro.hashing.native with the system C compiler
+ * and loaded through ctypes.  Semantics are byte-identical to the scalar
+ * oracle in repro/hashing/scalar.py (Austin Appleby's public-domain
+ * MurmurHash3_x64_128): h1/h2 are returned as two little-endian uint64
+ * lanes per digest, exactly the (n, 2) layout the NumPy layer uses.
+ *
+ * The batch entry points are the CPU analogue of the paper's coalesced
+ * hashing kernel (one GPU thread per chunk, Section 2.4): one tight loop
+ * per chunk with no Python or ufunc dispatch inside.
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+#include <string.h>
+
+static inline uint64_t rotl64(uint64_t x, int8_t r)
+{
+    return (x << r) | (x >> (64 - r));
+}
+
+static inline uint64_t fmix64(uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+static void murmur3_x64_128(const uint8_t *data, size_t len, uint64_t seed,
+                            uint64_t *out)
+{
+    const size_t nblocks = len / 16;
+    uint64_t h1 = seed;
+    uint64_t h2 = seed;
+    const uint64_t c1 = 0x87c37b91114253d5ULL;
+    const uint64_t c2 = 0x4cf5ba1d7cb769b9ULL;
+    size_t i;
+
+    for (i = 0; i < nblocks; i++) {
+        uint64_t k1, k2;
+        memcpy(&k1, data + 16 * i, 8);
+        memcpy(&k2, data + 16 * i + 8, 8);
+
+        k1 *= c1;
+        k1 = rotl64(k1, 31);
+        k1 *= c2;
+        h1 ^= k1;
+
+        h1 = rotl64(h1, 27);
+        h1 += h2;
+        h1 = h1 * 5 + 0x52dce729ULL;
+
+        k2 *= c2;
+        k2 = rotl64(k2, 33);
+        k2 *= c1;
+        h2 ^= k2;
+
+        h2 = rotl64(h2, 31);
+        h2 += h1;
+        h2 = h2 * 5 + 0x38495ab5ULL;
+    }
+
+    {
+        const uint8_t *tail = data + nblocks * 16;
+        const size_t tlen = len & 15;
+        uint64_t k1 = 0;
+        uint64_t k2 = 0;
+
+        if (tlen > 8) {
+            size_t j;
+            for (j = tlen; j > 8; j--)
+                k2 = (k2 << 8) | tail[j - 1];
+            k2 *= c2;
+            k2 = rotl64(k2, 33);
+            k2 *= c1;
+            h2 ^= k2;
+        }
+        if (tlen) {
+            size_t j;
+            const size_t stop = tlen < 8 ? tlen : 8;
+            for (j = stop; j > 0; j--)
+                k1 = (k1 << 8) | tail[j - 1];
+            k1 *= c1;
+            k1 = rotl64(k1, 31);
+            k1 *= c2;
+            h1 ^= k1;
+        }
+    }
+
+    h1 ^= (uint64_t)len;
+    h2 ^= (uint64_t)len;
+    h1 += h2;
+    h2 += h1;
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 += h2;
+    h2 += h1;
+    out[0] = h1;
+    out[1] = h2;
+}
+
+/* Hash n contiguous equal-length rows; out is (n, 2) uint64. */
+void hb_hash_rows(const uint8_t *rows, size_t n, size_t length, uint64_t seed,
+                  uint64_t *out)
+{
+    size_t i;
+    for (i = 0; i < n; i++)
+        murmur3_x64_128(rows + i * length, length, seed, out + 2 * i);
+}
+
+/* Chunk a flat buffer and hash every chunk, tail included; out must hold
+ * ceil(total / chunk) digests. */
+void hb_hash_chunks(const uint8_t *data, size_t total, size_t chunk,
+                    uint64_t seed, uint64_t *out)
+{
+    const size_t full = total / chunk;
+    const size_t rem = total - full * chunk;
+    size_t i;
+    for (i = 0; i < full; i++)
+        murmur3_x64_128(data + i * chunk, chunk, seed, out + 2 * i);
+    if (rem)
+        murmur3_x64_128(data + full * chunk, rem, seed, out + 2 * full);
+}
+
+/* Merkle interior hash: digest of left||right (32 bytes) per row; left,
+ * right and out are contiguous (n, 2) uint64 arrays. */
+void hb_hash_pairs(const uint64_t *left, const uint64_t *right, size_t n,
+                   uint64_t seed, uint64_t *out)
+{
+    size_t i;
+    for (i = 0; i < n; i++) {
+        uint8_t buf[32];
+        memcpy(buf, left + 2 * i, 16);
+        memcpy(buf + 16, right + 2 * i, 16);
+        murmur3_x64_128(buf, 32, seed, out + 2 * i);
+    }
+}

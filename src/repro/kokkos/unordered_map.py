@@ -15,6 +15,16 @@ lowest row index holding a given digest wins, everyone else observes the
 winner's value — which is also what the paper's two-stage scheduling
 (first-occurrence subtrees before shifted-duplicate subtrees) guarantees.
 
+The insert core is *sort-free*: rows are not pre-deduplicated (the GPU
+cannot pre-deduplicate a batch either).  Duplicate digests share a home
+slot — the table capacity is a power of two and probing wraps with a bit
+mask — so they walk the identical probe path in lockstep; when they reach
+an empty slot, the lowest batch row claims it (a vectorized CAS) and the
+losers observe the winner's key on the next round, exactly the
+first-CAS-wins outcome.  Winner values are gathered straight from the
+settled slots, so one fused ``insert_or_lookup`` pass yields both the
+success mask and the authoritative value per row — no second probe.
+
 Probe counts are tracked so the dedup engines can charge the GPU cost
 model for the (non-coalesced) global-memory traffic of map operations.
 """
@@ -26,7 +36,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import CapacityError, ConfigurationError
-from ..hashing.digest import check_digests, unique_digests
+from ..hashing.digest import check_digests
 from ..utils.validation import positive_int
 from .execution import ExecutionSpace, default_device
 
@@ -87,9 +97,13 @@ class DigestMap:
     def _allocate(self, capacity: int) -> None:
         self._capacity = capacity
         self._mask = np.uint64(capacity - 1)
+        self._mask_i = np.int64(capacity - 1)
         self._keys = np.zeros((capacity, 2), dtype=np.uint64)
         self._vals = np.zeros((capacity, VALUE_LANES), dtype=np.int64)
         self._state = np.zeros(capacity, dtype=np.uint8)
+        # Host-side scratch for the scatter-based CAS arbitration (not part
+        # of the simulated device footprint); always written before read.
+        self._scan = np.zeros(capacity, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -125,6 +139,10 @@ class DigestMap:
     # ------------------------------------------------------------------
     # Probing core
     # ------------------------------------------------------------------
+    def _home_slots(self, keys: np.ndarray) -> np.ndarray:
+        """Home slot per key: low digest bits masked to the pow2 capacity."""
+        return (keys[:, 0] & self._mask).astype(np.int64)
+
     def _probe(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Linear-probe each key to its match or first empty slot.
 
@@ -134,7 +152,7 @@ class DigestMap:
         """
         m = keys.shape[0]
         found = np.zeros(m, dtype=bool)
-        slot = (keys[:, 0] & self._mask).astype(np.int64)
+        slot = self._home_slots(keys)
         active = np.arange(m)
         rounds = 0
         while active.size:
@@ -152,7 +170,7 @@ class DigestMap:
                 )
                 found[idx_occ[match]] = True
                 advance = idx_occ[~match]
-                slot[advance] = (slot[advance] + 1) % self._capacity
+                slot[advance] = (slot[advance] + 1) & self._mask_i
             else:
                 advance = np.empty(0, dtype=np.int64)
             # Keys at empty slots are done probing (absent); keys that
@@ -191,15 +209,22 @@ class DigestMap:
     # ------------------------------------------------------------------
     # Insert
     # ------------------------------------------------------------------
-    def insert(
+    def insert_or_lookup(
         self, keys: np.ndarray, values: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Batch insert-if-absent with GPU first-wins semantics.
+        """Fused batch insert-if-absent + lookup, GPU first-wins semantics.
+
+        One pass resolves every row: rows whose digest is absent claim a
+        slot (lowest batch row wins within the batch, reproducing the
+        first successful CAS); every other row observes the authoritative
+        entry.  This is the paper's fused kernel — callers get the winner
+        values without a second probe.
 
         Parameters
         ----------
         keys:
-            ``(n, 2)`` uint64 digests.
+            ``(n, 2)`` uint64 digests.  Duplicates within the batch are
+            allowed and resolve deterministically.
         values:
             ``(n, 2)`` int64 payloads (conventionally ``(node, ckpt_id)``).
 
@@ -223,77 +248,76 @@ class DigestMap:
         if n == 0:
             return np.zeros(0, dtype=bool), np.zeros((0, VALUE_LANES), dtype=np.int64)
 
-        first_idx, inverse = unique_digests(keys)
-        ukeys = np.ascontiguousarray(keys[first_idx])
-        uvals = values[first_idx]
-        m = ukeys.shape[0]
-
-        self._maybe_grow(self._count + m)
-
-        found, slot = self._probe(ukeys)
-        new = np.nonzero(~found)[0]
-        if new.size:
-            # All unique keys probe to distinct empty slots... except when
-            # two distinct keys chain to the same empty slot.  Resolve by
-            # rounds: lowest batch index per slot wins, losers re-probe
-            # (they will now collide with the winner and advance).
-            pending = new
-            while pending.size:
-                s = slot[pending]
-                state = self._state[s]
-                empty = state == _EMPTY
-                claimants = pending[empty]
-                if claimants.size:
-                    s_cl = slot[claimants]
-                    _, first_per_slot = np.unique(s_cl, return_index=True)
-                    winners = claimants[first_per_slot]
-                    ws = slot[winners]
-                    self._keys[ws] = ukeys[winners]
-                    self._vals[ws] = uvals[winners]
-                    self._state[ws] = _FULL
-                    self._count += winners.size
-                    self.total_probes += winners.size
-                    losers = np.setdiff1d(claimants, winners, assume_unique=True)
-                else:
-                    losers = np.empty(0, dtype=np.int64)
-                # Rows whose slot got occupied since probing: match or advance.
-                blocked = pending[~empty]
-                if blocked.size:
-                    bs = slot[blocked]
-                    match = (self._keys[bs, 0] == ukeys[blocked, 0]) & (
-                        self._keys[bs, 1] == ukeys[blocked, 1]
-                    )
-                    found[blocked[match]] = True
-                    advance = blocked[~match]
-                    slot[advance] = (slot[advance] + 1) % self._capacity
-                    self.total_probes += blocked.size
-                    # Advanced rows must re-probe to the next empty/match.
-                    if advance.size:
-                        sub_found, sub_slot = self._probe(
-                            np.ascontiguousarray(ukeys[advance])
-                        )
-                        found[advance[sub_found]] = True
-                        slot[advance] = sub_slot
-                        advance = advance[~sub_found]
-                else:
-                    advance = np.empty(0, dtype=np.int64)
-                pending = np.union1d(losers, advance).astype(np.int64)
-
-        inserted_unique = np.zeros(m, dtype=bool)
-        inserted_unique[~found] = False  # refined below
-        # A unique key was inserted by this batch iff it was not found
-        # during its final probe resolution; after the rounds above every
-        # unique key is in the table, so "inserted" == "not found".
-        inserted_unique = ~found
-
-        # Gather authoritative values for every unique key.
-        _, table_vals = self.lookup(ukeys)
+        # Conservative sizing: like the GPU table, the batch cannot be
+        # pre-deduplicated, so reserve room as if every row were new.
+        self._maybe_grow(self._count + n)
 
         success = np.zeros(n, dtype=bool)
-        winners_rows = first_idx[inserted_unique]
-        success[winners_rows] = True
-        out_values = table_vals[inverse]
-        return success, out_values
+        slot = self._home_slots(keys)
+        pending = np.ones(n, dtype=bool)
+        rounds = 0
+        # Every pending row inspects its slot once per round.  Duplicate
+        # digests share the identical probe path (same home slot, same
+        # transitions), so the lowest batch row reaches any empty slot in
+        # the same round as its duplicates and wins the claim; the losers
+        # match the winner's key on the following round and resolve as
+        # lookups — no pre-sort, no setdiff1d/union1d bookkeeping.
+        while True:
+            idx = np.nonzero(pending)[0]
+            if idx.size == 0:
+                break
+            rounds += 1
+            if rounds > 2 * self._capacity + 2:  # pragma: no cover - invariant
+                raise CapacityError(
+                    "DigestMap insert did not terminate (table full?)"
+                )
+            s = slot[idx]
+            # Scatter-based arbitration: write row ids in descending order
+            # so the *lowest* row lands last, then each row checks whether
+            # it owns its slot.  One scatter + one gather resolves the CAS
+            # winner per slot with no sort (the scratch is always written
+            # before it is read, so it needs no reset between calls).
+            self._scan[s[::-1]] = idx[::-1]
+            first = self._scan[s] == idx
+            # Duplicate digests walk the probe path in lockstep, so rows
+            # inspecting the same slot in the same round coalesce into a
+            # single global-memory transaction (exactly as warp-coalesced
+            # GPU loads do): charge unique slots, not rows.
+            self.total_probes += int(np.count_nonzero(first))
+            occupied = self._state[s] == _FULL
+            occ = idx[occupied]
+            if occ.size:
+                so = slot[occ]
+                match = (self._keys[so, 0] == keys[occ, 0]) & (
+                    self._keys[so, 1] == keys[occ, 1]
+                )
+                hits = occ[match]
+                pending[hits] = False  # resolved as lookups; slot is final
+                advance = occ[~match]
+                slot[advance] = (slot[advance] + 1) & self._mask_i
+            # First claimant per empty slot wins the CAS (occupied and
+            # empty slots are disjoint, so `first` arbitrates both at once).
+            winners = idx[first & ~occupied]
+            if winners.size:
+                ws = slot[winners]
+                self._keys[ws] = keys[winners]
+                self._vals[ws] = values[winners]
+                self._state[ws] = _FULL
+                self._count += winners.size
+                success[winners] = True
+                pending[winners] = False
+                # CAS losers stay pending on the same slot: next round they
+                # either match the winner (duplicate digest) or advance.
+
+        # Every row settled on a final slot: gather authoritative values.
+        return success, self._vals[slot]
+
+    def insert(
+        self, keys: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batch insert-if-absent; alias of the fused op (kept for callers
+        that ignore the returned values)."""
+        return self.insert_or_lookup(keys, values)
 
     def insert_one(self, key: np.ndarray, value) -> bool:
         """Scalar convenience insert; returns True if newly inserted."""
@@ -305,6 +329,38 @@ class DigestMap:
     # ------------------------------------------------------------------
     # Growth
     # ------------------------------------------------------------------
+    def _reinsert_unique(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Re-hash *keys* (already unique, already absent) into the table.
+
+        The growth rebuild needs none of the first-wins machinery: every
+        key is unique and the table holds no other entries, so occupied
+        slots can only ever be other rebuilt keys — mismatches advance
+        without a key comparison.
+        """
+        m = keys.shape[0]
+        slot = self._home_slots(keys)
+        pending = np.arange(m)
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > self._capacity + 1:  # pragma: no cover - invariant
+                raise CapacityError("DigestMap rehash did not terminate")
+            self.total_probes += pending.size
+            s = slot[pending]
+            self._scan[s[::-1]] = pending[::-1]
+            first = self._scan[s] == pending
+            occupied = self._state[s] == _FULL
+            advance = pending[occupied]
+            slot[advance] = (slot[advance] + 1) & self._mask_i
+            winners = pending[first & ~occupied]
+            if winners.size:
+                ws = slot[winners]
+                self._keys[ws] = keys[winners]
+                self._vals[ws] = values[winners]
+                self._state[ws] = _FULL
+            pending = np.concatenate([advance, pending[~first & ~occupied]])
+        self._count += m
+
     def _maybe_grow(self, needed: int) -> None:
         if needed <= self._capacity * self.max_load_factor:
             return
@@ -318,8 +374,7 @@ class DigestMap:
         self._allocate(new_capacity)
         self._count = 0
         if old_keys.shape[0]:
-            # Reinsert; all keys are unique so this cannot recurse.
-            self.insert(old_keys, old_vals)
+            self._reinsert_unique(old_keys, old_vals)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,123 @@
+"""Edge cases of ``hash_chunks`` / ``hash_batch`` cross-checked against the
+scalar oracle, on **both** dispatch paths.
+
+The batch kernels front a native C loop when a compiler is available and a
+pure-NumPy lockstep kernel otherwise; every boundary condition — tail
+chunks shorter than one 16-byte block, chunk sizes that are not block
+multiples, single-chunk buffers — must produce oracle-identical digests on
+whichever path serves the call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import murmur3
+from repro.hashing.native import native_available
+from repro.hashing.scalar import murmur3_x64_128
+from repro.utils.rng import seeded_rng
+
+
+@pytest.fixture(params=["native", "numpy"])
+def dispatch(request, monkeypatch):
+    """Run the test body once per dispatch path."""
+    if request.param == "native":
+        if not native_available():
+            pytest.skip("no C compiler / native kernel in this environment")
+    else:
+        monkeypatch.setattr(murmur3._native, "get_lib", lambda: None)
+    return request.param
+
+
+def oracle_chunks(data: np.ndarray, chunk_size: int, seed: int = 0) -> np.ndarray:
+    raw = data.tobytes()
+    chunks = [raw[i : i + chunk_size] for i in range(0, len(raw), chunk_size)]
+    return np.array(
+        [murmur3_x64_128(c, seed=seed) for c in chunks], dtype=np.uint64
+    ).reshape(len(chunks), 2)
+
+
+@pytest.mark.parametrize("total,chunk_size", [
+    (100, 16),     # tail of 4 bytes  (< one block)
+    (41, 16),      # tail of 9 bytes  (straddles the 8-byte lane split)
+    (130, 128),    # tail of 2 bytes after one full chunk
+    (24, 24),      # single chunk, size not a multiple of 16
+    (7, 64),       # buffer smaller than one chunk: tail-only
+    (1, 1),        # degenerate single-byte chunks
+    (96, 32),      # exact multiple: no tail at all
+    (50, 20),      # non-multiple chunk size with non-multiple tail
+])
+def test_hash_chunks_matches_oracle(dispatch, total, chunk_size):
+    data = seeded_rng(total * 31 + chunk_size).integers(
+        0, 256, total, dtype=np.uint8
+    )
+    got = murmur3.hash_chunks(data, chunk_size)
+    want = oracle_chunks(data, chunk_size)
+    assert got.shape == want.shape
+    assert np.array_equal(got, want)
+
+
+def test_hash_chunks_empty_buffer(dispatch):
+    out = murmur3.hash_chunks(np.empty(0, dtype=np.uint8), 64)
+    assert out.shape == (0, 2)
+    assert out.dtype == np.uint64
+
+
+def test_hash_chunks_nonzero_seed(dispatch):
+    data = seeded_rng(5).integers(0, 256, 200, dtype=np.uint8)
+    got = murmur3.hash_chunks(data, 48, seed=12345)
+    assert np.array_equal(got, oracle_chunks(data, 48, seed=12345))
+    # And the seed actually matters.
+    assert not np.array_equal(got, murmur3.hash_chunks(data, 48, seed=0))
+
+
+@pytest.mark.parametrize("length", [0, 1, 8, 9, 15, 16, 17, 31, 32, 33, 128])
+def test_hash_batch_row_lengths(dispatch, length):
+    rows = seeded_rng(length + 7).integers(0, 256, (5, length), dtype=np.uint8)
+    got = murmur3.hash_batch(rows, seed=3)
+    for i in range(rows.shape[0]):
+        assert tuple(int(x) for x in got[i]) == murmur3_x64_128(
+            rows[i].tobytes(), seed=3
+        )
+
+
+def test_hash_batch_out_parameter(dispatch):
+    rows = seeded_rng(11).integers(0, 256, (6, 40), dtype=np.uint8)
+    out = np.zeros((10, 2), dtype=np.uint64)
+    ret = murmur3.hash_batch(rows, out=out[2:8])
+    assert np.shares_memory(ret, out)
+    assert np.array_equal(out[2:8], murmur3.hash_batch(rows))
+    assert not out[:2].any() and not out[8:].any()
+
+
+def test_hash_batch_read_only_input(dispatch):
+    raw = bytes(seeded_rng(13).integers(0, 256, 3 * 48, dtype=np.uint8))
+    rows = np.frombuffer(raw, dtype=np.uint8).reshape(3, 48)
+    assert not rows.flags.writeable
+    got = murmur3.hash_batch(rows)
+    assert tuple(int(x) for x in got[0]) == murmur3_x64_128(raw[:48])
+
+
+def test_hash_digest_pairs_matches_concatenated_bytes(dispatch):
+    rng = seeded_rng(17)
+    left = rng.integers(0, 2**63, (9, 2), dtype=np.uint64)
+    right = rng.integers(0, 2**63, (9, 2), dtype=np.uint64)
+    got = murmur3.hash_digest_pairs(left, right)
+    for i in range(9):
+        want = murmur3_x64_128(left[i].tobytes() + right[i].tobytes())
+        assert tuple(int(x) for x in got[i]) == want
+
+
+def test_dispatch_paths_agree():
+    """Native and NumPy kernels are interchangeable bit-for-bit."""
+    if not native_available():
+        pytest.skip("no C compiler / native kernel in this environment")
+    data = seeded_rng(23).integers(0, 256, 1000, dtype=np.uint8)
+    native_out = murmur3.hash_chunks(data, 48)
+    full = 1000 // 48
+    rows = data[: full * 48].reshape(full, 48)
+    numpy_out = np.empty((full + 1, 2), dtype=np.uint64)
+    murmur3._hash_batch_numpy(rows, 0, numpy_out[:full])
+    murmur3._hash_batch_numpy(
+        data[full * 48 :].reshape(1, -1), 0, numpy_out[full:]
+    )
+    assert np.array_equal(native_out, numpy_out)

@@ -149,6 +149,41 @@ class TestCapacity:
         assert found.all()
         assert (out == vals).all()
 
+    def test_growth_rehash_fast_path(self, rng):
+        """Growth rebuilds via the direct re-hash path: every surviving
+        entry keeps its exact value, capacity actually grew, and the
+        rebuilt table still resolves duplicate-heavy batches first-wins."""
+        m = DigestMap(capacity_hint=1)  # minimum-size table
+        keys = make_keys(rng, 300)
+        vals = make_vals(300, ckpt=5)
+        cap_before = m.capacity
+        m.insert(keys, vals)
+        assert m.capacity > cap_before  # growth definitely happened
+        assert len(m) == 300
+        found, out = m.lookup(keys)
+        assert found.all()
+        assert (out == vals).all()
+
+        # Duplicates of pre-growth keys still lose to the stored winners.
+        success, out2 = m.insert(keys, make_vals(300, ckpt=9, base=10_000))
+        assert not success.any()
+        assert (out2 == vals).all()
+        assert len(m) == 300
+
+    def test_growth_during_duplicate_batch(self, rng):
+        """A batch whose duplicates force conservative growth mid-insert
+        resolves identically to the no-growth case."""
+        keys = make_keys(rng, 40)
+        dup = np.concatenate([keys, keys, keys])
+        vals = make_vals(120)
+        small = DigestMap(capacity_hint=1)
+        big = DigestMap(capacity_hint=4096)
+        s_small = small.insert(dup, vals)
+        s_big = big.insert(dup, vals)
+        assert np.array_equal(s_small[0], s_big[0])
+        assert np.array_equal(s_small[1], s_big[1])
+        assert len(small) == len(big) == 40
+
     def test_fixed_capacity_overflows(self, rng):
         m = DigestMap(capacity_hint=8, auto_grow=False)
         keys = make_keys(rng, 200)

@@ -1,0 +1,127 @@
+"""Property tests: DigestMap vs a pure-dict model under batched operations.
+
+The sort-free ``insert_or_lookup`` must behave exactly like a sequential
+insert-if-absent over the batch rows in order — that is the deterministic
+rendering of the GPU's first-CAS-wins semantics.  The model below is that
+sequential dict; hypothesis drives duplicate-heavy batches, interleaved
+lookups, and growth through a deliberately tiny initial table.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kokkos import DigestMap
+
+_SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_POOL_MAX = 32
+
+
+def _pool(seed: int) -> np.ndarray:
+    """A pool of distinct digests; batches draw (duplicating) indices."""
+    rng = np.random.default_rng(seed)
+    while True:
+        pool = rng.integers(1, 2**63, size=(_POOL_MAX, 2), dtype=np.uint64)
+        if np.unique(pool, axis=0).shape[0] == _POOL_MAX:
+            return pool
+
+
+# Small index ranges make duplicates within a batch very likely.
+_batch = st.lists(st.integers(0, _POOL_MAX - 1), min_size=0, max_size=60)
+
+
+@given(batches=st.lists(_batch, min_size=1, max_size=6), seed=st.integers(0, 2**31 - 1))
+@settings(**_SETTINGS)
+def test_insert_or_lookup_matches_dict_model(batches, seed):
+    pool = _pool(seed)
+    # capacity_hint=1 → 8-slot table: growth triggers under realistic load.
+    m = DigestMap(capacity_hint=1, max_load_factor=0.7)
+    model = {}
+
+    for batch_no, ids in enumerate(batches):
+        keys = pool[ids].reshape(len(ids), 2)
+        vals = np.empty((len(ids), 2), dtype=np.int64)
+        vals[:, 0] = np.arange(len(ids)) + 1000 * batch_no
+        vals[:, 1] = batch_no
+
+        success, out = m.insert_or_lookup(keys, vals)
+
+        for row, pid in enumerate(ids):
+            if pid in model:
+                assert not success[row]
+            else:
+                assert success[row]
+                model[pid] = (int(vals[row, 0]), int(vals[row, 1]))
+            # Every row observes the authoritative (winning) entry.
+            assert tuple(int(x) for x in out[row]) == model[pid]
+
+    assert len(m) == len(model)
+
+    # Post-hoc lookups agree with the model for present and absent keys.
+    found, got = m.lookup(pool)
+    for pid in range(_POOL_MAX):
+        if pid in model:
+            assert found[pid]
+            assert tuple(int(x) for x in got[pid]) == model[pid]
+        else:
+            assert not found[pid]
+
+
+@given(
+    n_unique=st.integers(1, _POOL_MAX),
+    dup_factor=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(**_SETTINGS)
+def test_duplicate_heavy_single_batch(n_unique, dup_factor, seed):
+    """A batch of each key repeated *dup_factor* times: exactly the first
+    row per key succeeds, everyone shares the first row's value."""
+    pool = _pool(seed)[:n_unique]
+    ids = np.repeat(np.arange(n_unique), dup_factor)
+    np.random.default_rng(seed).shuffle(ids)
+    keys = pool[ids]
+    vals = np.empty((ids.size, 2), dtype=np.int64)
+    vals[:, 0] = np.arange(ids.size)
+    vals[:, 1] = 7
+
+    m = DigestMap(capacity_hint=1)
+    success, out = m.insert_or_lookup(keys, vals)
+
+    assert int(success.sum()) == n_unique
+    assert len(m) == n_unique
+    for pid in range(n_unique):
+        rows = np.nonzero(ids == pid)[0]
+        winner = rows.min()
+        assert success[winner]
+        assert not success[rows[rows != winner]].any()
+        assert (out[rows] == vals[winner]).all()
+
+
+@given(
+    n=st.integers(1, 3 * _POOL_MAX),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(**_SETTINGS)
+def test_growth_preserves_entries_and_values(n, seed):
+    """Forcing repeated growth never loses or corrupts an entry."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(1, 2**63, size=(n, 2), dtype=np.uint64)
+    keys = np.unique(keys, axis=0)
+    vals = np.empty((keys.shape[0], 2), dtype=np.int64)
+    vals[:, 0] = np.arange(keys.shape[0])
+    vals[:, 1] = 3
+
+    m = DigestMap(capacity_hint=1)
+    # One row at a time maximises the number of growth events.
+    for i in range(keys.shape[0]):
+        m.insert(keys[i : i + 1], vals[i : i + 1])
+
+    assert len(m) == keys.shape[0]
+    found, got = m.lookup(keys)
+    assert found.all()
+    assert np.array_equal(got, vals)
