@@ -8,12 +8,15 @@ demo
 inspect <dir>
     Print the per-checkpoint composition of a stored record and run the
     structural verifier.
+verify <dir>
+    Integrity-scan a stored record: per-checkpoint digest status, chain
+    digest, and the salvageable prefix length (see docs/FAULT_MODEL.md).
 restore <dir>
     Reconstruct a checkpoint from a stored record into a raw binary file.
 bench <name>
     Run one of the paper-reproduction benches (table1, fig4, fig5, fig6,
     fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
-    restore).
+    restore, faults).
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from .core import (
     composition_report,
     verify_chain,
 )
-from .core.store import load_record, record_manifest, save_record
+from .core.store import load_record, record_manifest, save_record, verify_record
 from .utils.rng import seeded_rng
 from .utils.units import format_bytes, format_ratio
 
@@ -79,6 +82,22 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = verify_record(args.record)
+    print(f"record: {report.directory} (format v{report.format_version})")
+    print(report.summary())
+    if report.ok:
+        print("\nintegrity: OK")
+        return 0
+    salvageable = report.valid_prefix_len
+    total = len(report.checkpoints)
+    print(f"\nintegrity: PROBLEMS — salvageable prefix {salvageable}/{total}")
+    if args.salvage and salvageable:
+        diffs = load_record(args.record, strict=False)
+        print(f"salvage: {len(diffs)} checkpoints load cleanly")
+    return 1
+
+
 def _cmd_restore(args: argparse.Namespace) -> int:
     diffs = load_record(args.record)
     upto = args.checkpoint if args.checkpoint is not None else len(diffs) - 1
@@ -106,6 +125,7 @@ _BENCHES = {
     "streaming": "bench_streaming",
     "restore": "bench_restore",
     "overhead": "bench_runtime_overhead",
+    "faults": "bench_faults",
 }
 
 
@@ -152,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="analyze a stored record")
     inspect.add_argument("record", help="record directory")
     inspect.set_defaults(func=_cmd_inspect)
+
+    verify = sub.add_parser("verify", help="integrity-scan a stored record")
+    verify.add_argument("record", help="record directory")
+    verify.add_argument(
+        "--salvage", action="store_true",
+        help="also report how many checkpoints load via strict=False",
+    )
+    verify.set_defaults(func=_cmd_verify)
 
     restore = sub.add_parser("restore", help="reconstruct a checkpoint")
     restore.add_argument("record", help="record directory")

@@ -17,7 +17,14 @@ from .dedup_basic import BasicDedup
 from .dedup_full import FullCheckpoint
 from .dedup_list import ListDedup
 from .dedup_tree import TreeDedup
-from .diff import FIRST_ENTRY_BYTES, METHODS, SHIFT_ENTRY_BYTES, CheckpointDiff
+from .diff import (
+    DIGEST_BYTES,
+    FIRST_ENTRY_BYTES,
+    METHODS,
+    SHIFT_ENTRY_BYTES,
+    CheckpointDiff,
+    encode_legacy_v1,
+)
 from .labels import (
     FIRST_OCUR,
     FIXED_DUPL,
@@ -32,6 +39,14 @@ from .record import CheckpointRecord, CheckpointStats, merge_records
 from .restore import Restorer, restore_latest
 from .retention import payload_dependencies, rebase_record, required_payloads
 from .selective import RestorePlan, SelectiveRestorer, selective_restore
+from .store import (
+    CheckpointStatus,
+    RecordVerification,
+    load_record,
+    record_manifest,
+    save_record,
+    verify_record,
+)
 
 __all__ = [
     "DiffComposition",
@@ -52,7 +67,15 @@ __all__ = [
     "FIRST_ENTRY_BYTES",
     "METHODS",
     "SHIFT_ENTRY_BYTES",
+    "DIGEST_BYTES",
     "CheckpointDiff",
+    "encode_legacy_v1",
+    "CheckpointStatus",
+    "RecordVerification",
+    "load_record",
+    "record_manifest",
+    "save_record",
+    "verify_record",
     "FIRST_OCUR",
     "FIXED_DUPL",
     "MIXED",

@@ -20,24 +20,39 @@ binary encoding is little-endian and versioned; ``from_bytes`` round-trips
 ``to_bytes`` exactly, and ``serialized_size`` predicts the encoded length
 without materialising it (the dedup engines use it to meter the D2H
 transfer).
+
+Format v2 adds integrity to the frame: a 32-byte SHA-256 content digest
+sits directly after the fixed header and covers every other byte of the
+frame (header + metadata + payload).  ``from_bytes`` recomputes it and
+raises :class:`~repro.errors.IntegrityError` on mismatch, so a bit flip
+anywhere in a stored ``.rdif`` file is detected at parse time.  v1 frames
+(no digest) still parse; they come back flagged ``verified=False`` so
+callers can report them as *unverified* rather than silently trusting
+them.  See ``docs/FAULT_MODEL.md`` for the full frame layout.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from ..errors import SerializationError
+from ..errors import IntegrityError, SerializationError
 from ..utils.validation import non_negative_int, one_of, positive_int
 
 _MAGIC = b"RDIF"
-_VERSION = 1
+_VERSION = 2
+_V1 = 1
 _HEADER = struct.Struct("<4sHBBIQIIIIQ")
 # magic, version, method, flags, ckpt_id, data_len, chunk_size,
 # n_first, n_shift, bitmap_bytes, payload_len
+
+#: Bytes of the v2 per-frame content digest (SHA-256), stored directly
+#: after the fixed header.
+DIGEST_BYTES = 32
 
 METHODS = ("full", "basic", "list", "tree")
 _METHOD_CODE = {name: i for i, name in enumerate(METHODS)}
@@ -80,6 +95,10 @@ class CheckpointDiff:
     shift_ref_ckpts: np.ndarray = field(default_factory=lambda: np.empty(0, np.uint32))
     bitmap: Optional[np.ndarray] = None  # packed uint8, basic method only
     payload: bytes = b""
+    #: Integrity provenance: ``None`` for locally built diffs, ``True``
+    #: when parsed from a v2 frame whose digest matched, ``False`` when
+    #: parsed from a digestless v1 frame (*unverified*).
+    verified: Optional[bool] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         one_of(self.method, METHODS, "method")
@@ -131,8 +150,8 @@ class CheckpointDiff:
 
     @property
     def header_bytes(self) -> int:
-        """Fixed header size."""
-        return _HEADER.size
+        """Fixed frame overhead: header plus the v2 content digest."""
+        return _HEADER.size + DIGEST_BYTES
 
     @property
     def serialized_size(self) -> int:
@@ -142,10 +161,22 @@ class CheckpointDiff:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def to_bytes(self) -> bytes:
-        """Serialize to the versioned little-endian wire format."""
+    def _body_bytes(self) -> bytes:
+        """Metadata + payload, the variable part of the frame."""
+        parts = [self.first_ids.astype("<u4").tobytes()]
+        shift = np.empty((self.num_shift, 3), dtype="<u4")
+        shift[:, 0] = self.shift_ids
+        shift[:, 1] = self.shift_ref_ids
+        shift[:, 2] = self.shift_ref_ckpts
+        parts.append(shift.tobytes())
+        if self.bitmap is not None:
+            parts.append(self.bitmap.tobytes())
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    def _pack_header(self) -> bytes:
         bitmap_bytes = self.bitmap.nbytes if self.bitmap is not None else 0
-        header = _HEADER.pack(
+        return _HEADER.pack(
             _MAGIC,
             _VERSION,
             _METHOD_CODE[self.method],
@@ -158,17 +189,20 @@ class CheckpointDiff:
             bitmap_bytes,
             len(self.payload),
         )
-        parts = [header]
-        parts.append(self.first_ids.astype("<u4").tobytes())
-        shift = np.empty((self.num_shift, 3), dtype="<u4")
-        shift[:, 0] = self.shift_ids
-        shift[:, 1] = self.shift_ref_ids
-        shift[:, 2] = self.shift_ref_ckpts
-        parts.append(shift.tobytes())
-        if self.bitmap is not None:
-            parts.append(self.bitmap.tobytes())
-        parts.append(self.payload)
-        out = b"".join(parts)
+
+    def content_digest(self) -> bytes:
+        """SHA-256 over the frame minus its digest field (header + body)."""
+        h = hashlib.sha256()
+        h.update(self._pack_header())
+        h.update(self._body_bytes())
+        return h.digest()
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned little-endian wire format (v2)."""
+        header = self._pack_header()
+        body = self._body_bytes()
+        digest = hashlib.sha256(header + body).digest()
+        out = header + digest + body
         if len(out) != self.serialized_size:  # pragma: no cover - invariant
             raise SerializationError(
                 f"encoded size {len(out)} != predicted {self.serialized_size}"
@@ -176,8 +210,14 @@ class CheckpointDiff:
         return out
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "CheckpointDiff":
-        """Parse a diff previously produced by :meth:`to_bytes`."""
+    def from_bytes(cls, blob: bytes, verify: bool = True) -> "CheckpointDiff":
+        """Parse a diff previously produced by :meth:`to_bytes`.
+
+        Both format versions are accepted: v2 frames carry a content
+        digest that is recomputed here (mismatch raises
+        :class:`~repro.errors.IntegrityError` unless *verify* is false);
+        v1 frames have none and come back with ``verified=False``.
+        """
         if len(blob) < _HEADER.size:
             raise SerializationError(f"diff blob too short ({len(blob)} bytes)")
         (
@@ -195,18 +235,37 @@ class CheckpointDiff:
         ) = _HEADER.unpack_from(blob, 0)
         if magic != _MAGIC:
             raise SerializationError(f"bad magic {magic!r}")
-        if version != _VERSION:
+        if version not in (_V1, _VERSION):
             raise SerializationError(f"unsupported diff version {version}")
         if method_code >= len(METHODS):
             raise SerializationError(f"unknown method code {method_code}")
         method = METHODS[method_code]
 
         off = _HEADER.size
+        stored_digest = None
+        if version == _VERSION:
+            if len(blob) < off + DIGEST_BYTES:
+                raise SerializationError(
+                    f"diff blob too short for v2 digest ({len(blob)} bytes)"
+                )
+            stored_digest = blob[off : off + DIGEST_BYTES]
+            off += DIGEST_BYTES
         need = off + 4 * n_first + 12 * n_shift + bitmap_bytes + payload_len
         if len(blob) != need:
             raise SerializationError(
                 f"diff blob length {len(blob)} != expected {need}"
             )
+        if stored_digest is not None and verify:
+            actual = hashlib.sha256()
+            actual.update(blob[: _HEADER.size])
+            actual.update(blob[_HEADER.size + DIGEST_BYTES :])
+            if actual.digest() != stored_digest:
+                raise IntegrityError(
+                    f"checkpoint {ckpt_id}: frame digest mismatch "
+                    f"(stored {stored_digest.hex()[:16]}…, "
+                    f"computed {actual.hexdigest()[:16]}…)",
+                    ckpt_id=ckpt_id,
+                )
         first_ids = np.frombuffer(blob, dtype="<u4", count=n_first, offset=off).copy()
         off += 4 * n_first
         shift = (
@@ -222,6 +281,10 @@ class CheckpointDiff:
             ).copy()
         off += bitmap_bytes
         payload = blob[off : off + payload_len]
+        if version == _V1:
+            verified: Optional[bool] = False
+        else:
+            verified = True if verify else None
         return cls(
             method=method,
             ckpt_id=ckpt_id,
@@ -233,6 +296,7 @@ class CheckpointDiff:
             shift_ref_ckpts=shift[:, 2],
             bitmap=bitmap,
             payload=payload,
+            verified=verified,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -241,3 +305,27 @@ class CheckpointDiff:
             f"first={self.num_first} shift={self.num_shift} "
             f"payload={self.payload_bytes}B total={self.serialized_size}B>"
         )
+
+
+def encode_legacy_v1(diff: CheckpointDiff) -> bytes:
+    """Encode *diff* in the pre-integrity v1 frame (no content digest).
+
+    New code always writes v2; this exists so compatibility tests and
+    migration tooling can produce records identical to ones written
+    before the format bump.
+    """
+    bitmap_bytes = diff.bitmap.nbytes if diff.bitmap is not None else 0
+    header = _HEADER.pack(
+        _MAGIC,
+        _V1,
+        _METHOD_CODE[diff.method],
+        0,
+        diff.ckpt_id,
+        diff.data_len,
+        diff.chunk_size,
+        diff.num_first,
+        diff.num_shift,
+        bitmap_bytes,
+        len(diff.payload),
+    )
+    return header + diff._body_bytes()

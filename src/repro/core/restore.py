@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import RestoreError
+from ..errors import IntegrityError, ReproError, RestoreError
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
 from .merkle import TreeLayout
@@ -37,15 +37,25 @@ class Restorer:
         Codec whose ``decompress`` undoes the engine-side payload
         compression (the hybrid mode of :class:`~repro.core.dedup_tree.
         TreeDedup`); ``None`` for raw payloads.
+    scrub:
+        When true, every diff is structurally validated before it is
+        applied (frame digest where present, region bounds, payload
+        lengths, reference validity), and any damage raises a structured
+        :class:`~repro.errors.IntegrityError` naming the first bad
+        checkpoint — instead of silently producing wrong bytes or
+        surfacing an unattributed :class:`RestoreError` mid-apply.
     """
 
-    def __init__(self, payload_codec=None) -> None:
+    def __init__(self, payload_codec=None, scrub: bool = False) -> None:
         self.payload_codec = payload_codec
+        self.scrub = scrub
         self._layouts: Dict[int, TreeLayout] = {}
 
     # ------------------------------------------------------------------
     def restore_all(self, diffs: Sequence[CheckpointDiff]) -> List[np.ndarray]:
         """Reconstruct every checkpoint in the chain, in order."""
+        if self.scrub:
+            self._scrub_chain(diffs)
         history: List[np.ndarray] = []
         for position, diff in enumerate(diffs):
             if diff.ckpt_id != position:
@@ -53,8 +63,42 @@ class Restorer:
                     f"diff chain out of order: position {position} holds "
                     f"checkpoint {diff.ckpt_id}"
                 )
-            history.append(self._restore_one(diff, history))
+            if not self.scrub:
+                history.append(self._restore_one(diff, history))
+                continue
+            try:
+                history.append(self._restore_one(diff, history))
+            except IntegrityError:
+                raise
+            except ReproError as exc:
+                raise IntegrityError(
+                    f"checkpoint {position}: diff failed to apply ({exc})",
+                    ckpt_id=position,
+                ) from exc
         return history
+
+    def _scrub_chain(self, diffs: Sequence[CheckpointDiff]) -> None:
+        """Pre-apply validation; raises on the first bad checkpoint."""
+        from .analysis import verify_chain  # local import: avoids a cycle
+
+        problems = verify_chain(diffs)
+        if self.payload_codec is not None:
+            # Compressed payloads legitimately differ from the raw
+            # lengths verify_chain predicts (see its docstring).
+            problems = [p for p in problems if "payload" not in p]
+        if problems:
+            first = problems[0]
+            ckpt_id: Optional[int] = None
+            if first.startswith("ckpt "):
+                try:
+                    ckpt_id = int(first.split()[1].rstrip(":"))
+                except ValueError:
+                    ckpt_id = None
+            raise IntegrityError(
+                f"scrub failed: {first}"
+                + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""),
+                ckpt_id=ckpt_id,
+            )
 
     def restore(
         self, diffs: Sequence[CheckpointDiff], upto: Optional[int] = None
@@ -229,7 +273,7 @@ class Restorer:
 
 
 def restore_latest(
-    diffs: Sequence[CheckpointDiff], payload_codec=None
+    diffs: Sequence[CheckpointDiff], payload_codec=None, scrub: bool = False
 ) -> np.ndarray:
     """Convenience wrapper: reconstruct only the final checkpoint."""
-    return Restorer(payload_codec=payload_codec).restore(diffs)
+    return Restorer(payload_codec=payload_codec, scrub=scrub).restore(diffs)

@@ -8,24 +8,86 @@ read by any tool that speaks it.
 
 Layout::
 
-    <dir>/record.json            manifest: method, count, geometry
+    <dir>/record.json            manifest: method, count, geometry, digests
     <dir>/ckpt-00000.rdif        CheckpointDiff.to_bytes() per checkpoint
     <dir>/ckpt-00001.rdif
     ...
+
+Manifest format v2 adds integrity: a per-checkpoint SHA-256 of each
+``.rdif`` file and a manifest-level *chain digest* (SHA-256 over the
+concatenated per-file digests), so swapping one valid frame for another
+valid-but-wrong frame is detected even though both frames self-verify.
+v1 manifests (and v1 frames) written before the format bump still load;
+their checkpoints are reported as ``unverified`` by :func:`verify_record`
+rather than trusted silently.  See ``docs/FAULT_MODEL.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
-from ..errors import StorageError
+from ..errors import IntegrityError, SerializationError, StorageError
 from .diff import CheckpointDiff
 
 _MANIFEST = "record.json"
 _PATTERN = "ckpt-{:05d}.rdif"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_V1 = 1
+
+#: Per-checkpoint statuses reported by :func:`verify_record`.
+STATUS_OK = "ok"
+STATUS_UNVERIFIED = "unverified"
+STATUS_CORRUPT = "corrupt"
+STATUS_MISSING = "missing"
+
+
+def _file_digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def _chain_digest(digests: List[str]) -> str:
+    h = hashlib.sha256()
+    for d in digests:
+        h.update(bytes.fromhex(d))
+    return h.hexdigest()
+
+
+def _read_manifest(path: Path) -> dict:
+    """Load and minimally validate a manifest, wrapping parse errors.
+
+    A malformed manifest is a *storage* failure, not a programming error:
+    raw ``json.JSONDecodeError`` / ``KeyError`` must never escape to
+    callers.
+    """
+    manifest_path = path / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"{path} holds no record manifest")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"malformed record manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise StorageError(
+            f"malformed record manifest {manifest_path}: not a JSON object"
+        )
+    try:
+        manifest["num_checkpoints"] = int(manifest["num_checkpoints"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(
+            f"malformed record manifest {manifest_path}: bad num_checkpoints"
+        ) from exc
+    version = manifest.get("format_version")
+    if version not in (_V1, _FORMAT_VERSION):
+        raise StorageError(f"unsupported record format {version!r}")
+    return manifest
 
 
 def save_record(
@@ -35,7 +97,9 @@ def save_record(
 
     Refuses to overwrite a directory already holding a different record
     length unless it holds a strict prefix of this chain (append-style
-    updates are fine).
+    updates are fine) — and the existing record must agree on geometry
+    (``data_len``, ``chunk_size``) and ``method``, so a chain can never
+    be silently mixed with an incompatible one.
     """
     if not diffs:
         raise StorageError("cannot save an empty record")
@@ -44,52 +108,253 @@ def save_record(
 
     manifest_path = path / _MANIFEST
     if manifest_path.exists():
-        existing = json.loads(manifest_path.read_text())
-        if existing.get("num_checkpoints", 0) > len(diffs):
+        existing = _read_manifest(path)
+        if existing["num_checkpoints"] > len(diffs):
             raise StorageError(
                 f"{path} already holds a longer record "
                 f"({existing['num_checkpoints']} checkpoints)"
             )
+        for key, value in (
+            ("data_len", diffs[0].data_len),
+            ("chunk_size", diffs[0].chunk_size),
+        ):
+            held = existing.get(key)
+            if held is not None and held != value:
+                raise StorageError(
+                    f"{path} holds an incompatible record: "
+                    f"{key}={held!r} on disk vs {value!r} being saved"
+                )
+        # Method compatibility: a single-checkpoint record's manifest
+        # method is just its first diff's method (a tree chain opens
+        # with a full checkpoint), so only a longer record pins the
+        # chain method.
+        held_method = existing.get("method")
+        new_method = method or diffs[-1].method
+        if (
+            held_method is not None
+            and existing["num_checkpoints"] > 1
+            and held_method != new_method
+        ):
+            raise StorageError(
+                f"{path} holds an incompatible record: "
+                f"method={held_method!r} on disk vs {new_method!r} being saved"
+            )
+        # Strongest append guard: the overlapping prefix must be the
+        # same bytes checkpoint for checkpoint (v2 manifests only).
+        held_digests = existing.get("digests")
+        if held_digests:
+            for i in range(min(len(held_digests), len(diffs))):
+                new_digest = hashlib.sha256(diffs[i].to_bytes()).hexdigest()
+                if new_digest != held_digests[i]:
+                    raise StorageError(
+                        f"{path} holds a different chain: checkpoint {i} "
+                        f"does not match the stored record (append must "
+                        f"extend, not rewrite)"
+                    )
 
+    digests = []
     for diff in diffs:
-        (path / _PATTERN.format(diff.ckpt_id)).write_bytes(diff.to_bytes())
+        blob = diff.to_bytes()
+        (path / _PATTERN.format(diff.ckpt_id)).write_bytes(blob)
+        digests.append(hashlib.sha256(blob).hexdigest())
     manifest = {
         "format_version": _FORMAT_VERSION,
         "method": method or diffs[-1].method,
         "num_checkpoints": len(diffs),
         "data_len": diffs[0].data_len,
         "chunk_size": diffs[0].chunk_size,
+        "digests": digests,
+        "chain_digest": _chain_digest(digests),
     }
     manifest_path.write_text(json.dumps(manifest, indent=2))
     return path
 
 
-def load_record(directory: Union[str, Path]) -> List[CheckpointDiff]:
-    """Read a diff chain previously written by :func:`save_record`."""
+def _load_one(
+    path: Path, index: int, expected_digest: Optional[str]
+) -> CheckpointDiff:
+    """Load + fully verify one checkpoint frame; raises on any damage."""
+    if not path.exists():
+        raise StorageError(f"record is missing checkpoint file {path.name}")
+    blob = path.read_bytes()
+    if expected_digest is not None:
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != expected_digest:
+            raise IntegrityError(
+                f"{path.name}: file digest mismatch "
+                f"(manifest {expected_digest[:16]}…, file {actual[:16]}…)",
+                ckpt_id=index,
+                path=str(path),
+            )
+    try:
+        diff = CheckpointDiff.from_bytes(blob)
+    except IntegrityError as exc:
+        raise IntegrityError(str(exc), ckpt_id=index, path=str(path)) from exc
+    if diff.ckpt_id != index:
+        raise StorageError(f"{path.name} holds checkpoint {diff.ckpt_id}")
+    return diff
+
+
+def load_record(
+    directory: Union[str, Path], strict: bool = True
+) -> List[CheckpointDiff]:
+    """Read a diff chain previously written by :func:`save_record`.
+
+    With ``strict=True`` (the default) any missing, corrupt, or
+    mismatched checkpoint file raises (:class:`StorageError` /
+    :class:`IntegrityError`).  With ``strict=False`` the longest valid
+    *prefix* of the chain is salvaged instead: loading stops at the first
+    bad checkpoint and whatever verified before it is returned (possibly
+    an empty list).  Diffs are chains — a checkpoint past a hole cannot
+    be reconstructed anyway, so the valid prefix is exactly the
+    recoverable part.
+    """
     path = Path(directory)
-    manifest_path = path / _MANIFEST
-    if not manifest_path.exists():
-        raise StorageError(f"{path} holds no record manifest")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != _FORMAT_VERSION:
-        raise StorageError(
-            f"unsupported record format {manifest.get('format_version')!r}"
-        )
-    count = int(manifest["num_checkpoints"])
-    diffs = []
+    manifest = _read_manifest(path)
+    count = manifest["num_checkpoints"]
+    digests = manifest.get("digests")
+    diffs: List[CheckpointDiff] = []
     for i in range(count):
-        blob_path = path / _PATTERN.format(i)
-        if not blob_path.exists():
-            raise StorageError(f"record is missing checkpoint file {blob_path.name}")
-        diffs.append(CheckpointDiff.from_bytes(blob_path.read_bytes()))
-        if diffs[-1].ckpt_id != i:
-            raise StorageError(f"{blob_path.name} holds checkpoint {diffs[-1].ckpt_id}")
+        expected = digests[i] if digests is not None and i < len(digests) else None
+        try:
+            diffs.append(_load_one(path / _PATTERN.format(i), i, expected))
+        except (StorageError, SerializationError):
+            if strict:
+                raise
+            break
     return diffs
 
 
 def record_manifest(directory: Union[str, Path]) -> dict:
     """Read just the manifest of a stored record."""
-    path = Path(directory) / _MANIFEST
-    if not path.exists():
-        raise StorageError(f"{Path(directory)} holds no record manifest")
-    return json.loads(path.read_text())
+    return _read_manifest(Path(directory))
+
+
+@dataclass
+class CheckpointStatus:
+    """Verification outcome of one stored checkpoint."""
+
+    index: int
+    filename: str
+    status: str  # one of STATUS_OK / STATUS_UNVERIFIED / STATUS_CORRUPT / STATUS_MISSING
+    detail: str = ""
+
+    @property
+    def loadable(self) -> bool:
+        """Whether the frame parses at all (ok or merely unverified)."""
+        return self.status in (STATUS_OK, STATUS_UNVERIFIED)
+
+
+@dataclass
+class RecordVerification:
+    """Full integrity report of a stored record directory."""
+
+    directory: str
+    format_version: int
+    checkpoints: List[CheckpointStatus] = field(default_factory=list)
+    chain_ok: Optional[bool] = None  # None when the manifest has no chain digest
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Every checkpoint verified and the chain digest matched."""
+        return (
+            all(c.status == STATUS_OK for c in self.checkpoints)
+            and self.chain_ok is True
+        )
+
+    @property
+    def first_bad(self) -> Optional[int]:
+        """Index of the first non-loadable checkpoint, or ``None``."""
+        for c in self.checkpoints:
+            if not c.loadable:
+                return c.index
+        return None
+
+    @property
+    def valid_prefix_len(self) -> int:
+        """Length of the longest loadable prefix (what salvage recovers)."""
+        n = 0
+        for c in self.checkpoints:
+            if not c.loadable:
+                break
+            n += 1
+        return n
+
+    def summary(self) -> str:
+        """One line per checkpoint plus the chain verdict."""
+        lines = [
+            f"{c.filename}: {c.status}" + (f" ({c.detail})" if c.detail else "")
+            for c in self.checkpoints
+        ]
+        if self.chain_ok is None:
+            lines.append("chain digest: absent (v1 record)")
+        else:
+            lines.append(f"chain digest: {'ok' if self.chain_ok else 'MISMATCH'}")
+        return "\n".join(lines)
+
+
+def verify_record(directory: Union[str, Path]) -> RecordVerification:
+    """Scan a record directory and report per-checkpoint integrity.
+
+    Never raises for damage inside the record (only for an unusable
+    manifest): every checkpoint is classified ``ok`` / ``unverified`` /
+    ``corrupt`` / ``missing`` so callers see the full extent of the
+    damage, not just the first problem.
+    """
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    digests = manifest.get("digests")
+    report = RecordVerification(
+        directory=str(path), format_version=manifest["format_version"]
+    )
+
+    seen_digests: List[str] = []
+    for i in range(manifest["num_checkpoints"]):
+        blob_path = path / _PATTERN.format(i)
+        name = blob_path.name
+        if not blob_path.exists():
+            report.checkpoints.append(
+                CheckpointStatus(i, name, STATUS_MISSING, "file not found")
+            )
+            continue
+        blob = blob_path.read_bytes()
+        seen_digests.append(hashlib.sha256(blob).hexdigest())
+        expected = digests[i] if digests is not None and i < len(digests) else None
+        if expected is not None and seen_digests[-1] != expected:
+            report.checkpoints.append(
+                CheckpointStatus(i, name, STATUS_CORRUPT, "file digest mismatch")
+            )
+            continue
+        try:
+            diff = CheckpointDiff.from_bytes(blob)
+        except SerializationError as exc:  # includes IntegrityError
+            report.checkpoints.append(
+                CheckpointStatus(i, name, STATUS_CORRUPT, str(exc))
+            )
+            continue
+        if diff.ckpt_id != i:
+            report.checkpoints.append(
+                CheckpointStatus(
+                    i, name, STATUS_CORRUPT, f"holds checkpoint {diff.ckpt_id}"
+                )
+            )
+            continue
+        if diff.verified is False:
+            report.checkpoints.append(
+                CheckpointStatus(i, name, STATUS_UNVERIFIED, "v1 frame, no digest")
+            )
+        elif expected is None:
+            report.checkpoints.append(
+                CheckpointStatus(
+                    i, name, STATUS_UNVERIFIED, "no manifest digest for this frame"
+                )
+            )
+        else:
+            report.checkpoints.append(CheckpointStatus(i, name, STATUS_OK))
+
+    chain_expected = manifest.get("chain_digest")
+    if chain_expected is not None:
+        complete = all(c.status != STATUS_MISSING for c in report.checkpoints)
+        report.chain_ok = complete and _chain_digest(seen_digests) == chain_expected
+    return report

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the checkpointing system.
+
+The paper's premise is that checkpoints let applications survive
+failures; this package supplies the failures.  Everything is seeded and
+deterministic so a fault campaign is replayable bit-for-bit:
+
+* :mod:`~repro.faults.injectors` — primitive corruptions of stored
+  ``.rdif`` files (bit flips, truncation, deletion).
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, a seedable schedule of
+  record corruptions, storage-tier outages, and process crashes, plus
+  the campaign runner used by ``benchmarks/bench_faults.py``.
+
+The taxonomy, detection guarantees, and recovery semantics are
+documented in ``docs/FAULT_MODEL.md``.
+"""
+
+from .injectors import (
+    AppliedFault,
+    delete_file,
+    flip_bit,
+    record_files,
+    truncate_file,
+)
+from .plan import (
+    CrashSpec,
+    FaultPlan,
+    RecordFault,
+    TierFaultSpec,
+    run_record_campaign,
+)
+
+__all__ = [
+    "AppliedFault",
+    "delete_file",
+    "flip_bit",
+    "record_files",
+    "truncate_file",
+    "CrashSpec",
+    "FaultPlan",
+    "RecordFault",
+    "TierFaultSpec",
+    "run_record_campaign",
+]

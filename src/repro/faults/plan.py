@@ -1,0 +1,283 @@
+"""Seedable fault schedules and the record-corruption campaign runner.
+
+A :class:`FaultPlan` turns one integer seed into a deterministic set of
+faults across all three failure domains the runtime models:
+
+* **record faults** — bit flips, truncations, and deletions of stored
+  ``.rdif`` checkpoint frames;
+* **tier faults** — transient and permanent drain outages of storage
+  tiers (applied to :class:`~repro.runtime.storage.StorageTier`);
+* **crashes** — process failures at chosen simulated times (driven
+  through :meth:`~repro.runtime.node.NodeRuntime.crash_restart`).
+
+Each planning method derives its randomness from ``(seed, domain salt)``
+so plans are independent of the order the methods are called in — the
+same seed always yields the same campaign.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import FaultError
+from .injectors import AppliedFault, delete_file, flip_bit, record_files, truncate_file
+
+PathLike = Union[str, Path]
+
+RECORD_FAULT_KINDS = ("bitflip", "truncate", "delete")
+
+# Domain salts keep the per-domain RNG streams independent of call order.
+_SALT_RECORD = 0x5EC0
+_SALT_TIER = 0x71E5
+_SALT_CRASH = 0xC5A5
+
+
+@dataclass(frozen=True)
+class RecordFault:
+    """One planned corruption of a stored checkpoint frame."""
+
+    kind: str  # one of RECORD_FAULT_KINDS
+    ckpt_index: int
+    #: Fractional position inside the file; resolved to a byte offset
+    #: (bitflip) or a kept length (truncate) against the actual size.
+    offset_frac: float = 0.0
+    bit: int = 0
+
+
+@dataclass(frozen=True)
+class TierFaultSpec:
+    """One planned storage-tier outage on the simulated clock."""
+
+    tier: str
+    kind: str  # "transient" | "permanent"
+    start: float
+    duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One planned process crash at a simulated time."""
+
+    process: int
+    at: float
+
+
+class FaultPlan:
+    """Deterministic fault schedule derived from one seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        #: Receipts of every fault this plan has applied, in order.
+        self.applied: List[AppliedFault] = []
+
+    def _rng(self, salt: int) -> np.random.Generator:
+        return np.random.default_rng([self.seed, salt])
+
+    # ------------------------------------------------------------------
+    # Record (on-disk) faults
+    # ------------------------------------------------------------------
+    def plan_record_faults(
+        self,
+        num_checkpoints: int,
+        n_faults: int = 1,
+        kinds: Sequence[str] = RECORD_FAULT_KINDS,
+    ) -> List[RecordFault]:
+        """Draw *n_faults* frame corruptions over a chain of
+        *num_checkpoints* checkpoints."""
+        if num_checkpoints <= 0:
+            raise FaultError("cannot plan faults for an empty record")
+        for kind in kinds:
+            if kind not in RECORD_FAULT_KINDS:
+                raise FaultError(f"unknown record fault kind {kind!r}")
+        rng = self._rng(_SALT_RECORD)
+        faults = []
+        for _ in range(n_faults):
+            faults.append(
+                RecordFault(
+                    kind=str(rng.choice(list(kinds))),
+                    ckpt_index=int(rng.integers(0, num_checkpoints)),
+                    offset_frac=float(rng.random()),
+                    bit=int(rng.integers(0, 8)),
+                )
+            )
+        return faults
+
+    def apply_record_faults(
+        self, record_dir: PathLike, faults: Sequence[RecordFault]
+    ) -> List[AppliedFault]:
+        """Inflict planned faults on a record directory, in order."""
+        receipts = []
+        for fault in faults:
+            files = record_files(record_dir)
+            target = files[fault.ckpt_index % len(files)]
+            size = target.stat().st_size
+            offset = min(int(fault.offset_frac * size), size - 1)
+            if fault.kind == "bitflip":
+                receipts.append(flip_bit(target, offset, fault.bit))
+            elif fault.kind == "truncate":
+                receipts.append(truncate_file(target, offset))
+            else:
+                receipts.append(delete_file(target))
+        self.applied.extend(receipts)
+        return receipts
+
+    # ------------------------------------------------------------------
+    # Storage-tier faults
+    # ------------------------------------------------------------------
+    def plan_tier_faults(
+        self,
+        tier_names: Sequence[str],
+        horizon_seconds: float,
+        n_transient: int = 1,
+        n_permanent: int = 0,
+        transient_duration: float = 1.0,
+    ) -> List[TierFaultSpec]:
+        """Draw tier outages inside ``[0, horizon_seconds)``."""
+        if not tier_names:
+            raise FaultError("cannot plan tier faults without tiers")
+        if horizon_seconds <= 0:
+            raise FaultError("fault horizon must be positive")
+        rng = self._rng(_SALT_TIER)
+        specs = []
+        for _ in range(n_transient):
+            specs.append(
+                TierFaultSpec(
+                    tier=str(rng.choice(list(tier_names))),
+                    kind="transient",
+                    start=float(rng.random() * horizon_seconds),
+                    duration=transient_duration,
+                )
+            )
+        for _ in range(n_permanent):
+            specs.append(
+                TierFaultSpec(
+                    tier=str(rng.choice(list(tier_names))),
+                    kind="permanent",
+                    start=float(rng.random() * horizon_seconds),
+                )
+            )
+        return specs
+
+    @staticmethod
+    def apply_tier_faults(tiers: Sequence, specs: Sequence[TierFaultSpec]) -> None:
+        """Install planned outages on matching
+        :class:`~repro.runtime.storage.StorageTier` objects."""
+        by_name = {t.name: t for t in tiers}
+        for spec in specs:
+            tier = by_name.get(spec.tier)
+            if tier is None:
+                raise FaultError(f"no tier named {spec.tier!r} to fault")
+            if spec.kind == "transient":
+                tier.fail_transient(spec.start, spec.duration)
+            elif spec.kind == "permanent":
+                tier.fail_permanent(spec.start)
+            else:
+                raise FaultError(f"unknown tier fault kind {spec.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Process crashes
+    # ------------------------------------------------------------------
+    def plan_crashes(
+        self,
+        num_processes: int,
+        horizon_seconds: float,
+        n_crashes: int = 1,
+    ) -> List[CrashSpec]:
+        """Draw crash times for a node of *num_processes* processes."""
+        if num_processes <= 0:
+            raise FaultError("cannot plan crashes without processes")
+        if horizon_seconds <= 0:
+            raise FaultError("crash horizon must be positive")
+        rng = self._rng(_SALT_CRASH)
+        return [
+            CrashSpec(
+                process=int(rng.integers(0, num_processes)),
+                at=float(rng.random() * horizon_seconds),
+            )
+            for _ in range(n_crashes)
+        ]
+
+
+def run_record_campaign(
+    record_dir: PathLike,
+    golden_states: Sequence[np.ndarray],
+    workdir: PathLike,
+    trials: int = 30,
+    kinds: Sequence[str] = RECORD_FAULT_KINDS,
+    seed: int = 0,
+) -> Dict[str, dict]:
+    """Corrupt copies of a record *trials* times and grade the defences.
+
+    For each trial a fresh copy of *record_dir* receives one seeded
+    fault; the copy is then scanned (`verify_record`), salvaged
+    (`load_record(strict=False)`), and scrub-restored.  Outcomes per
+    fault kind:
+
+    * ``detected``      — the scan flagged the damage;
+    * ``recovered``     — the salvaged prefix restored bit-identically
+      against *golden_states*;
+    * ``harmless``      — undetected, but every restored checkpoint still
+      matches the goldens (provably no damage to content);
+    * ``silent_wrong``  — undetected AND a restored checkpoint diverges:
+      the failure mode this subsystem exists to eliminate.
+
+    Returns ``{kind: counters}`` plus a ``"total"`` roll-up; everything
+    is plain ints/floats so the result is JSON-serialisable.
+    """
+    from ..core.restore import Restorer
+    from ..core.store import load_record, verify_record
+
+    def _bucket() -> dict:
+        return {
+            "trials": 0,
+            "detected": 0,
+            "recovered": 0,
+            "harmless": 0,
+            "silent_wrong": 0,
+        }
+
+    results: Dict[str, dict] = {kind: _bucket() for kind in kinds}
+    results["total"] = _bucket()
+
+    base = Path(workdir)
+    base.mkdir(parents=True, exist_ok=True)
+    for trial in range(trials):
+        plan = FaultPlan(seed * 1_000_003 + trial)
+        faults = plan.plan_record_faults(len(golden_states), n_faults=1, kinds=kinds)
+        trial_dir = base / f"trial-{trial:04d}"
+        if trial_dir.exists():
+            shutil.rmtree(trial_dir)
+        shutil.copytree(record_dir, trial_dir)
+        receipts = plan.apply_record_faults(trial_dir, faults)
+        kind = receipts[0].kind
+
+        scan = verify_record(trial_dir)
+        detected = not scan.ok
+        prefix = load_record(trial_dir, strict=False)
+        states = Restorer(scrub=True).restore_all(prefix) if prefix else []
+        prefix_identical = all(
+            np.array_equal(state, golden)
+            for state, golden in zip(states, golden_states)
+        )
+
+        for bucket in (results[kind], results["total"]):
+            bucket["trials"] += 1
+            if detected:
+                bucket["detected"] += 1
+                if prefix_identical:
+                    bucket["recovered"] += 1
+            elif len(states) == len(golden_states) and prefix_identical:
+                bucket["harmless"] += 1
+            else:
+                bucket["silent_wrong"] += 1
+
+    for bucket in results.values():
+        n = bucket["trials"]
+        bucket["detection_rate"] = bucket["detected"] / n if n else 0.0
+        bucket["recovery_rate"] = bucket["recovered"] / n if n else 0.0
+    return results

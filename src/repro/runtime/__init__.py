@@ -1,9 +1,10 @@
 """Multi-level asynchronous checkpoint runtime and scaling driver (Fig. 3,
 Fig. 6): storage tiers, FIFO flush pipeline with blocking host admission,
-and the strong-scaling experiment harness."""
+and the strong-scaling experiment harness — plus the failure path:
+tier outages with retry/route-around and crash-restart recovery."""
 
 from .async_flush import AsyncFlushPipeline, FlushReport
-from .node import NodeRuntime, NodeTimeline
+from .node import CrashReport, NodeRuntime, NodeTimeline, PersistedCheckpoint
 from .scaling import (
     ScalingResult,
     StrongScalingDriver,
@@ -11,13 +12,15 @@ from .scaling import (
     partition_vertices,
 )
 from .streaming import StreamingEstimate, StreamingScheduler
-from .storage import StorageTier, StoredObject, default_hierarchy
+from .storage import StorageTier, StoredObject, TierOutage, default_hierarchy
 
 __all__ = [
     "AsyncFlushPipeline",
     "FlushReport",
+    "CrashReport",
     "NodeRuntime",
     "NodeTimeline",
+    "PersistedCheckpoint",
     "ScalingResult",
     "StrongScalingDriver",
     "induced_partition_graph",
@@ -26,5 +29,6 @@ __all__ = [
     "StreamingScheduler",
     "StorageTier",
     "StoredObject",
+    "TierOutage",
     "default_hierarchy",
 ]

@@ -18,6 +18,9 @@ import numpy as np
 
 from ..core.base import DedupEngine
 from ..core.checkpointer import ENGINES
+from ..core.diff import CheckpointDiff
+from ..core.restore import Restorer
+from ..errors import SimulationError
 from ..gpusim.cluster import NodeSpec, thetagpu_node
 from ..gpusim.perfmodel import KernelCostModel
 from ..utils.validation import positive_float, positive_int
@@ -41,6 +44,39 @@ class NodeTimeline:
     def total_overhead_seconds(self) -> float:
         """Application-visible checkpointing overhead."""
         return self.blocking_device_seconds + self.blocking_staging_seconds
+
+
+@dataclass
+class PersistedCheckpoint:
+    """One checkpoint of one process as the durability tracker sees it."""
+
+    ckpt_id: int
+    diff: CheckpointDiff
+    #: Simulated time the engine finished producing the diff — work up to
+    #: this moment is recoverable once the diff is durable.
+    produced_at: float
+    #: Simulated time the diff reached the terminal tier.
+    persisted_at: float
+
+
+@dataclass
+class CrashReport:
+    """Outcome of one simulated process crash + restart.
+
+    ``lost_work_seconds`` is the paper's motivating metric for checkpoint
+    cadence: everything computed after the last *durable* checkpoint was
+    produced is gone and must be recomputed after restart.
+    """
+
+    process: int
+    crash_time: float
+    #: Checkpoint the process restarted from (``None`` = cold restart).
+    restored_ckpt_id: Optional[int]
+    lost_work_seconds: float
+    #: Bit-exact state the process restarts with (zeros on cold restart).
+    restored_state: np.ndarray
+    #: Checkpoints that were produced but not yet durable at crash time.
+    in_flight_ckpts: List[int] = field(default_factory=list)
 
 
 class NodeRuntime:
@@ -100,6 +136,14 @@ class NodeRuntime:
         )
         self.timelines = [NodeTimeline(process=p) for p in range(num_processes)]
         self._ckpt_counter = 0
+        self._method = method
+        self._data_len = data_len
+        self._chunk_size = chunk_size
+        #: Per-process durability ledger, appended by checkpoint_all.
+        self.persisted: List[List[PersistedCheckpoint]] = [
+            [] for _ in range(num_processes)
+        ]
+        self.crash_reports: List[CrashReport] = []
 
     # ------------------------------------------------------------------
     def checkpoint_all(
@@ -119,14 +163,102 @@ class NodeRuntime:
             timeline = self.timelines[p]
             timeline.blocking_device_seconds += cost.total_seconds
             timeline.stored_bytes += diff.serialized_size
+            produced_at = now + cost.total_seconds
             report = self.pipeline.submit(
                 f"p{p}-ck{self._ckpt_counter}",
                 diff.serialized_size,
-                now=now + cost.total_seconds,
+                now=produced_at,
             )
             timeline.blocking_staging_seconds += report.blocked_seconds
+            self.persisted[p].append(
+                PersistedCheckpoint(
+                    ckpt_id=diff.ckpt_id,
+                    diff=diff,
+                    produced_at=produced_at,
+                    persisted_at=report.persisted_at,
+                )
+            )
         self._ckpt_counter += 1
         return self.timelines
+
+    # ------------------------------------------------------------------
+    # Crash / restart simulation (the failure the system exists for)
+    # ------------------------------------------------------------------
+    def crash_restart(
+        self, process: int, at_time: float, scrub: bool = True
+    ) -> CrashReport:
+        """Crash *process* at simulated time *at_time* and restart it.
+
+        The process loses its in-memory state and every checkpoint still
+        in flight through the hierarchy; it restarts from the latest
+        checkpoint that was *durable* (had reached the terminal tier) by
+        ``at_time``, reconstructed through a scrubbing restore.  The
+        engine is replaced with a fresh one seeded by re-checkpointing
+        the restored state, so the dedup chain restarts consistently.
+
+        Returns a :class:`CrashReport` with the restored state and the
+        lost-work metric.
+        """
+        if not 0 <= process < self.num_processes:
+            raise SimulationError(
+                f"process {process} outside node of {self.num_processes}"
+            )
+        if at_time < 0:
+            raise SimulationError(f"crash time must be non-negative, got {at_time}")
+        ledger = self.persisted[process]
+        durable_idx = [i for i, c in enumerate(ledger) if c.persisted_at <= at_time]
+        in_flight = [
+            c.ckpt_id
+            for c in ledger
+            if c.produced_at <= at_time < c.persisted_at
+        ]
+
+        if durable_idx:
+            last = ledger[durable_idx[-1]]
+            chain = [c.diff for c in ledger[: durable_idx[-1] + 1]]
+            restorer = Restorer(scrub=scrub)
+            restored = restorer.restore(chain, upto=last.ckpt_id)
+            restored_id: Optional[int] = last.ckpt_id
+            lost = max(0.0, at_time - last.produced_at)
+        else:
+            restored = np.zeros(self._data_len, dtype=np.uint8)
+            restored_id = None
+            lost = at_time
+
+        # Replace the crashed process's engine and rebuild its dedup
+        # state from the restored checkpoint.  The new engine's chain
+        # restarts at checkpoint 0, so the durability ledger restarts
+        # with it: the restart checkpoint is durable by construction
+        # (it was reconstructed from data already on the terminal tier).
+        engine = ENGINES[self._method](self._data_len, self._chunk_size)
+        self.persisted[process] = []
+        if restored_id is not None:
+            seed_diff = engine.checkpoint(restored)
+            self.persisted[process].append(
+                PersistedCheckpoint(
+                    ckpt_id=seed_diff.ckpt_id,
+                    diff=seed_diff,
+                    produced_at=at_time,
+                    persisted_at=at_time,
+                )
+            )
+        self.engines[process] = engine
+
+        report = CrashReport(
+            process=process,
+            crash_time=at_time,
+            restored_ckpt_id=restored_id,
+            lost_work_seconds=lost,
+            restored_state=restored,
+            in_flight_ckpts=in_flight,
+        )
+        self.crash_reports.append(report)
+        return report
+
+    @property
+    def total_lost_work_seconds(self) -> float:
+        """Summed lost work across all simulated crashes."""
+        return sum(r.lost_work_seconds for r in self.crash_reports)
 
     # ------------------------------------------------------------------
     @property

@@ -26,6 +26,26 @@ class StoredObject:
     arrived_at: float
 
 
+@dataclass(frozen=True)
+class TierOutage:
+    """One injected failure window of a tier, on the simulated clock.
+
+    ``transient`` outages block the tier's *drain link* during
+    ``[start, start + duration)`` — attempts fail and must be retried.
+    ``permanent`` outages kill the whole tier from ``start`` on:
+    admissions and drains both fail forever; the pipeline must route
+    around it or give up.
+    """
+
+    kind: str  # "transient" | "permanent"
+    start: float
+    duration: float = 0.0  # ignored for permanent outages
+
+    @property
+    def end(self) -> float:
+        return float("inf") if self.kind == "permanent" else self.start + self.duration
+
+
 class StorageTier:
     """A capacity/bandwidth-constrained stage of the storage hierarchy."""
 
@@ -41,6 +61,46 @@ class StorageTier:
         self.link_busy_until = 0.0
         #: High-water mark of occupancy (reported by the runtime bench).
         self.peak_used = 0
+        #: Injected failure windows, newest last (see :class:`TierOutage`).
+        self.outages: List[TierOutage] = []
+
+    # ------------------------------------------------------------------
+    # Fault injection (driven by repro.faults.FaultPlan or tests)
+    # ------------------------------------------------------------------
+    def fail_transient(self, start: float, duration: float) -> TierOutage:
+        """Inject a transient drain outage over ``[start, start+duration)``."""
+        if start < 0:
+            raise StorageError(f"outage start must be non-negative, got {start}")
+        positive_float(duration, "duration")
+        outage = TierOutage("transient", start, duration)
+        self.outages.append(outage)
+        return outage
+
+    def fail_permanent(self, start: float) -> TierOutage:
+        """Kill the tier from simulated time *start* onwards."""
+        if start < 0:
+            raise StorageError(f"outage start must be non-negative, got {start}")
+        outage = TierOutage("permanent", start)
+        self.outages.append(outage)
+        return outage
+
+    def is_dead(self, now: float) -> bool:
+        """Whether a permanent outage has taken the tier down by *now*."""
+        return any(
+            o.kind == "permanent" and o.start <= now for o in self.outages
+        )
+
+    def drain_blocked_until(self, now: float) -> Optional[float]:
+        """If the drain link is faulted at *now*, when the outage clears.
+
+        Returns ``None`` when the link is healthy, ``inf`` for a
+        permanent outage, else the end of the covering transient window.
+        """
+        blocked: Optional[float] = None
+        for o in self.outages:
+            if o.start <= now < o.end:
+                blocked = o.end if blocked is None else max(blocked, o.end)
+        return blocked
 
     @property
     def used_bytes(self) -> int:
@@ -58,7 +118,9 @@ class StorageTier:
         return nbytes <= self.free_bytes
 
     def put(self, key: str, nbytes: int, now: float) -> None:
-        """Admit an object; raises :class:`StorageError` when full."""
+        """Admit an object; raises :class:`StorageError` when full or dead."""
+        if self.is_dead(now):
+            raise StorageError(f"tier {self.name} is failed at t={now:g}")
         if key in self._objects:
             raise StorageError(f"tier {self.name}: duplicate object {key!r}")
         if not self.fits(nbytes):

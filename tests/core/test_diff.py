@@ -4,12 +4,15 @@ import numpy as np
 import pytest
 
 from repro.core.diff import (
+    DIGEST_BYTES,
     FIRST_ENTRY_BYTES,
     METHODS,
     SHIFT_ENTRY_BYTES,
+    _HEADER,
     CheckpointDiff,
+    encode_legacy_v1,
 )
-from repro.errors import SerializationError
+from repro.errors import IntegrityError, SerializationError
 
 
 def make_tree_diff(**overrides):
@@ -152,3 +155,78 @@ class TestParsing:
         blob[4] = 99
         with pytest.raises(SerializationError):
             CheckpointDiff.from_bytes(bytes(blob))
+
+
+class TestIntegrityV2:
+    def test_v2_parse_sets_verified(self):
+        back = CheckpointDiff.from_bytes(make_tree_diff().to_bytes())
+        assert back.verified is True
+
+    def test_locally_built_diff_is_unmarked(self):
+        assert make_tree_diff().verified is None
+
+    def test_header_bytes_include_digest(self):
+        diff = make_tree_diff()
+        assert diff.header_bytes == _HEADER.size + DIGEST_BYTES
+        assert len(diff.to_bytes()) == diff.serialized_size
+
+    def test_any_payload_byte_flip_detected(self):
+        blob = bytearray(make_tree_diff().to_bytes())
+        blob[-1] ^= 0x40  # last payload byte
+        with pytest.raises(IntegrityError) as exc:
+            CheckpointDiff.from_bytes(bytes(blob))
+        assert exc.value.ckpt_id == 3
+
+    def test_header_flip_detected(self):
+        blob = bytearray(make_tree_diff().to_bytes())
+        blob[8] ^= 0x01  # inside ckpt_id field, keeps lengths coherent
+        with pytest.raises(IntegrityError):
+            CheckpointDiff.from_bytes(bytes(blob))
+
+    def test_digest_field_flip_detected(self):
+        blob = bytearray(make_tree_diff().to_bytes())
+        blob[_HEADER.size] ^= 0x01  # first byte of the stored digest
+        with pytest.raises(IntegrityError):
+            CheckpointDiff.from_bytes(bytes(blob))
+
+    def test_verify_false_skips_digest_check(self):
+        blob = bytearray(make_tree_diff().to_bytes())
+        blob[-1] ^= 0x40
+        back = CheckpointDiff.from_bytes(bytes(blob), verify=False)
+        assert back.verified is None
+
+    def test_content_digest_matches_frame(self):
+        diff = make_tree_diff()
+        blob = diff.to_bytes()
+        stored = blob[_HEADER.size : _HEADER.size + DIGEST_BYTES]
+        assert diff.content_digest() == stored
+
+    def test_roundtrip_reencodes_identically(self):
+        blob = make_tree_diff().to_bytes()
+        assert CheckpointDiff.from_bytes(blob).to_bytes() == blob
+
+
+class TestLegacyV1:
+    def test_v1_frame_loads_unverified(self):
+        diff = make_tree_diff()
+        back = CheckpointDiff.from_bytes(encode_legacy_v1(diff))
+        assert back.verified is False
+        assert back.payload == diff.payload
+        assert back.first_ids.tolist() == diff.first_ids.tolist()
+
+    def test_v1_frame_is_smaller_by_digest(self):
+        diff = make_tree_diff()
+        assert len(encode_legacy_v1(diff)) == len(diff.to_bytes()) - DIGEST_BYTES
+
+    def test_v1_reencoded_becomes_v2(self):
+        diff = make_tree_diff()
+        back = CheckpointDiff.from_bytes(encode_legacy_v1(diff))
+        again = CheckpointDiff.from_bytes(back.to_bytes())
+        assert again.verified is True
+
+    def test_v1_corruption_in_payload_is_silent(self):
+        # Documents WHY v2 exists: v1 frames cannot detect payload damage.
+        blob = bytearray(encode_legacy_v1(make_tree_diff()))
+        blob[-1] ^= 0x40
+        back = CheckpointDiff.from_bytes(bytes(blob))
+        assert back.verified is False  # flagged untrusted, not rejected

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import ENGINES, Restorer, restore_latest
 from repro.core.diff import CheckpointDiff
-from repro.errors import RestoreError
+from repro.errors import IntegrityError, RestoreError
 
 
 @pytest.fixture
@@ -113,6 +113,80 @@ class TestCorruptionDetection:
         )
         with pytest.raises(RestoreError):
             Restorer().restore_all([d0, d1])
+
+
+class TestScrubbing:
+    def test_clean_chain_scrubs_identically(self, tree_chain):
+        plain = Restorer().restore_all(tree_chain)
+        scrubbed = Restorer(scrub=True).restore_all(tree_chain)
+        for a, b in zip(plain, scrubbed):
+            assert np.array_equal(a, b)
+
+    def _damaged(self, tree_chain, **overrides):
+        src = tree_chain[2]
+        kwargs = dict(
+            method=src.method,
+            ckpt_id=src.ckpt_id,
+            data_len=src.data_len,
+            chunk_size=src.chunk_size,
+            first_ids=src.first_ids,
+            shift_ids=src.shift_ids,
+            shift_ref_ids=src.shift_ref_ids,
+            shift_ref_ckpts=src.shift_ref_ckpts,
+            payload=src.payload,
+        )
+        kwargs.update(overrides)
+        chain = list(tree_chain)
+        chain[2] = CheckpointDiff(**kwargs)
+        return chain
+
+    def test_scrub_names_first_bad_checkpoint(self, tree_chain):
+        chain = self._damaged(tree_chain, payload=tree_chain[2].payload[:-7])
+        with pytest.raises(IntegrityError) as exc:
+            Restorer(scrub=True).restore_all(chain)
+        assert exc.value.ckpt_id == 2
+
+    def test_scrub_catches_forward_reference(self, rng):
+        d0 = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=256, chunk_size=64,
+            payload=bytes(rng.integers(0, 256, 256, dtype=np.uint8)),
+        )
+        d1 = CheckpointDiff(
+            method="tree", ckpt_id=1, data_len=256, chunk_size=64,
+            shift_ids=np.array([3], dtype=np.uint32),
+            shift_ref_ids=np.array([4], dtype=np.uint32),
+            shift_ref_ckpts=np.array([7], dtype=np.uint32),  # future ckpt
+        )
+        with pytest.raises(IntegrityError) as exc:
+            Restorer(scrub=True).restore_all([d0, d1])
+        assert exc.value.ckpt_id == 1
+
+    def test_scrub_wraps_apply_failures(self, rng):
+        d0 = CheckpointDiff(
+            method="full", ckpt_id=0, data_len=256, chunk_size=64,
+            payload=bytes(256),
+        )
+        d1 = CheckpointDiff(
+            method="full", ckpt_id=1, data_len=512, chunk_size=64,
+            payload=bytes(512),
+        )
+        with pytest.raises(IntegrityError) as exc:
+            Restorer(scrub=True).restore_all([d0, d1])
+        assert exc.value.ckpt_id == 1
+
+    def test_restore_latest_scrub_passthrough(self, tree_chain):
+        assert np.array_equal(
+            restore_latest(tree_chain, scrub=True),
+            restore_latest(tree_chain),
+        )
+
+    def test_integrity_error_is_restorable_catch(self, tree_chain):
+        """Legacy callers catching ReproError subclasses still work."""
+        from repro.errors import SerializationError, StorageError
+
+        chain = self._damaged(tree_chain, payload=tree_chain[2].payload[:-7])
+        with pytest.raises((SerializationError, StorageError)):
+            Restorer(scrub=True).restore_all(chain)
 
 
 class TestMixedMethodChain:

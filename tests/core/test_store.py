@@ -1,11 +1,22 @@
 """Tests for the on-disk record store."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.core import ENGINES, Restorer
-from repro.core.store import load_record, record_manifest, save_record
-from repro.errors import StorageError
+from repro.core import ENGINES, Restorer, encode_legacy_v1
+from repro.core.store import (
+    STATUS_CORRUPT,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_UNVERIFIED,
+    load_record,
+    record_manifest,
+    save_record,
+    verify_record,
+)
+from repro.errors import IntegrityError, StorageError
 
 
 @pytest.fixture
@@ -66,6 +77,216 @@ class TestSaveLoad:
         (path / "ckpt-00001.rdif").unlink()
         with pytest.raises(StorageError):
             load_record(path)
+
+
+def _write_v1_record(diffs, directory):
+    """A record exactly as the pre-integrity code would have written it."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for d in diffs:
+        (directory / f"ckpt-{d.ckpt_id:05d}.rdif").write_bytes(encode_legacy_v1(d))
+    (directory / "record.json").write_text(
+        json.dumps(
+            {
+                "format_version": 1,
+                "method": "tree",
+                "num_checkpoints": len(diffs),
+                "data_len": diffs[0].data_len,
+                "chunk_size": diffs[0].chunk_size,
+            }
+        )
+    )
+    return directory
+
+
+class TestManifestRobustness:
+    def test_malformed_json_wrapped(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "record.json").write_text("{not json")
+        for fn in (load_record, record_manifest, verify_record):
+            with pytest.raises(StorageError, match="malformed record manifest"):
+                fn(path)
+
+    def test_missing_key_wrapped(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "record.json").write_text(json.dumps({"format_version": 2}))
+        with pytest.raises(StorageError, match="num_checkpoints"):
+            load_record(path)
+
+    def test_non_object_manifest_wrapped(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "record.json").write_text("[1, 2, 3]")
+        with pytest.raises(StorageError, match="not a JSON object"):
+            load_record(path)
+
+    def test_unsupported_version_rejected(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        manifest = json.loads((path / "record.json").read_text())
+        manifest["format_version"] = 99
+        (path / "record.json").write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="unsupported record format"):
+            load_record(path)
+
+    def test_error_names_offending_path(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "record.json").write_text("{not json")
+        with pytest.raises(StorageError, match="record.json"):
+            record_manifest(path)
+
+
+class TestAppendCompatibility:
+    def test_append_rejects_different_geometry(self, diffs, tmp_path, rng):
+        path = save_record(diffs, tmp_path / "rec")
+        n = 32 * 64
+        other = ENGINES["tree"](n, 32)
+        alien = [other.checkpoint(rng.integers(0, 256, n, dtype=np.uint8))]
+        alien.append(other.checkpoint(rng.integers(0, 256, n, dtype=np.uint8)))
+        with pytest.raises(StorageError, match="incompatible"):
+            save_record(alien, path)
+
+    def test_append_rejects_different_method(self, diffs, tmp_path, rng):
+        path = save_record(diffs, tmp_path / "rec", method="tree")
+        n = diffs[0].data_len
+        other = ENGINES["basic"](n, diffs[0].chunk_size)
+        alien = [
+            other.checkpoint(rng.integers(0, 256, n, dtype=np.uint8))
+            for _ in range(3)
+        ]
+        with pytest.raises(StorageError, match="incompatible|different chain"):
+            save_record(alien, path, method="basic")
+
+    def test_append_rejects_divergent_chain(self, diffs, tmp_path, rng):
+        path = save_record(diffs, tmp_path / "rec")
+        n = diffs[0].data_len
+        other = ENGINES["tree"](n, diffs[0].chunk_size)
+        alien = [
+            other.checkpoint(rng.integers(0, 256, n, dtype=np.uint8))
+            for _ in range(2)
+        ]
+        with pytest.raises(StorageError, match="different chain"):
+            save_record(alien, path)
+
+
+class TestVerifyRecord:
+    def test_clean_record_ok(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        report = verify_record(path)
+        assert report.ok
+        assert report.chain_ok is True
+        assert report.first_bad is None
+        assert report.valid_prefix_len == len(diffs)
+        assert all(c.status == STATUS_OK for c in report.checkpoints)
+
+    def test_bitflip_flags_one_checkpoint(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        blob = bytearray((path / "ckpt-00001.rdif").read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        (path / "ckpt-00001.rdif").write_bytes(bytes(blob))
+        report = verify_record(path)
+        assert not report.ok
+        assert [c.status for c in report.checkpoints] == [
+            STATUS_OK,
+            STATUS_CORRUPT,
+        ]
+        assert report.first_bad == 1
+        assert report.valid_prefix_len == 1
+        assert report.chain_ok is False
+
+    def test_missing_file_flagged(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00000.rdif").unlink()
+        report = verify_record(path)
+        assert report.checkpoints[0].status == STATUS_MISSING
+        assert report.valid_prefix_len == 0
+
+    def test_swapped_frames_detected(self, diffs, tmp_path):
+        # Both frames self-verify; only the manifest digests catch the swap.
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00001.rdif").write_bytes(
+            (path / "ckpt-00000.rdif").read_bytes()
+        )
+        report = verify_record(path)
+        assert report.checkpoints[1].status == STATUS_CORRUPT
+
+    def test_v1_record_reported_unverified(self, diffs, tmp_path):
+        path = _write_v1_record(diffs, tmp_path / "v1rec")
+        report = verify_record(path)
+        assert not report.ok  # unverified is not ok, but it is loadable
+        assert all(c.status == STATUS_UNVERIFIED for c in report.checkpoints)
+        assert all(c.loadable for c in report.checkpoints)
+        assert report.chain_ok is None
+        assert "v1" in report.summary()
+
+    def test_summary_mentions_statuses(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00001.rdif").unlink()
+        text = verify_record(path).summary()
+        assert "ckpt-00001.rdif: missing" in text
+
+
+class TestSalvage:
+    def test_strict_load_raises_integrity(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        blob = bytearray((path / "ckpt-00001.rdif").read_bytes())
+        blob[-1] ^= 0x01
+        (path / "ckpt-00001.rdif").write_bytes(bytes(blob))
+        with pytest.raises(IntegrityError) as exc:
+            load_record(path)
+        assert exc.value.ckpt_id == 1
+        assert "ckpt-00001" in exc.value.path
+
+    def test_salvage_returns_valid_prefix(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        blob = bytearray((path / "ckpt-00001.rdif").read_bytes())
+        blob[-1] ^= 0x01
+        (path / "ckpt-00001.rdif").write_bytes(bytes(blob))
+        prefix = load_record(path, strict=False)
+        assert len(prefix) == 1
+        assert prefix[0].to_bytes() == diffs[0].to_bytes()
+
+    def test_salvage_of_clean_record_is_complete(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        assert len(load_record(path, strict=False)) == len(diffs)
+
+    def test_salvage_past_missing_file(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00001.rdif").unlink()
+        assert len(load_record(path, strict=False)) == 1
+
+    def test_salvage_can_be_empty(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        (path / "ckpt-00000.rdif").unlink()
+        assert load_record(path, strict=False) == []
+
+    def test_salvaged_prefix_restores(self, diffs, tmp_path):
+        path = save_record(diffs, tmp_path / "rec")
+        golden = Restorer().restore_all(diffs)
+        blob = bytearray((path / "ckpt-00001.rdif").read_bytes())
+        blob[60] ^= 0x80
+        (path / "ckpt-00001.rdif").write_bytes(bytes(blob))
+        prefix = load_record(path, strict=False)
+        states = Restorer(scrub=True).restore_all(prefix)
+        assert np.array_equal(states[0], golden[0])
+
+
+class TestV1Compatibility:
+    def test_v1_record_loads(self, diffs, tmp_path):
+        path = _write_v1_record(diffs, tmp_path / "v1rec")
+        loaded = load_record(path)
+        assert len(loaded) == len(diffs)
+        assert all(d.verified is False for d in loaded)
+        direct = Restorer().restore_all(diffs)
+        from_disk = Restorer().restore_all(loaded)
+        for a, b in zip(direct, from_disk):
+            assert np.array_equal(a, b)
+
+    def test_resave_upgrades_to_v2(self, diffs, tmp_path):
+        path = _write_v1_record(diffs, tmp_path / "v1rec")
+        loaded = load_record(path)
+        save_record(loaded, tmp_path / "v2rec")
+        manifest = record_manifest(tmp_path / "v2rec")
+        assert manifest["format_version"] == 2
+        assert len(manifest["digests"]) == len(diffs)
+        assert verify_record(tmp_path / "v2rec").ok
 
 
 class TestCli:

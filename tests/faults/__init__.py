@@ -1,0 +1,1 @@
+"""Fault-injection subsystem tests."""

@@ -1,0 +1,89 @@
+"""Tests for the primitive file-level fault injectors."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import delete_file, flip_bit, record_files, truncate_file
+
+
+@pytest.fixture
+def target(tmp_path):
+    path = tmp_path / "ckpt-00000.rdif"
+    path.write_bytes(bytes(range(256)))
+    return path
+
+
+class TestFlipBit:
+    def test_flips_exactly_one_bit(self, target):
+        receipt = flip_bit(target, 10, bit=3)
+        data = target.read_bytes()
+        assert data[10] == 10 ^ (1 << 3)
+        assert data[:10] == bytes(range(10))
+        assert data[11:] == bytes(range(11, 256))
+        assert receipt.kind == "bitflip"
+        assert receipt.detail == 10
+
+    def test_double_flip_restores(self, target):
+        original = target.read_bytes()
+        flip_bit(target, 42, bit=7)
+        flip_bit(target, 42, bit=7)
+        assert target.read_bytes() == original
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FaultError):
+            flip_bit(tmp_path / "nope", 0)
+
+    def test_offset_out_of_range(self, target):
+        with pytest.raises(FaultError):
+            flip_bit(target, 256)
+
+    def test_bad_bit(self, target):
+        with pytest.raises(FaultError):
+            flip_bit(target, 0, bit=8)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        with pytest.raises(FaultError):
+            flip_bit(empty, 0)
+
+
+class TestTruncate:
+    def test_shortens_file(self, target):
+        truncate_file(target, 100)
+        assert target.read_bytes() == bytes(range(100))
+
+    def test_truncate_to_zero(self, target):
+        truncate_file(target, 0)
+        assert target.read_bytes() == b""
+
+    def test_must_shorten(self, target):
+        with pytest.raises(FaultError):
+            truncate_file(target, 256)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FaultError):
+            truncate_file(tmp_path / "nope", 0)
+
+
+class TestDelete:
+    def test_removes_file(self, target):
+        receipt = delete_file(target)
+        assert not target.exists()
+        assert receipt.detail == 256
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FaultError):
+            delete_file(tmp_path / "nope")
+
+
+class TestRecordFiles:
+    def test_sorted_chain_order(self, tmp_path):
+        for i in (2, 0, 1):
+            (tmp_path / f"ckpt-{i:05d}.rdif").write_bytes(b"x")
+        names = [p.name for p in record_files(tmp_path)]
+        assert names == ["ckpt-00000.rdif", "ckpt-00001.rdif", "ckpt-00002.rdif"]
+
+    def test_empty_dir(self, tmp_path):
+        with pytest.raises(FaultError):
+            record_files(tmp_path)

@@ -1,0 +1,120 @@
+"""Tests for FaultPlan determinism and the record campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINES, Restorer, save_record
+from repro.errors import FaultError
+from repro.faults import FaultPlan, run_record_campaign
+from repro.runtime import StorageTier
+
+
+@pytest.fixture
+def record(tmp_path, rng):
+    n = 64 * 48
+    data = rng.integers(0, 256, n, dtype=np.uint8)
+    engine = ENGINES["tree"](n, 64)
+    diffs = [engine.checkpoint(data)]
+    for k in range(3):
+        data = data.copy()
+        data[k * 128 : k * 128 + 128] = rng.integers(0, 256, 128, dtype=np.uint8)
+        diffs.append(engine.checkpoint(data))
+    path = save_record(diffs, tmp_path / "rec", method="tree")
+    return path, diffs
+
+
+class TestDeterminism:
+    def test_same_seed_same_record_faults(self):
+        a = FaultPlan(17).plan_record_faults(8, n_faults=5)
+        b = FaultPlan(17).plan_record_faults(8, n_faults=5)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = FaultPlan(17).plan_record_faults(8, n_faults=5)
+        b = FaultPlan(18).plan_record_faults(8, n_faults=5)
+        assert a != b
+
+    def test_domains_independent_of_call_order(self):
+        plan_a = FaultPlan(5)
+        tiers_first = plan_a.plan_tier_faults(["host", "ssd"], 10.0, n_transient=3)
+        records_after = plan_a.plan_record_faults(4, n_faults=3)
+
+        plan_b = FaultPlan(5)
+        records_first = plan_b.plan_record_faults(4, n_faults=3)
+        tiers_after = plan_b.plan_tier_faults(["host", "ssd"], 10.0, n_transient=3)
+
+        assert tiers_first == tiers_after
+        assert records_first == records_after
+
+    def test_same_seed_same_crashes(self):
+        a = FaultPlan(9).plan_crashes(4, 100.0, n_crashes=6)
+        b = FaultPlan(9).plan_crashes(4, 100.0, n_crashes=6)
+        assert a == b
+
+
+class TestValidation:
+    def test_empty_record_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(0).plan_record_faults(0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(0).plan_record_faults(4, kinds=("rot13",))
+
+    def test_no_tiers_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(0).plan_tier_faults([], 10.0)
+
+    def test_unknown_tier_rejected(self):
+        plan = FaultPlan(0)
+        specs = plan.plan_tier_faults(["nvme"], 10.0)
+        with pytest.raises(FaultError):
+            plan.apply_tier_faults([StorageTier("host", 100, 1.0)], specs)
+
+
+class TestApply:
+    def test_bitflip_changes_one_file(self, record):
+        path, _ = record
+        before = {
+            p.name: p.read_bytes() for p in sorted(path.glob("ckpt-*.rdif"))
+        }
+        plan = FaultPlan(3)
+        receipts = plan.apply_record_faults(
+            path, plan.plan_record_faults(4, kinds=("bitflip",))
+        )
+        after = {p.name: p.read_bytes() for p in sorted(path.glob("ckpt-*.rdif"))}
+        changed = [n for n in before if before[n] != after[n]]
+        assert len(changed) == 1
+        assert receipts[0].kind == "bitflip"
+        assert plan.applied == receipts
+
+    def test_delete_removes_file(self, record):
+        path, _ = record
+        plan = FaultPlan(3)
+        plan.apply_record_faults(path, plan.plan_record_faults(4, kinds=("delete",)))
+        assert len(list(path.glob("ckpt-*.rdif"))) == 3
+
+    def test_apply_tier_faults(self):
+        tier = StorageTier("ssd", 100, 1.0)
+        plan = FaultPlan(1)
+        specs = plan.plan_tier_faults(
+            ["ssd"], 10.0, n_transient=1, n_permanent=1, transient_duration=2.0
+        )
+        plan.apply_tier_faults([tier], specs)
+        kinds = {o.kind for o in tier.outages}
+        assert kinds == {"transient", "permanent"}
+        assert tier.is_dead(11.0)
+
+
+class TestCampaign:
+    def test_campaign_detects_and_recovers(self, record, tmp_path):
+        path, diffs = record
+        golden = Restorer().restore_all(diffs)
+        results = run_record_campaign(
+            path, golden, tmp_path / "work", trials=12, seed=4
+        )
+        total = results["total"]
+        assert total["trials"] == 12
+        assert total["silent_wrong"] == 0
+        assert total["detection_rate"] == 1.0
+        assert total["recovery_rate"] == 1.0

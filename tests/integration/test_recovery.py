@@ -3,11 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import SelectiveRestorer
-from repro.core.store import load_record, save_record
+from repro.core import Restorer, SelectiveRestorer, TreeDedup
+from repro.core.store import load_record, save_record, verify_record
 from repro.errors import GraphError
 from repro.graphs import generate
-from repro.oranges import GdvEngine
+from repro.oranges import GdvEngine, OrangesApp
+from repro.runtime import NodeRuntime
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +57,73 @@ class TestResumeThroughRecord:
         reference = GdvEngine(graph, 4)
         reference.run_to_completion()
         assert np.array_equal(resumed.gdv, reference.gdv)
+
+
+@pytest.fixture(scope="module")
+def golden_trace():
+    """The fixed-seed ORANGES trace the Tree goldens are captured from."""
+    app = OrangesApp("unstructured_mesh", num_vertices=512, seed=2)
+    engine = app.fresh_engine()
+    tree = TreeDedup(engine.buffer_nbytes, 64)
+    diffs, states = [], []
+    for snap in engine.checkpoint_stream(5):
+        buf = snap.reshape(-1).view(np.uint8)
+        diffs.append(tree.checkpoint(buf))
+        states.append(buf.copy())
+    return diffs, states
+
+
+class TestGoldenTraceRecovery:
+    def test_scrubbed_disk_roundtrip_bit_identical(self, golden_trace, tmp_path):
+        diffs, states = golden_trace
+        path = save_record(diffs, tmp_path / "rec", method="tree")
+        assert verify_record(path).ok
+        restored = Restorer(scrub=True).restore_all(load_record(path))
+        assert len(restored) == len(states)
+        for got, want in zip(restored, states):
+            assert np.array_equal(got, want)
+
+    def test_corruption_detected_then_salvaged(self, golden_trace, tmp_path):
+        diffs, states = golden_trace
+        path = save_record(diffs, tmp_path / "rec", method="tree")
+        blob = bytearray((path / "ckpt-00003.rdif").read_bytes())
+        blob[len(blob) // 2] ^= 0x20
+        (path / "ckpt-00003.rdif").write_bytes(bytes(blob))
+
+        report = verify_record(path)
+        assert not report.ok
+        assert report.first_bad == 3
+
+        prefix = load_record(path, strict=False)
+        assert len(prefix) == 3
+        restored = Restorer(scrub=True).restore_all(prefix)
+        for got, want in zip(restored, states[:3]):
+            assert np.array_equal(got, want)
+
+    def test_crash_restart_bit_identical(self, golden_trace):
+        _, states = golden_trace
+        node = NodeRuntime(
+            data_len=states[0].shape[0], chunk_size=64, num_processes=1
+        )
+        for i, state in enumerate(states):
+            node.checkpoint_all([state], now=i * 10.0)
+        report = node.crash_restart(0, at_time=1000.0)
+        assert report.restored_ckpt_id == len(states) - 1
+        assert np.array_equal(report.restored_state, states[-1])
+        assert report.in_flight_ckpts == []
+
+    def test_crash_mid_cadence_restores_earlier_golden(self, golden_trace):
+        _, states = golden_trace
+        node = NodeRuntime(
+            data_len=states[0].shape[0], chunk_size=64, num_processes=1
+        )
+        for i, state in enumerate(states):
+            node.checkpoint_all([state], now=i * 10.0)
+        # Crash right after checkpoint 2 became durable but before 3 ran.
+        crash_at = node.persisted[0][2].persisted_at + 0.001
+        report = node.crash_restart(0, at_time=crash_at)
+        assert report.restored_ckpt_id == 2
+        assert np.array_equal(report.restored_state, states[2])
 
 
 class TestLoadStateValidation:

@@ -4,7 +4,18 @@ A checkpointing system's failure mode matters as much as its happy path:
 bit flips in stored diffs must surface as :class:`ReproError` subclasses
 (or, worst case, reconstruct *something* without crashing the process),
 never as segfault-adjacent NumPy shape errors or silent misbehaviour.
+
+With the v2 frame format the guarantee is stronger and is pinned down
+here as a property: the frame is a packed little-endian header plus a
+SHA-256 digest over header and body, with **no padding bytes anywhere**,
+so the "provably harmless" set of single-byte flips is empty — *every*
+single-byte corruption of a stored ``.rdif`` file must be detected by
+``verify_record()`` and by a strict ``load_record()``.
 """
+
+import shutil
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,7 +23,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ENGINES, CheckpointDiff, Restorer, SelectiveRestorer
-from repro.errors import ReproError
+from repro.core.store import (
+    STATUS_CORRUPT,
+    load_record,
+    save_record,
+    verify_record,
+)
+from repro.errors import IntegrityError, ReproError
 
 
 def make_chain(seed: int):
@@ -45,17 +62,19 @@ def test_bitflipped_diff_never_crashes_unsafely(seed, position, flip):
     diffs = make_chain(seed % 3)
     blob = bytearray(diffs[1].to_bytes())
     blob[position % len(blob)] ^= flip
+    # v2 frames digest-cover every byte: a verifying parse must reject.
+    with pytest.raises(ReproError):
+        CheckpointDiff.from_bytes(bytes(blob))
+    # Even when a caller opts out of verification, restoring the damaged
+    # diff must stay in library-error land — never a NumPy shape crash.
     try:
-        parsed = CheckpointDiff.from_bytes(bytes(blob))
-    except ReproError:
-        return  # rejected at parse time: fine
-    try:
+        parsed = CheckpointDiff.from_bytes(bytes(blob), verify=False)
         Restorer().restore_all([diffs[0], parsed])
         SelectiveRestorer().restore([diffs[0], parsed])
     except ReproError:
-        return  # rejected at restore time: fine
-    # Or the flip landed in payload bytes: restore succeeds with altered
-    # content, which is indistinguishable from a legitimate diff.
+        pass  # rejected at parse or restore time: fine
+    # Or the flip landed in payload bytes and reconstruction proceeds
+    # with altered content — the unverified path makes no promises.
 
 
 @given(blob=st.binary(min_size=0, max_size=400))
@@ -91,3 +110,91 @@ def test_shuffled_chain_rejected_or_detected(seed, k):
     else:
         with pytest.raises(ReproError):
             SelectiveRestorer().restore(list(reversed(diffs)))
+
+
+# ----------------------------------------------------------------------
+# Record-level properties (satellite of the integrity work): any single
+# byte flipped in any stored .rdif file is detected.
+# ----------------------------------------------------------------------
+
+_RECORD_CACHE = {}
+
+
+def _pristine_record(seed: int) -> Path:
+    """A saved record per seed, built once and kept read-only."""
+    if seed not in _RECORD_CACHE:
+        root = Path(tempfile.mkdtemp(prefix="repro-prop-rec-"))
+        _RECORD_CACHE[seed] = save_record(make_chain(seed), root / "rec")
+    return _RECORD_CACHE[seed]
+
+
+def _flip_in_copy(src: Path, workdir: Path, file_pick: int, position: int, flip: int):
+    rec = workdir / "rec"
+    shutil.copytree(src, rec)
+    files = sorted(rec.glob("ckpt-*.rdif"))
+    target = files[file_pick % len(files)]
+    blob = bytearray(target.read_bytes())
+    blob[position % len(blob)] ^= flip
+    target.write_bytes(bytes(blob))
+    return rec, files.index(target)
+
+
+@given(
+    seed=st.integers(0, 2),
+    file_pick=st.integers(0, 1000),
+    position=st.integers(0, 10**9),
+    flip=st.integers(1, 255),
+)
+@settings(**_SETTINGS)
+def test_any_record_byte_flip_is_detected(seed, file_pick, position, flip):
+    src = _pristine_record(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        rec, index = _flip_in_copy(src, Path(tmp), file_pick, position, flip)
+        report = verify_record(rec)
+        assert not report.ok
+        assert report.checkpoints[index].status == STATUS_CORRUPT
+        with pytest.raises(IntegrityError):
+            load_record(rec)
+
+
+@given(
+    seed=st.integers(0, 2),
+    file_pick=st.integers(0, 1000),
+    position=st.integers(0, 10**9),
+    flip=st.integers(1, 255),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_salvage_never_restores_wrong_bytes(seed, file_pick, position, flip):
+    """The longest valid prefix a salvage returns is bit-identical to the
+    pristine chain's prefix — corruption never leaks into restored state."""
+    src = _pristine_record(seed)
+    golden = Restorer().restore_all(load_record(src))
+    with tempfile.TemporaryDirectory() as tmp:
+        rec, index = _flip_in_copy(src, Path(tmp), file_pick, position, flip)
+        prefix = load_record(rec, strict=False)
+        assert len(prefix) == index
+        if not prefix:
+            return  # first checkpoint hit: nothing salvageable, nothing wrong
+        states = Restorer(scrub=True).restore_all(prefix)
+        for got, want in zip(states, golden):
+            assert np.array_equal(got, want)
+
+
+def test_every_single_byte_flip_detected_exhaustively():
+    """Deterministic complement of the property: flip one bit at EVERY
+    byte offset of every file of a small record — all must be caught."""
+    record = make_chain(0)
+    with tempfile.TemporaryDirectory() as tmp:
+        src = save_record(record, Path(tmp) / "rec")
+        for target in sorted(src.glob("ckpt-*.rdif")):
+            pristine = target.read_bytes()
+            for offset in range(len(pristine)):
+                blob = bytearray(pristine)
+                blob[offset] ^= 0x01
+                target.write_bytes(bytes(blob))
+                assert not verify_record(src).ok, (
+                    f"flip at {target.name}:{offset} went undetected"
+                )
+            target.write_bytes(pristine)
+        assert verify_record(src).ok

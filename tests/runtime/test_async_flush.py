@@ -94,6 +94,85 @@ class TestBlocking:
             small_pipeline().submit("a", 10, now=-1.0)
 
 
+class TestFaultDegradation:
+    def test_transient_outage_backs_off_exponentially(self):
+        pipe = AsyncFlushPipeline(
+            small_pipeline().tiers, retry_base_seconds=0.25
+        )
+        pipe.tiers[0].fail_transient(0.0, 0.4)
+        report = pipe.submit("ck0", 100, now=0.0)
+        # Retry 1 waits 0.25 (still inside the window), retry 2 waits 0.5:
+        # the drain starts at t=0.75, after the outage clears at 0.4.
+        assert report.retries == 2
+        assert report.retry_wait_seconds == pytest.approx(0.75)
+        assert report.arrived["ssd"] == pytest.approx(0.75 + 1.0)
+        assert report.degraded
+        assert pipe.total_retries == 2
+
+    def test_submission_after_outage_is_clean(self):
+        pipe = small_pipeline()
+        pipe.tiers[0].fail_transient(0.0, 0.4)
+        report = pipe.submit("late", 100, now=5.0)
+        assert report.retries == 0
+        assert not report.degraded
+
+    def test_exhausted_retries_raise(self):
+        pipe = AsyncFlushPipeline(
+            small_pipeline().tiers, retry_base_seconds=0.01, max_retries=3
+        )
+        pipe.tiers[0].fail_transient(0.0, 1e6)
+        with pytest.raises(StorageError, match="still failing"):
+            pipe.submit("ck0", 100, now=0.0)
+
+    def test_dead_middle_tier_routed_around(self):
+        pipe = small_pipeline()
+        pipe.tiers[1].fail_permanent(0.0)
+        report = pipe.submit("ck0", 100, now=0.0)
+        assert report.skipped_tiers == ["ssd"]
+        assert "ssd" not in report.arrived
+        # Write-through at the host's drain bandwidth.
+        assert report.arrived["pfs"] == pytest.approx(1.0)
+        assert report.degraded
+        assert not pipe.tiers[1].contains("ck0")
+        assert pipe.tiers[2].contains("ck0")
+
+    def test_middle_tier_dying_mid_cadence(self):
+        pipe = small_pipeline()
+        pipe.tiers[1].fail_permanent(2.5)
+        healthy = pipe.submit("early", 100, now=0.0)  # done by t=3
+        degraded = pipe.submit("late", 100, now=10.0)
+        assert healthy.skipped_tiers == []
+        assert degraded.skipped_tiers == ["ssd"]
+
+    def test_dead_host_rejects_submission(self):
+        pipe = small_pipeline()
+        pipe.tiers[0].fail_permanent(0.0)
+        with pytest.raises(StorageError, match="host tier is failed"):
+            pipe.submit("ck0", 100, now=1.0)
+
+    def test_dead_terminal_tier_unrecoverable(self):
+        pipe = small_pipeline()
+        pipe.tiers[1].fail_permanent(0.0)
+        pipe.tiers[2].fail_permanent(0.0)
+        with pytest.raises(StorageError, match="no live tier"):
+            pipe.submit("ck0", 100, now=0.0)
+
+    def test_permanent_source_outage_fails_resident_object(self):
+        pipe = small_pipeline()
+        pipe.tiers[0].fail_transient(0.0, 0.1)
+        pipe.tiers[0].fail_permanent(0.2)
+        # Backoff lands inside the permanent outage: the object is stuck.
+        with pytest.raises(StorageError, match="failed permanently"):
+            pipe.submit("ck0", 100, now=0.0)
+
+    def test_healthy_run_reports_no_degradation(self):
+        pipe = small_pipeline()
+        for i in range(3):
+            pipe.submit(f"ck{i}", 100, now=float(i))
+        assert pipe.total_retries == 0
+        assert all(not r.degraded for r in pipe.reports)
+
+
 class TestConfiguration:
     def test_needs_two_tiers(self):
         with pytest.raises(StorageError):

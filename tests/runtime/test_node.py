@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.runtime import NodeRuntime
 from repro.utils.rng import seeded_rng
 
@@ -73,3 +74,118 @@ class TestNodeRuntime:
         timelines = runtime.checkpoint_all(make_buffers(3, 4096, rng), now=0.0)
         assert [t.process for t in timelines] == [0, 1, 2]
         assert all(t.stored_bytes > 0 for t in timelines)
+
+    def test_durability_ledger_tracks_every_checkpoint(self, rng):
+        runtime = NodeRuntime(4096, 64, num_processes=2)
+        buffers = make_buffers(2, 4096, rng)
+        for step in range(3):
+            runtime.checkpoint_all(buffers, now=float(step))
+        for ledger in runtime.persisted:
+            assert [c.ckpt_id for c in ledger] == [0, 1, 2]
+            for entry in ledger:
+                assert entry.persisted_at >= entry.produced_at
+
+
+SIZE = 64 * 128
+PERIOD = 10.0
+
+
+def run_cadence(runtime, rng, steps):
+    """Checkpoint on a cadence, returning the exact buffer snapshots."""
+    buffers = make_buffers(runtime.num_processes, SIZE, rng)
+    snapshots = []
+    for step in range(steps):
+        runtime.checkpoint_all(buffers, now=step * PERIOD)
+        snapshots.append([b.copy() for b in buffers])
+        for b in buffers:
+            b[:256] = rng.integers(0, 256, 256, dtype=np.uint8)
+    return snapshots
+
+
+class TestCrashRestart:
+    def test_restore_is_bit_identical(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        snapshots = run_cadence(runtime, rng, steps=4)
+        report = runtime.crash_restart(0, at_time=3 * PERIOD + 5.0)
+        assert report.restored_ckpt_id == 3
+        assert np.array_equal(report.restored_state, snapshots[3][0])
+
+    def test_lost_work_measures_since_last_durable(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=4)
+        last = runtime.persisted[1][-1]
+        crash_at = last.persisted_at + 7.0
+        report = runtime.crash_restart(1, at_time=crash_at)
+        assert report.lost_work_seconds == pytest.approx(
+            crash_at - last.produced_at
+        )
+
+    def test_cold_restart_before_any_durable(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        report = runtime.crash_restart(0, at_time=0.0)
+        assert report.restored_ckpt_id is None
+        assert report.lost_work_seconds == 0.0
+        assert not report.restored_state.any()
+
+    def test_in_flight_checkpoints_reported(self, rng):
+        # Slow links: the first checkpoint takes many seconds to persist.
+        runtime = NodeRuntime(
+            SIZE, 64, num_processes=1,
+            host_drain_bandwidth=1e3, ssd_drain_bandwidth=1e3,
+        )
+        runtime.checkpoint_all(make_buffers(1, SIZE, rng), now=0.0)
+        entry = runtime.persisted[0][0]
+        assert entry.persisted_at > entry.produced_at + 1.0
+        report = runtime.crash_restart(0, at_time=entry.produced_at + 0.5)
+        assert report.in_flight_ckpts == [0]
+        assert report.restored_ckpt_id is None  # it never became durable
+
+    def test_ledger_resets_after_restart(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        snapshots = run_cadence(runtime, rng, steps=3)
+        first = runtime.crash_restart(0, at_time=100.0)
+        ledger = runtime.persisted[0]
+        assert [c.ckpt_id for c in ledger] == [0]
+        assert ledger[0].persisted_at == 100.0
+        # A second crash with no new checkpoints restores the same state.
+        second = runtime.crash_restart(0, at_time=150.0)
+        assert second.restored_ckpt_id == 0
+        assert np.array_equal(second.restored_state, first.restored_state)
+        assert np.array_equal(second.restored_state, snapshots[2][0])
+
+    def test_cadence_continues_after_restart(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=2)
+        runtime.crash_restart(0, at_time=50.0)
+        fresh = make_buffers(2, SIZE, rng)
+        runtime.checkpoint_all(fresh, now=60.0)
+        report = runtime.crash_restart(0, at_time=1000.0)
+        assert np.array_equal(report.restored_state, fresh[0])
+
+    def test_other_processes_unaffected(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        snapshots = run_cadence(runtime, rng, steps=3)
+        runtime.crash_restart(0, at_time=100.0)
+        assert [c.ckpt_id for c in runtime.persisted[1]] == [0, 1, 2]
+        survivor = runtime.crash_restart(1, at_time=200.0)
+        assert np.array_equal(survivor.restored_state, snapshots[2][1])
+
+    def test_total_lost_work_accumulates(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=2)
+        a = runtime.crash_restart(0, at_time=30.0)
+        b = runtime.crash_restart(1, at_time=40.0)
+        assert runtime.total_lost_work_seconds == pytest.approx(
+            a.lost_work_seconds + b.lost_work_seconds
+        )
+        assert len(runtime.crash_reports) == 2
+
+    def test_invalid_process_rejected(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        with pytest.raises(SimulationError):
+            runtime.crash_restart(2, at_time=1.0)
+
+    def test_negative_crash_time_rejected(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        with pytest.raises(SimulationError):
+            runtime.crash_restart(0, at_time=-1.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.runtime import StorageTier, default_hierarchy
+from repro.runtime import StorageTier, TierOutage, default_hierarchy
 
 
 class TestStorageTier:
@@ -53,6 +53,56 @@ class TestStorageTier:
         assert tier.fits(100)
         tier.put("a", 50, 0.0)
         assert not tier.fits(51)
+
+
+class TestTierOutages:
+    def test_healthy_tier_never_blocked(self):
+        tier = StorageTier("t", 100, 1.0)
+        assert tier.drain_blocked_until(0.0) is None
+        assert not tier.is_dead(1e9)
+
+    def test_transient_window_semantics(self):
+        tier = StorageTier("t", 100, 1.0)
+        outage = tier.fail_transient(2.0, 3.0)
+        assert outage == TierOutage("transient", 2.0, 3.0)
+        assert tier.drain_blocked_until(1.9) is None
+        assert tier.drain_blocked_until(2.0) == pytest.approx(5.0)
+        assert tier.drain_blocked_until(4.9) == pytest.approx(5.0)
+        assert tier.drain_blocked_until(5.0) is None  # half-open window
+        assert not tier.is_dead(3.0)  # transient != dead
+
+    def test_overlapping_transients_report_latest_end(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.fail_transient(0.0, 2.0)
+        tier.fail_transient(1.0, 4.0)
+        assert tier.drain_blocked_until(1.5) == pytest.approx(5.0)
+
+    def test_permanent_outage(self):
+        tier = StorageTier("t", 100, 1.0)
+        outage = tier.fail_permanent(3.0)
+        assert outage.end == float("inf")
+        assert not tier.is_dead(2.9)
+        assert tier.is_dead(3.0)
+        assert tier.drain_blocked_until(10.0) == float("inf")
+
+    def test_dead_tier_rejects_put(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.fail_permanent(0.0)
+        with pytest.raises(StorageError):
+            tier.put("a", 10, 1.0)
+
+    def test_put_before_death_allowed(self):
+        tier = StorageTier("t", 100, 1.0)
+        tier.fail_permanent(5.0)
+        tier.put("a", 10, 1.0)
+        assert tier.contains("a")
+
+    def test_negative_outage_start_rejected(self):
+        tier = StorageTier("t", 100, 1.0)
+        with pytest.raises(StorageError):
+            tier.fail_transient(-1.0, 1.0)
+        with pytest.raises(StorageError):
+            tier.fail_permanent(-0.5)
 
 
 class TestDefaultHierarchy:
