@@ -1,62 +1,152 @@
-"""Future-work feature — scalable reconstruction (§5).
+"""Restore-path benchmark: chain replay vs provenance-indexed restart.
 
-Compares the I/O volume of restoring checkpoint k with the naive chain
-restorer (reconstruct 0..k, reading every diff fully) against the
-selective restorer (gather only the regions that contribute to k) on an
-ORANGES checkpoint record.
+Builds synthetic checkpoint chains with *localized* mutation (a hot
+window walks slowly through the buffer — the regime where most of the
+final state still lives in early diffs), saves them to disk, and times a
+cold restart both ways:
+
+* ``replay``  — ``load_record`` (parse every frame) + ``Restorer``
+                chain replay, the pre-overhaul restart path;
+* ``indexed`` — ``restore_record_indexed``: read the provenance index,
+                parse only the frames it names, one batched gather per
+                referenced source payload.
+
+Writes ``BENCH_restore.json`` next to the repo root (or
+``$REPRO_BENCH_OUT``): all four methods at one chain length, plus a
+Tree chain-length sweep (10/25/50) showing the replay cost growing with
+the chain while the indexed cost tracks the *referenced* set.  Every
+timed pair is asserted bit-identical first.
+
+Run directly (``python benchmarks/bench_restore.py``) or under pytest
+(``pytest benchmarks/bench_restore.py``) — the pytest hook enforces the
+acceptance floor: ≥5x speedup on the 50-checkpoint Tree chain.
 """
 
 from __future__ import annotations
 
-import sys
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
 
-from repro.bench.reporting import header
-from repro.core import SelectiveRestorer
-from repro.oranges import OrangesApp
-from repro.utils.units import format_bytes
+import numpy as np
 
-try:
-    from conftest import bench_vertices, run_once
-except ImportError:  # direct execution
-    from benchmarks.conftest import bench_vertices, run_once  # type: ignore
+from repro.core import Restorer, load_record, restore_record_indexed, save_record
+from repro.core.checkpointer import ENGINES
+
+MB = 1 << 20
+
+BUFFER_BYTES = 4 * MB
+CHUNK_SIZE = 1024
+METHODS = ("full", "basic", "list", "tree")
+TREE_SWEEP_LENGTHS = (10, 25, 50)
+#: Acceptance floor for the 50-checkpoint Tree chain (ISSUE: ≥5x).
+TREE50_MIN_SPEEDUP = 5.0
 
 
-def run(num_vertices: int, num_checkpoints: int = 10) -> str:
-    app = OrangesApp("message_race", num_vertices=num_vertices, seed=1)
-    backend = app.make_backend("tree", chunk_size=128)
-    app.run({"tree": backend}, num_checkpoints=num_checkpoints)
-    diffs = backend.record.diffs
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
-    lines = [
-        header(
-            f"Scalable reconstruction — message_race |V|≈{num_vertices}, "
-            f"tree record of {num_checkpoints} checkpoints"
-        ),
-        f"{'restore k':>10s}{'chain I/O':>14s}{'selective I/O':>15s}"
-        f"{'saving':>9s}{'diffs':>7s}{'segments':>10s}{'depth':>7s}",
-    ]
-    restorer = SelectiveRestorer()
-    for k in (0, num_checkpoints // 2, num_checkpoints - 1):
-        chain_io = sum(d.serialized_size for d in diffs[: k + 1])
-        _, plan = restorer.restore(diffs, k)
-        saving = chain_io / plan.total_bytes_read if plan.total_bytes_read else 0.0
-        lines.append(
-            f"{k:>10d}{format_bytes(chain_io):>14s}"
-            f"{format_bytes(plan.total_bytes_read):>15s}{saving:>8.2f}x"
-            f"{plan.diffs_touched:>7d}{plan.segments:>10d}{plan.max_depth:>7d}"
+
+def _build_chain(method: str, num_checkpoints: int, nbytes: int = BUFFER_BYTES):
+    """A chain that churns a fixed hot window every step.
+
+    Each checkpoint fully rewrites the same hot quarter of the buffer, so
+    every write before the last one is superseded: the final state lives
+    in checkpoint 0 (the cold bulk) plus the last checkpoint (the hot
+    window).  Replay must still parse and apply every intervening diff;
+    the indexed path touches only the checkpoints the final state
+    actually references.
+    """
+    rng = np.random.default_rng(0xC0FFEE ^ num_checkpoints)
+    engine = ENGINES[method](nbytes, CHUNK_SIZE)
+    buf = rng.integers(0, 256, nbytes, dtype=np.uint8)
+    diffs = [engine.checkpoint(buf)]
+    window = nbytes // 4
+    for _ in range(1, num_checkpoints):
+        buf[:window] = rng.integers(0, 256, window, dtype=np.uint8)
+        diffs.append(engine.checkpoint(buf))
+    return diffs, buf
+
+
+def bench_one(method: str, num_checkpoints: int, directory: Path) -> dict:
+    diffs, final = _build_chain(method, num_checkpoints)
+    record_dir = directory / f"{method}-{num_checkpoints}"
+    save_record(diffs, record_dir, method=method)
+    del diffs  # cold restart: everything comes back from disk
+
+    def replay():
+        chain = load_record(record_dir)
+        return Restorer().restore(chain)
+
+    def indexed():
+        out, _ = restore_record_indexed(record_dir)
+        return out
+
+    assert np.array_equal(replay(), final)
+    assert np.array_equal(indexed(), final)
+
+    replay_s = _best_of(replay)
+    indexed_s = _best_of(indexed)
+    _, report = restore_record_indexed(record_dir)
+    return {
+        "method": method,
+        "chain_len": num_checkpoints,
+        "buffer_bytes": BUFFER_BYTES,
+        "replay_ms": round(replay_s * 1e3, 2),
+        "indexed_ms": round(indexed_s * 1e3, 2),
+        "speedup": round(replay_s / indexed_s, 2),
+        "frames_parsed": report.frames_parsed,
+        "frames_total": report.frames_total,
+        "record_bytes": report.record_bytes,
+        "frame_bytes_read": report.record_bytes_read - report.index_bytes,
+        "index_bytes": report.index_bytes,
+    }
+
+
+def run(out_path: Path | None = None) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        methods = [bench_one(m, 25, tmp_path) for m in METHODS]
+        tree_sweep = [bench_one("tree", n, tmp_path) for n in TREE_SWEEP_LENGTHS]
+    report = {
+        "bench": "restore",
+        "tree50_min_speedup": TREE50_MIN_SPEEDUP,
+        "methods": methods,
+        "tree_sweep": tree_sweep,
+    }
+    if out_path is None:
+        out_path = Path(
+            os.environ.get(
+                "REPRO_BENCH_OUT",
+                Path(__file__).resolve().parent.parent / "BENCH_restore.json",
+            )
         )
-    lines.append(
-        "\nselective restore reads exactly data_len bytes spread across the "
-        "record; the chain restorer replays every intervening diff."
-    )
-    return "\n".join(lines)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    report["out_path"] = str(out_path)
+    return report
 
 
-def test_restore(benchmark, capsys):
-    table = run_once(benchmark, lambda: run(bench_vertices()))
+def test_bench_restore(capsys):
+    report = run()
     with capsys.disabled():
-        print("\n" + table)
+        print()
+        print(json.dumps(report, indent=2))
+    tree50 = next(r for r in report["tree_sweep"] if r["chain_len"] == 50)
+    assert tree50["speedup"] >= TREE50_MIN_SPEEDUP, (
+        f"indexed restore only {tree50['speedup']}x faster than replay on "
+        f"the 50-checkpoint tree chain (floor {TREE50_MIN_SPEEDUP}x)"
+    )
+    assert tree50["frames_parsed"] < tree50["frames_total"]
+    for row in report["methods"]:
+        assert row["indexed_ms"] > 0 and row["replay_ms"] > 0
 
 
 if __name__ == "__main__":
-    print(run(int(sys.argv[1]) if len(sys.argv) > 1 else bench_vertices()))
+    print(json.dumps(run(), indent=2))

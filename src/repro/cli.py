@@ -99,14 +99,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
-    diffs = load_record(args.record)
-    upto = args.checkpoint if args.checkpoint is not None else len(diffs) - 1
-    buffer, plan = SelectiveRestorer().restore(diffs, upto)
+    if args.replay:
+        diffs = load_record(args.record)
+        upto = args.checkpoint if args.checkpoint is not None else len(diffs) - 1
+        buffer, plan = SelectiveRestorer().restore(diffs, upto)
+        Path(args.output).write_bytes(buffer.tobytes())
+        print(
+            f"checkpoint {upto} → {args.output} ({format_bytes(buffer.nbytes)}); "
+            f"read {format_bytes(plan.total_bytes_read)} from "
+            f"{plan.diffs_touched} diffs in {plan.segments} segments"
+        )
+        return 0
+
+    from .core.provenance import restore_record_indexed
+
+    buffer, report = restore_record_indexed(args.record, upto=args.checkpoint)
     Path(args.output).write_bytes(buffer.tobytes())
+    path_name = "indexed" if report.used_index else "replay fallback (no index)"
     print(
-        f"checkpoint {upto} → {args.output} ({format_bytes(buffer.nbytes)}); "
-        f"read {format_bytes(plan.total_bytes_read)} from "
-        f"{plan.diffs_touched} diffs in {plan.segments} segments"
+        f"checkpoint {report.target_ckpt} → {args.output} "
+        f"({format_bytes(buffer.nbytes)}) via {path_name}"
+    )
+    frame_bytes_read = report.record_bytes_read - report.index_bytes
+    print(
+        f"read {format_bytes(frame_bytes_read)} of "
+        f"{format_bytes(report.record_bytes)} record bytes "
+        f"(+ {format_bytes(report.index_bytes)} index); parsed "
+        f"{report.frames_parsed}/{report.frames_total} frames"
     )
     return 0
 
@@ -185,7 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
     restore.add_argument("record", help="record directory")
     restore.add_argument("-k", "--checkpoint", type=int, default=None)
     restore.add_argument("-o", "--output", default="restored.bin")
-    restore.set_defaults(func=_cmd_restore)
+    path_group = restore.add_mutually_exclusive_group()
+    path_group.add_argument(
+        "--fast",
+        dest="replay",
+        action="store_false",
+        help="provenance-indexed restore, parsing only referenced frames (default)",
+    )
+    path_group.add_argument(
+        "--replay",
+        dest="replay",
+        action="store_true",
+        help="selective chain replay (works on records without an index)",
+    )
+    restore.set_defaults(func=_cmd_restore, replay=False)
 
     bench = sub.add_parser("bench", help="run a paper-reproduction bench")
     bench.add_argument("name", choices=sorted(_BENCHES))

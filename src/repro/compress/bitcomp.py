@@ -41,19 +41,56 @@ class BitcompCodec(Codec):
         tail = data[n_words * 4 :]
         values = np.frombuffer(data, dtype="<u4", count=n_words)
 
-        num_blocks = -(-n_words // self.block_size) if n_words else 0
-        widths = np.empty(num_blocks, dtype=np.uint8)
-        parts = []
-        for b in range(num_blocks):
-            block = values[b * self.block_size : (b + 1) * self.block_size]
+        bs = self.block_size
+        num_blocks = -(-n_words // bs) if n_words else 0
+        full_blocks = n_words // bs
+        widths = np.zeros(num_blocks, dtype=np.uint8)
+
+        # All full blocks at once: per-block max → exact bit width via the
+        # base-2 exponent (uint32 values are exact in float64, and for
+        # m > 0 frexp puts m in [0.5, 1) · 2^e with e == m.bit_length()).
+        packed = b""
+        if full_blocks:
+            body = values[: full_blocks * bs].reshape(full_blocks, bs)
+            maxes = body.max(axis=1)
+            exps = np.frexp(maxes.astype(np.float64))[1]
+            widths[:full_blocks] = np.where(maxes == 0, 0, exps).astype(np.uint8)
+            byte_lens = (bs * widths[:full_blocks].astype(np.int64) + 7) // 8
+            offsets = np.concatenate(([0], np.cumsum(byte_lens[:-1])))
+            out_bytes = np.zeros(int(byte_lens.sum()), dtype=np.uint8)
+            # One batched pack per distinct width: rows of a width group
+            # all pack to the same byte length, so a single packbits call
+            # plus one fancy-index scatter places the whole group.
+            for w in np.unique(widths[:full_blocks]):
+                w = int(w)
+                if w == 0:
+                    continue
+                sel = np.nonzero(widths[:full_blocks] == w)[0]
+                shifts = np.arange(w, dtype=np.uint32)
+                bits = ((body[sel][:, :, None] >> shifts) & np.uint32(1)).astype(
+                    np.uint8
+                )
+                rows = np.packbits(
+                    bits.reshape(sel.shape[0], bs * w), axis=1, bitorder="little"
+                )
+                row_len = rows.shape[1]
+                out_bytes[
+                    offsets[sel][:, None] + np.arange(row_len, dtype=np.int64)
+                ] = rows
+            packed = out_bytes.tobytes()
+
+        # The (at most one) partial final block keeps the scalar path.
+        partial = b""
+        if full_blocks < num_blocks:
+            block = np.ascontiguousarray(values[full_blocks * bs :])
             width = required_width(block)
-            widths[b] = width
-            parts.append(pack_bits(np.ascontiguousarray(block), width))
+            widths[full_blocks] = width
+            partial = pack_bits(block, width)
 
         header = _HEADER.pack(
             _MAGIC, len(data), n_words, self.block_size, len(tail)
         )
-        return header + widths.tobytes() + b"".join(parts) + tail
+        return header + widths.tobytes() + packed + partial + tail
 
     def decompress(self, blob: bytes) -> bytes:
         if len(blob) < _HEADER.size:
@@ -61,20 +98,54 @@ class BitcompCodec(Codec):
         magic, orig_len, n_words, block_size, tail_len = _HEADER.unpack_from(blob, 0)
         if magic != _MAGIC:
             raise CompressionError(f"bad bitcomp magic {magic!r}")
-        num_blocks = -(-n_words // block_size) if n_words else 0
+        bs = block_size
+        num_blocks = -(-n_words // bs) if n_words else 0
+        full_blocks = n_words // bs
         off = _HEADER.size
+        if len(blob) < off + num_blocks:
+            raise CompressionError("bitcomp blob too short")
         widths = np.frombuffer(blob, dtype=np.uint8, count=num_blocks, offset=off)
         off += num_blocks
 
         out = np.empty(n_words, dtype=np.uint32)
-        for b in range(num_blocks):
-            count = min(block_size, n_words - b * block_size)
-            width = int(widths[b])
+        if full_blocks:
+            fw = widths[:full_blocks].astype(np.int64)
+            byte_lens = (bs * fw + 7) // 8
+            offsets = np.concatenate(([0], np.cumsum(byte_lens[:-1])))
+            total = int(byte_lens.sum())
+            if len(blob) < off + total:
+                raise CompressionError(
+                    f"bit-packed blob too short: {(len(blob) - off) * 8} bits, "
+                    f"need {total * 8}"
+                )
+            raw = np.frombuffer(blob, dtype=np.uint8, count=total, offset=off)
+            body = out[: full_blocks * bs].reshape(full_blocks, bs)
+            for w in np.unique(fw):
+                w = int(w)
+                sel = np.nonzero(fw == w)[0]
+                if w == 0:
+                    body[sel] = 0
+                    continue
+                row_len = (bs * w + 7) // 8
+                rows = raw[
+                    offsets[sel][:, None] + np.arange(row_len, dtype=np.int64)
+                ]
+                bits = np.unpackbits(rows, axis=1, bitorder="little")[:, : bs * w]
+                shifts = np.arange(w, dtype=np.uint64)
+                body[sel] = (
+                    bits.reshape(sel.shape[0], bs, w).astype(np.uint64) << shifts
+                ).sum(axis=2, dtype=np.uint64).astype(np.uint32)
+            off += total
+
+        if full_blocks < num_blocks:
+            count = n_words - full_blocks * bs
+            width = int(widths[full_blocks])
             nbytes = (count * width + 7) // 8
-            out[b * block_size : b * block_size + count] = unpack_bits(
+            out[full_blocks * bs :] = unpack_bits(
                 blob[off : off + nbytes], count, width
             )
             off += nbytes
+
         tail = blob[off : off + tail_len]
         result = out.astype("<u4").tobytes() + tail
         if len(result) != orig_len:

@@ -35,14 +35,28 @@ from .labels import (
     label_name,
 )
 from .merkle import MerkleTree, TreeLayout
+from .provenance import (
+    IndexedRestorer,
+    IndexedRestoreReport,
+    ProvenanceBuilder,
+    ProvenanceIndex,
+    ProvenanceTable,
+    RecordRestoreReport,
+    indexed_restore_latest,
+    materialize_index,
+    restore_record_indexed,
+)
 from .record import CheckpointRecord, CheckpointStats, merge_records
-from .restore import Restorer, restore_latest
+from .restore import Restorer, restore_latest, scrub_chain
 from .retention import payload_dependencies, rebase_record, required_payloads
 from .selective import RestorePlan, SelectiveRestorer, selective_restore
 from .store import (
     CheckpointStatus,
     RecordVerification,
+    load_provenance,
     load_record,
+    load_record_frames,
+    record_frame_sizes,
     record_manifest,
     save_record,
     verify_record,
@@ -72,7 +86,10 @@ __all__ = [
     "encode_legacy_v1",
     "CheckpointStatus",
     "RecordVerification",
+    "load_provenance",
     "load_record",
+    "load_record_frames",
+    "record_frame_sizes",
     "record_manifest",
     "save_record",
     "verify_record",
@@ -90,6 +107,16 @@ __all__ = [
     "merge_records",
     "Restorer",
     "restore_latest",
+    "scrub_chain",
+    "IndexedRestorer",
+    "IndexedRestoreReport",
+    "ProvenanceBuilder",
+    "ProvenanceIndex",
+    "ProvenanceTable",
+    "RecordRestoreReport",
+    "indexed_restore_latest",
+    "materialize_index",
+    "restore_record_indexed",
     "payload_dependencies",
     "rebase_record",
     "required_payloads",

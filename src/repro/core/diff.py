@@ -136,6 +136,18 @@ class CheckpointDiff:
         return int(self.shift_ids.shape[0])
 
     @property
+    def referenced_checkpoints(self) -> np.ndarray:
+        """Unique checkpoint ids this diff's shifted duplicates read from.
+
+        Restore needs exactly these earlier checkpoints (plus the previous
+        one for fixed duplicates) to apply this diff — the window that
+        :meth:`~repro.core.restore.Restorer.restore` keeps in memory.
+        """
+        if self.num_shift == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self.shift_ref_ckpts.astype(np.int64))
+
+    @property
     def metadata_bytes(self) -> int:
         """Bytes of method metadata on the wire (excluding the header)."""
         total = self.num_first * FIRST_ENTRY_BYTES + self.num_shift * SHIFT_ENTRY_BYTES

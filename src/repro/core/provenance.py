@@ -1,0 +1,659 @@
+"""Chunk-provenance index: restore without chain replay.
+
+Chain replay reconstructs checkpoint *k* by applying every diff ``0..k``
+in order — O(chain) buffer copies no matter what *k* actually references.
+But the diff chain fully determines, for every chunk of checkpoint *k*,
+*which stored payload byte range holds its bytes*: a chunk last written as
+a first occurrence of checkpoint *t* lives in diff *t*'s payload; a chunk
+covered by a shifted duplicate inherits the provenance of the chunk it
+references; an untouched chunk keeps the previous checkpoint's entry.
+
+:class:`ProvenanceBuilder` composes that mapping transitively as diffs
+are appended — one vectorized pass per diff, one fancy-index composition
+per *unique* referenced checkpoint — yielding a
+:class:`ProvenanceIndex` per checkpoint: two flat arrays ``src_ckpt``
+(int32, ``-1`` = never written, i.e. implicit zeros) and ``src_off``
+(int64 byte offset into the *decompressed* payload of diff ``src_ckpt``).
+
+Materializing checkpoint *k* is then one batched gather per referenced
+source payload — typically a handful of diffs out of an arbitrarily long
+chain — and a cold restart from disk only has to *parse the frames the
+index names* (:func:`restore_record_indexed`), because
+:func:`~repro.core.store.save_record` persists the stacked index
+(:class:`ProvenanceTable`) next to the record manifest with the same
+digest discipline as the ``.rdif`` frames.
+
+The composition relies on the engines' serialization invariant (§2.2):
+shifted-duplicate references point at content stored as a first
+occurrence, never at bytes another shifted duplicate of the same diff
+wrote.  Every restore path in the test suite asserts bit-identity against
+chain replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IntegrityError, RestoreError
+from .chunking import ChunkSpec
+from .diff import CheckpointDiff
+from .merkle import TreeLayout
+from .restore import scrub_chain
+from .serialize import (
+    chunk_payload_offsets,
+    expand_node_chunks,
+    node_region_bounds,
+    unpack_bitmap,
+)
+
+#: ``src_ckpt`` value for chunks never written by any diff (implicit zeros).
+ZERO_SOURCE = -1
+
+_TABLE_MAGIC = b"RPIX"
+_TABLE_VERSION = 1
+_TABLE_HEADER = struct.Struct("<4sHHIIQI")
+# magic, version, reserved, num_checkpoints, num_chunks, data_len, chunk_size
+_TABLE_DIGEST_BYTES = 32
+
+
+@dataclass
+class ProvenanceIndex:
+    """Resolved chunk sources of one checkpoint.
+
+    ``src_ckpt[c]`` is the checkpoint whose payload holds chunk *c*'s
+    bytes (:data:`ZERO_SOURCE` for implicit zeros); ``src_off[c]`` the
+    byte offset of those bytes inside that payload (after payload-codec
+    decompression, for hybrid tree diffs).
+    """
+
+    ckpt_id: int
+    data_len: int
+    chunk_size: int
+    src_ckpt: np.ndarray  # int32, shape (num_chunks,)
+    src_off: np.ndarray  # int64, shape (num_chunks,)
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.src_ckpt.shape[0])
+
+    def referenced(self) -> np.ndarray:
+        """Checkpoints whose payloads this checkpoint's bytes live in."""
+        uniq = np.unique(self.src_ckpt)
+        return uniq[uniq >= 0].astype(np.int64)
+
+
+class ProvenanceBuilder:
+    """Incrementally composes :class:`ProvenanceIndex` rows over a chain.
+
+    Append diffs in chain order (``append`` validates ordering and
+    geometry); ``index_for(k)`` returns checkpoint *k*'s resolved index.
+    The builder holds one int32+int64 pair per chunk per checkpoint —
+    metadata-sized, never payload-sized.
+    """
+
+    def __init__(self) -> None:
+        self.indexes: List[ProvenanceIndex] = []
+        self._layouts: Dict[int, TreeLayout] = {}
+
+    def __len__(self) -> int:
+        return len(self.indexes)
+
+    def reset(self) -> None:
+        """Drop all rows (a crashed process restarts its chain at 0)."""
+        self.indexes.clear()
+
+    def extend(self, diffs: Sequence[CheckpointDiff]) -> None:
+        for diff in diffs:
+            self.append(diff)
+
+    def index_for(self, ckpt_id: int) -> ProvenanceIndex:
+        if not 0 <= ckpt_id < len(self.indexes):
+            raise RestoreError(
+                f"checkpoint {ckpt_id} outside indexed chain of {len(self.indexes)}"
+            )
+        return self.indexes[ckpt_id]
+
+    # ------------------------------------------------------------------
+    def append(self, diff: CheckpointDiff) -> ProvenanceIndex:
+        """Compose the next checkpoint's index from *diff*."""
+        k = len(self.indexes)
+        if diff.ckpt_id != k:
+            raise RestoreError(
+                f"diff chain out of order: position {k} holds "
+                f"checkpoint {diff.ckpt_id}"
+            )
+        spec = ChunkSpec(diff.data_len, diff.chunk_size)
+        if self.indexes:
+            prev = self.indexes[-1]
+            if prev.data_len != diff.data_len:
+                raise RestoreError(
+                    f"checkpoint length changed mid-chain at {k}"
+                )
+            src_ckpt = prev.src_ckpt.copy()
+            src_off = prev.src_off.copy()
+        else:
+            src_ckpt = np.full(spec.num_chunks, ZERO_SOURCE, dtype=np.int32)
+            src_off = np.zeros(spec.num_chunks, dtype=np.int64)
+
+        cs = spec.chunk_size
+        if diff.method == "full":
+            src_ckpt[:] = k
+            src_off[:] = np.arange(spec.num_chunks, dtype=np.int64) * cs
+        elif diff.method == "basic":
+            changed = unpack_bitmap(diff.bitmap, spec.num_chunks)
+            chunks = np.nonzero(changed)[0].astype(np.int64)
+            offsets, _, _ = chunk_payload_offsets(spec, chunks)
+            src_ckpt[chunks] = k
+            src_off[chunks] = offsets
+        else:
+            first_chunks, first_offs = self._first_occurrence_chunks(diff, spec)
+            src_ckpt[first_chunks] = k
+            src_off[first_chunks] = first_offs
+            dst, src, refs = self._shift_chunks(diff, spec)
+            if refs.size:
+                if int(refs.max()) > k:
+                    raise RestoreError(
+                        f"shifted duplicate references checkpoint "
+                        f"{int(refs.max())}, which is not reconstructed yet"
+                    )
+                for t in np.unique(refs):
+                    sel = refs == t
+                    if t == k:
+                        s_ck, s_off = src_ckpt, src_off
+                    else:
+                        ref_index = self.indexes[int(t)]
+                        s_ck, s_off = ref_index.src_ckpt, ref_index.src_off
+                    src_ckpt[dst[sel]] = s_ck[src[sel]]
+                    src_off[dst[sel]] = s_off[src[sel]]
+
+        index = ProvenanceIndex(
+            ckpt_id=k,
+            data_len=diff.data_len,
+            chunk_size=diff.chunk_size,
+            src_ckpt=src_ckpt,
+            src_off=src_off,
+        )
+        self.indexes.append(index)
+        return index
+
+    def _first_occurrence_chunks(
+        self, diff: CheckpointDiff, spec: ChunkSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """First-occurrence chunk ids + their payload byte offsets."""
+        firsts = diff.first_ids.astype(np.int64)
+        if diff.method == "list":
+            if firsts.size and (
+                firsts.min() < 0 or firsts.max() >= spec.num_chunks
+            ):
+                raise RestoreError(
+                    f"chunk id {int(firsts.max())} outside checkpoint of "
+                    f"{spec.num_chunks} chunks"
+                )
+            offsets, _, _ = chunk_payload_offsets(spec, firsts)
+            return firsts, offsets
+        layout = self._layout_for(spec.num_chunks)
+        self._check_nodes(layout, firsts)
+        r0, r1 = node_region_bounds(spec, layout, firsts)
+        region_lengths = r1 - r0
+        region_offsets = np.empty(firsts.shape[0], dtype=np.int64)
+        if firsts.size:
+            region_offsets[0] = 0
+            np.cumsum(region_lengths[:-1], out=region_offsets[1:])
+        chunks, region_of, within = expand_node_chunks(layout, firsts)
+        return chunks, region_offsets[region_of] + within * spec.chunk_size
+
+    def _shift_chunks(
+        self, diff: CheckpointDiff, spec: ChunkSpec
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shifted-duplicate (dst chunk, src chunk, ref ckpt) triples."""
+        if diff.num_shift == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        refs = diff.shift_ref_ckpts.astype(np.int64)
+        if diff.method == "list":
+            dst = diff.shift_ids.astype(np.int64)
+            src = diff.shift_ref_ids.astype(np.int64)
+            for arr in (dst, src):
+                if arr.min() < 0 or arr.max() >= spec.num_chunks:
+                    raise RestoreError(
+                        f"chunk id {int(arr.max())} outside checkpoint of "
+                        f"{spec.num_chunks} chunks"
+                    )
+            return dst, src, refs
+        layout = self._layout_for(spec.num_chunks)
+        dst_nodes = diff.shift_ids.astype(np.int64)
+        src_nodes = diff.shift_ref_ids.astype(np.int64)
+        self._check_nodes(layout, dst_nodes)
+        self._check_nodes(layout, src_nodes)
+        d0, d1 = node_region_bounds(spec, layout, dst_nodes)
+        s0, s1 = node_region_bounds(spec, layout, src_nodes)
+        bad = np.nonzero((d1 - d0) != (s1 - s0))[0]
+        if bad.size:
+            raise RestoreError(
+                f"shifted region {int(dst_nodes[bad[0]])} length mismatch"
+            )
+        dst_chunks, dst_region, _ = expand_node_chunks(layout, dst_nodes)
+        src_chunks, _, _ = expand_node_chunks(layout, src_nodes)
+        return dst_chunks, src_chunks, refs[dst_region]
+
+    def _layout_for(self, num_chunks: int) -> TreeLayout:
+        layout = self._layouts.get(num_chunks)
+        if layout is None:
+            layout = TreeLayout(num_chunks)
+            self._layouts[num_chunks] = layout
+        return layout
+
+    @staticmethod
+    def _check_nodes(layout: TreeLayout, nodes: np.ndarray) -> None:
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= layout.num_nodes):
+            bad = int(nodes.min()) if nodes.min() < 0 else int(nodes.max())
+            raise RestoreError(
+                f"node id {bad} outside tree of {layout.num_nodes}"
+            )
+
+
+@dataclass
+class ProvenanceTable:
+    """All checkpoints' provenance rows, stacked — the persisted form.
+
+    Row *k* (``row(k)``) is checkpoint *k*'s :class:`ProvenanceIndex`.
+    The wire encoding mirrors the ``.rdif`` discipline: fixed header, a
+    SHA-256 content digest over header+body, then the two little-endian
+    arrays — so a bit flip anywhere in a stored index is detected at
+    parse time.
+    """
+
+    data_len: int
+    chunk_size: int
+    src_ckpt: np.ndarray  # int32, shape (num_checkpoints, num_chunks)
+    src_off: np.ndarray  # int64, shape (num_checkpoints, num_chunks)
+
+    @property
+    def num_checkpoints(self) -> int:
+        return int(self.src_ckpt.shape[0])
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.src_ckpt.shape[1])
+
+    def row(self, ckpt_id: int) -> ProvenanceIndex:
+        if not 0 <= ckpt_id < self.num_checkpoints:
+            raise RestoreError(
+                f"checkpoint {ckpt_id} outside indexed chain of "
+                f"{self.num_checkpoints}"
+            )
+        return ProvenanceIndex(
+            ckpt_id=ckpt_id,
+            data_len=self.data_len,
+            chunk_size=self.chunk_size,
+            src_ckpt=self.src_ckpt[ckpt_id],
+            src_off=self.src_off[ckpt_id],
+        )
+
+    @classmethod
+    def from_builder(cls, builder: ProvenanceBuilder) -> "ProvenanceTable":
+        if not builder.indexes:
+            raise RestoreError("cannot build a provenance table from no diffs")
+        first = builder.indexes[0]
+        return cls(
+            data_len=first.data_len,
+            chunk_size=first.chunk_size,
+            src_ckpt=np.stack([i.src_ckpt for i in builder.indexes]),
+            src_off=np.stack([i.src_off for i in builder.indexes]),
+        )
+
+    @classmethod
+    def from_diffs(cls, diffs: Sequence[CheckpointDiff]) -> "ProvenanceTable":
+        builder = ProvenanceBuilder()
+        builder.extend(diffs)
+        return cls.from_builder(builder)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = _TABLE_HEADER.pack(
+            _TABLE_MAGIC,
+            _TABLE_VERSION,
+            0,
+            self.num_checkpoints,
+            self.num_chunks,
+            self.data_len,
+            self.chunk_size,
+        )
+        body = (
+            np.ascontiguousarray(self.src_ckpt, dtype="<i4").tobytes()
+            + np.ascontiguousarray(self.src_off, dtype="<i8").tobytes()
+        )
+        digest = hashlib.sha256(header + body).digest()
+        return header + digest + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, verify: bool = True) -> "ProvenanceTable":
+        if len(blob) < _TABLE_HEADER.size + _TABLE_DIGEST_BYTES:
+            raise IntegrityError(
+                f"provenance index too short ({len(blob)} bytes)"
+            )
+        magic, version, _reserved, n_ckpts, n_chunks, data_len, chunk_size = (
+            _TABLE_HEADER.unpack_from(blob, 0)
+        )
+        if magic != _TABLE_MAGIC:
+            raise IntegrityError(f"bad provenance index magic {magic!r}")
+        if version != _TABLE_VERSION:
+            raise IntegrityError(f"unsupported provenance index version {version}")
+        off = _TABLE_HEADER.size
+        stored_digest = blob[off : off + _TABLE_DIGEST_BYTES]
+        off += _TABLE_DIGEST_BYTES
+        need = off + n_ckpts * n_chunks * (4 + 8)
+        if len(blob) != need:
+            raise IntegrityError(
+                f"provenance index length {len(blob)} != expected {need}"
+            )
+        if verify:
+            actual = hashlib.sha256()
+            actual.update(blob[: _TABLE_HEADER.size])
+            actual.update(blob[off:])
+            if actual.digest() != stored_digest:
+                raise IntegrityError(
+                    f"provenance index digest mismatch "
+                    f"(stored {stored_digest.hex()[:16]}…, "
+                    f"computed {actual.hexdigest()[:16]}…)"
+                )
+        count = n_ckpts * n_chunks
+        src_ckpt = (
+            np.frombuffer(blob, dtype="<i4", count=count, offset=off)
+            .reshape(n_ckpts, n_chunks)
+            .copy()
+        )
+        src_off = (
+            np.frombuffer(blob, dtype="<i8", count=count, offset=off + 4 * count)
+            .reshape(n_ckpts, n_chunks)
+            .copy()
+        )
+        return cls(
+            data_len=data_len,
+            chunk_size=chunk_size,
+            src_ckpt=src_ckpt,
+            src_off=src_off,
+        )
+
+
+# ----------------------------------------------------------------------
+# Materialization
+# ----------------------------------------------------------------------
+@dataclass
+class IndexedRestoreReport:
+    """What one indexed restore actually touched."""
+
+    target_ckpt: int
+    data_len: int
+    chain_len: int
+    #: Payload bytes gathered per referenced source checkpoint.
+    payload_bytes_read: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def frames_referenced(self) -> int:
+        """How many diffs' payloads the target actually lives in."""
+        return len(self.payload_bytes_read)
+
+    @property
+    def total_payload_bytes_read(self) -> int:
+        return sum(self.payload_bytes_read.values())
+
+
+def materialize_index(
+    index: ProvenanceIndex,
+    payload_of: Callable[[int], np.ndarray],
+    out: Optional[np.ndarray] = None,
+    space=None,
+    report: Optional[IndexedRestoreReport] = None,
+) -> np.ndarray:
+    """Gather checkpoint bytes straight from source payloads.
+
+    ``payload_of(t)`` must return diff *t*'s (decompressed) payload as a
+    uint8 array; it is called once per checkpoint the index references.
+    """
+    spec = ChunkSpec(index.data_len, index.chunk_size)
+    cs = spec.chunk_size
+    full = index.data_len // cs
+    if out is None:
+        out = np.zeros(index.data_len, dtype=np.uint8)
+    else:
+        out[:] = 0
+    body = out[: full * cs].reshape(full, cs) if full else None
+
+    for t in index.referenced():
+        t = int(t)
+        payload = payload_of(t)
+        sel = index.src_ckpt == t
+        chunks = np.nonzero(sel)[0].astype(np.int64)
+        offs = index.src_off[chunks]
+        lengths = np.full(chunks.shape[0], cs, dtype=np.int64)
+        if index.data_len % cs:
+            lengths[chunks == spec.num_chunks - 1] = spec.tail_len
+        if int((offs + lengths).max()) > payload.shape[0] or int(offs.min()) < 0:
+            raise RestoreError(
+                f"provenance index points outside checkpoint {t}'s payload"
+            )
+        is_full = chunks < full
+        rows = chunks[is_full]
+        if rows.size:
+            f_offs = offs[is_full]
+            n = rows.shape[0]
+            if n == 1 or bool(np.all(np.diff(f_offs) == cs)):
+                start = int(f_offs[0])
+                body[rows] = payload[start : start + n * cs].reshape(n, cs)
+            else:
+                body[rows] = payload[
+                    f_offs[:, None] + np.arange(cs, dtype=np.int64)
+                ]
+        for i in np.nonzero(~is_full)[0]:
+            b0, b1 = spec.chunk_bounds(int(chunks[i]))
+            off = int(offs[i])
+            out[b0:b1] = payload[off : off + (b1 - b0)]
+        gathered = int(lengths.sum())
+        if report is not None:
+            report.payload_bytes_read[t] = gathered
+        if space is not None:
+            # One gather kernel per source payload: reads the gathered
+            # bytes plus the index row once, writes them into place.
+            space.launch(
+                "restore.gather",
+                items=int(chunks.shape[0]),
+                bytes_read=gathered + index.num_chunks * 12,
+                bytes_written=gathered,
+            )
+    if space is not None:
+        space.transfer("H2D", index.data_len)
+    return out
+
+
+class IndexedRestorer:
+    """Provenance-indexed restore: the fast path of the restore overhaul.
+
+    Drop-in for :class:`~repro.core.restore.Restorer.restore` on intact
+    chains — bit-identical output, but materialized as one batched gather
+    per referenced source payload instead of replaying the chain.  A
+    long-lived caller (e.g. :class:`~repro.runtime.node.NodeRuntime`)
+    passes its incrementally maintained :class:`ProvenanceBuilder`;
+    otherwise the builder is composed on the fly (still vectorized, and
+    metadata-sized rather than payload-sized work per diff).
+    """
+
+    def __init__(self, payload_codec=None, scrub: bool = False, space=None) -> None:
+        self.payload_codec = payload_codec
+        self.scrub = scrub
+        self.space = space
+
+    def restore(
+        self,
+        diffs: Sequence[CheckpointDiff],
+        upto: Optional[int] = None,
+        builder: Optional[ProvenanceBuilder] = None,
+    ) -> np.ndarray:
+        out, _ = self.restore_with_report(diffs, upto, builder)
+        return out
+
+    def restore_with_report(
+        self,
+        diffs: Sequence[CheckpointDiff],
+        upto: Optional[int] = None,
+        builder: Optional[ProvenanceBuilder] = None,
+    ) -> Tuple[np.ndarray, IndexedRestoreReport]:
+        if len(diffs) == 0:
+            raise RestoreError("cannot restore from an empty diff chain")
+        if upto is None:
+            upto = len(diffs) - 1
+        if not 0 <= upto < len(diffs):
+            raise RestoreError(f"checkpoint {upto} outside chain of {len(diffs)}")
+        if self.scrub:
+            scrub_chain(diffs[: upto + 1], self.payload_codec)
+        if builder is None:
+            builder = ProvenanceBuilder()
+        if len(builder) <= upto:
+            builder.extend(diffs[len(builder) : upto + 1])
+        index = builder.index_for(upto)
+        if index.data_len != diffs[0].data_len:
+            raise RestoreError(
+                "provenance builder does not match the supplied chain"
+            )
+
+        payloads: Dict[int, np.ndarray] = {}
+
+        def payload_of(t: int) -> np.ndarray:
+            cached = payloads.get(t)
+            if cached is None:
+                cached = np.frombuffer(self._payload(diffs[t]), dtype=np.uint8)
+                payloads[t] = cached
+            return cached
+
+        report = IndexedRestoreReport(
+            target_ckpt=upto, data_len=index.data_len, chain_len=len(diffs)
+        )
+        out = materialize_index(
+            index, payload_of, space=self.space, report=report
+        )
+        return out, report
+
+    def _payload(self, diff: CheckpointDiff) -> bytes:
+        if self.payload_codec is not None and diff.method == "tree":
+            return self.payload_codec.decompress(diff.payload)
+        return diff.payload
+
+
+def indexed_restore_latest(
+    diffs: Sequence[CheckpointDiff], payload_codec=None, scrub: bool = False
+) -> np.ndarray:
+    """Convenience wrapper: indexed reconstruction of the final checkpoint."""
+    return IndexedRestorer(payload_codec=payload_codec, scrub=scrub).restore(diffs)
+
+
+# ----------------------------------------------------------------------
+# Cold restart from disk
+# ----------------------------------------------------------------------
+@dataclass
+class RecordRestoreReport:
+    """I/O accounting of one from-disk restore."""
+
+    target_ckpt: int
+    frames_total: int
+    #: Frames actually read and parsed (index-referenced ones on the fast
+    #: path; the whole record when no index is available or scrub is on).
+    frames_parsed: int
+    #: Total ``.rdif`` bytes the record holds on disk.
+    record_bytes: int
+    #: ``.rdif`` bytes actually read (+ the index file on the fast path).
+    record_bytes_read: int
+    index_bytes: int
+    used_index: bool
+    payload_bytes_read: Dict[int, int] = field(default_factory=dict)
+
+
+def restore_record_indexed(
+    directory,
+    upto: Optional[int] = None,
+    payload_codec=None,
+    scrub: bool = False,
+    space=None,
+) -> Tuple[np.ndarray, RecordRestoreReport]:
+    """Reconstruct a checkpoint from a stored record, parsing only the
+    frames its provenance index names.
+
+    Falls back to loading (and indexing) the full record when the record
+    predates the index or ``scrub=True`` (scrubbing validates the whole
+    chain, which needs every frame).  Frame and index integrity checks
+    (PR 2's v2 digests) apply on both paths.
+    """
+    from .store import (  # local import: store ↔ provenance layering
+        load_provenance,
+        load_record,
+        load_record_frames,
+        record_frame_sizes,
+        record_manifest,
+    )
+
+    manifest = record_manifest(directory)
+    count = manifest["num_checkpoints"]
+    if upto is None:
+        upto = count - 1
+    if not 0 <= upto < count:
+        raise RestoreError(f"checkpoint {upto} outside record of {count}")
+
+    frame_sizes = record_frame_sizes(directory)
+    record_bytes = int(sum(frame_sizes))
+    table = None if scrub else load_provenance(directory)
+
+    if table is None:
+        diffs = load_record(directory)
+        restorer = IndexedRestorer(
+            payload_codec=payload_codec, scrub=scrub, space=space
+        )
+        out, ireport = restorer.restore_with_report(diffs, upto)
+        report = RecordRestoreReport(
+            target_ckpt=upto,
+            frames_total=count,
+            frames_parsed=count,
+            record_bytes=record_bytes,
+            record_bytes_read=record_bytes,
+            index_bytes=0,
+            used_index=False,
+            payload_bytes_read=dict(ireport.payload_bytes_read),
+        )
+        return out, report
+
+    if table.num_checkpoints < count or table.data_len != manifest.get(
+        "data_len", table.data_len
+    ):
+        raise IntegrityError(
+            f"provenance index covers {table.num_checkpoints} checkpoints, "
+            f"record holds {count}"
+        )
+    index = table.row(upto)
+    refs = [int(t) for t in index.referenced()]
+    frames = load_record_frames(directory, refs)
+
+    def payload_of(t: int) -> np.ndarray:
+        diff = frames[t]
+        if payload_codec is not None and diff.method == "tree":
+            return np.frombuffer(payload_codec.decompress(diff.payload), np.uint8)
+        return np.frombuffer(diff.payload, dtype=np.uint8)
+
+    index_bytes = (
+        _TABLE_HEADER.size
+        + _TABLE_DIGEST_BYTES
+        + table.num_checkpoints * table.num_chunks * 12
+    )
+    report = RecordRestoreReport(
+        target_ckpt=upto,
+        frames_total=count,
+        frames_parsed=len(refs),
+        record_bytes=record_bytes,
+        record_bytes_read=int(sum(frame_sizes[t] for t in refs)) + index_bytes,
+        index_bytes=index_bytes,
+        used_index=True,
+    )
+    out = materialize_index(index, payload_of, space=space, report=report)
+    return out, report

@@ -9,15 +9,25 @@ a first occurrence earlier in the same buffer).
 
 Shifted-duplicate references always point at content that was stored as a
 first occurrence, so after phase one of the current checkpoint every
-reference target is available in some reconstructed buffer.  The restorer
-keeps all reconstructed checkpoints of the chain in memory; callers that
-only need the final state can use :func:`restore_latest` which trims the
-history to the window actually referenced.
+reference target is available in some reconstructed buffer.  All three
+apply paths are vectorized: first-occurrence payloads land via one
+reshape/fancy-index scatter, and shifted duplicates are grouped by
+referenced checkpoint so each source buffer is touched by one batched
+gather (the read-path mirror of the serialization gathers in
+:mod:`~repro.core.serialize`).
+
+:meth:`Restorer.restore` keeps only the *reference window* in memory —
+the previous checkpoint plus whatever earlier checkpoints later diffs
+still point at — and drops each buffer after its last use
+(``peak_buffers_held`` reports the high-water mark).
+:meth:`Restorer.restore_all` returns every state and therefore holds the
+whole chain by construction.  For restores that skip chain replay
+entirely, see :mod:`~repro.core.provenance`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +35,99 @@ from ..errors import IntegrityError, ReproError, RestoreError
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
 from .merkle import TreeLayout
-from .serialize import unpack_bitmap
+from .serialize import (
+    chunk_payload_offsets,
+    expand_node_chunks,
+    node_region_bounds,
+    unpack_bitmap,
+)
+
+
+def scrub_chain(diffs: Sequence[CheckpointDiff], payload_codec=None) -> None:
+    """Structurally validate a chain before applying it.
+
+    Raises a structured :class:`~repro.errors.IntegrityError` naming the
+    first bad checkpoint.  With a *payload_codec*, payload-length findings
+    are suppressed (compressed payloads legitimately differ from the raw
+    lengths the verifier predicts).
+    """
+    from .analysis import verify_chain  # local import: avoids a cycle
+
+    problems = verify_chain(diffs)
+    if payload_codec is not None:
+        problems = [p for p in problems if "payload" not in p]
+    if problems:
+        first = problems[0]
+        ckpt_id: Optional[int] = None
+        if first.startswith("ckpt "):
+            try:
+                ckpt_id = int(first.split()[1].rstrip(":"))
+            except ValueError:
+                ckpt_id = None
+        raise IntegrityError(
+            f"scrub failed: {first}"
+            + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""),
+            ckpt_id=ckpt_id,
+        )
+
+
+def _scatter_payload(
+    data: np.ndarray,
+    spec: ChunkSpec,
+    chunks: np.ndarray,
+    offsets: np.ndarray,
+    payload: np.ndarray,
+) -> None:
+    """Write ``payload[offsets[i]:...]`` into chunk ``chunks[i]`` for all i.
+
+    Full-size chunks scatter through one reshape + fancy-index assignment;
+    the (at most one) short tail chunk is patched scalar.  Offsets must be
+    validated against the payload length by the caller.
+    """
+    if chunks.size == 0:
+        return
+    cs = spec.chunk_size
+    full = spec.data_len // cs
+    is_full = chunks < full
+    rows = chunks[is_full]
+    if rows.size:
+        offs = offsets[is_full]
+        body = data[: full * cs].reshape(full, cs)
+        n = rows.shape[0]
+        if n == 1 or bool(np.all(np.diff(offs) == cs)):
+            # Contiguous payload run — the common case (ascending
+            # first-occurrence chunks with no interleaved tail).
+            start = int(offs[0])
+            body[rows] = payload[start : start + n * cs].reshape(n, cs)
+        else:
+            body[rows] = payload[offs[:, None] + np.arange(cs, dtype=np.int64)]
+    for i in np.nonzero(~is_full)[0]:
+        start, end = spec.chunk_bounds(int(chunks[i]))
+        off = int(offsets[i])
+        data[start:end] = payload[off : off + (end - start)]
+
+
+def _copy_chunks(
+    data: np.ndarray,
+    spec: ChunkSpec,
+    dst_chunks: np.ndarray,
+    src_chunks: np.ndarray,
+    source: np.ndarray,
+) -> None:
+    """Batched chunk copy ``data[dst] = source[src]`` (lengths pre-checked)."""
+    if dst_chunks.size == 0:
+        return
+    cs = spec.chunk_size
+    full = spec.data_len // cs
+    both_full = (dst_chunks < full) & (src_chunks < full)
+    if np.any(both_full):
+        body = data[: full * cs].reshape(full, cs)
+        src_body = source[: full * cs].reshape(full, cs)
+        body[dst_chunks[both_full]] = src_body[src_chunks[both_full]]
+    for i in np.nonzero(~both_full)[0]:
+        d0, d1 = spec.chunk_bounds(int(dst_chunks[i]))
+        s0, s1 = spec.chunk_bounds(int(src_chunks[i]))
+        data[d0:d1] = source[s0:s1]
 
 
 class Restorer:
@@ -44,11 +146,24 @@ class Restorer:
         :class:`~repro.errors.IntegrityError` naming the first bad
         checkpoint — instead of silently producing wrong bytes or
         surfacing an unattributed :class:`RestoreError` mid-apply.
+    space:
+        Optional execution space (:class:`~repro.kokkos.execution.
+        ExecutionSpace`); when set, each applied diff and the final
+        host-to-device upload are recorded in its ledger so the restart
+        can be priced like the create path (see ``docs/COST_MODEL.md``).
+
+    Attributes
+    ----------
+    peak_buffers_held:
+        High-water mark of simultaneously held checkpoint buffers during
+        the last :meth:`restore` / :meth:`restore_all` call.
     """
 
-    def __init__(self, payload_codec=None, scrub: bool = False) -> None:
+    def __init__(self, payload_codec=None, scrub: bool = False, space=None) -> None:
         self.payload_codec = payload_codec
         self.scrub = scrub
+        self.space = space
+        self.peak_buffers_held: int = 0
         self._layouts: Dict[int, TreeLayout] = {}
 
     # ------------------------------------------------------------------
@@ -56,71 +171,106 @@ class Restorer:
         """Reconstruct every checkpoint in the chain, in order."""
         if self.scrub:
             self._scrub_chain(diffs)
-        history: List[np.ndarray] = []
+        history: Dict[int, np.ndarray] = {}
         for position, diff in enumerate(diffs):
             if diff.ckpt_id != position:
                 raise RestoreError(
                     f"diff chain out of order: position {position} holds "
                     f"checkpoint {diff.ckpt_id}"
                 )
-            if not self.scrub:
-                history.append(self._restore_one(diff, history))
-                continue
-            try:
-                history.append(self._restore_one(diff, history))
-            except IntegrityError:
-                raise
-            except ReproError as exc:
-                raise IntegrityError(
-                    f"checkpoint {position}: diff failed to apply ({exc})",
-                    ckpt_id=position,
-                ) from exc
-        return history
+            history[position] = self._restore_one_guarded(diff, history, position)
+        self.peak_buffers_held = len(history)
+        if self.space is not None and history:
+            self.space.transfer("H2D", int(history[len(diffs) - 1].nbytes))
+        return [history[i] for i in range(len(diffs))]
 
     def _scrub_chain(self, diffs: Sequence[CheckpointDiff]) -> None:
         """Pre-apply validation; raises on the first bad checkpoint."""
-        from .analysis import verify_chain  # local import: avoids a cycle
-
-        problems = verify_chain(diffs)
-        if self.payload_codec is not None:
-            # Compressed payloads legitimately differ from the raw
-            # lengths verify_chain predicts (see its docstring).
-            problems = [p for p in problems if "payload" not in p]
-        if problems:
-            first = problems[0]
-            ckpt_id: Optional[int] = None
-            if first.startswith("ckpt "):
-                try:
-                    ckpt_id = int(first.split()[1].rstrip(":"))
-                except ValueError:
-                    ckpt_id = None
-            raise IntegrityError(
-                f"scrub failed: {first}"
-                + (f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""),
-                ckpt_id=ckpt_id,
-            )
+        scrub_chain(diffs, self.payload_codec)
 
     def restore(
         self, diffs: Sequence[CheckpointDiff], upto: Optional[int] = None
     ) -> np.ndarray:
-        """Reconstruct checkpoint *upto* (default: the last one)."""
+        """Reconstruct checkpoint *upto* (default: the last one).
+
+        Holds only the reference window in memory: the previous
+        checkpoint plus earlier checkpoints that a not-yet-applied diff's
+        shifted duplicates still point at.  Buffers are dropped the
+        moment no remaining diff needs them; ``peak_buffers_held``
+        records how many were alive at once.
+        """
         if len(diffs) == 0:
             raise RestoreError("cannot restore from an empty diff chain")
         if upto is None:
             upto = len(diffs) - 1
         if not 0 <= upto < len(diffs):
             raise RestoreError(f"checkpoint {upto} outside chain of {len(diffs)}")
-        return self.restore_all(diffs[: upto + 1])[upto]
+        chain = diffs[: upto + 1]
+        if self.scrub:
+            self._scrub_chain(chain)
+
+        # Last position at which each reconstructed checkpoint is read:
+        # position+1 needs position (fixed duplicates), and any later
+        # diff's shifted duplicates may reach further back.
+        last_use: Dict[int, int] = {upto: upto}
+        for position, diff in enumerate(chain):
+            if diff.ckpt_id != position:
+                raise RestoreError(
+                    f"diff chain out of order: position {position} holds "
+                    f"checkpoint {diff.ckpt_id}"
+                )
+            if position + 1 <= upto:
+                last_use[position] = max(last_use.get(position, -1), position + 1)
+            for ref in diff.referenced_checkpoints:
+                t = int(ref)
+                last_use[t] = max(last_use.get(t, -1), position)
+
+        history: Dict[int, np.ndarray] = {}
+        peak = 0
+        for position, diff in enumerate(chain):
+            history[position] = self._restore_one_guarded(diff, history, position)
+            peak = max(peak, len(history))
+            dead = [t for t in history if last_use.get(t, -1) <= position and t != upto]
+            for t in dead:
+                del history[t]
+        self.peak_buffers_held = peak
+        if self.space is not None:
+            self.space.transfer("H2D", int(history[upto].nbytes))
+        return history[upto]
 
     # ------------------------------------------------------------------
+    def _restore_one_guarded(
+        self,
+        diff: CheckpointDiff,
+        history: Mapping[int, np.ndarray],
+        position: int,
+    ) -> np.ndarray:
+        """Apply one diff; under scrub, wrap apply failures as integrity."""
+        if not self.scrub:
+            return self._restore_one(diff, history)
+        try:
+            return self._restore_one(diff, history)
+        except IntegrityError:
+            raise
+        except ReproError as exc:
+            raise IntegrityError(
+                f"checkpoint {position}: diff failed to apply ({exc})",
+                ckpt_id=position,
+            ) from exc
+
     def _restore_one(
-        self, diff: CheckpointDiff, history: List[np.ndarray]
+        self, diff: CheckpointDiff, history: Mapping[int, np.ndarray]
     ) -> np.ndarray:
         spec = ChunkSpec(diff.data_len, diff.chunk_size)
         if diff.ckpt_id == 0:
             data = np.zeros(diff.data_len, dtype=np.uint8)
         else:
-            prev = history[diff.ckpt_id - 1]
+            prev = history.get(diff.ckpt_id - 1)
+            if prev is None:
+                raise RestoreError(
+                    f"checkpoint {diff.ckpt_id} needs checkpoint "
+                    f"{diff.ckpt_id - 1}, which is not reconstructed"
+                )
             if prev.shape[0] != diff.data_len:
                 raise RestoreError(
                     f"checkpoint length changed mid-chain at {diff.ckpt_id}"
@@ -134,6 +284,14 @@ class Restorer:
             "tree": self._apply_tree,
         }[diff.method]
         handler(diff, spec, data, history)
+        if self.space is not None:
+            prev_bytes = diff.data_len if diff.ckpt_id else 0
+            self.space.launch(
+                f"restore.apply.{diff.method}",
+                items=spec.num_chunks,
+                bytes_read=diff.payload_bytes + diff.metadata_bytes + prev_bytes,
+                bytes_written=diff.data_len,
+            )
         return data
 
     def _payload(self, diff: CheckpointDiff) -> bytes:
@@ -141,13 +299,35 @@ class Restorer:
             return self.payload_codec.decompress(diff.payload)
         return diff.payload
 
+    def _apply_shifts(
+        self,
+        spec: ChunkSpec,
+        data: np.ndarray,
+        dst_chunks: np.ndarray,
+        src_chunks: np.ndarray,
+        ref_ckpts: np.ndarray,
+        current_ckpt: int,
+        history: Mapping[int, np.ndarray],
+    ) -> None:
+        """Copy shifted duplicates, one batched gather per source buffer.
+
+        Shifted references target first occurrences (of this or an earlier
+        checkpoint), never bytes another shifted duplicate of the same
+        diff wrote — so applying them grouped by referenced checkpoint is
+        equivalent to the sequential per-entry order.
+        """
+        for t in np.unique(ref_ckpts):
+            source = self._source_buffer(int(t), current_ckpt, data, history)
+            sel = ref_ckpts == t
+            _copy_chunks(data, spec, dst_chunks[sel], src_chunks[sel], source)
+
     # ------------------------------------------------------------------
     def _apply_full(
         self,
         diff: CheckpointDiff,
         spec: ChunkSpec,
         data: np.ndarray,
-        history: List[np.ndarray],
+        history: Mapping[int, np.ndarray],
     ) -> None:
         payload = self._payload(diff)
         if len(payload) != diff.data_len:
@@ -162,85 +342,100 @@ class Restorer:
         diff: CheckpointDiff,
         spec: ChunkSpec,
         data: np.ndarray,
-        history: List[np.ndarray],
+        history: Mapping[int, np.ndarray],
     ) -> None:
         changed = unpack_bitmap(diff.bitmap, spec.num_chunks)
         payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
-        offset = 0
-        for chunk in np.nonzero(changed)[0]:
-            start, end = spec.chunk_bounds(int(chunk))
-            length = end - start
-            if offset + length > payload.shape[0]:
-                raise RestoreError("basic payload shorter than bitmap demands")
-            data[start:end] = payload[offset : offset + length]
-            offset += length
-        if offset != payload.shape[0]:
+        chunks = np.nonzero(changed)[0].astype(np.int64)
+        offsets, _, total = chunk_payload_offsets(spec, chunks)
+        if total > payload.shape[0]:
+            raise RestoreError("basic payload shorter than bitmap demands")
+        if total < payload.shape[0]:
             raise RestoreError(
-                f"basic payload has {payload.shape[0] - offset} trailing bytes"
+                f"basic payload has {payload.shape[0] - total} trailing bytes"
             )
+        _scatter_payload(data, spec, chunks, offsets, payload)
 
     def _apply_list(
         self,
         diff: CheckpointDiff,
         spec: ChunkSpec,
         data: np.ndarray,
-        history: List[np.ndarray],
+        history: Mapping[int, np.ndarray],
     ) -> None:
         payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
-        offset = 0
-        for chunk in diff.first_ids:
-            start, end = spec.chunk_bounds(int(chunk))
-            length = end - start
-            data[start:end] = payload[offset : offset + length]
-            offset += length
-        if offset != payload.shape[0]:
+        firsts = diff.first_ids.astype(np.int64)
+        self._check_chunk_ids(spec, firsts)
+        offsets, _, total = chunk_payload_offsets(spec, firsts)
+        if total != payload.shape[0]:
             raise RestoreError("list payload length mismatch")
+        _scatter_payload(data, spec, firsts, offsets, payload)
 
-        for i in range(diff.num_shift):
-            dst0, dst1 = spec.chunk_bounds(int(diff.shift_ids[i]))
-            src0, src1 = spec.chunk_bounds(int(diff.shift_ref_ids[i]))
-            if dst1 - dst0 != src1 - src0:
+        if diff.num_shift:
+            dst = diff.shift_ids.astype(np.int64)
+            src = diff.shift_ref_ids.astype(np.int64)
+            self._check_chunk_ids(spec, dst)
+            self._check_chunk_ids(spec, src)
+            _, dst_len, _ = chunk_payload_offsets(spec, dst)
+            _, src_len, _ = chunk_payload_offsets(spec, src)
+            bad = np.nonzero(dst_len != src_len)[0]
+            if bad.size:
                 raise RestoreError(
-                    f"shifted chunk {int(diff.shift_ids[i])} length mismatch"
+                    f"shifted chunk {int(dst[bad[0]])} length mismatch"
                 )
-            source = self._source_buffer(
-                int(diff.shift_ref_ckpts[i]), diff.ckpt_id, data, history
+            self._apply_shifts(
+                spec, data, dst, src,
+                diff.shift_ref_ckpts.astype(np.int64), diff.ckpt_id, history,
             )
-            data[dst0:dst1] = source[src0:src1]
 
     def _apply_tree(
         self,
         diff: CheckpointDiff,
         spec: ChunkSpec,
         data: np.ndarray,
-        history: List[np.ndarray],
+        history: Mapping[int, np.ndarray],
     ) -> None:
         layout = self._layout_for(spec.num_chunks)
         payload = np.frombuffer(self._payload(diff), dtype=np.uint8)
-        offset = 0
-        for node in diff.first_ids:
-            start, end = self._node_bounds(spec, layout, int(node))
-            length = end - start
-            if offset + length > payload.shape[0]:
-                raise RestoreError("tree payload shorter than regions demand")
-            data[start:end] = payload[offset : offset + length]
-            offset += length
-        if offset != payload.shape[0]:
+        firsts = diff.first_ids.astype(np.int64)
+        self._check_node_ids(layout, firsts)
+        f0, f1 = node_region_bounds(spec, layout, firsts)
+        region_lengths = f1 - f0
+        total = int(region_lengths.sum())
+        if total > payload.shape[0]:
+            raise RestoreError("tree payload shorter than regions demand")
+        if total < payload.shape[0]:
             raise RestoreError(
-                f"tree payload has {payload.shape[0] - offset} trailing bytes"
+                f"tree payload has {payload.shape[0] - total} trailing bytes"
             )
+        region_offsets = np.empty(firsts.shape[0], dtype=np.int64)
+        if firsts.size:
+            region_offsets[0] = 0
+            np.cumsum(region_lengths[:-1], out=region_offsets[1:])
+        chunks, region_of, within = expand_node_chunks(layout, firsts)
+        chunk_offsets = region_offsets[region_of] + within * spec.chunk_size
+        _scatter_payload(data, spec, chunks, chunk_offsets, payload)
 
-        for i in range(diff.num_shift):
-            dst0, dst1 = self._node_bounds(spec, layout, int(diff.shift_ids[i]))
-            src0, src1 = self._node_bounds(spec, layout, int(diff.shift_ref_ids[i]))
-            if dst1 - dst0 != src1 - src0:
+        if diff.num_shift:
+            dst_nodes = diff.shift_ids.astype(np.int64)
+            src_nodes = diff.shift_ref_ids.astype(np.int64)
+            self._check_node_ids(layout, dst_nodes)
+            self._check_node_ids(layout, src_nodes)
+            d0, d1 = node_region_bounds(spec, layout, dst_nodes)
+            s0, s1 = node_region_bounds(spec, layout, src_nodes)
+            bad = np.nonzero((d1 - d0) != (s1 - s0))[0]
+            if bad.size:
                 raise RestoreError(
-                    f"shifted region {int(diff.shift_ids[i])} length mismatch"
+                    f"shifted region {int(dst_nodes[bad[0]])} length mismatch"
                 )
-            source = self._source_buffer(
-                int(diff.shift_ref_ckpts[i]), diff.ckpt_id, data, history
+            # Equal byte lengths imply equal chunk counts, so the two
+            # expansions pair up chunk for chunk.
+            dst_chunks, dst_region, _ = expand_node_chunks(layout, dst_nodes)
+            src_chunks, _, _ = expand_node_chunks(layout, src_nodes)
+            refs = diff.shift_ref_ckpts.astype(np.int64)[dst_region]
+            self._apply_shifts(
+                spec, data, dst_chunks, src_chunks, refs, diff.ckpt_id, history
             )
-            data[dst0:dst1] = source[src0:src1]
 
     # ------------------------------------------------------------------
     def _layout_for(self, num_chunks: int) -> TreeLayout:
@@ -251,25 +446,35 @@ class Restorer:
         return layout
 
     @staticmethod
-    def _node_bounds(spec: ChunkSpec, layout: TreeLayout, node: int):
-        if not 0 <= node < layout.num_nodes:
-            raise RestoreError(f"node id {node} outside tree of {layout.num_nodes}")
-        return spec.range_bounds(
-            int(layout.leaf_start[node]), int(layout.leaf_count[node])
-        )
+    def _check_chunk_ids(spec: ChunkSpec, chunks: np.ndarray) -> None:
+        if chunks.size and (chunks.min() < 0 or chunks.max() >= spec.num_chunks):
+            bad = int(chunks.min()) if chunks.min() < 0 else int(chunks.max())
+            spec.chunk_bounds(bad)  # raises ChunkingError with the bad id
+
+    @staticmethod
+    def _check_node_ids(layout: TreeLayout, nodes: np.ndarray) -> None:
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= layout.num_nodes):
+            bad = int(nodes.min()) if nodes.min() < 0 else int(nodes.max())
+            raise RestoreError(
+                f"node id {bad} outside tree of {layout.num_nodes}"
+            )
 
     @staticmethod
     def _source_buffer(
-        ref_ckpt: int, current_ckpt: int, data: np.ndarray, history: List[np.ndarray]
+        ref_ckpt: int,
+        current_ckpt: int,
+        data: np.ndarray,
+        history: Mapping[int, np.ndarray],
     ) -> np.ndarray:
         if ref_ckpt == current_ckpt:
             return data
-        if not 0 <= ref_ckpt < len(history):
+        source = history.get(ref_ckpt) if ref_ckpt >= 0 else None
+        if source is None:
             raise RestoreError(
                 f"shifted duplicate references checkpoint {ref_ckpt}, "
                 f"which is not reconstructed yet"
             )
-        return history[ref_ckpt]
+        return source
 
 
 def restore_latest(

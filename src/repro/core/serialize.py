@@ -92,13 +92,77 @@ def region_byte_lengths(
 ) -> np.ndarray:
     """Byte length of each node's chunk range (no data movement)."""
     node_arr = np.asarray(nodes, dtype=np.int64)
-    lengths = np.empty(node_arr.shape[0], dtype=np.int64)
-    for i, node in enumerate(node_arr):
-        b0, b1 = spec.range_bounds(
-            int(layout.leaf_start[node]), int(layout.leaf_count[node])
-        )
-        lengths[i] = b1 - b0
-    return lengths
+    b0, b1 = node_region_bounds(spec, layout, node_arr)
+    return b1 - b0
+
+
+def node_region_bounds(
+    spec: ChunkSpec, layout: TreeLayout, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`ChunkSpec.range_bounds` over tree *nodes*.
+
+    Returns ``(starts, ends)`` byte bounds per node.  Node ids must be
+    validated by the caller; out-of-range ids raise
+    :class:`SerializationError` here.
+    """
+    node_arr = np.asarray(nodes, dtype=np.int64)
+    if node_arr.size and (node_arr.min() < 0 or node_arr.max() >= layout.num_nodes):
+        raise SerializationError("node id out of range for region bounds")
+    starts = layout.leaf_start[node_arr] * spec.chunk_size
+    ends = np.minimum(
+        (layout.leaf_start[node_arr] + layout.leaf_count[node_arr])
+        * spec.chunk_size,
+        spec.data_len,
+    )
+    return starts.astype(np.int64), ends.astype(np.int64)
+
+
+def expand_node_chunks(
+    layout: TreeLayout, nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand tree *nodes* into the flat chunk ids their regions cover.
+
+    Returns ``(chunks, region_of, within)``: for each covered chunk, its
+    chunk id, the index into *nodes* of the region it belongs to, and its
+    position inside that region.  Pure index arithmetic (repeat + cumsum),
+    no Python loop over regions.
+    """
+    node_arr = np.asarray(nodes, dtype=np.int64)
+    if node_arr.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if node_arr.min() < 0 or node_arr.max() >= layout.num_nodes:
+        raise SerializationError("node id out of range for region expansion")
+    starts = layout.leaf_start[node_arr]
+    counts = layout.leaf_count[node_arr]
+    total = int(counts.sum())
+    region_of = np.repeat(np.arange(node_arr.shape[0], dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    chunks = np.repeat(starts, counts) + within
+    return chunks, region_of, within
+
+
+def chunk_payload_offsets(
+    spec: ChunkSpec, chunk_ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Running payload offsets for *chunk_ids* concatenated in order.
+
+    Returns ``(offsets, lengths, total)`` where ``offsets[i]`` is the byte
+    offset of chunk ``chunk_ids[i]`` inside the concatenated payload and
+    ``total`` the payload length.  Chunk ids must already be validated.
+    """
+    ids = np.asarray(chunk_ids, dtype=np.int64)
+    lengths = np.full(ids.shape[0], spec.chunk_size, dtype=np.int64)
+    if spec.data_len % spec.chunk_size:
+        lengths[ids == spec.num_chunks - 1] = spec.tail_len
+    if ids.size == 0:
+        return np.empty(0, dtype=np.int64), lengths, 0
+    offsets = np.empty(ids.shape[0], dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    return offsets, lengths, int(lengths.sum())
 
 
 def pack_bitmap(changed: np.ndarray) -> np.ndarray:

@@ -28,13 +28,14 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..errors import IntegrityError, SerializationError, StorageError
+from ..errors import IntegrityError, ReproError, SerializationError, StorageError
 from .diff import CheckpointDiff
 
 _MANIFEST = "record.json"
 _PATTERN = "ckpt-{:05d}.rdif"
+_INDEX_FILE = "provenance.rpix"
 _FORMAT_VERSION = 2
 _V1 = 1
 
@@ -166,8 +167,36 @@ def save_record(
         "digests": digests,
         "chain_digest": _chain_digest(digests),
     }
+
+    # Best-effort provenance index (the restore fast path).  A chain that
+    # cannot be indexed — hand-built, deliberately corrupt — must still
+    # save; restores of such records just fall back to chain replay.
+    index_path = path / _INDEX_FILE
+    index_entry = _write_provenance(diffs, index_path)
+    if index_entry is not None:
+        manifest["provenance"] = index_entry
+    elif index_path.exists():
+        index_path.unlink()
+
     manifest_path.write_text(json.dumps(manifest, indent=2))
     return path
+
+
+def _write_provenance(
+    diffs: List[CheckpointDiff], index_path: Path
+) -> Optional[dict]:
+    """Serialize the chain's provenance index; ``None`` if un-indexable."""
+    from .provenance import ProvenanceTable  # local: store ↔ provenance
+
+    try:
+        blob = ProvenanceTable.from_diffs(diffs).to_bytes()
+    except ReproError:
+        return None
+    index_path.write_bytes(blob)
+    return {
+        "file": index_path.name,
+        "sha256": hashlib.sha256(blob).hexdigest(),
+    }
 
 
 def _load_one(
@@ -225,6 +254,82 @@ def load_record(
     return diffs
 
 
+def load_record_frames(
+    directory: Union[str, Path], indices: Sequence[int]
+) -> Dict[int, CheckpointDiff]:
+    """Load + verify only the named checkpoint frames of a record.
+
+    The selective-read primitive behind the indexed restore path: a
+    provenance index names the frames whose payloads a checkpoint's bytes
+    live in, and only those files are read and parsed.  Each frame still
+    gets the full v2 treatment (manifest digest + embedded digest).
+    """
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    count = manifest["num_checkpoints"]
+    digests = manifest.get("digests")
+    frames: Dict[int, CheckpointDiff] = {}
+    for i in indices:
+        i = int(i)
+        if not 0 <= i < count:
+            raise StorageError(f"checkpoint {i} outside record of {count}")
+        if i in frames:
+            continue
+        expected = digests[i] if digests is not None and i < len(digests) else None
+        frames[i] = _load_one(path / _PATTERN.format(i), i, expected)
+    return frames
+
+
+def record_frame_sizes(directory: Union[str, Path]) -> List[int]:
+    """On-disk byte size of each ``.rdif`` frame (0 for missing files)."""
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    sizes = []
+    for i in range(manifest["num_checkpoints"]):
+        frame = path / _PATTERN.format(i)
+        sizes.append(frame.stat().st_size if frame.exists() else 0)
+    return sizes
+
+
+def load_provenance(directory: Union[str, Path]):
+    """Load a record's persisted provenance index, if it has one.
+
+    Returns a :class:`~repro.core.provenance.ProvenanceTable`, or ``None``
+    when the record predates the index (v1 records, or chains that were
+    not indexable at save time).  A *present but damaged* index raises
+    :class:`IntegrityError` — callers choose whether to fall back.
+    """
+    from .provenance import ProvenanceTable  # local: store ↔ provenance
+
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    entry = manifest.get("provenance")
+    if entry is None:
+        return None
+    try:
+        index_path = path / str(entry["file"])
+        expected = str(entry["sha256"])
+    except (TypeError, KeyError) as exc:
+        raise StorageError(
+            f"malformed provenance entry in {path / _MANIFEST}"
+        ) from exc
+    if not index_path.exists():
+        raise IntegrityError(
+            f"manifest names provenance index {index_path.name}, "
+            f"which is missing",
+            path=str(index_path),
+        )
+    blob = index_path.read_bytes()
+    actual = hashlib.sha256(blob).hexdigest()
+    if actual != expected:
+        raise IntegrityError(
+            f"{index_path.name}: file digest mismatch "
+            f"(manifest {expected[:16]}…, file {actual[:16]}…)",
+            path=str(index_path),
+        )
+    return ProvenanceTable.from_bytes(blob)
+
+
 def record_manifest(directory: Union[str, Path]) -> dict:
     """Read just the manifest of a stored record."""
     return _read_manifest(Path(directory))
@@ -253,14 +358,20 @@ class RecordVerification:
     format_version: int
     checkpoints: List[CheckpointStatus] = field(default_factory=list)
     chain_ok: Optional[bool] = None  # None when the manifest has no chain digest
+    provenance_ok: Optional[bool] = None  # None when the record has no index
     detail: str = ""
 
     @property
     def ok(self) -> bool:
-        """Every checkpoint verified and the chain digest matched."""
+        """Every checkpoint verified and the chain digest matched.
+
+        A record without a provenance index is still ``ok`` (replay
+        restores it); a record whose index is *damaged* is not.
+        """
         return (
             all(c.status == STATUS_OK for c in self.checkpoints)
             and self.chain_ok is True
+            and self.provenance_ok is not False
         )
 
     @property
@@ -291,6 +402,12 @@ class RecordVerification:
             lines.append("chain digest: absent (v1 record)")
         else:
             lines.append(f"chain digest: {'ok' if self.chain_ok else 'MISMATCH'}")
+        if self.provenance_ok is None:
+            lines.append("provenance index: absent")
+        else:
+            lines.append(
+                f"provenance index: {'ok' if self.provenance_ok else 'DAMAGED'}"
+            )
         return "\n".join(lines)
 
 
@@ -357,4 +474,10 @@ def verify_record(directory: Union[str, Path]) -> RecordVerification:
     if chain_expected is not None:
         complete = all(c.status != STATUS_MISSING for c in report.checkpoints)
         report.chain_ok = complete and _chain_digest(seen_digests) == chain_expected
+
+    if manifest.get("provenance") is not None:
+        try:
+            report.provenance_ok = load_provenance(path) is not None
+        except (StorageError, SerializationError):
+            report.provenance_ok = False
     return report

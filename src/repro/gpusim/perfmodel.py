@@ -106,3 +106,40 @@ class KernelCostModel:
         if seconds <= 0.0:
             return float("inf")
         return payload_bytes / seconds
+
+    def price_restore(
+        self, ledger: KernelLedger, restored_bytes: int
+    ) -> "RestoreCost":
+        """Price a restore's metered work into a :class:`RestoreCost`.
+
+        The indexed restart path meters one ``restore.gather`` launch per
+        referenced source payload plus the final H2D upload of the
+        reconstructed buffer; chain replay meters one
+        ``restore.apply.<method>`` launch per diff.  Both land in the
+        same ledger shape, so this prices either path — which is what
+        makes the speedup comparable in simulated seconds, not just
+        host-side wall clock.
+        """
+        return RestoreCost(
+            breakdown=self.price(ledger), restored_bytes=restored_bytes
+        )
+
+
+@dataclass
+class RestoreCost:
+    """Simulated cost of one restart's restore work."""
+
+    breakdown: CostBreakdown
+    #: Size of the reconstructed checkpoint buffer.
+    restored_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.breakdown.total_seconds
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Restored bytes per simulated second (the restart-speed metric)."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.restored_bytes / self.seconds

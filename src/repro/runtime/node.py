@@ -19,10 +19,11 @@ import numpy as np
 from ..core.base import DedupEngine
 from ..core.checkpointer import ENGINES
 from ..core.diff import CheckpointDiff
-from ..core.restore import Restorer
+from ..core.provenance import IndexedRestorer, ProvenanceBuilder
 from ..errors import SimulationError
 from ..gpusim.cluster import NodeSpec, thetagpu_node
 from ..gpusim.perfmodel import KernelCostModel
+from ..kokkos.execution import DeviceSpace
 from ..utils.validation import positive_float, positive_int
 from .async_flush import AsyncFlushPipeline
 from .storage import StorageTier
@@ -77,6 +78,13 @@ class CrashReport:
     restored_state: np.ndarray
     #: Checkpoints that were produced but not yet durable at crash time.
     in_flight_ckpts: List[int] = field(default_factory=list)
+    #: Simulated seconds the indexed restore took (0 on cold restart).
+    restore_seconds: float = 0.0
+    #: Payload bytes the restore actually gathered from stored diffs.
+    restore_payload_bytes: int = 0
+    #: How many diffs' payloads the restored state actually lived in —
+    #: the indexed path touches only these, not the whole chain.
+    restore_sources: int = 0
 
 
 class NodeRuntime:
@@ -143,6 +151,12 @@ class NodeRuntime:
         self.persisted: List[List[PersistedCheckpoint]] = [
             [] for _ in range(num_processes)
         ]
+        #: Per-process chunk-provenance builders, kept in lockstep with the
+        #: durability ledger so a crash restores via one indexed gather
+        #: instead of replaying the whole chain.
+        self.provenance: List[ProvenanceBuilder] = [
+            ProvenanceBuilder() for _ in range(num_processes)
+        ]
         self.crash_reports: List[CrashReport] = []
 
     # ------------------------------------------------------------------
@@ -178,6 +192,7 @@ class NodeRuntime:
                     persisted_at=report.persisted_at,
                 )
             )
+            self.provenance[p].append(diff)
         self._ckpt_counter += 1
         return self.timelines
 
@@ -192,12 +207,17 @@ class NodeRuntime:
         The process loses its in-memory state and every checkpoint still
         in flight through the hierarchy; it restarts from the latest
         checkpoint that was *durable* (had reached the terminal tier) by
-        ``at_time``, reconstructed through a scrubbing restore.  The
-        engine is replaced with a fresh one seeded by re-checkpointing
-        the restored state, so the dedup chain restarts consistently.
+        ``at_time``, reconstructed through the provenance-indexed restore
+        path: the chunk-provenance builder maintained alongside the
+        durability ledger resolves where every chunk's bytes live, and
+        one gather per referenced diff rebuilds the state — no chain
+        replay.  ``scrub=True`` (the default) still validates the whole
+        chain first, exactly as the replay path did.  The engine is
+        replaced with a fresh one seeded by re-checkpointing the restored
+        state, so the dedup chain restarts consistently.
 
-        Returns a :class:`CrashReport` with the restored state and the
-        lost-work metric.
+        Returns a :class:`CrashReport` with the restored state, the
+        lost-work metric, and the restore's simulated cost.
         """
         if not 0 <= process < self.num_processes:
             raise SimulationError(
@@ -213,11 +233,21 @@ class NodeRuntime:
             if c.produced_at <= at_time < c.persisted_at
         ]
 
+        restore_seconds = 0.0
+        restore_payload_bytes = 0
+        restore_sources = 0
         if durable_idx:
             last = ledger[durable_idx[-1]]
             chain = [c.diff for c in ledger[: durable_idx[-1] + 1]]
-            restorer = Restorer(scrub=scrub)
-            restored = restorer.restore(chain, upto=last.ckpt_id)
+            space = DeviceSpace(process)
+            restorer = IndexedRestorer(scrub=scrub, space=space)
+            restored, rreport = restorer.restore_with_report(
+                chain, upto=last.ckpt_id, builder=self.provenance[process]
+            )
+            cost = self.cost_model.price_restore(space.ledger, self._data_len)
+            restore_seconds = cost.seconds
+            restore_payload_bytes = rreport.total_payload_bytes_read
+            restore_sources = rreport.frames_referenced
             restored_id: Optional[int] = last.ckpt_id
             lost = max(0.0, at_time - last.produced_at)
         else:
@@ -232,6 +262,7 @@ class NodeRuntime:
         # (it was reconstructed from data already on the terminal tier).
         engine = ENGINES[self._method](self._data_len, self._chunk_size)
         self.persisted[process] = []
+        self.provenance[process].reset()
         if restored_id is not None:
             seed_diff = engine.checkpoint(restored)
             self.persisted[process].append(
@@ -242,6 +273,7 @@ class NodeRuntime:
                     persisted_at=at_time,
                 )
             )
+            self.provenance[process].append(seed_diff)
         self.engines[process] = engine
 
         report = CrashReport(
@@ -251,6 +283,9 @@ class NodeRuntime:
             lost_work_seconds=lost,
             restored_state=restored,
             in_flight_ckpts=in_flight,
+            restore_seconds=restore_seconds,
+            restore_payload_bytes=restore_payload_bytes,
+            restore_sources=restore_sources,
         )
         self.crash_reports.append(report)
         return report

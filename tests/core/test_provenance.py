@@ -1,0 +1,251 @@
+"""Provenance-indexed restore: equivalence, persistence, integrity.
+
+The invariant everything here defends: for any valid diff chain, the
+indexed restore path produces byte-for-byte the same state as chain
+replay — while touching only the checkpoints the target state actually
+references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ENGINES,
+    IndexedRestorer,
+    ProvenanceBuilder,
+    ProvenanceTable,
+    Restorer,
+    indexed_restore_latest,
+    load_provenance,
+    load_record,
+    record_manifest,
+    restore_record_indexed,
+    save_record,
+    verify_record,
+)
+from repro.core.dedup_full import FullCheckpoint
+from repro.errors import IntegrityError, ReproError, RestoreError
+
+N = 64 * 80
+CS = 64
+
+
+def _chain(method, rng, steps=6, n=N):
+    """A chain with overwrites, shifted content, and zero regions."""
+    engine = ENGINES[method](n, CS)
+    buf = np.zeros(n, dtype=np.uint8)
+    buf[: n // 2] = rng.integers(0, 256, n // 2, dtype=np.uint8)
+    diffs = [engine.checkpoint(buf)]
+    states = [buf.copy()]
+    for k in range(1, steps):
+        buf = buf.copy()
+        off = int(rng.integers(0, n - 700))
+        buf[off : off + 640] = rng.integers(0, 256, 640, dtype=np.uint8)
+        if k % 2 == 0:  # duplicate an aligned run → shifted references
+            buf[CS * 4 : CS * 8] = buf[CS * 20 : CS * 24]
+        diffs.append(engine.checkpoint(buf))
+        states.append(buf.copy())
+    return diffs, states
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method", ["full", "basic", "list", "tree"])
+    def test_indexed_matches_replay_every_checkpoint(self, method, rng):
+        diffs, states = _chain(method, rng)
+        replay = Restorer().restore_all(diffs)
+        restorer = IndexedRestorer()
+        for k in range(len(diffs)):
+            fast = restorer.restore(diffs, upto=k)
+            assert np.array_equal(fast, replay[k])
+            assert np.array_equal(fast, states[k])
+
+    @pytest.mark.parametrize("method", ["basic", "list", "tree"])
+    def test_tail_chunk_handled(self, method, rng):
+        diffs, states = _chain(method, rng, n=N + 17)
+        fast = indexed_restore_latest(diffs)
+        assert np.array_equal(fast, states[-1])
+
+    def test_external_builder_matches_on_the_fly(self, rng):
+        diffs, states = _chain("tree", rng)
+        builder = ProvenanceBuilder()
+        builder.extend(diffs)
+        out = IndexedRestorer().restore(diffs, builder=builder)
+        assert np.array_equal(out, states[-1])
+
+    def test_codec_payloads(self, rng):
+        from repro.compress import get_codec
+
+        codec = get_codec("deflate")
+        engine = ENGINES["tree"](N, CS, payload_codec=codec)
+        buf = rng.integers(0, 4, N, dtype=np.uint8)  # compressible
+        diffs = [engine.checkpoint(buf)]
+        buf = buf.copy()
+        buf[:512] = rng.integers(0, 4, 512, dtype=np.uint8)
+        diffs.append(engine.checkpoint(buf))
+        out = IndexedRestorer(payload_codec=codec).restore(diffs)
+        assert np.array_equal(out, buf)
+
+    def test_scrub_catches_corrupt_chain(self, rng):
+        diffs, _ = _chain("tree", rng)
+        diffs[2].payload = diffs[2].payload[:-4]
+        with pytest.raises(IntegrityError):
+            IndexedRestorer(scrub=True).restore(diffs)
+
+
+class TestBuilderValidation:
+    def test_out_of_order_chain(self, rng):
+        diffs, _ = _chain("tree", rng)
+        builder = ProvenanceBuilder()
+        with pytest.raises(RestoreError, match="out of order"):
+            builder.append(diffs[1])
+
+    def test_empty_chain(self):
+        with pytest.raises(RestoreError, match="empty"):
+            IndexedRestorer().restore([])
+
+    def test_upto_out_of_range(self, rng):
+        diffs, _ = _chain("full", rng, steps=2)
+        with pytest.raises(RestoreError, match="outside chain"):
+            IndexedRestorer().restore(diffs, upto=5)
+
+    def test_forward_reference_rejected(self, rng):
+        diffs, _ = _chain("tree", rng)
+        shifted = next(d for d in diffs if d.num_shift)
+        shifted.shift_ref_ckpts = np.full_like(shifted.shift_ref_ckpts, 7)
+        builder = ProvenanceBuilder()
+        with pytest.raises(RestoreError, match="not reconstructed yet"):
+            builder.extend(diffs)
+
+
+class TestTablePersistence:
+    def test_round_trip(self, rng):
+        diffs, _ = _chain("tree", rng)
+        table = ProvenanceTable.from_diffs(diffs)
+        back = ProvenanceTable.from_bytes(table.to_bytes())
+        assert np.array_equal(back.src_ckpt, table.src_ckpt)
+        assert np.array_equal(back.src_off, table.src_off)
+        assert back.data_len == N and back.chunk_size == CS
+
+    def test_bit_flip_detected(self, rng):
+        diffs, _ = _chain("list", rng)
+        blob = bytearray(ProvenanceTable.from_diffs(diffs).to_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            ProvenanceTable.from_bytes(bytes(blob))
+
+    def test_truncation_detected(self, rng):
+        diffs, _ = _chain("basic", rng)
+        blob = ProvenanceTable.from_diffs(diffs).to_bytes()
+        with pytest.raises(IntegrityError):
+            ProvenanceTable.from_bytes(blob[:-8])
+
+    def test_save_record_persists_index(self, rng, tmp_path):
+        diffs, _ = _chain("tree", rng)
+        save_record(diffs, tmp_path)
+        manifest = record_manifest(tmp_path)
+        assert "provenance" in manifest
+        table = load_provenance(tmp_path)
+        assert table is not None
+        assert table.num_checkpoints == len(diffs)
+
+    def test_unindexable_chain_still_saves(self, rng, tmp_path):
+        # A chain missing its opening full checkpoint cannot be indexed
+        # from position 0, but the record must still land on disk.
+        diffs, _ = _chain("tree", rng)
+        shifted = next(d for d in diffs if d.num_shift)
+        shifted.ckpt_id = 0  # hand-built: claims position 0
+        shifted.shift_ref_ckpts = np.full_like(shifted.shift_ref_ckpts, 3)
+        broken = [shifted]
+        with pytest.raises(ReproError):
+            ProvenanceTable.from_diffs(broken)
+        save_record(broken, tmp_path)
+        assert load_provenance(tmp_path) is None
+        assert "provenance" not in record_manifest(tmp_path)
+
+
+class TestRecordRestore:
+    def test_cold_restart_parses_only_referenced_frames(self, rng, tmp_path):
+        # Churn one window repeatedly: the final state lives in the first
+        # and last checkpoints only.
+        engine = ENGINES["tree"](N, CS)
+        buf = rng.integers(0, 256, N, dtype=np.uint8)
+        diffs = [engine.checkpoint(buf)]
+        for _ in range(7):
+            buf = buf.copy()
+            buf[: N // 4] = rng.integers(0, 256, N // 4, dtype=np.uint8)
+            diffs.append(engine.checkpoint(buf))
+        save_record(diffs, tmp_path)
+        out, report = restore_record_indexed(tmp_path)
+        assert np.array_equal(out, buf)
+        assert report.used_index
+        assert report.frames_parsed < report.frames_total
+        assert report.record_bytes_read < report.record_bytes + report.index_bytes
+
+    def test_unreferenced_frame_loss_survivable(self, rng, tmp_path):
+        # The point of the index: a restore of the latest state does not
+        # even read frames it doesn't reference — so losing one of them
+        # cannot block the restart (replay would die parsing the chain).
+        engine = FullCheckpoint(N, CS)
+        b0 = rng.integers(0, 256, N, dtype=np.uint8)
+        b1 = rng.integers(0, 256, N, dtype=np.uint8)
+        diffs = [engine.checkpoint(b0), engine.checkpoint(b1)]
+        save_record(diffs, tmp_path)
+        (tmp_path / "ckpt-00000.rdif").unlink()
+        out, report = restore_record_indexed(tmp_path)
+        assert np.array_equal(out, b1)
+        assert report.frames_parsed == 1
+        with pytest.raises(ReproError):
+            Restorer().restore(load_record(tmp_path))
+
+    def test_replay_fallback_without_index(self, rng, tmp_path):
+        diffs, states = _chain("list", rng)
+        save_record(diffs, tmp_path)
+        (tmp_path / "provenance.rpix").unlink()
+        manifest_path = tmp_path / "record.json"
+        import json
+
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["provenance"]
+        manifest_path.write_text(json.dumps(manifest))
+        out, report = restore_record_indexed(tmp_path)
+        assert np.array_equal(out, states[-1])
+        assert not report.used_index
+        assert report.frames_parsed == report.frames_total
+
+    def test_corrupt_index_detected(self, rng, tmp_path):
+        diffs, _ = _chain("tree", rng)
+        save_record(diffs, tmp_path)
+        index_path = tmp_path / "provenance.rpix"
+        blob = bytearray(index_path.read_bytes())
+        blob[-3] ^= 0x01
+        index_path.write_bytes(bytes(blob))
+        with pytest.raises(IntegrityError):
+            restore_record_indexed(tmp_path)
+        report = verify_record(tmp_path)
+        assert report.provenance_ok is False
+        assert not report.ok
+
+    def test_verify_record_reports_index_ok(self, rng, tmp_path):
+        diffs, _ = _chain("basic", rng)
+        save_record(diffs, tmp_path)
+        report = verify_record(tmp_path)
+        assert report.provenance_ok is True
+        assert report.ok
+        assert "provenance index: ok" in report.summary()
+
+    def test_scrub_path_validates_whole_record(self, rng, tmp_path):
+        diffs, states = _chain("tree", rng)
+        save_record(diffs, tmp_path)
+        out, report = restore_record_indexed(tmp_path, scrub=True)
+        assert np.array_equal(out, states[-1])
+        assert not report.used_index  # scrub needs every frame anyway
+
+    def test_upto_selects_checkpoint(self, rng, tmp_path):
+        diffs, states = _chain("tree", rng)
+        save_record(diffs, tmp_path)
+        for k in (0, 2, len(diffs) - 1):
+            out, report = restore_record_indexed(tmp_path, upto=k)
+            assert np.array_equal(out, states[k])
+            assert report.target_ckpt == k
+        with pytest.raises(RestoreError, match="outside record"):
+            restore_record_indexed(tmp_path, upto=len(diffs))

@@ -204,3 +204,48 @@ class TestMixedMethodChain:
         assert diffs[1].method == "tree"
         out = Restorer().restore_all(diffs)
         assert np.array_equal(out[1], nxt)
+
+
+class TestReferenceWindow:
+    """``restore(upto=k)`` must hold only the buffers the remaining chain
+    still references — the satellite fix for full-chain memory blowup."""
+
+    def test_full_chain_peaks_at_one_buffer(self, rng):
+        n = 64 * 16
+        engine = ENGINES["full"](n, 64)
+        diffs = [
+            engine.checkpoint(rng.integers(0, 256, n, dtype=np.uint8))
+            for _ in range(6)
+        ]
+        restorer = Restorer()
+        restorer.restore(diffs)
+        # A full checkpoint references nothing: each state replaces the
+        # previous one and at most the live pair coexists.
+        assert restorer.peak_buffers_held <= 2
+
+    def test_basic_chain_peaks_at_two_buffers(self, rng):
+        n = 64 * 16
+        engine = ENGINES["basic"](n, 64)
+        buf = rng.integers(0, 256, n, dtype=np.uint8)
+        diffs = [engine.checkpoint(buf)]
+        for _ in range(7):
+            buf = buf.copy()
+            buf[:64] = rng.integers(0, 256, 64, dtype=np.uint8)
+            diffs.append(engine.checkpoint(buf))
+        restorer = Restorer()
+        restorer.restore(diffs)
+        # Basic diffs only need their immediate predecessor.
+        assert restorer.peak_buffers_held == 2
+
+    def test_windowed_restore_matches_restore_all(self, tree_chain):
+        replay = Restorer().restore_all(tree_chain)
+        for k in range(len(tree_chain)):
+            restorer = Restorer()
+            got = restorer.restore(tree_chain, upto=k)
+            assert np.array_equal(got, replay[k])
+            assert restorer.peak_buffers_held <= k + 1
+
+    def test_restore_all_reports_full_history(self, tree_chain):
+        restorer = Restorer()
+        restorer.restore_all(tree_chain)
+        assert restorer.peak_buffers_held == len(tree_chain)

@@ -93,6 +93,34 @@ def trace_diffs():
     return out
 
 
+@pytest.fixture(scope="module")
+def trace_chain():
+    """The same fixed-seed ORANGES trace, kept as actual diffs + states."""
+    app = OrangesApp("unstructured_mesh", num_vertices=512, seed=2)
+    engine = app.fresh_engine()
+    tree = TreeDedup(engine.buffer_nbytes, 64)
+    diffs, states = [], []
+    for snap in engine.checkpoint_stream(len(GOLDEN)):
+        flat = np.ascontiguousarray(snap.reshape(-1).view(np.uint8))
+        diffs.append(tree.checkpoint(flat))
+        states.append(flat.copy())
+    return diffs, states
+
+
+def test_indexed_restore_bit_identical_on_golden_trace(trace_chain):
+    """The restore overhaul must not change a byte on the golden trace:
+    the provenance-indexed path reproduces every captured state exactly."""
+    from repro.core import IndexedRestorer, Restorer
+
+    diffs, states = trace_chain
+    replay = Restorer().restore_all(diffs)
+    restorer = IndexedRestorer()
+    for k, want in enumerate(states):
+        got = restorer.restore(diffs, upto=k)
+        assert np.array_equal(got, want)
+        assert np.array_equal(got, replay[k])
+
+
 def test_diff_checksums_bit_identical(trace_diffs):
     assert [row[0] for row in trace_diffs] == [g[0] for g in GOLDEN]
 

@@ -9,7 +9,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import ENGINES, Restorer
+from repro.core import ENGINES, IndexedRestorer, Restorer
 from repro.core.diff import CheckpointDiff
 
 _SETTINGS = dict(
@@ -84,6 +84,24 @@ def test_basic_roundtrip(case):
     restored = Restorer().restore_all(diffs)
     for want, got in zip(stream, restored):
         assert np.array_equal(want, got)
+
+
+@given(checkpoint_streams(), st.sampled_from(["full", "basic", "list", "tree"]))
+@settings(**_SETTINGS)
+def test_indexed_restore_matches_replay(case, method):
+    """The restore overhaul's core contract: for ANY fault-free chain and
+    ANY method, the provenance-indexed path is bit-identical to chain
+    replay at every checkpoint — including windowed partial restores."""
+    data_len, chunk_size, stream = case
+    engine = ENGINES[method](data_len, chunk_size)
+    diffs = [engine.checkpoint(c) for c in stream]
+    replay = Restorer().restore_all(diffs)
+    restorer = IndexedRestorer()
+    for k in range(len(diffs)):
+        assert np.array_equal(restorer.restore(diffs, upto=k), replay[k])
+    windowed = Restorer()
+    for k in range(len(diffs)):
+        assert np.array_equal(windowed.restore(diffs, upto=k), replay[k])
 
 
 @given(checkpoint_streams())

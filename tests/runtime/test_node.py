@@ -189,3 +189,45 @@ class TestCrashRestart:
         runtime = NodeRuntime(SIZE, 64, num_processes=2)
         with pytest.raises(SimulationError):
             runtime.crash_restart(0, at_time=-1.0)
+
+
+class TestIndexedRestart:
+    """crash_restart rides the provenance-indexed restore path."""
+
+    def test_warm_restart_reports_restore_cost(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=4)
+        report = runtime.crash_restart(0, at_time=3 * PERIOD + 5.0)
+        assert report.restore_seconds > 0.0
+        assert report.restore_payload_bytes > 0
+        # The cadence only mutates the first 256 bytes per step: the
+        # restored state references the opening full checkpoint plus the
+        # last writers of that window — never the whole chain.
+        assert 1 <= report.restore_sources <= 3
+
+    def test_cold_restart_has_no_restore_cost(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        report = runtime.crash_restart(0, at_time=0.0)
+        assert report.restore_seconds == 0.0
+        assert report.restore_payload_bytes == 0
+        assert report.restore_sources == 0
+
+    def test_provenance_builder_tracks_ledger(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=3)
+        for p in range(2):
+            assert len(runtime.provenance[p]) == len(runtime.persisted[p])
+        runtime.crash_restart(0, at_time=2 * PERIOD + 1.0)
+        # After restart the builder reseeds with the restart checkpoint.
+        assert len(runtime.provenance[0]) == len(runtime.persisted[0]) == 1
+        # And the next cadence keeps them in lockstep.
+        run_cadence(runtime, rng, steps=2)
+        assert len(runtime.provenance[0]) == len(runtime.persisted[0]) == 3
+
+    def test_restart_then_crash_again_is_consistent(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=1)
+        run_cadence(runtime, rng, steps=3)
+        runtime.crash_restart(0, at_time=2 * PERIOD + 1.0)
+        snapshots = run_cadence(runtime, rng, steps=3)
+        report = runtime.crash_restart(0, at_time=5 * PERIOD + 60.0)
+        assert np.array_equal(report.restored_state, snapshots[-1][0])
