@@ -158,15 +158,19 @@ def bench_crashes(n_crashes: int = 8, seed: int = 3) -> dict:
 
 
 def run(out_path: Path | None = None) -> dict:
-    diffs, states = golden_trace()
-    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
-        record = bench_record_campaign(diffs, states, Path(tmp))
-    report = {
-        "bench": "faults",
-        "record": record,
-        "tiers": bench_tier_faults(diffs),
-        "crashes": bench_crashes(),
-    }
+    from repro import telemetry
+
+    with telemetry.capture() as tel:
+        diffs, states = golden_trace()
+        with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+            record = bench_record_campaign(diffs, states, Path(tmp))
+        report = {
+            "bench": "faults",
+            "record": record,
+            "tiers": bench_tier_faults(diffs),
+            "crashes": bench_crashes(),
+        }
+    report["telemetry"] = tel
     if out_path is None:
         out_path = Path(
             os.environ.get(

@@ -125,12 +125,16 @@ def bench_tree_e2e(buffer_mb: int = 4, checkpoints: int = 6) -> list:
 
 
 def run(out_path: Path | None = None) -> dict:
-    report = {
-        "bench": "hotpath",
-        "hash": bench_hash(),
-        "map": bench_map(),
-        "tree_e2e": bench_tree_e2e(),
-    }
+    from repro import telemetry
+
+    with telemetry.capture() as tel:
+        report = {
+            "bench": "hotpath",
+            "hash": bench_hash(),
+            "map": bench_map(),
+            "tree_e2e": bench_tree_e2e(),
+        }
+    report["telemetry"] = tel
     if out_path is None:
         out_path = Path(
             os.environ.get(

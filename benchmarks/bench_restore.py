@@ -111,15 +111,21 @@ def bench_one(method: str, num_checkpoints: int, directory: Path) -> dict:
 
 
 def run(out_path: Path | None = None) -> dict:
-    with tempfile.TemporaryDirectory() as tmp:
-        tmp_path = Path(tmp)
-        methods = [bench_one(m, 25, tmp_path) for m in METHODS]
-        tree_sweep = [bench_one("tree", n, tmp_path) for n in TREE_SWEEP_LENGTHS]
+    from repro import telemetry
+
+    with telemetry.capture() as tel:
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = Path(tmp)
+            methods = [bench_one(m, 25, tmp_path) for m in METHODS]
+            tree_sweep = [
+                bench_one("tree", n, tmp_path) for n in TREE_SWEEP_LENGTHS
+            ]
     report = {
         "bench": "restore",
         "tree50_min_speedup": TREE50_MIN_SPEEDUP,
         "methods": methods,
         "tree_sweep": tree_sweep,
+        "telemetry": tel,
     }
     if out_path is None:
         out_path = Path(

@@ -13,15 +13,23 @@ verify <dir>
     digest, and the salvageable prefix length (see docs/FAULT_MODEL.md).
 restore <dir>
     Reconstruct a checkpoint from a stored record into a raw binary file.
+trace <out.json>
+    Run a fixed-seed ORANGES workload with telemetry enabled and export a
+    Chrome trace_event JSON (load it at https://ui.perfetto.dev) holding
+    both clocks: wall time and simulated GPU time (docs/OBSERVABILITY.md).
 bench <name>
     Run one of the paper-reproduction benches (table1, fig4, fig5, fig6,
     fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
     restore, faults).
+
+``inspect`` and ``verify`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from pathlib import Path
 
@@ -66,13 +74,40 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     manifest = record_manifest(args.record)
     diffs = load_record(args.record)
+    problems = verify_chain(diffs)
+    if args.json:
+        from .core.analysis import analyze_record
+
+        doc = {
+            "record": str(args.record),
+            "method": manifest["method"],
+            "num_checkpoints": len(diffs),
+            "data_len": manifest["data_len"],
+            "chunk_size": manifest["chunk_size"],
+            "checkpoints": [
+                {
+                    "ckpt_id": c.ckpt_id,
+                    "method": c.method,
+                    "first_bytes": c.first_bytes,
+                    "shift_bytes": c.shift_bytes,
+                    "fixed_bytes": c.fixed_bytes,
+                    "metadata_bytes": c.metadata_bytes,
+                    "stored_bytes": c.stored_bytes,
+                    "changed_fraction": c.changed_fraction,
+                }
+                for c in analyze_record(diffs)
+            ],
+            "problems": problems,
+            "chain_ok": not problems,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if not problems else 1
     print(
         f"record: method={manifest['method']} checkpoints={len(diffs)} "
         f"data={format_bytes(manifest['data_len'])} "
         f"chunk={manifest['chunk_size']} B\n"
     )
     print(composition_report(diffs))
-    problems = verify_chain(diffs)
     if problems:
         print("\nINTEGRITY PROBLEMS:")
         for p in problems:
@@ -84,6 +119,27 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     report = verify_record(args.record)
+    if args.json:
+        doc = {
+            "record": report.directory,
+            "format_version": report.format_version,
+            "ok": report.ok,
+            "chain_ok": report.chain_ok,
+            "provenance_ok": report.provenance_ok,
+            "valid_prefix_len": report.valid_prefix_len,
+            "first_bad": report.first_bad,
+            "checkpoints": [
+                {
+                    "index": c.index,
+                    "filename": c.filename,
+                    "status": c.status,
+                    "detail": c.detail,
+                }
+                for c in report.checkpoints
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if report.ok else 1
     print(f"record: {report.directory} (format v{report.format_version})")
     print(report.summary())
     if report.ok:
@@ -128,6 +184,72 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         f"{report.frames_parsed}/{report.frames_total} frames"
     )
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .oranges import OrangesApp
+    from .telemetry.export import (
+        metrics_to_prometheus,
+        phase_summary,
+        span_sim_seconds,
+        write_chrome_trace,
+    )
+
+    was_enabled = telemetry.enabled()
+    telemetry.enable(reset=True)
+    try:
+        app = OrangesApp(
+            args.graph, num_vertices=args.vertices, seed=args.seed
+        )
+        backend = app.make_backend(args.method, chunk_size=args.chunk_size)
+        run = app.run({"ckpt": backend}, num_checkpoints=args.checkpoints)
+        backend.restore(args.checkpoints - 1)
+        model = backend.cost_model
+
+        # The acceptance invariant: per-checkpoint span sim-time must sum
+        # to exactly what the bench harness reports (CostBreakdown totals).
+        tracer = telemetry.get_tracer()
+        span_total = sum(
+            span_sim_seconds(r, model)
+            for r in tracer.spans()
+            if r.name == "checkpoint"
+        )
+        stats_total = sum(s.cost.total_seconds for s in backend.record.stats)
+        matches = math.isclose(
+            span_total, stats_total, rel_tol=1e-9, abs_tol=1e-15
+        )
+
+        out = write_chrome_trace(args.output, model=model)
+        summary = phase_summary(model=model)
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(metrics_to_prometheus())
+
+        print(
+            f"ORANGES {run.graph_name}: {run.num_vertices} vertices, "
+            f"{run.num_checkpoints} checkpoints of "
+            f"{format_bytes(run.gdv_bytes)} ({args.method}@{args.chunk_size})"
+        )
+        print(f"{'span':<24s} {'count':>6s} {'wall s':>10s} {'sim s':>12s}")
+        for name, row in sorted(summary["spans"].items()):
+            print(
+                f"{name:<24s} {row['count']:>6d} "
+                f"{row['wall_seconds']:>10.4f} {row['sim_seconds']:>12.3e}"
+            )
+        print(f"\ntrace written to {out}")
+        if args.metrics_out:
+            print(f"metrics written to {args.metrics_out}")
+        verdict = "match" if matches else "MISMATCH"
+        print(
+            f"sim-clock check: checkpoint spans {span_total:.9e} s vs "
+            f"cost model {stats_total:.9e} s — {verdict}"
+        )
+        return 0 if matches else 1
+    finally:
+        if was_enabled:
+            telemetry.enable(reset=False)
+        else:
+            telemetry.disable()
 
 
 _BENCHES = {
@@ -190,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="analyze a stored record")
     inspect.add_argument("record", help="record directory")
+    inspect.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     inspect.set_defaults(func=_cmd_inspect)
 
     verify = sub.add_parser("verify", help="integrity-scan a stored record")
@@ -197,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--salvage", action="store_true",
         help="also report how many checkpoints load via strict=False",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
     verify.set_defaults(func=_cmd_verify)
 
@@ -218,6 +346,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="selective chain replay (works on records without an index)",
     )
     restore.set_defaults(func=_cmd_restore, replay=False)
+
+    trace = sub.add_parser(
+        "trace", help="run a telemetry-traced ORANGES workload"
+    )
+    trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace_event JSON output path",
+    )
+    trace.add_argument("--graph", default="message_race",
+                       choices=["message_race", "unstructured_mesh",
+                                "asia_osm", "hugebubbles", "delaunay"])
+    trace.add_argument("--vertices", type=int, default=256)
+    trace.add_argument("--method", default="tree",
+                       choices=["tree", "list", "basic", "full"])
+    trace.add_argument("--chunk-size", type=int, default=128)
+    trace.add_argument("--checkpoints", type=int, default=5)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--metrics-out", default=None,
+        help="also write a Prometheus-format metrics dump here",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser("bench", help="run a paper-reproduction bench")
     bench.add_argument("name", choices=sorted(_BENCHES))

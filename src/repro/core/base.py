@@ -19,8 +19,9 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ChunkingError
-from ..kokkos.execution import DeviceSpace
+from ..kokkos.execution import DeviceSpace, LedgerView
 from ..utils.timing import PhaseTimer
+from .. import telemetry
 from .chunking import BufferLike, ChunkSpec
 from .diff import CheckpointDiff
 
@@ -59,6 +60,7 @@ class DedupEngine(ABC):
         self.fused = bool(fused)
         self.next_ckpt_id = 0
         self.timer = PhaseTimer()
+        self._ckpt_cursor = self.space.ledger.cursor()
 
     # ------------------------------------------------------------------
     # Public API
@@ -72,8 +74,9 @@ class DedupEngine(ABC):
         """
         flat = self.spec.validate_buffer(data)
         self.space.ledger.clear()
+        self._ckpt_cursor = self.space.ledger.cursor()
         ckpt_id = self.next_ckpt_id
-        with self.timer.phase(f"{self.name}.process"):
+        with self.phase(f"{self.name}.process", ckpt_id=ckpt_id):
             if self.fused:
                 with self.space.fused(f"dedup.{self.name}"):
                     diff = self._process(flat, ckpt_id)
@@ -83,6 +86,25 @@ class DedupEngine(ABC):
         self.space.transfer("D2H", diff.serialized_size, count=1)
         self.next_ckpt_id += 1
         return diff
+
+    def phase(self, name: str, **attrs):
+        """Dual-clock phase span for this engine's device work.
+
+        Wall seconds land in :attr:`timer` (telemetry on or off), so the
+        pre-existing ``PhaseTimer`` accounting is unchanged; with
+        telemetry enabled the span also captures the device-work delta
+        from :attr:`space` for the simulated-time track.
+        """
+        return telemetry.span(name, space=self.space, timer=self.timer, **attrs)
+
+    def last_checkpoint_view(self) -> LedgerView:
+        """Ledger records of the most recent :meth:`checkpoint` call.
+
+        Cursor-scoped (see :meth:`~repro.kokkos.KernelLedger.since`), so
+        pricing consumers cannot double-count records even if another
+        consumer clears or re-reads the ledger concurrently.
+        """
+        return self.space.ledger.since(self._ckpt_cursor)
 
     @property
     def num_chunks(self) -> int:

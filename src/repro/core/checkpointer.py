@@ -24,6 +24,7 @@ from ..errors import ConfigurationError
 from ..gpusim.device import DeviceSpec, a100
 from ..gpusim.perfmodel import KernelCostModel
 from ..utils.validation import positive_float
+from .. import telemetry
 from .base import DedupEngine
 from .chunking import BufferLike
 from .dedup_basic import BasicDedup
@@ -96,9 +97,24 @@ class IncrementalCheckpointer:
     def checkpoint(self, data: BufferLike) -> CheckpointStats:
         """Capture one checkpoint; returns its measurements."""
         wall_start = time.perf_counter()
-        diff = self.engine.checkpoint(data)
+        with telemetry.span(
+            "checkpoint",
+            space=self.engine.space,
+            method=self.method,
+            ckpt_id=self.engine.next_ckpt_id,
+        ) as span:
+            diff = self.engine.checkpoint(data)
+            span.set(
+                bytes=diff.serialized_size,
+                chunks=self.engine.num_chunks,
+                num_first=diff.num_first,
+                num_shift=diff.num_shift,
+            )
         wall = time.perf_counter() - wall_start
-        cost = self.cost_model.price(self.engine.space.ledger)
+        # Price the cursor-scoped view of exactly this checkpoint's
+        # records — never the raw ledger, which other consumers may read
+        # or clear independently.
+        cost = self.cost_model.price(self.engine.last_checkpoint_view())
         stats = CheckpointStats(
             ckpt_id=diff.ckpt_id,
             data_len=diff.data_len,

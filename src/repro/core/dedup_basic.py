@@ -36,14 +36,14 @@ class BasicDedup(DedupEngine):
     def _process(self, flat: np.ndarray, ckpt_id: int) -> CheckpointDiff:
         n = self.spec.num_chunks
 
-        with self.timer.phase("basic.hash"):
+        with self.phase("basic.hash"):
             digests = hash_chunks(flat, self.spec.chunk_size)
-        self.space.launch(
-            "basic.hash",
-            items=n,
-            bytes_read=self.spec.data_len,
-            bytes_written=digests.nbytes,
-        )
+            self.space.launch(
+                "basic.hash",
+                items=n,
+                bytes_read=self.spec.data_len,
+                bytes_written=digests.nbytes,
+            )
 
         if self._prev_digests is None:
             # Checkpoint 0 is stored in full (all chunks "changed").
@@ -72,15 +72,15 @@ class BasicDedup(DedupEngine):
         self._prev_digests = digests
 
         changed_ids = np.nonzero(changed)[0]
-        with self.timer.phase("basic.gather"):
+        with self.phase("basic.gather"):
             payload = gather_chunk_payload(flat, self.spec, changed_ids)
-        bitmap = pack_bitmap(changed)
-        self.space.launch(
-            "basic.serialize",
-            items=int(changed_ids.shape[0]),
-            bytes_read=len(payload),
-            bytes_written=len(payload) + bitmap.nbytes,
-        )
+            bitmap = pack_bitmap(changed)
+            self.space.launch(
+                "basic.serialize",
+                items=int(changed_ids.shape[0]),
+                bytes_read=len(payload),
+                bytes_written=len(payload) + bitmap.nbytes,
+            )
 
         return CheckpointDiff(
             method=self.name,

@@ -39,14 +39,14 @@ class ListDedup(DedupEngine):
     def _process(self, flat: np.ndarray, ckpt_id: int) -> CheckpointDiff:
         n = self.spec.num_chunks
 
-        with self.timer.phase("list.hash"):
+        with self.phase("list.hash"):
             digests = hash_chunks(flat, self.spec.chunk_size)
-        self.space.launch(
-            "list.hash",
-            items=n,
-            bytes_read=self.spec.data_len,
-            bytes_written=digests.nbytes,
-        )
+            self.space.launch(
+                "list.hash",
+                items=n,
+                bytes_read=self.spec.data_len,
+                bytes_written=digests.nbytes,
+            )
 
         if self._prev_digests is None:
             # Checkpoint 0: stored in full; the record is seeded with every
@@ -56,14 +56,14 @@ class ListDedup(DedupEngine):
             values[:, 0] = np.arange(n)
             values[:, 1] = ckpt_id
             probes_before = self.map.total_probes
-            with self.timer.phase("list.map"):
+            with self.phase("list.map"):
                 self.map.insert(digests, values)
-            self.space.launch(
-                "list.map_seed",
-                items=n,
-                bytes_read=digests.nbytes,
-                random_accesses=self.map.total_probes - probes_before,
-            )
+                self.space.launch(
+                    "list.map_seed",
+                    items=n,
+                    bytes_read=digests.nbytes,
+                    random_accesses=self.map.total_probes - probes_before,
+                )
             self.space.launch(
                 "list.serialize",
                 items=1,
@@ -86,16 +86,16 @@ class ListDedup(DedupEngine):
         values[:, 0] = moving
         values[:, 1] = ckpt_id
         probes_before = self.map.total_probes
-        with self.timer.phase("list.map"):
+        with self.phase("list.map"):
             success, winners = self.map.insert(
                 np.ascontiguousarray(digests[moving]), values
             )
-        self.space.launch(
-            "list.classify",
-            items=int(moving.shape[0]),
-            bytes_read=digests.nbytes,
-            random_accesses=self.map.total_probes - probes_before,
-        )
+            self.space.launch(
+                "list.classify",
+                items=int(moving.shape[0]),
+                bytes_read=digests.nbytes,
+                random_accesses=self.map.total_probes - probes_before,
+            )
 
         first_ids = moving[success]
         shift_mask = ~success
@@ -103,14 +103,16 @@ class ListDedup(DedupEngine):
         shift_ref_ids = winners[shift_mask, 0]
         shift_ref_ckpts = winners[shift_mask, 1]
 
-        with self.timer.phase("list.gather"):
+        with self.phase("list.gather"):
             payload = gather_chunk_payload(flat, self.spec, first_ids)
-        self.space.launch(
-            "list.serialize",
-            items=int(first_ids.shape[0]),
-            bytes_read=len(payload),
-            bytes_written=len(payload) + 4 * first_ids.shape[0] + 12 * shift_ids.shape[0],
-        )
+            self.space.launch(
+                "list.serialize",
+                items=int(first_ids.shape[0]),
+                bytes_read=len(payload),
+                bytes_written=len(payload)
+                + 4 * first_ids.shape[0]
+                + 12 * shift_ids.shape[0],
+            )
 
         return CheckpointDiff(
             method=self.name,

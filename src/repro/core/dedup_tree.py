@@ -114,23 +114,23 @@ class TreeDedup(DedupEngine):
         region of the initial state (repeated zero runs included).
         """
         n = self.spec.num_chunks
-        with self.timer.phase("tree.hash_leaves"):
+        with self.phase("tree.hash_leaves"):
             digests = hash_chunks(flat, self.spec.chunk_size)
-        self.space.launch(
-            "tree.hash_leaves",
-            items=n,
-            bytes_read=self.spec.data_len,
-            bytes_written=digests.nbytes,
-        )
+            self.space.launch(
+                "tree.hash_leaves",
+                items=n,
+                bytes_read=self.spec.data_len,
+                bytes_written=digests.nbytes,
+            )
         self.tree.set_leaves(digests)
-        with self.timer.phase("tree.build_interior"):
+        with self.phase("tree.build_interior"):
             interior_hashes = self.tree.build_interior()
-        self.space.launch(
-            "tree.build_interior",
-            items=interior_hashes,
-            bytes_read=32 * interior_hashes,
-            bytes_written=16 * interior_hashes,
-        )
+            self.space.launch(
+                "tree.build_interior",
+                items=interior_hashes,
+                bytes_read=32 * interior_hashes,
+                bytes_written=16 * interior_hashes,
+            )
 
         # Insert every node digest, leaves first (chunk order), then the
         # interior bottom-up — first-wins matches the two-stage schedule.
@@ -143,21 +143,22 @@ class TreeDedup(DedupEngine):
         values[:, 0] = nodes
         values[:, 1] = 0
         probes_before = self.map.total_probes
-        with self.timer.phase("tree.map_seed"):
+        with self.phase("tree.map_seed"):
             self.map.insert(keys, values)
-        self.space.launch(
-            "tree.map_seed",
-            items=int(nodes.shape[0]),
-            bytes_read=keys.nbytes,
-            random_accesses=self.map.total_probes - probes_before,
-        )
+            self.space.launch(
+                "tree.map_seed",
+                items=int(nodes.shape[0]),
+                bytes_read=keys.nbytes,
+                random_accesses=self.map.total_probes - probes_before,
+            )
 
-        self.space.launch(
-            "tree.serialize",
-            items=1,
-            bytes_read=self.spec.data_len,
-            bytes_written=self.spec.data_len,
-        )
+        with self.phase("tree.gather"):
+            self.space.launch(
+                "tree.serialize",
+                items=1,
+                bytes_read=self.spec.data_len,
+                bytes_written=self.spec.data_len,
+            )
         return CheckpointDiff(
             method="full",
             ckpt_id=0,
@@ -171,14 +172,14 @@ class TreeDedup(DedupEngine):
         leaf_nodes = self.layout.node_of_leaf
         n = self.spec.num_chunks
 
-        with self.timer.phase("tree.hash_leaves"):
+        with self.phase("tree.hash_leaves"):
             digests = hash_chunks(flat, self.spec.chunk_size)
-        self.space.launch(
-            "tree.hash_leaves",
-            items=n,
-            bytes_read=self.spec.data_len,
-            bytes_written=digests.nbytes,
-        )
+            self.space.launch(
+                "tree.hash_leaves",
+                items=n,
+                bytes_read=self.spec.data_len,
+                bytes_written=digests.nbytes,
+            )
 
         if ckpt_id == 0:
             fixed = np.zeros(n, dtype=bool)
@@ -197,17 +198,17 @@ class TreeDedup(DedupEngine):
         values[:, 0] = leaf_nodes[moving]
         values[:, 1] = ckpt_id
         probes_before = self.map.total_probes
-        with self.timer.phase("tree.map_leaves"):
+        with self.phase("tree.map_leaves"):
             success, winners = self.map.insert_or_lookup(
                 np.ascontiguousarray(digests[moving]), values
             )
-        self.space.launch(
-            "tree.classify_leaves",
-            items=int(moving.shape[0]),
-            bytes_read=digests.nbytes,
-            bytes_written=n,  # label array
-            random_accesses=self.map.total_probes - probes_before,
-        )
+            self.space.launch(
+                "tree.classify_leaves",
+                items=int(moving.shape[0]),
+                bytes_read=digests.nbytes,
+                bytes_written=n,  # label array
+                random_accesses=self.map.total_probes - probes_before,
+            )
         labels[leaf_nodes[moving[success]]] = FIRST_OCUR
         shifted = leaf_nodes[moving[~success]]
         labels[shifted] = SHIFT_DUPL
@@ -228,7 +229,7 @@ class TreeDedup(DedupEngine):
             both_first = (ll == FIRST_OCUR) & (lr == FIRST_OCUR)
             nodes = interior[both_first]
             if nodes.size:
-                with self.timer.phase("tree.first_pass"):
+                with self.phase("tree.first_pass"):
                     dig = hash_digest_pairs(
                         self.tree.digests[left[both_first]],
                         self.tree.digests[right[both_first]],
@@ -239,14 +240,14 @@ class TreeDedup(DedupEngine):
                     vals[:, 1] = ckpt_id
                     probes_before = self.map.total_probes
                     self.map.insert(dig, vals)
+                    self.space.launch(
+                        "tree.first_pass",
+                        items=int(nodes.shape[0]),
+                        bytes_read=2 * 16 * int(nodes.shape[0]),
+                        bytes_written=16 * int(nodes.shape[0]),
+                        random_accesses=self.map.total_probes - probes_before,
+                    )
                 labels[nodes] = FIRST_OCUR
-                self.space.launch(
-                    "tree.first_pass",
-                    items=int(nodes.shape[0]),
-                    bytes_read=2 * 16 * int(nodes.shape[0]),
-                    bytes_written=16 * int(nodes.shape[0]),
-                    random_accesses=self.map.total_probes - probes_before,
-                )
 
             both_fixed = (ll == FIXED_DUPL) & (lr == FIXED_DUPL)
             labels[interior[both_fixed]] = FIXED_DUPL
@@ -279,7 +280,7 @@ class TreeDedup(DedupEngine):
             both_shift = (ll == SHIFT_DUPL) & (lr == SHIFT_DUPL)
             nodes = undecided[both_shift]
             if nodes.size:
-                with self.timer.phase("tree.shift_pass"):
+                with self.phase("tree.shift_pass"):
                     dig = hash_digest_pairs(
                         self.tree.digests[left[both_shift]],
                         self.tree.digests[right[both_shift]],
@@ -289,13 +290,13 @@ class TreeDedup(DedupEngine):
                     # Fused lookup: one probe yields both the existence bit
                     # and the (ref_node, ref_ckpt) the serializer needs.
                     found, refs = self.map.lookup(dig)
-                self.space.launch(
-                    "tree.shift_pass",
-                    items=int(nodes.shape[0]),
-                    bytes_read=2 * 16 * int(nodes.shape[0]),
-                    bytes_written=16 * int(nodes.shape[0]),
-                    random_accesses=self.map.total_probes - probes_before,
-                )
+                    self.space.launch(
+                        "tree.shift_pass",
+                        items=int(nodes.shape[0]),
+                        bytes_read=2 * 16 * int(nodes.shape[0]),
+                        bytes_written=16 * int(nodes.shape[0]),
+                        random_accesses=self.map.total_probes - probes_before,
+                    )
                 consolidated = nodes[found]
                 labels[consolidated] = SHIFT_DUPL
                 self._shift_refs[consolidated] = refs[found]
@@ -334,42 +335,43 @@ class TreeDedup(DedupEngine):
         shift_nodes: np.ndarray,
     ) -> CheckpointDiff:
         """Gather payload and resolve shifted-duplicate references."""
-        with self.timer.phase("tree.gather"):
+        with self.phase("tree.gather"):
             payload, _ = gather_region_payload(
                 flat, self.spec, self.layout, first_nodes
             )
 
-        if shift_nodes.size:
-            # The leaf and shift passes already resolved every SHIFT node's
-            # winning (ref_node, ref_ckpt) through their fused map probes;
-            # serialization is a plain gather from the cached ref table.
-            if not self._shift_ref_valid[shift_nodes].all():
-                # pragma: no cover - algorithm invariant
-                raise SerializationError(
-                    "shifted-duplicate region missing from the hash record"
-                )
-            refs = self._shift_refs[shift_nodes]
-            shift_ref_ids = refs[:, 0].copy()
-            shift_ref_ckpts = refs[:, 1].copy()
-            ref_gather_accesses = int(shift_nodes.shape[0])
-        else:
-            shift_ref_ids = np.empty(0, dtype=np.int64)
-            shift_ref_ckpts = np.empty(0, dtype=np.int64)
-            ref_gather_accesses = 0
+            if shift_nodes.size:
+                # The leaf and shift passes already resolved every SHIFT
+                # node's winning (ref_node, ref_ckpt) through their fused
+                # map probes; serialization is a plain gather from the
+                # cached ref table.
+                if not self._shift_ref_valid[shift_nodes].all():
+                    # pragma: no cover - algorithm invariant
+                    raise SerializationError(
+                        "shifted-duplicate region missing from the hash record"
+                    )
+                refs = self._shift_refs[shift_nodes]
+                shift_ref_ids = refs[:, 0].copy()
+                shift_ref_ckpts = refs[:, 1].copy()
+                ref_gather_accesses = int(shift_nodes.shape[0])
+            else:
+                shift_ref_ids = np.empty(0, dtype=np.int64)
+                shift_ref_ckpts = np.empty(0, dtype=np.int64)
+                ref_gather_accesses = 0
 
-        raw_payload = payload
-        if self.payload_codec is not None:
-            raw_payload = self.payload_codec.compress(payload)
+            raw_payload = payload
+            if self.payload_codec is not None:
+                raw_payload = self.payload_codec.compress(payload)
 
-        self.space.launch(
-            "tree.serialize",
-            items=int(first_nodes.shape[0] + shift_nodes.shape[0]),
-            bytes_read=len(payload),
-            bytes_written=len(raw_payload)
-            + 4 * int(first_nodes.shape[0])
-            + 12 * int(shift_nodes.shape[0]),
-            random_accesses=ref_gather_accesses,
-        )
+            self.space.launch(
+                "tree.serialize",
+                items=int(first_nodes.shape[0] + shift_nodes.shape[0]),
+                bytes_read=len(payload),
+                bytes_written=len(raw_payload)
+                + 4 * int(first_nodes.shape[0])
+                + 12 * int(shift_nodes.shape[0]),
+                random_accesses=ref_gather_accesses,
+            )
 
         return CheckpointDiff(
             method=self.name,

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import IntegrityError, RestoreError
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
@@ -511,31 +512,43 @@ class IndexedRestorer:
             raise RestoreError(f"checkpoint {upto} outside chain of {len(diffs)}")
         if self.scrub:
             scrub_chain(diffs[: upto + 1], self.payload_codec)
-        if builder is None:
-            builder = ProvenanceBuilder()
-        if len(builder) <= upto:
-            builder.extend(diffs[len(builder) : upto + 1])
-        index = builder.index_for(upto)
-        if index.data_len != diffs[0].data_len:
-            raise RestoreError(
-                "provenance builder does not match the supplied chain"
+        with telemetry.span(
+            "restore.indexed",
+            space=self.space,
+            upto=upto,
+            chain_len=len(diffs),
+        ) as span:
+            if builder is None:
+                builder = ProvenanceBuilder()
+            if len(builder) <= upto:
+                builder.extend(diffs[len(builder) : upto + 1])
+            index = builder.index_for(upto)
+            if index.data_len != diffs[0].data_len:
+                raise RestoreError(
+                    "provenance builder does not match the supplied chain"
+                )
+
+            payloads: Dict[int, np.ndarray] = {}
+
+            def payload_of(t: int) -> np.ndarray:
+                cached = payloads.get(t)
+                if cached is None:
+                    cached = np.frombuffer(
+                        self._payload(diffs[t]), dtype=np.uint8
+                    )
+                    payloads[t] = cached
+                return cached
+
+            report = IndexedRestoreReport(
+                target_ckpt=upto, data_len=index.data_len, chain_len=len(diffs)
             )
-
-        payloads: Dict[int, np.ndarray] = {}
-
-        def payload_of(t: int) -> np.ndarray:
-            cached = payloads.get(t)
-            if cached is None:
-                cached = np.frombuffer(self._payload(diffs[t]), dtype=np.uint8)
-                payloads[t] = cached
-            return cached
-
-        report = IndexedRestoreReport(
-            target_ckpt=upto, data_len=index.data_len, chain_len=len(diffs)
-        )
-        out = materialize_index(
-            index, payload_of, space=self.space, report=report
-        )
+            out = materialize_index(
+                index, payload_of, space=self.space, report=report
+            )
+            span.set(
+                sources=len(report.payload_bytes_read),
+                payload_bytes=sum(report.payload_bytes_read.values()),
+            )
         return out, report
 
     def _payload(self, diff: CheckpointDiff) -> bytes:
@@ -655,5 +668,13 @@ def restore_record_indexed(
         index_bytes=index_bytes,
         used_index=True,
     )
-    out = materialize_index(index, payload_of, space=space, report=report)
+    with telemetry.span(
+        "restore.indexed_record",
+        space=space,
+        upto=upto,
+        frames_total=count,
+        frames_parsed=len(refs),
+        bytes_read=report.record_bytes_read,
+    ):
+        out = materialize_index(index, payload_of, space=space, report=report)
     return out, report

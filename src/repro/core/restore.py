@@ -32,9 +32,14 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import IntegrityError, ReproError, RestoreError
+from .. import telemetry
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
 from .merkle import TreeLayout
+
+_DIFFS_APPLIED = telemetry.counter(
+    "restore.diffs_applied", "Diffs applied during chain-replay restores"
+)
 from .serialize import (
     chunk_payload_offsets,
     expand_node_chunks,
@@ -169,19 +174,24 @@ class Restorer:
     # ------------------------------------------------------------------
     def restore_all(self, diffs: Sequence[CheckpointDiff]) -> List[np.ndarray]:
         """Reconstruct every checkpoint in the chain, in order."""
-        if self.scrub:
-            self._scrub_chain(diffs)
-        history: Dict[int, np.ndarray] = {}
-        for position, diff in enumerate(diffs):
-            if diff.ckpt_id != position:
-                raise RestoreError(
-                    f"diff chain out of order: position {position} holds "
-                    f"checkpoint {diff.ckpt_id}"
+        with telemetry.span(
+            "restore.replay_all", space=self.space, chain_len=len(diffs)
+        ):
+            if self.scrub:
+                self._scrub_chain(diffs)
+            history: Dict[int, np.ndarray] = {}
+            for position, diff in enumerate(diffs):
+                if diff.ckpt_id != position:
+                    raise RestoreError(
+                        f"diff chain out of order: position {position} holds "
+                        f"checkpoint {diff.ckpt_id}"
+                    )
+                history[position] = self._restore_one_guarded(
+                    diff, history, position
                 )
-            history[position] = self._restore_one_guarded(diff, history, position)
-        self.peak_buffers_held = len(history)
-        if self.space is not None and history:
-            self.space.transfer("H2D", int(history[len(diffs) - 1].nbytes))
+            self.peak_buffers_held = len(history)
+            if self.space is not None and history:
+                self.space.transfer("H2D", int(history[len(diffs) - 1].nbytes))
         return [history[i] for i in range(len(diffs))]
 
     def _scrub_chain(self, diffs: Sequence[CheckpointDiff]) -> None:
@@ -206,6 +216,16 @@ class Restorer:
         if not 0 <= upto < len(diffs):
             raise RestoreError(f"checkpoint {upto} outside chain of {len(diffs)}")
         chain = diffs[: upto + 1]
+        with telemetry.span(
+            "restore.replay", space=self.space, upto=upto, chain_len=len(chain)
+        ) as span:
+            result = self._restore_windowed(chain, upto)
+            span.set(peak_buffers=self.peak_buffers_held)
+        return result
+
+    def _restore_windowed(
+        self, chain: Sequence[CheckpointDiff], upto: int
+    ) -> np.ndarray:
         if self.scrub:
             self._scrub_chain(chain)
 
@@ -284,6 +304,7 @@ class Restorer:
             "tree": self._apply_tree,
         }[diff.method]
         handler(diff, spec, data, history)
+        _DIFFS_APPLIED.inc()
         if self.space is not None:
             prev_bytes = diff.data_len if diff.ckpt_id else 0
             self.space.launch(

@@ -31,7 +31,21 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import IntegrityError, ReproError, SerializationError, StorageError
+from .. import telemetry
 from .diff import CheckpointDiff
+
+_FRAMES_READ = telemetry.counter(
+    "store.frames_read", "Checkpoint .rdif frames read and parsed"
+)
+_FRAME_BYTES_READ = telemetry.counter(
+    "store.frame_bytes_read", "Bytes of .rdif frames read from disk"
+)
+_FRAMES_WRITTEN = telemetry.counter(
+    "store.frames_written", "Checkpoint .rdif frames written to disk"
+)
+_SALVAGE_EVENTS = telemetry.counter(
+    "store.salvage_events", "Non-strict loads truncated at a damaged frame"
+)
 
 _MANIFEST = "record.json"
 _PATTERN = "ckpt-{:05d}.rdif"
@@ -153,32 +167,41 @@ def save_record(
                         f"extend, not rewrite)"
                     )
 
-    digests = []
-    for diff in diffs:
-        blob = diff.to_bytes()
-        (path / _PATTERN.format(diff.ckpt_id)).write_bytes(blob)
-        digests.append(hashlib.sha256(blob).hexdigest())
-    manifest = {
-        "format_version": _FORMAT_VERSION,
-        "method": method or diffs[-1].method,
-        "num_checkpoints": len(diffs),
-        "data_len": diffs[0].data_len,
-        "chunk_size": diffs[0].chunk_size,
-        "digests": digests,
-        "chain_digest": _chain_digest(digests),
-    }
+    with telemetry.span(
+        "store.save_record", frames=len(diffs), path=str(path)
+    ) as span:
+        digests = []
+        written = 0
+        for diff in diffs:
+            blob = diff.to_bytes()
+            (path / _PATTERN.format(diff.ckpt_id)).write_bytes(blob)
+            digests.append(hashlib.sha256(blob).hexdigest())
+            written += len(blob)
+        _FRAMES_WRITTEN.inc(len(diffs))
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "method": method or diffs[-1].method,
+            "num_checkpoints": len(diffs),
+            "data_len": diffs[0].data_len,
+            "chunk_size": diffs[0].chunk_size,
+            "digests": digests,
+            "chain_digest": _chain_digest(digests),
+        }
 
-    # Best-effort provenance index (the restore fast path).  A chain that
-    # cannot be indexed — hand-built, deliberately corrupt — must still
-    # save; restores of such records just fall back to chain replay.
-    index_path = path / _INDEX_FILE
-    index_entry = _write_provenance(diffs, index_path)
-    if index_entry is not None:
-        manifest["provenance"] = index_entry
-    elif index_path.exists():
-        index_path.unlink()
+        # Best-effort provenance index (the restore fast path).  A chain
+        # that cannot be indexed — hand-built, deliberately corrupt —
+        # must still save; restores of such records just fall back to
+        # chain replay.
+        index_path = path / _INDEX_FILE
+        with telemetry.span("store.provenance_build", frames=len(diffs)):
+            index_entry = _write_provenance(diffs, index_path)
+        if index_entry is not None:
+            manifest["provenance"] = index_entry
+        elif index_path.exists():
+            index_path.unlink()
 
-    manifest_path.write_text(json.dumps(manifest, indent=2))
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+        span.set(bytes=written, indexed=index_entry is not None)
     return path
 
 
@@ -206,6 +229,8 @@ def _load_one(
     if not path.exists():
         raise StorageError(f"record is missing checkpoint file {path.name}")
     blob = path.read_bytes()
+    _FRAMES_READ.inc()
+    _FRAME_BYTES_READ.inc(len(blob))
     if expected_digest is not None:
         actual = hashlib.sha256(blob).hexdigest()
         if actual != expected_digest:
@@ -243,14 +268,28 @@ def load_record(
     count = manifest["num_checkpoints"]
     digests = manifest.get("digests")
     diffs: List[CheckpointDiff] = []
-    for i in range(count):
-        expected = digests[i] if digests is not None and i < len(digests) else None
-        try:
-            diffs.append(_load_one(path / _PATTERN.format(i), i, expected))
-        except (StorageError, SerializationError):
-            if strict:
-                raise
-            break
+    with telemetry.span(
+        "store.load_record", path=str(path), frames=count, strict=strict
+    ) as span:
+        for i in range(count):
+            expected = (
+                digests[i] if digests is not None and i < len(digests) else None
+            )
+            try:
+                diffs.append(_load_one(path / _PATTERN.format(i), i, expected))
+            except (StorageError, SerializationError) as exc:
+                if strict:
+                    raise
+                _SALVAGE_EVENTS.inc()
+                telemetry.instant(
+                    "store.salvage",
+                    path=str(path),
+                    first_bad=i,
+                    valid_prefix=len(diffs),
+                    error=type(exc).__name__,
+                )
+                break
+        span.set(loaded=len(diffs))
     return diffs
 
 
@@ -269,14 +308,20 @@ def load_record_frames(
     count = manifest["num_checkpoints"]
     digests = manifest.get("digests")
     frames: Dict[int, CheckpointDiff] = {}
-    for i in indices:
-        i = int(i)
-        if not 0 <= i < count:
-            raise StorageError(f"checkpoint {i} outside record of {count}")
-        if i in frames:
-            continue
-        expected = digests[i] if digests is not None and i < len(digests) else None
-        frames[i] = _load_one(path / _PATTERN.format(i), i, expected)
+    with telemetry.span(
+        "store.load_frames", path=str(path), frames_total=count
+    ) as span:
+        for i in indices:
+            i = int(i)
+            if not 0 <= i < count:
+                raise StorageError(f"checkpoint {i} outside record of {count}")
+            if i in frames:
+                continue
+            expected = (
+                digests[i] if digests is not None and i < len(digests) else None
+            )
+            frames[i] = _load_one(path / _PATTERN.format(i), i, expected)
+        span.set(frames_read=len(frames))
     return frames
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from ..kokkos.execution import KernelLedger
+from ..kokkos.execution import KernelCounts, KernelLedger
 from ..utils.validation import positive_float
 from .device import DeviceSpec
 
@@ -82,7 +82,13 @@ class KernelCostModel:
         self.pcie_contention = pcie_contention
 
     def price(self, ledger: KernelLedger) -> CostBreakdown:
-        """Compute the cost breakdown of everything recorded in *ledger*."""
+        """Compute the cost breakdown of everything recorded in *ledger*.
+
+        Accepts anything exposing ``kernels`` / ``transfers`` record lists
+        — a full :class:`KernelLedger` or the
+        :class:`~repro.kokkos.execution.LedgerView` returned by
+        ``ledger.since(cursor)``.
+        """
         dev = self.device
         out = CostBreakdown()
         for k in ledger.kernels:
@@ -99,6 +105,26 @@ class KernelCostModel:
         for t in ledger.transfers:
             out.transfer_seconds += t.count * dev.pcie_latency + t.nbytes / bandwidth
         return out
+
+    def price_counts(self, counts: KernelCounts) -> CostBreakdown:
+        """Price a :class:`KernelCounts` delta into simulated seconds.
+
+        The model is linear in every field, so pricing count deltas
+        decomposes exactly: for any partition of the work into snapshot
+        intervals, the per-interval breakdowns sum to the breakdown of the
+        whole.  This is what lets telemetry spans attribute simulated time
+        without draining ledger records that cost pricing also needs.
+        No ``per_kernel`` attribution is possible from bare counts.
+        """
+        dev = self.device
+        bandwidth = dev.pcie_bandwidth / self.pcie_contention
+        return CostBreakdown(
+            launch_seconds=counts.launches * dev.kernel_launch_latency,
+            stream_seconds=counts.total_bytes / dev.effective_stream_bandwidth,
+            random_seconds=counts.random_accesses * dev.random_access_cost,
+            transfer_seconds=counts.transfer_count * dev.pcie_latency
+            + counts.transfer_bytes / bandwidth,
+        )
 
     def throughput(self, ledger: KernelLedger, payload_bytes: int) -> float:
         """Paper metric: original data size / simulated end-to-end seconds."""

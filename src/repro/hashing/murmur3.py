@@ -35,9 +35,17 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ChunkingError
+from ..telemetry import metrics as _metrics
 from ..utils.validation import non_negative_int, positive_int
 from . import native as _native
 from .scalar import murmur3_x64_128
+
+_HASHED_BYTES = _metrics.counter(
+    "hash.bytes", "Bytes run through the Murmur3 batch kernels"
+)
+_HASHED_CHUNKS = _metrics.counter(
+    "hash.chunks", "Chunks/rows digested by the Murmur3 batch kernels"
+)
 
 if sys.byteorder != "little":  # pragma: no cover - dev machines are LE
     raise ImportError(
@@ -138,6 +146,8 @@ def hash_batch(
     non_negative_int(seed, "seed")
 
     n, length = rows.shape
+    _HASHED_BYTES.inc(n * length)
+    _HASHED_CHUNKS.inc(n)
     out = _check_out(out, n)
     lib = _native.get_lib()
     if lib is not None and n and length:
@@ -246,6 +256,8 @@ def hash_chunks(data: np.ndarray, chunk_size: int, seed: int = 0) -> np.ndarray:
     full = total // chunk_size
     rem = total - full * chunk_size
     num_chunks = full + (1 if rem else 0)
+    _HASHED_BYTES.inc(total)
+    _HASHED_CHUNKS.inc(num_chunks)
     out = np.empty((num_chunks, 2), dtype=np.uint64)
 
     lib = _native.get_lib()
@@ -290,6 +302,8 @@ def hash_digest_pairs(
         )
     non_negative_int(seed, "seed")
     n = left.shape[0]
+    _HASHED_BYTES.inc(32 * n)
+    _HASHED_CHUNKS.inc(n)
 
     lib = _native.get_lib()
     if lib is not None and n:

@@ -12,8 +12,11 @@ from .execution import (
     DeviceSpace,
     ExecutionSpace,
     HostSpace,
+    KernelCounts,
     KernelLedger,
     KernelRecord,
+    LedgerCursor,
+    LedgerView,
     TransferRecord,
     default_device,
 )
@@ -24,8 +27,11 @@ __all__ = [
     "DeviceSpace",
     "ExecutionSpace",
     "HostSpace",
+    "KernelCounts",
     "KernelLedger",
     "KernelRecord",
+    "LedgerCursor",
+    "LedgerView",
     "TransferRecord",
     "default_device",
     "VALUE_LANES",

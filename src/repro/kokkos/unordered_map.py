@@ -37,8 +37,19 @@ import numpy as np
 
 from ..errors import CapacityError, ConfigurationError
 from ..hashing.digest import check_digests
+from ..telemetry import metrics as _metrics
 from ..utils.validation import positive_int
 from .execution import ExecutionSpace, default_device
+
+_MAP_PROBES = _metrics.counter(
+    "map.probes", "DigestMap slot inspections (coalesced-charged)"
+)
+_MAP_INSERTS = _metrics.counter(
+    "map.inserts", "New entries created in DigestMap tables"
+)
+_MAP_GROWS = _metrics.counter(
+    "map.grows", "DigestMap capacity-doubling rebuilds"
+)
 
 _EMPTY = np.uint8(0)
 _FULL = np.uint8(1)
@@ -160,6 +171,7 @@ class DigestMap:
             if rounds > self._capacity + 1:
                 raise CapacityError("DigestMap probe did not terminate (table full?)")
             self.total_probes += active.size
+            _MAP_PROBES.inc(active.size)
             s = slot[active]
             occupied = self._state[s] == _FULL
             idx_occ = active[occupied]
@@ -283,7 +295,9 @@ class DigestMap:
             # inspecting the same slot in the same round coalesce into a
             # single global-memory transaction (exactly as warp-coalesced
             # GPU loads do): charge unique slots, not rows.
-            self.total_probes += int(np.count_nonzero(first))
+            probes = int(np.count_nonzero(first))
+            self.total_probes += probes
+            _MAP_PROBES.inc(probes)
             occupied = self._state[s] == _FULL
             occ = idx[occupied]
             if occ.size:
@@ -304,6 +318,7 @@ class DigestMap:
                 self._vals[ws] = values[winners]
                 self._state[ws] = _FULL
                 self._count += winners.size
+                _MAP_INSERTS.inc(winners.size)
                 success[winners] = True
                 pending[winners] = False
                 # CAS losers stay pending on the same slot: next round they
@@ -346,6 +361,7 @@ class DigestMap:
             if rounds > self._capacity + 1:  # pragma: no cover - invariant
                 raise CapacityError("DigestMap rehash did not terminate")
             self.total_probes += pending.size
+            _MAP_PROBES.inc(pending.size)
             s = slot[pending]
             self._scan[s[::-1]] = pending[::-1]
             first = self._scan[s] == pending
@@ -370,6 +386,7 @@ class DigestMap:
                 f"{self._capacity} slots at load factor {self.max_load_factor}"
             )
         new_capacity = _next_pow2(int(needed / self.max_load_factor) + 1)
+        _MAP_GROWS.inc()
         old_keys, old_vals = self.items()
         self._allocate(new_capacity)
         self._count = 0

@@ -33,7 +33,18 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import StorageError
 from ..utils.validation import non_negative_int, positive_float
+from .. import telemetry
 from .storage import StorageTier, default_hierarchy
+
+_RETRIES = telemetry.counter(
+    "flush.retries", "Drain attempts that hit a transient tier outage"
+)
+_ROUTE_AROUNDS = telemetry.counter(
+    "flush.route_arounds", "Dead middle tiers skipped by write-through"
+)
+_BLOCKED = telemetry.histogram(
+    "flush.blocked_seconds", "Application stall per submission (simulated)"
+)
 
 
 @dataclass
@@ -146,6 +157,10 @@ class AsyncFlushPipeline:
                 return idx
             if tier.name not in report.skipped_tiers:
                 report.skipped_tiers.append(tier.name)
+                _ROUTE_AROUNDS.inc()
+                telemetry.instant(
+                    "flush.route_around", key=report.key, tier=tier.name, sim_at=at
+                )
         raise StorageError(
             f"no live tier downstream of {self.tiers[src_idx].name} at "
             f"t={at:g}: checkpoint {report.key!r} cannot be persisted"
@@ -175,6 +190,14 @@ class AsyncFlushPipeline:
             wait = self.retry_base_seconds * 2 ** (attempt - 1)
             report.retries += 1
             report.retry_wait_seconds += wait
+            _RETRIES.inc()
+            telemetry.instant(
+                "flush.retry",
+                key=report.key,
+                tier=src.name,
+                attempt=attempt,
+                wait_seconds=wait,
+            )
             start += wait
 
     # ------------------------------------------------------------------
@@ -188,6 +211,12 @@ class AsyncFlushPipeline:
         non_negative_int(nbytes, "nbytes")
         if now < 0:
             raise StorageError(f"submission time must be non-negative, got {now}")
+        with telemetry.span("flush.submit", key=key, bytes=nbytes, sim_now=now) as span:
+            report = self._submit(key, nbytes, now, span)
+        _BLOCKED.observe(report.blocked_seconds)
+        return report
+
+    def _submit(self, key: str, nbytes: int, now: float, span) -> FlushReport:
         self._drain_departures(now)
 
         if self.tiers[0].is_dead(now):
@@ -226,6 +255,11 @@ class AsyncFlushPipeline:
             arrival = finish
             src_idx = dst_idx
 
+        span.set(
+            blocked_seconds=report.blocked_seconds,
+            retries=report.retries,
+            sim_persisted_at=report.persisted_at,
+        )
         self.reports.append(report)
         return report
 

@@ -25,8 +25,16 @@ from ..gpusim.cluster import NodeSpec, thetagpu_node
 from ..gpusim.perfmodel import KernelCostModel
 from ..kokkos.execution import DeviceSpace
 from ..utils.validation import positive_float, positive_int
+from .. import telemetry
 from .async_flush import AsyncFlushPipeline
 from .storage import StorageTier
+
+_CRASH_RESTARTS = telemetry.counter(
+    "node.crash_restarts", "Simulated process crash/restart cycles"
+)
+_LOST_WORK = telemetry.histogram(
+    "node.lost_work_seconds", "Simulated work lost per crash"
+)
 
 
 @dataclass
@@ -172,8 +180,11 @@ class NodeRuntime:
                 f"expected {self.num_processes} buffers, got {len(buffers)}"
             )
         for p, (engine, buffer) in enumerate(zip(self.engines, buffers)):
-            diff = engine.checkpoint(buffer)
-            cost = self.cost_model.price(engine.space.ledger)
+            with telemetry.span(
+                "node.checkpoint", space=engine.space, process=p, sim_now=now
+            ):
+                diff = engine.checkpoint(buffer)
+            cost = self.cost_model.price(engine.last_checkpoint_view())
             timeline = self.timelines[p]
             timeline.blocking_device_seconds += cost.total_seconds
             timeline.stored_bytes += diff.serialized_size
@@ -241,9 +252,20 @@ class NodeRuntime:
             chain = [c.diff for c in ledger[: durable_idx[-1] + 1]]
             space = DeviceSpace(process)
             restorer = IndexedRestorer(scrub=scrub, space=space)
-            restored, rreport = restorer.restore_with_report(
-                chain, upto=last.ckpt_id, builder=self.provenance[process]
-            )
+            with telemetry.span(
+                "node.crash_restart",
+                space=space,
+                process=process,
+                crash_time=at_time,
+            ) as span:
+                restored, rreport = restorer.restore_with_report(
+                    chain, upto=last.ckpt_id, builder=self.provenance[process]
+                )
+                span.set(
+                    restored_ckpt_id=last.ckpt_id,
+                    payload_bytes=rreport.total_payload_bytes_read,
+                    sources=rreport.frames_referenced,
+                )
             cost = self.cost_model.price_restore(space.ledger, self._data_len)
             restore_seconds = cost.seconds
             restore_payload_bytes = rreport.total_payload_bytes_read
@@ -251,6 +273,7 @@ class NodeRuntime:
             restored_id: Optional[int] = last.ckpt_id
             lost = max(0.0, at_time - last.produced_at)
         else:
+            telemetry.instant("node.cold_restart", process=process)
             restored = np.zeros(self._data_len, dtype=np.uint8)
             restored_id = None
             lost = at_time
@@ -288,6 +311,8 @@ class NodeRuntime:
             restore_sources=restore_sources,
         )
         self.crash_reports.append(report)
+        _CRASH_RESTARTS.inc()
+        _LOST_WORK.observe(lost)
         return report
 
     @property

@@ -26,6 +26,11 @@ from typing import List
 from ..gpusim.device import DeviceSpec
 from ..gpusim.perfmodel import CostBreakdown
 from ..utils.validation import positive_int
+from .. import telemetry
+
+_ESTIMATES = telemetry.counter(
+    "streaming.estimates", "Window-pipeline re-pricings performed"
+)
 
 
 @dataclass(frozen=True)
@@ -73,11 +78,19 @@ class StreamingScheduler:
         for _ in range(w):
             device_done += device_stage
             transfer_done = max(transfer_done, device_done) + transfer_stage
-        return StreamingEstimate(
+        est = StreamingEstimate(
             windows=w,
             serial_seconds=cost.total_seconds,
             streamed_seconds=transfer_done,
         )
+        _ESTIMATES.inc()
+        telemetry.instant(
+            "streaming.estimate",
+            windows=w,
+            serial_seconds=est.serial_seconds,
+            streamed_seconds=est.streamed_seconds,
+        )
+        return est
 
     def best_window_count(
         self, cost: CostBreakdown, candidates: List[int] = (1, 2, 4, 8, 16, 32)

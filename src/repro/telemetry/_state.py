@@ -1,0 +1,29 @@
+"""Process-wide telemetry on/off switch.
+
+Kept in its own module so the tracer and the metrics instruments can share
+one flag without importing each other.  The flag is a plain attribute read
+— no lock, no function call — because it sits on the hot path of every
+instrumented kernel phase; enable/disable are rare control operations.
+
+The initial value comes from ``REPRO_TELEMETRY`` so headless runs (CI,
+benchmarks) can switch collection on without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_TELEMETRY", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+class _TelemetryState:
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+
+
+STATE = _TelemetryState()

@@ -1,0 +1,287 @@
+"""Exporters: Chrome ``trace_event`` JSON and Prometheus-style dumps.
+
+The Chrome export writes the standard JSON object format (open it in
+Perfetto or ``chrome://tracing``) with the two clocks as two *processes*:
+
+* ``pid 0`` — wall clock: spans exactly where and as long as they ran;
+* ``pid 1`` — simulated GPU clock: the same span tree re-timed in
+  simulated seconds by pricing each span's :class:`KernelCounts` delta
+  with a :class:`~repro.gpusim.KernelCostModel`.
+
+Simulated timestamps are synthetic — the cost model produces durations,
+not a timeline — so the exporter lays spans out per thread: roots run
+back-to-back in wall-start order and children pack sequentially from
+their parent's start.  Durations (and their sums) are exact; only the
+gaps are invented.
+
+All gpusim imports happen inside functions so the telemetry package
+itself stays import-light for instrumented modules.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, default_registry
+from .tracer import SpanRecord, Tracer, get_tracer
+
+
+def _default_model(model):
+    if model is None:
+        from ..gpusim.device import a100
+        from ..gpusim.perfmodel import KernelCostModel
+
+        model = KernelCostModel(a100())
+    return model
+
+
+def span_sim_seconds(record: SpanRecord, model=None) -> float:
+    """Simulated seconds of one span (0.0 when it had no metered space)."""
+    if record.counts is None:
+        return 0.0
+    return _default_model(model).price_counts(record.counts).total_seconds
+
+
+def phase_summary(
+    tracer: Optional[Tracer] = None,
+    model=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, Any]:
+    """Flat per-span-name totals plus a metrics snapshot.
+
+    This is the blob the bench harness embeds into ``BENCH_*.json``:
+    ``{"spans": {name: {count, wall_seconds, sim_seconds}}, "metrics": …}``.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else default_registry()
+    model = _default_model(model)
+    spans: Dict[str, Dict[str, float]] = {}
+    for record in tracer.spans():
+        row = spans.setdefault(
+            record.name, {"count": 0, "wall_seconds": 0.0, "sim_seconds": 0.0}
+        )
+        row["count"] += 1
+        row["wall_seconds"] += record.wall_seconds
+        row["sim_seconds"] += span_sim_seconds(record, model)
+    return {"spans": spans, "metrics": registry.snapshot()}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+# ----------------------------------------------------------------------
+
+_WALL_PID = 0
+_SIM_PID = 1
+
+
+def _counts_args(record: SpanRecord) -> Dict[str, Any]:
+    args: Dict[str, Any] = dict(record.attrs)
+    if record.counts is not None:
+        args.update(record.counts.as_dict())
+    if record.space is not None:
+        args["space"] = record.space
+    return args
+
+
+def _sim_layout(
+    records: List[SpanRecord], sim_secs: Dict[int, float]
+) -> Dict[int, tuple]:
+    """Assign each span a synthetic (start, duration) on the sim clock.
+
+    Per thread, roots run sequentially in wall-start order; children pack
+    from their parent's start in wall-start order.  A span's duration is
+    its own priced counts, widened to hold its children if an unmetered
+    parent wraps metered work.
+    """
+    children: Dict[int, List[SpanRecord]] = {}
+    roots_by_tid: Dict[int, List[SpanRecord]] = {}
+    for record in records:
+        if record.parent >= 0:
+            children.setdefault(record.parent, []).append(record)
+        else:
+            roots_by_tid.setdefault(record.tid, []).append(record)
+
+    layout: Dict[int, tuple] = {}
+
+    def place(record: SpanRecord, start: float) -> float:
+        cursor = start
+        for child in sorted(children.get(record.index, []), key=lambda r: r.start):
+            cursor += place(child, cursor)
+        duration = max(sim_secs.get(record.index, 0.0), cursor - start)
+        layout[record.index] = (start, duration)
+        return duration
+
+    for tid, roots in roots_by_tid.items():
+        cursor = 0.0
+        for root in sorted(roots, key=lambda r: r.start):
+            cursor += place(root, cursor)
+    return layout
+
+
+def to_chrome_trace(
+    tracer: Optional[Tracer] = None, model=None
+) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` JSON object (dual-clock tracks)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    model = _default_model(model)
+    records = tracer.spans()
+    sim_secs = {r.index: span_sim_seconds(r, model) for r in records}
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _WALL_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "wall clock"},
+        },
+        {
+            "ph": "M",
+            "pid": _SIM_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"simulated GPU ({model.device.name})"},
+        },
+    ]
+    thread_names = {}
+    for record in records:
+        thread_names.setdefault(record.tid, record.thread_name)
+    for tid, tname in sorted(thread_names.items()):
+        for pid in (_WALL_PID, _SIM_PID):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": tname},
+                }
+            )
+
+    for record in records:
+        args = _counts_args(record)
+        events.append(
+            {
+                "ph": "X",
+                "pid": _WALL_PID,
+                "tid": record.tid,
+                "name": record.name,
+                "cat": "wall",
+                "ts": record.start * 1e6,
+                "dur": record.wall_seconds * 1e6,
+                "args": args,
+            }
+        )
+
+    layout = _sim_layout(records, sim_secs)
+    for record in records:
+        start, duration = layout[record.index]
+        args = _counts_args(record)
+        args["sim_seconds"] = sim_secs[record.index]
+        events.append(
+            {
+                "ph": "X",
+                "pid": _SIM_PID,
+                "tid": record.tid,
+                "name": record.name,
+                "cat": "sim",
+                "ts": start * 1e6,
+                "dur": duration * 1e6,
+                "args": args,
+            }
+        )
+
+    for inst in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": _WALL_PID,
+                "tid": inst.tid,
+                "name": inst.name,
+                "cat": "event",
+                "ts": inst.ts * 1e6,
+                "s": "t",
+                "args": dict(inst.attrs),
+            }
+        )
+
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path,
+    tracer: Optional[Tracer] = None,
+    model=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write the Chrome trace (plus a metrics snapshot) to *path*."""
+    registry = registry if registry is not None else default_registry()
+    trace = to_chrome_trace(tracer=tracer, model=model)
+    trace["metrics"] = metrics_to_json(registry)
+    path = Path(path)
+    path.write_text(json.dumps(trace, indent=2, default=_json_fallback) + "\n")
+    return path
+
+
+def _json_fallback(obj):
+    if isinstance(obj, float) and not math.isfinite(obj):  # pragma: no cover
+        return repr(obj)
+    as_dict = getattr(obj, "as_dict", None)
+    if callable(as_dict):
+        return as_dict()
+    return repr(obj)
+
+
+# ----------------------------------------------------------------------
+# Metrics dumps
+# ----------------------------------------------------------------------
+
+
+def metrics_to_json(registry: Optional[MetricsRegistry] = None) -> Dict[str, dict]:
+    """Flat JSON snapshot of every instrument in *registry*."""
+    registry = registry if registry is not None else default_registry()
+    return registry.snapshot()
+
+
+def _prom_name(name: str) -> str:
+    sanitized = "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _prom_number(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def metrics_to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition format for every instrument."""
+    registry = registry if registry is not None else default_registry()
+    lines: List[str] = []
+    with registry._lock:
+        instruments = sorted(registry._instruments.items())
+    for name, inst in instruments:
+        prom = _prom_name(name)
+        if inst.help:
+            lines.append(f"# HELP {prom} {inst.help}")
+        lines.append(f"# TYPE {prom} {inst.kind}")
+        if inst.kind == "histogram":
+            running = 0
+            for boundary, slot in zip(inst.buckets, inst._bucket_counts):
+                running += slot
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_number(float(boundary))}"}} {running}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{prom}_sum {_prom_number(inst.sum)}")
+            lines.append(f"{prom}_count {inst.count}")
+        else:
+            lines.append(f"{prom} {_prom_number(inst.value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,257 @@
+"""Counters, gauges, and histograms with no-op behavior when disabled.
+
+Instruments are registered once (typically at module import of the code
+they instrument) in a :class:`MetricsRegistry` and then mutated freely
+from the hot path.  Every mutation checks the shared telemetry flag first
+and returns immediately when collection is off, so an instrumented call
+site costs one attribute read plus a predictable branch when disabled.
+
+Values are exported by :mod:`repro.telemetry.export` as a Prometheus-style
+text page or a flat JSON dict.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ._state import STATE
+
+#: Default histogram boundaries: half-decade-free powers of ten wide enough
+#: to bucket both seconds (1e-7 …) and byte counts (… 1e7+).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-7, 8))
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, probes)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if not STATE.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """Point-in-time value (queue depth, load factor, buffers held)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if not STATE.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Distribution of observed values with fixed cumulative buckets."""
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "help",
+        "buckets",
+        "_bucket_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(tuple(buckets)):
+            raise ValueError(f"histogram {name!r} buckets must be sorted and unique")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        if not STATE.enabled:
+            return
+        value = float(value)
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._bucket_counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def reset(self) -> None:
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        """Prometheus-style cumulative ``le`` → count mapping."""
+        out: Dict[str, int] = {}
+        running = 0
+        for boundary, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            out[repr(boundary)] = running
+        out["+Inf"] = self._count
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": self.cumulative_buckets(),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments; create-or-fetch keeps registration idempotent."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Instrument:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, help, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {inst.kind}, "
+                    f"cannot re-register as {cls.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Name → value snapshot of every instrument, sorted by name."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in sorted(instruments)}
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations intact."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
+            inst.reset()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry all built-in instrumentation uses."""
+    return _DEFAULT_REGISTRY
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Create-or-fetch a counter on the default registry."""
+    return _DEFAULT_REGISTRY.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Create-or-fetch a gauge on the default registry."""
+    return _DEFAULT_REGISTRY.gauge(name, help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+) -> Histogram:
+    """Create-or-fetch a histogram on the default registry."""
+    return _DEFAULT_REGISTRY.histogram(name, help, buckets)

@@ -84,13 +84,21 @@ class PhaseTimer:
         try:
             yield
         finally:
-            duration = time.perf_counter() - start
-            if name not in self._totals:
-                self._totals[name] = 0.0
-                self._counts[name] = 0
-                self._order.append(name)
-            self._totals[name] += duration
-            self._counts[name] += 1
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Accumulate an externally measured duration under *name*.
+
+        This is the sink the telemetry spans feed, so phase wall-clock
+        accounting has one accumulator whether a block was timed by
+        :meth:`phase` directly or by a :func:`repro.telemetry.span`.
+        """
+        if name not in self._totals:
+            self._totals[name] = 0.0
+            self._counts[name] = 0
+            self._order.append(name)
+        self._totals[name] += seconds
+        self._counts[name] += count
 
     def total(self, name: str) -> float:
         """Total seconds accumulated under *name* (0.0 if never timed)."""

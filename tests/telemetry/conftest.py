@@ -1,0 +1,15 @@
+"""Every telemetry test leaves the process-global state as it found it."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry._state import STATE
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    was_enabled = STATE.enabled
+    telemetry.reset_telemetry()
+    yield
+    telemetry.reset_telemetry()
+    STATE.enabled = was_enabled

@@ -1,0 +1,113 @@
+"""CLI surfaces: ``repro trace`` and the ``--json`` flags."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.core import IncrementalCheckpointer
+from repro.core.store import save_record
+
+
+@pytest.fixture()
+def record_dir(tmp_path):
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 256, 1 << 14, dtype=np.uint8)
+    ck = IncrementalCheckpointer(data_len=1 << 14, chunk_size=128)
+    for _ in range(3):
+        ck.checkpoint(data)
+        data = data.copy()
+        data[:256] = rng.integers(0, 256, 256, dtype=np.uint8)
+    directory = tmp_path / "record"
+    save_record(ck.record.diffs, directory, method="tree")
+    return directory
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "trace",
+                "-o",
+                str(out),
+                "--vertices",
+                "256",
+                "--checkpoints",
+                "3",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases >= {"M", "X"}
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1}  # wall and sim tracks
+        ckpt_spans = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "checkpoint"
+        ]
+        assert len(ckpt_spans) == 2 * 3  # both tracks x checkpoints
+        assert "repro_hash_bytes" in metrics.read_text()
+        assert "sim-clock check" in capsys.readouterr().out
+
+    def test_trace_reports_clock_match(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "-o", str(tmp_path / "t.json"), "--checkpoints", "2"]
+        )
+        assert rc == 0
+        assert "— match" in capsys.readouterr().out
+
+    def test_trace_leaves_telemetry_state(self, tmp_path):
+        telemetry.disable()
+        main(["trace", "-o", str(tmp_path / "t.json"), "--checkpoints", "2"])
+        assert not telemetry.enabled()
+
+
+class TestJsonFlags:
+    def test_verify_json(self, record_dir, capsys):
+        rc = main(["verify", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["valid_prefix_len"] == 3
+        assert len(doc["checkpoints"]) == 3
+        assert all(c["status"] == "ok" for c in doc["checkpoints"])
+
+    def test_verify_json_detects_corruption(self, record_dir, capsys):
+        frames = sorted(record_dir.glob("*.rdif"))
+        blob = bytearray(frames[1].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        frames[1].write_bytes(bytes(blob))
+        rc = main(["verify", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert doc["ok"] is False
+        assert doc["first_bad"] == 1
+        assert doc["valid_prefix_len"] == 1
+
+    def test_inspect_json(self, record_dir, capsys):
+        rc = main(["inspect", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["chain_ok"] is True
+        assert doc["num_checkpoints"] == 3
+        rows = doc["checkpoints"]
+        assert rows[0]["ckpt_id"] == 0
+        for row in rows:
+            assert (
+                row["first_bytes"] + row["shift_bytes"] + row["fixed_bytes"]
+                == doc["data_len"]
+            )
+
+    def test_inspect_plain_still_works(self, record_dir, capsys):
+        rc = main(["inspect", str(record_dir)])
+        assert rc == 0
+        assert "chain verified" in capsys.readouterr().out

@@ -1,0 +1,182 @@
+"""Chrome trace_event export: schema validity and dual-track layout."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.gpusim.device import a100
+from repro.gpusim.perfmodel import KernelCostModel
+from repro.kokkos import DeviceSpace
+from repro.telemetry.export import (
+    phase_summary,
+    span_sim_seconds,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+WALL_PID = 0
+SIM_PID = 1
+
+
+def _workload():
+    space = DeviceSpace(0)
+    with telemetry.span("outer", space=space):
+        with telemetry.span("inner", space=space, tag="x"):
+            space.launch("k", bytes_read=1 << 20, random_accesses=4)
+        space.transfer("D2H", 1 << 16)
+    telemetry.instant("marker", note=1)
+    return space
+
+
+class TestChromeTraceSchema:
+    def test_document_shape(self):
+        telemetry.enable()
+        _workload()
+        doc = to_chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_events_validate(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        assert events, "no events exported"
+        for ev in events:
+            assert ev["ph"] in ("M", "X", "i")
+            assert isinstance(ev["name"], str)
+            assert ev["pid"] in (WALL_PID, SIM_PID)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0.0
+                assert ev["dur"] >= 0.0
+                assert ev["cat"] in ("wall", "sim")
+            if ev["ph"] == "i":
+                assert ev["s"] == "t"
+
+    def test_metadata_names_both_processes(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in events
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert names[WALL_PID] == "wall clock"
+        assert "simulated GPU" in names[SIM_PID]
+
+    def test_metadata_sorted_first(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        phases = [ev["ph"] for ev in events]
+        first_non_meta = next(i for i, p in enumerate(phases) if p != "M")
+        assert all(p != "M" for p in phases[first_non_meta:])
+
+    def test_every_span_appears_on_both_tracks(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        wall = [e for e in events if e["ph"] == "X" and e["pid"] == WALL_PID]
+        sim = [e for e in events if e["ph"] == "X" and e["pid"] == SIM_PID]
+        assert {e["name"] for e in wall} == {"outer", "inner"}
+        assert {e["name"] for e in sim} == {"outer", "inner"}
+
+    def test_sim_track_durations_priced_from_counts(self):
+        telemetry.enable()
+        _workload()
+        model = KernelCostModel(a100())
+        events = to_chrome_trace(model=model)["traceEvents"]
+        outer = next(
+            e
+            for e in events
+            if e["ph"] == "X" and e["pid"] == SIM_PID and e["name"] == "outer"
+        )
+        (outer_rec,) = [
+            r for r in telemetry.get_tracer().spans() if r.name == "outer"
+        ]
+        expected = span_sim_seconds(outer_rec, model) * 1e6
+        assert outer["dur"] == pytest.approx(expected)
+        assert outer["args"]["sim_seconds"] > 0
+
+    def test_sim_children_nest_within_parent(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        sim = {
+            e["name"]: e
+            for e in events
+            if e["ph"] == "X" and e["pid"] == SIM_PID
+        }
+        outer, inner = sim["outer"], sim["inner"]
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_instants_exported(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        (marker,) = [e for e in events if e["ph"] == "i"]
+        assert marker["name"] == "marker"
+        assert marker["args"] == {"note": 1}
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        telemetry.enable()
+        _workload()
+        path = write_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert "metrics" in doc
+
+    def test_attrs_survive_into_args(self):
+        telemetry.enable()
+        _workload()
+        events = to_chrome_trace()["traceEvents"]
+        inner = next(
+            e
+            for e in events
+            if e["ph"] == "X" and e["pid"] == WALL_PID and e["name"] == "inner"
+        )
+        assert inner["args"]["tag"] == "x"
+        assert inner["args"]["bytes_read"] == 1 << 20
+
+
+class TestPhaseSummary:
+    def test_aggregates_by_name(self):
+        telemetry.enable()
+        space = DeviceSpace(0)
+        for _ in range(3):
+            with telemetry.span("work", space=space):
+                space.launch("k", bytes_read=100)
+        summary = phase_summary()
+        row = summary["spans"]["work"]
+        assert row["count"] == 3
+        assert row["wall_seconds"] >= 0.0
+        assert row["sim_seconds"] > 0.0
+        assert "metrics" in summary
+
+    def test_checkpointer_trace_summary(self):
+        """End-to-end: an IncrementalCheckpointer run produces spans whose
+        simulated totals equal the CostBreakdown totals it reports."""
+        from repro.core import IncrementalCheckpointer
+
+        telemetry.enable()
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 1 << 16, dtype=np.uint8)
+        ck = IncrementalCheckpointer(data_len=1 << 16, chunk_size=128)
+        sim_from_stats = 0.0
+        for _ in range(4):
+            stats = ck.checkpoint(data)
+            sim_from_stats += stats.cost.total_seconds
+            data = data.copy()
+            data[: 1 << 12] = rng.integers(0, 256, 1 << 12, dtype=np.uint8)
+        model = ck.cost_model
+        sim_from_spans = sum(
+            span_sim_seconds(r, model)
+            for r in telemetry.get_tracer().spans()
+            if r.name == "checkpoint"
+        )
+        assert sim_from_spans == pytest.approx(sim_from_stats, rel=1e-12)

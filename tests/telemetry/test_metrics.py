@@ -1,0 +1,159 @@
+"""Metrics instruments: semantics, registry discipline, exporter formats."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import metrics_to_json, metrics_to_prometheus
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        telemetry.enable()
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        telemetry.enable()
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_noop_when_disabled(self):
+        telemetry.disable()
+        c = Counter("c")
+        c.inc(100)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        telemetry.enable()
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_noop_when_disabled(self):
+        telemetry.disable()
+        g = Gauge("g")
+        g.set(10)
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_observe_tracks_stats(self):
+        telemetry.enable()
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        snap = h.snapshot()
+        assert snap["min"] == 0.5
+        assert snap["max"] == 500.0
+
+    def test_cumulative_buckets(self):
+        telemetry.enable()
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        cum = h.cumulative_buckets()
+        assert cum[repr(1.0)] == 2
+        assert cum[repr(10.0)] == 3
+        assert cum["+Inf"] == 4
+
+    def test_boundary_value_counts_in_lower_bucket(self):
+        telemetry.enable()
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        assert h.cumulative_buckets()[repr(1.0)] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10.0, 1.0))
+
+    def test_noop_when_disabled(self):
+        telemetry.disable()
+        h = Histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+
+
+class TestRegistry:
+    def test_create_or_fetch_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_reset_keeps_registrations(self):
+        telemetry.enable()
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(3)
+        reg.reset()
+        assert reg.get("x") is c
+        assert c.value == 0
+
+    def test_snapshot_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert list(reg.snapshot()) == ["a", "b"]
+
+
+class TestExportFormats:
+    def test_prometheus_text(self):
+        telemetry.enable()
+        reg = MetricsRegistry()
+        reg.counter("map.probes", "Total probes").inc(7)
+        reg.gauge("queue.depth").set(3)
+        h = reg.histogram("lost.seconds", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        text = metrics_to_prometheus(reg)
+        assert "# TYPE repro_map_probes counter" in text
+        assert "repro_map_probes 7" in text
+        assert "# HELP repro_map_probes Total probes" in text
+        assert "repro_queue_depth 3" in text
+        assert 'repro_lost_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_lost_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lost_seconds_count 1" in text
+        assert "repro_lost_seconds_sum 0.5" in text
+
+    def test_metrics_json_roundtrip(self):
+        import json
+
+        telemetry.enable()
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        doc = metrics_to_json(reg)
+        assert json.loads(json.dumps(doc))["c"]["value"] == 2
+
+    def test_builtin_instruments_populate_during_checkpoint(self):
+        """The wired-in counters actually move when the pipeline runs."""
+        import numpy as np
+
+        from repro.core import IncrementalCheckpointer
+
+        telemetry.enable()
+        ck = IncrementalCheckpointer(data_len=1 << 14, chunk_size=128)
+        ck.checkpoint(np.zeros(1 << 14, dtype=np.uint8))
+        snap = telemetry.default_registry().snapshot()
+        assert snap["hash.bytes"]["value"] > 0
+        assert snap["hash.chunks"]["value"] > 0
+        assert snap["map.inserts"]["value"] > 0

@@ -1,0 +1,196 @@
+"""Span mechanics: nesting, attributes, dual clocks, disabled no-op."""
+
+import threading
+
+from repro import telemetry
+from repro.kokkos import DeviceSpace
+from repro.telemetry.tracer import _NULL_SPAN, _TimerOnlySpan
+from repro.utils.timing import PhaseTimer
+
+
+class TestNesting:
+    def test_parent_child_indices(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner2"):
+                pass
+        spans = {r.name: r for r in telemetry.get_tracer().spans()}
+        assert spans["outer"].parent == -1
+        assert spans["inner"].parent == spans["outer"].index
+        assert spans["inner2"].parent == spans["outer"].index
+
+    def test_deep_nesting_chain(self):
+        telemetry.enable()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                with telemetry.span("c"):
+                    pass
+        spans = {r.name: r for r in telemetry.get_tracer().spans()}
+        assert spans["c"].parent == spans["b"].index
+        assert spans["b"].parent == spans["a"].index
+
+    def test_siblings_after_child_closes(self):
+        telemetry.enable()
+        with telemetry.span("root"):
+            with telemetry.span("one"):
+                pass
+            with telemetry.span("two"):
+                with telemetry.span("grand"):
+                    pass
+        spans = {r.name: r for r in telemetry.get_tracer().spans()}
+        assert spans["one"].parent == spans["root"].index
+        assert spans["two"].parent == spans["root"].index
+        assert spans["grand"].parent == spans["two"].index
+
+    def test_threads_nest_independently(self):
+        telemetry.enable()
+        done = threading.Barrier(2, timeout=10)
+
+        def worker(name):
+            with telemetry.span(name):
+                done.wait()  # both threads hold a root span open at once
+                with telemetry.span(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {r.name: r for r in telemetry.get_tracer().spans()}
+        for i in range(2):
+            root = spans[f"t{i}"]
+            child = spans[f"t{i}.child"]
+            assert root.parent == -1
+            assert child.parent == root.index
+            assert child.tid == root.tid
+
+
+class TestAttributes:
+    def test_initial_and_set_attrs(self):
+        telemetry.enable()
+        with telemetry.span("s", method="tree") as s:
+            s.set(bytes=42, chunks=7)
+        (record,) = telemetry.get_tracer().spans()
+        assert record.attrs == {"method": "tree", "bytes": 42, "chunks": 7}
+
+    def test_set_is_chainable(self):
+        telemetry.enable()
+        with telemetry.span("s") as s:
+            assert s.set(a=1) is s
+
+
+class TestDualClock:
+    def test_metered_space_counts_delta(self):
+        telemetry.enable()
+        space = DeviceSpace(0)
+        space.launch("warm", bytes_read=100)  # pre-span work must not leak in
+        with telemetry.span("work", space=space):
+            space.launch("k", bytes_read=10, bytes_written=5)
+        (record,) = telemetry.get_tracer().spans()
+        assert record.counts.bytes_read == 10
+        assert record.counts.bytes_written == 5
+        assert record.counts.launches == 1
+        assert record.space == space.name
+
+    def test_unmetered_space_records_no_counts(self):
+        telemetry.enable()
+        from repro.kokkos import HostSpace
+
+        with telemetry.span("host", space=HostSpace()):
+            pass
+        (record,) = telemetry.get_tracer().spans()
+        assert record.counts is None
+
+    def test_wall_seconds_positive(self):
+        telemetry.enable()
+        with telemetry.span("s"):
+            pass
+        (record,) = telemetry.get_tracer().spans()
+        assert record.wall_seconds >= 0.0
+
+    def test_timer_fed_when_enabled(self):
+        telemetry.enable()
+        timer = PhaseTimer()
+        with telemetry.span("phase1", timer=timer):
+            pass
+        assert timer.total("phase1") >= 0.0
+        assert timer.count("phase1") == 1
+
+    def test_instants_recorded(self):
+        telemetry.enable()
+        telemetry.instant("retry", attempt=3)
+        (inst,) = telemetry.get_tracer().instants
+        assert inst.name == "retry"
+        assert inst.attrs == {"attempt": 3}
+
+
+class TestDisabled:
+    def test_null_span_is_shared_singleton(self):
+        telemetry.disable()
+        s1 = telemetry.span("a")
+        s2 = telemetry.span("b", irrelevant=1)
+        assert s1 is _NULL_SPAN
+        assert s2 is _NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        telemetry.disable()
+        with telemetry.span("s", space=DeviceSpace(0)) as s:
+            s.set(bytes=1)
+        telemetry.instant("event")
+        tracer = telemetry.get_tracer()
+        assert tracer.spans() == []
+        assert tracer.instants == []
+
+    def test_disabled_still_feeds_timer(self):
+        telemetry.disable()
+        timer = PhaseTimer()
+        handle = telemetry.span("phase", timer=timer)
+        assert isinstance(handle, _TimerOnlySpan)
+        with handle:
+            pass
+        assert timer.count("phase") == 1
+        assert timer.total("phase") >= 0.0
+
+    def test_engine_timer_identical_on_and_off(self):
+        """PhaseTimer is the single wall-clock implementation: engines get
+        the same phase names whether telemetry collects or not."""
+        import numpy as np
+
+        from repro.core import TreeDedup
+
+        def phases():
+            engine = TreeDedup(1 << 14, 128)
+            engine.checkpoint(np.zeros(1 << 14, dtype=np.uint8))
+            return set(engine.timer.as_dict())
+
+        telemetry.disable()
+        off = phases()
+        telemetry.enable()
+        on = phases()
+        assert off == on
+        assert "tree.hash_leaves" in off
+
+    def test_reset_clears_spans(self):
+        telemetry.enable()
+        with telemetry.span("s"):
+            pass
+        telemetry.reset_telemetry()
+        assert telemetry.get_tracer().spans() == []
+
+
+class TestCapture:
+    def test_capture_restores_prior_state(self):
+        telemetry.disable()
+        with telemetry.capture() as tel:
+            assert telemetry.enabled()
+            with telemetry.span("inside"):
+                pass
+        assert not telemetry.enabled()
+        assert tel["spans"]["inside"]["count"] == 1
+        # collection state was cleaned up on exit
+        assert telemetry.get_tracer().spans() == []
