@@ -157,10 +157,52 @@ def bench_crashes(n_crashes: int = 8, seed: int = 3) -> dict:
     }
 
 
+def health_summary(journal) -> dict:
+    """Grade the campaign's own event journal with the health rules.
+
+    The campaign *is* a fault storm, so the expected grade is critical —
+    what matters is coverage: every injected tier outage and every
+    record corruption must surface as a warn/critical finding.
+    """
+    from repro.telemetry import build_rollup, evaluate_health
+    from repro.telemetry.events import RECORD_FAULT, SALVAGE, TIER_OUTAGE
+
+    rollup = build_rollup(journal)
+    health = evaluate_health(rollup)
+    by_rule: dict = {}
+    by_severity: dict = {}
+    for f in health.findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        by_severity[f.severity] = by_severity.get(f.severity, 0) + 1
+    outages = rollup.events_of(TIER_OUTAGE)
+    flagged_outages = sum(
+        1
+        for o in outages
+        if any(
+            o in f.evidence for f in health.findings if f.rule == "tier_outage"
+        )
+    )
+    return {
+        "events": len(rollup.events),
+        "status": health.status,
+        "exit_code": health.exit_code,
+        "findings": len(health.findings),
+        "by_rule": by_rule,
+        "by_severity": by_severity,
+        "injected_tier_outages": len(outages),
+        "flagged_tier_outages": flagged_outages,
+        "injected_corruptions": len(
+            rollup.events_of(RECORD_FAULT, SALVAGE)
+        ),
+        "flagged_corruptions": by_rule.get("corruption", 0),
+    }
+
+
 def run(out_path: Path | None = None) -> dict:
     from repro import telemetry
+    from repro.telemetry import events
 
-    with telemetry.capture() as tel:
+    with telemetry.capture() as tel, events.journal_to(node="bench") as journal:
         diffs, states = golden_trace()
         with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
             record = bench_record_campaign(diffs, states, Path(tmp))
@@ -170,6 +212,7 @@ def run(out_path: Path | None = None) -> dict:
             "tiers": bench_tier_faults(diffs),
             "crashes": bench_crashes(),
         }
+    report["health"] = health_summary(journal)
     report["telemetry"] = tel
     if out_path is None:
         out_path = Path(
@@ -195,6 +238,16 @@ def test_bench_faults(capsys):
     assert report["tiers"]["transient"]["all_persisted"]
     assert report["tiers"]["permanent_middle"]["routed_around_ssd"]
     assert report["crashes"]["bit_identical_restores"] == report["crashes"]["crashes"]
+    health = report["health"]
+    assert health["status"] == "critical", "fault storm must grade critical"
+    assert health["injected_tier_outages"] == 2
+    assert health["flagged_tier_outages"] == health["injected_tier_outages"], (
+        "every injected tier outage must surface as a finding with evidence"
+    )
+    assert health["injected_corruptions"] > 0
+    assert health["flagged_corruptions"] == health["injected_corruptions"], (
+        "every injected record corruption must surface as a critical finding"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,124 @@
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+The repo commits golden bench reports (``BENCH_hotpath.json`` etc.) as
+the performance record of the paper reproduction.  CI re-runs the
+benches on every push; this script compares the key metrics of the
+fresh reports against the committed baselines and fails when any
+higher-is-better metric dropped by more than ``--threshold`` (default
+25%, overridable via ``REPRO_REGRESSION_THRESHOLD``).
+
+Usage::
+
+    python benchmarks/check_regression.py --baseline bench_baseline --fresh .
+
+Metric addressing is a dotted path into the JSON document; one level of
+list selection is supported with ``name[key=value]`` (used to pin the
+chain-length-50 row of the restore sweep).  A metric missing from the
+*baseline* is reported as ``new`` and skipped — the gate never blocks
+adding metrics.  A metric missing from the *fresh* report fails: the
+bench stopped measuring something it used to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: (file, dotted metric path) — all higher-is-better.
+METRICS: List[Tuple[str, str]] = [
+    ("BENCH_hotpath.json", "hash.gb_per_s"),
+    ("BENCH_hotpath.json", "map.mops_per_s"),
+    ("BENCH_restore.json", "tree_sweep[chain_len=50].speedup"),
+    ("BENCH_faults.json", "record.total.detection_rate"),
+    ("BENCH_faults.json", "record.total.recovery_rate"),
+]
+
+_SELECT = re.compile(r"^(?P<name>\w+)\[(?P<key>\w+)=(?P<value>[^\]]+)\]$")
+
+
+def extract(doc, path: str) -> Optional[float]:
+    """Resolve a dotted path (with optional list selector) to a number."""
+    node = doc
+    for part in path.split("."):
+        select = _SELECT.match(part)
+        if select:
+            name, key, value = select.group("name", "key", "value")
+            rows = node.get(name) if isinstance(node, dict) else None
+            if not isinstance(rows, list):
+                return None
+            node = next(
+                (r for r in rows if str(r.get(key)) == value), None
+            )
+        elif isinstance(node, dict):
+            node = node.get(part)
+        else:
+            return None
+        if node is None:
+            return None
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
+    rows = []
+    failures = 0
+    for filename, path in METRICS:
+        label = f"{filename.removeprefix('BENCH_').removesuffix('.json')}:{path}"
+        base_file = baseline_dir / filename
+        fresh_file = fresh_dir / filename
+        if not base_file.exists():
+            rows.append((label, None, None, "skip (no baseline file)"))
+            continue
+        base = extract(json.loads(base_file.read_text()), path)
+        if base is None:
+            rows.append((label, None, None, "skip (new metric)"))
+            continue
+        if not fresh_file.exists():
+            rows.append((label, base, None, "FAIL (fresh report missing)"))
+            failures += 1
+            continue
+        fresh = extract(json.loads(fresh_file.read_text()), path)
+        if fresh is None:
+            rows.append((label, base, None, "FAIL (metric gone)"))
+            failures += 1
+            continue
+        drop = (base - fresh) / base if base else 0.0
+        if drop > threshold:
+            rows.append((label, base, fresh, f"FAIL (-{drop:.0%})"))
+            failures += 1
+        else:
+            verdict = f"ok ({'+' if drop <= 0 else '-'}{abs(drop):.0%})"
+            rows.append((label, base, fresh, verdict))
+
+    width = max(len(r[0]) for r in rows) if rows else 0
+    print(f"benchmark regression gate (threshold {threshold:.0%} drop)")
+    for label, base, fresh, verdict in rows:
+        fmt = lambda v: f"{v:>10.3f}" if v is not None else " " * 9 + "-"
+        print(f"  {label:<{width}}  base {fmt(base)}  fresh {fmt(fresh)}  {verdict}")
+    if failures:
+        print(f"{failures} metric(s) regressed past the threshold")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding the baseline BENCH_*.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="directory holding the freshly produced reports")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_REGRESSION_THRESHOLD", 0.25)),
+        help="maximum tolerated fractional drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.baseline, args.fresh, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,19 @@ trace <out.json>
     Run a fixed-seed ORANGES workload with telemetry enabled and export a
     Chrome trace_event JSON (load it at https://ui.perfetto.dev) holding
     both clocks: wall time and simulated GPU time (docs/OBSERVABILITY.md).
+health <journal...>
+    Merge event journals and run the health-rule engine; exits 0/1/2 for
+    ok/warn/critical so a CI step can gate on fleet health.
+report <journal...>
+    Merge event journals and write a self-contained HTML run report
+    (SVG timelines, fleet rollups, health findings).
 bench <name>
     Run one of the paper-reproduction benches (table1, fig4, fig5, fig6,
     fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
     restore, faults).
 
-``inspect`` and ``verify`` accept ``--json`` for machine-readable output.
+``inspect``, ``verify``, and ``health`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
@@ -252,6 +259,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             telemetry.disable()
 
 
+def _load_rollup(journal_paths):
+    from .telemetry import build_rollup, read_journal
+
+    journals = [read_journal(p) for p in journal_paths]
+    return build_rollup(journals), sum(len(j) for j in journals)
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from .telemetry import evaluate_health
+
+    rollup, total = _load_rollup(args.journal)
+    report = evaluate_health(rollup)
+    if args.json:
+        doc = report.as_dict()
+        doc["fleet"] = rollup.summary()
+        print(json.dumps(doc, indent=2, default=str))
+        return report.exit_code
+    summary = rollup.summary()
+    print(
+        f"fleet: {total} events from {len(args.journal)} journal(s), "
+        f"{summary['nodes']} node(s), {summary['ranks']} rank(s), "
+        f"{summary['checkpoints']} checkpoints"
+    )
+    print(
+        f"dedup {format_ratio(summary['dedup_ratio'])}, stored "
+        f"{format_bytes(summary['stored_bytes'])}, "
+        f"{summary['crashes']} crashes, "
+        f"{summary['tier_outages']} tier outages"
+    )
+    print(report.summary())
+    return report.exit_code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import evaluate_health
+    from .telemetry.report import write_report
+
+    rollup, total = _load_rollup(args.journal)
+    health = evaluate_health(rollup)
+    out = write_report(args.output, rollup, health, title=args.title)
+    print(
+        f"report written to {out} ({total} events, "
+        f"status {health.status}, {len(health.findings)} findings)"
+    )
+    return 0
+
+
 _BENCHES = {
     "table1": "bench_table1_graphs",
     "fig4": "bench_fig4_chunksize",
@@ -368,6 +422,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Prometheus-format metrics dump here",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    health = sub.add_parser(
+        "health", help="grade merged event journals with the health rules"
+    )
+    health.add_argument("journal", nargs="+", help="JSONL event journal(s)")
+    health.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    health.set_defaults(func=_cmd_health)
+
+    report = sub.add_parser(
+        "report", help="render merged event journals as an HTML run report"
+    )
+    report.add_argument("journal", nargs="+", help="JSONL event journal(s)")
+    report.add_argument("-o", "--output", default="report.html")
+    report.add_argument("--title", default="Checkpoint fleet run report")
+    report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser("bench", help="run a paper-reproduction bench")
     bench.add_argument("name", choices=sorted(_BENCHES))

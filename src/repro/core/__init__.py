@@ -48,7 +48,12 @@ from .provenance import (
 )
 from .record import CheckpointRecord, CheckpointStats, merge_records
 from .restore import Restorer, restore_latest, scrub_chain
-from .retention import payload_dependencies, rebase_record, required_payloads
+from .retention import (
+    payload_dependencies,
+    rebase_record,
+    rebase_stored_record,
+    required_payloads,
+)
 from .selective import RestorePlan, SelectiveRestorer, selective_restore
 from .store import (
     CheckpointStatus,
@@ -119,6 +124,7 @@ __all__ = [
     "restore_record_indexed",
     "payload_dependencies",
     "rebase_record",
+    "rebase_stored_record",
     "required_payloads",
     "RestorePlan",
     "SelectiveRestorer",

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import events
 from ..errors import IntegrityError, RestoreError
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
@@ -549,6 +550,15 @@ class IndexedRestorer:
                 sources=len(report.payload_bytes_read),
                 payload_bytes=sum(report.payload_bytes_read.values()),
             )
+        events.emit(
+            events.RESTORE,
+            path="indexed",
+            target_ckpt=upto,
+            chain_len=len(diffs),
+            state_bytes=int(out.nbytes),
+            payload_bytes=sum(report.payload_bytes_read.values()),
+            sources=len(report.payload_bytes_read),
+        )
         return out, report
 
     def _payload(self, diff: CheckpointDiff) -> bytes:
@@ -677,4 +687,14 @@ def restore_record_indexed(
         bytes_read=report.record_bytes_read,
     ):
         out = materialize_index(index, payload_of, space=space, report=report)
+    events.emit(
+        events.RESTORE,
+        path="indexed_record",
+        target_ckpt=upto,
+        chain_len=count,
+        state_bytes=int(out.nbytes),
+        payload_bytes=sum(report.payload_bytes_read.values()),
+        sources=len(refs),
+        record_bytes_read=report.record_bytes_read,
+    )
     return out, report

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..errors import IntegrityError, ReproError, RestoreError
 from .. import telemetry
+from ..telemetry import events
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
 from .merkle import TreeLayout
@@ -221,6 +222,14 @@ class Restorer:
         ) as span:
             result = self._restore_windowed(chain, upto)
             span.set(peak_buffers=self.peak_buffers_held)
+        events.emit(
+            events.RESTORE,
+            path="replay",
+            target_ckpt=upto,
+            chain_len=len(chain),
+            state_bytes=int(result.nbytes),
+            payload_bytes=sum(d.payload_bytes for d in chain),
+        )
         return result
 
     def _restore_windowed(

@@ -16,15 +16,26 @@ module provides the two primitives that make truncation safe:
   reconstruction and stored as first-occurrence payload in the rewritten
   diff.  The rebased chain reconstructs byte-identically to the original
   for every surviving checkpoint (property-tested).
+
+A rebase invalidates any provenance index built over the old chain:
+checkpoint ids shift, and promoting shift references into
+first-occurrence payload changes payload offsets.  ``rebase_record``
+therefore composes the *new* chain's :class:`~repro.core.provenance.
+ProvenanceTable` while it rewrites (``with_index=True``), and
+:func:`rebase_stored_record` rewrites a stored record directory — frames,
+manifest, *and* ``provenance.rpix`` — atomically with respect to the
+index, journaling a ``rebase`` event when it does.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from ..errors import RestoreError
+from ..errors import ReproError, RestoreError
+from ..telemetry import events
 from .chunking import ChunkSpec
 from .diff import CheckpointDiff
 from .merkle import TreeLayout
@@ -51,8 +62,11 @@ def required_payloads(
 
 
 def rebase_record(
-    diffs: Sequence[CheckpointDiff], at: int, payload_codec=None
-) -> List[CheckpointDiff]:
+    diffs: Sequence[CheckpointDiff],
+    at: int,
+    payload_codec=None,
+    with_index: bool = False,
+):
     """Truncate history before checkpoint *at*.
 
     Returns a new chain whose checkpoint 0 is a full image of the old
@@ -67,6 +81,13 @@ def rebase_record(
 
     Only raw-payload records are supported (rebase rewrites payloads, so
     a ``payload_codec`` must be supplied to decode/encode hybrid ones).
+
+    With ``with_index=True`` the return value is ``(chain, table)``: the
+    rewrite also composes the new chain's
+    :class:`~repro.core.provenance.ProvenanceTable`, because any index
+    built over the *old* chain is invalid after a rebase (ids shift,
+    promoted shift references move payload offsets).  ``table`` is
+    ``None`` only if the rewritten chain itself is unindexable.
     """
     if not 0 <= at < len(diffs):
         raise RestoreError(f"rebase point {at} outside chain of {len(diffs)}")
@@ -87,7 +108,55 @@ def rebase_record(
         out.append(
             _rewrite_diff(diffs[old_id], at, states[old_id], layout, payload_codec)
         )
-    return out
+    if not with_index:
+        return out
+    from .provenance import ProvenanceTable  # local: retention ↔ provenance
+
+    try:
+        table = ProvenanceTable.from_diffs(out)
+    except ReproError:
+        table = None
+    return out, table
+
+
+def rebase_stored_record(
+    directory: Union[str, Path], at: int, payload_codec=None
+) -> Path:
+    """Rebase a *stored* record directory in place, index included.
+
+    Loads the record, rewrites the chain with :func:`rebase_record`
+    (composing the new chain's provenance table during the rewrite),
+    replaces the frames/manifest/``provenance.rpix`` on disk, and emits a
+    ``rebase`` journal event recording that the index was rewritten.
+    The old frames are removed first: the rebased chain is shorter and
+    renumbered, so nothing of the old layout may survive.
+    """
+    from .store import load_record, record_manifest, save_record
+
+    path = Path(directory)
+    manifest = record_manifest(path)
+    diffs = load_record(path)
+    new_diffs, table = rebase_record(diffs, at, payload_codec, with_index=True)
+
+    for frame in sorted(path.glob("ckpt-*.rdif")):
+        frame.unlink()
+    (path / "record.json").unlink()
+    old_index = path / "provenance.rpix"
+    index_existed = old_index.exists()
+    if index_existed:
+        old_index.unlink()
+
+    save_record(new_diffs, path, method=manifest.get("method", ""), provenance=table)
+    events.emit(
+        events.REBASE,
+        path=str(path),
+        at=at,
+        old_checkpoints=len(diffs),
+        new_checkpoints=len(new_diffs),
+        index_rewritten=table is not None,
+        index_existed=index_existed,
+    )
+    return path
 
 
 def _rewrite_diff(

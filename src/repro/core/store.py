@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import IntegrityError, ReproError, SerializationError, StorageError
 from .. import telemetry
+from ..telemetry import events
 from .diff import CheckpointDiff
 
 _FRAMES_READ = telemetry.counter(
@@ -106,7 +107,10 @@ def _read_manifest(path: Path) -> dict:
 
 
 def save_record(
-    diffs: List[CheckpointDiff], directory: Union[str, Path], method: str = ""
+    diffs: List[CheckpointDiff],
+    directory: Union[str, Path],
+    method: str = "",
+    provenance=None,
 ) -> Path:
     """Write a diff chain to *directory* (created if missing).
 
@@ -115,6 +119,12 @@ def save_record(
     updates are fine) — and the existing record must agree on geometry
     (``data_len``, ``chunk_size``) and ``method``, so a chain can never
     be silently mixed with an incompatible one.
+
+    *provenance* optionally supplies a prebuilt
+    :class:`~repro.core.provenance.ProvenanceTable` for exactly this
+    chain (a rebase computes one as it rewrites diffs); it is validated
+    against the chain's shape and persisted instead of rebuilding the
+    index from the diffs.
     """
     if not diffs:
         raise StorageError("cannot save an empty record")
@@ -191,10 +201,31 @@ def save_record(
         # Best-effort provenance index (the restore fast path).  A chain
         # that cannot be indexed — hand-built, deliberately corrupt —
         # must still save; restores of such records just fall back to
-        # chain replay.
+        # chain replay.  A caller that already holds the chain's table
+        # (a rebase builds one while rewriting) supplies it instead of
+        # paying the rebuild.
         index_path = path / _INDEX_FILE
-        with telemetry.span("store.provenance_build", frames=len(diffs)):
-            index_entry = _write_provenance(diffs, index_path)
+        if provenance is not None:
+            if (
+                provenance.num_checkpoints != len(diffs)
+                or provenance.data_len != diffs[0].data_len
+                or provenance.chunk_size != diffs[0].chunk_size
+            ):
+                raise StorageError(
+                    f"supplied provenance table ({provenance.num_checkpoints} "
+                    f"checkpoints, data_len={provenance.data_len}) does not "
+                    f"match the chain being saved ({len(diffs)} checkpoints, "
+                    f"data_len={diffs[0].data_len})"
+                )
+            blob = provenance.to_bytes()
+            index_path.write_bytes(blob)
+            index_entry: Optional[dict] = {
+                "file": index_path.name,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+        else:
+            with telemetry.span("store.provenance_build", frames=len(diffs)):
+                index_entry = _write_provenance(diffs, index_path)
         if index_entry is not None:
             manifest["provenance"] = index_entry
         elif index_path.exists():
@@ -283,6 +314,13 @@ def load_record(
                 _SALVAGE_EVENTS.inc()
                 telemetry.instant(
                     "store.salvage",
+                    path=str(path),
+                    first_bad=i,
+                    valid_prefix=len(diffs),
+                    error=type(exc).__name__,
+                )
+                events.emit(
+                    events.SALVAGE,
                     path=str(path),
                     first_bad=i,
                     valid_prefix=len(diffs),

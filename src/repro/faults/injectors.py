@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import List, Union
 
 from ..errors import FaultError
+from ..telemetry import events
 
 PathLike = Union[str, Path]
 
@@ -62,6 +63,9 @@ def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> AppliedFault:
         original = f.read(1)[0]
         f.seek(byte_offset)
         f.write(bytes([original ^ (1 << bit)]))
+    events.emit(
+        events.RECORD_FAULT, kind="bitflip", path=str(target), detail=byte_offset
+    )
     return AppliedFault("bitflip", str(target), byte_offset)
 
 
@@ -78,6 +82,9 @@ def truncate_file(path: PathLike, keep_bytes: int) -> AppliedFault:
         )
     with open(target, "rb+") as f:
         f.truncate(keep_bytes)
+    events.emit(
+        events.RECORD_FAULT, kind="truncate", path=str(target), detail=keep_bytes
+    )
     return AppliedFault("truncate", str(target), keep_bytes)
 
 
@@ -88,4 +95,5 @@ def delete_file(path: PathLike) -> AppliedFault:
         raise FaultError(f"cannot delete missing file {target}")
     size = target.stat().st_size
     target.unlink()
+    events.emit(events.RECORD_FAULT, kind="delete", path=str(target), detail=size)
     return AppliedFault("delete", str(target), size)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import StorageError
 from ..utils.validation import non_negative_int, positive_float
 from .. import telemetry
+from ..telemetry import events
 from .storage import StorageTier, default_hierarchy
 
 _RETRIES = telemetry.counter(
@@ -161,6 +162,12 @@ class AsyncFlushPipeline:
                 telemetry.instant(
                     "flush.route_around", key=report.key, tier=tier.name, sim_at=at
                 )
+                events.emit(
+                    events.FLUSH_ROUTE_AROUND,
+                    sim_time=at,
+                    key=report.key,
+                    tier=tier.name,
+                )
         raise StorageError(
             f"no live tier downstream of {self.tiers[src_idx].name} at "
             f"t={at:g}: checkpoint {report.key!r} cannot be persisted"
@@ -193,6 +200,14 @@ class AsyncFlushPipeline:
             _RETRIES.inc()
             telemetry.instant(
                 "flush.retry",
+                key=report.key,
+                tier=src.name,
+                attempt=attempt,
+                wait_seconds=wait,
+            )
+            events.emit(
+                events.FLUSH_RETRY,
+                sim_time=start,
                 key=report.key,
                 tier=src.name,
                 attempt=attempt,

@@ -26,6 +26,7 @@ from ..gpusim.perfmodel import KernelCostModel
 from ..kokkos.execution import DeviceSpace
 from ..utils.validation import positive_float, positive_int
 from .. import telemetry
+from ..telemetry import events
 from .async_flush import AsyncFlushPipeline
 from .storage import StorageTier
 
@@ -110,6 +111,8 @@ class NodeRuntime:
     host_staging_bytes / host_drain_bandwidth / ssd_drain_bandwidth:
         Hierarchy sizing; the defaults scale with the checkpoint size so
         small test runs still exercise back-pressure realistically.
+    name:
+        Node identity stamped on journal events this runtime emits.
     """
 
     def __init__(
@@ -122,8 +125,10 @@ class NodeRuntime:
         host_staging_bytes: Optional[int] = None,
         host_drain_bandwidth: float = 3.0e9,
         ssd_drain_bandwidth: float = 2.0e9,
+        name: str = "node0",
     ) -> None:
         positive_int(num_processes, "num_processes")
+        self.name = name
         self.node = node if node is not None else thetagpu_node()
         if num_processes > self.node.gpus_per_node:
             raise ValueError(
@@ -204,6 +209,22 @@ class NodeRuntime:
                 )
             )
             self.provenance[p].append(diff)
+            events.emit(
+                events.CHECKPOINT_COMMITTED,
+                sim_time=produced_at,
+                node=self.name,
+                rank=p,
+                ckpt_id=diff.ckpt_id,
+                method=self._method,
+                stored_bytes=diff.serialized_size,
+                full_bytes=self._data_len,
+                device_seconds=cost.total_seconds,
+                blocked_seconds=report.blocked_seconds,
+                produced_at=produced_at,
+                persisted_at=report.persisted_at,
+                retries=report.retries,
+                skipped_tiers=list(report.skipped_tiers),
+            )
         self._ckpt_counter += 1
         return self.timelines
 
@@ -243,6 +264,14 @@ class NodeRuntime:
             for c in ledger
             if c.produced_at <= at_time < c.persisted_at
         ]
+        events.emit(
+            events.CRASH,
+            sim_time=at_time,
+            node=self.name,
+            rank=process,
+            in_flight_ckpts=list(in_flight),
+            durable_ckpts=len(durable_idx),
+        )
 
         restore_seconds = 0.0
         restore_payload_bytes = 0
@@ -299,6 +328,18 @@ class NodeRuntime:
             self.provenance[process].append(seed_diff)
         self.engines[process] = engine
 
+        events.emit(
+            events.RESTART,
+            sim_time=at_time,
+            node=self.name,
+            rank=process,
+            restored_ckpt_id=restored_id,
+            cold=restored_id is None,
+            lost_work_seconds=lost,
+            restore_seconds=restore_seconds,
+            restore_payload_bytes=restore_payload_bytes,
+            restore_sources=restore_sources,
+        )
         report = CrashReport(
             process=process,
             crash_time=at_time,

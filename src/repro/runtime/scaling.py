@@ -25,6 +25,8 @@ from ..errors import SimulationError
 from ..gpusim.cluster import ClusterSpec, thetagpu
 from ..graphs.csr import Graph
 from ..oranges.gdv import GdvEngine
+from ..telemetry.aggregate import merge_journals
+from ..telemetry.events import CHECKPOINT_COMMITTED, EventJournal
 from ..utils.validation import positive_int
 
 
@@ -40,6 +42,9 @@ class ScalingResult:
     #: Σ over checkpoints of the slowest process's simulated seconds.
     critical_path_seconds: float
     per_process_stored: List[int] = field(default_factory=list)
+    #: Merged per-rank journal events (``capture_events=True`` runs only),
+    #: in canonical merge order — feed to ``telemetry.build_rollup``.
+    events: List[dict] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -85,13 +90,25 @@ def induced_partition_graph(graph: Graph, vertices: np.ndarray) -> Graph:
 
 
 def _run_rank(
-    args: Tuple[Graph, str, int, int, float, int]
-) -> Tuple[int, int, List[float]]:
+    args: Tuple[Graph, str, int, int, float, int, int, str, bool]
+) -> Tuple[int, int, List[float], List[dict]]:
     """One rank's whole pipeline (module-level so it pickles for pools).
 
-    Returns ``(full_bytes, stored_bytes, per-checkpoint seconds)``.
+    Returns ``(full_bytes, stored_bytes, per-checkpoint seconds, events)``
+    — *events* are the rank's journal records (plain dicts, so they
+    survive the pickle boundary of a process pool) when capture is on.
     """
-    local, method, chunk_size, max_graphlet_size, contention, num_ckpts = args
+    (
+        local,
+        method,
+        chunk_size,
+        max_graphlet_size,
+        contention,
+        num_ckpts,
+        rank,
+        node_name,
+        capture,
+    ) = args
     engine = GdvEngine(local, max_graphlet_size)
     ckpt = IncrementalCheckpointer(
         data_len=engine.buffer_nbytes,
@@ -99,14 +116,28 @@ def _run_rank(
         method=method,
         pcie_contention=contention,
     )
+    journal = EventJournal(node=node_name, rank=rank) if capture else None
+    cursor = 0.0
     seconds = []
     for snapshot in engine.checkpoint_stream(num_ckpts):
         stats = ckpt.checkpoint(snapshot)
         seconds.append(stats.simulated_seconds)
+        if journal is not None:
+            cursor += stats.simulated_seconds
+            journal.emit(
+                CHECKPOINT_COMMITTED,
+                sim_time=cursor,
+                ckpt_id=stats.ckpt_id,
+                method=method,
+                stored_bytes=stats.stored_bytes,
+                full_bytes=stats.data_len,
+                device_seconds=stats.simulated_seconds,
+            )
     return (
         ckpt.record.total_full_bytes(),
         ckpt.record.total_stored_bytes(),
         seconds,
+        journal.records() if journal is not None else [],
     )
 
 
@@ -127,6 +158,11 @@ class StrongScalingDriver:
         exploit the host's cores the way the real deployment exploits its
         nodes.  Results are bit-identical either way (each rank is a pure
         function of its partition).
+    capture_events:
+        When true, every rank keeps a private event journal (tagged with
+        its node placement) and the merged stream lands on
+        ``ScalingResult.events`` — the fleet-observability input for
+        ``telemetry.build_rollup`` / ``evaluate_health``.
     """
 
     def __init__(
@@ -137,6 +173,7 @@ class StrongScalingDriver:
         chunk_size: int = 128,
         max_graphlet_size: int = 4,
         workers: int = 1,
+        capture_events: bool = False,
     ) -> None:
         positive_int(workers, "workers")
         self.graph = graph
@@ -145,6 +182,7 @@ class StrongScalingDriver:
         self.chunk_size = chunk_size
         self.max_graphlet_size = max_graphlet_size
         self.workers = workers
+        self.capture_events = capture_events
 
     def run(self, num_processes: int, num_checkpoints: int = 10) -> ScalingResult:
         """Execute all ranks and merge their records."""
@@ -153,6 +191,7 @@ class StrongScalingDriver:
         contention = self.cluster.pcie_contention_for(num_processes)
 
         parts = partition_vertices(self.graph.num_vertices, num_processes)
+        gpus_per_node = self.cluster.node.gpus_per_node
         jobs = [
             (
                 induced_partition_graph(self.graph, parts[rank]),
@@ -161,6 +200,9 @@ class StrongScalingDriver:
                 self.max_graphlet_size,
                 contention[rank],
                 num_checkpoints,
+                rank,
+                f"node{rank // gpus_per_node}",
+                self.capture_events,
             )
             for rank in range(num_processes)
         ]
@@ -174,11 +216,14 @@ class StrongScalingDriver:
         total_full = 0
         total_stored = 0
         per_process_stored: List[int] = []
-        for rank, (full, stored, seconds) in enumerate(outcomes):
+        per_rank_events: List[List[dict]] = []
+        for rank, (full, stored, seconds, rank_events) in enumerate(outcomes):
             total_full += full
             total_stored += stored
             per_process_stored.append(stored)
             per_ckpt_seconds[rank, : len(seconds)] = seconds
+            if rank_events:
+                per_rank_events.append(rank_events)
 
         critical_path = float(per_ckpt_seconds.max(axis=0).sum())
         return ScalingResult(
@@ -189,4 +234,5 @@ class StrongScalingDriver:
             total_stored_bytes=total_stored,
             critical_path_seconds=critical_path,
             per_process_stored=per_process_stored,
+            events=merge_journals(per_rank_events) if per_rank_events else [],
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import StorageError
+from ..telemetry import events
 from ..utils.units import GB, format_bytes
 from ..utils.validation import non_negative_int, positive_float, positive_int
 
@@ -74,6 +75,13 @@ class StorageTier:
         positive_float(duration, "duration")
         outage = TierOutage("transient", start, duration)
         self.outages.append(outage)
+        events.emit(
+            events.TIER_OUTAGE,
+            sim_time=start,
+            tier=self.name,
+            kind="transient",
+            duration=duration,
+        )
         return outage
 
     def fail_permanent(self, start: float) -> TierOutage:
@@ -82,6 +90,9 @@ class StorageTier:
             raise StorageError(f"outage start must be non-negative, got {start}")
         outage = TierOutage("permanent", start)
         self.outages.append(outage)
+        events.emit(
+            events.TIER_OUTAGE, sim_time=start, tier=self.name, kind="permanent"
+        )
         return outage
 
     def is_dead(self, now: float) -> bool:

@@ -28,6 +28,9 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator
 
 from ._state import STATE
+from . import events
+from .aggregate import FleetRollup, RankRollup, build_rollup, merge_journals, merge_metrics
+from .events import EventJournal, journal_to, read_journal, write_journal
 from .export import (
     metrics_to_json,
     metrics_to_prometheus,
@@ -46,6 +49,8 @@ from .metrics import (
     gauge,
     histogram,
 )
+from .health import Finding, HealthReport, default_rules, evaluate_health
+from .report import render_report, write_report
 from .tracer import InstantRecord, SpanRecord, Tracer, get_tracer, instant, span
 
 
@@ -98,28 +103,43 @@ def capture(model=None) -> Iterator[Dict[str, Any]]:
 
 __all__ = [
     "Counter",
-    "capture",
+    "EventJournal",
+    "Finding",
+    "FleetRollup",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "InstantRecord",
     "MetricsRegistry",
+    "RankRollup",
     "SpanRecord",
     "Tracer",
+    "build_rollup",
+    "capture",
     "counter",
     "default_registry",
+    "default_rules",
     "disable",
     "enable",
     "enabled",
+    "evaluate_health",
+    "events",
     "gauge",
     "get_tracer",
     "histogram",
     "instant",
+    "journal_to",
+    "merge_journals",
+    "merge_metrics",
     "metrics_to_json",
     "metrics_to_prometheus",
     "phase_summary",
+    "read_journal",
+    "render_report",
     "reset_telemetry",
     "span",
     "span_sim_seconds",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_journal",
 ]

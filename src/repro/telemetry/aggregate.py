@@ -1,0 +1,339 @@
+"""Fleet aggregation: merge per-rank journals and metrics into rollups.
+
+A strong-scaling run produces one event journal per simulated rank and
+(optionally) one metrics snapshot per process.  This module merges them
+into a :class:`FleetRollup` — per-rank, per-node, and fleet-wide dedup
+ratio, stored bytes, flush backlog, lost work, and restore amplification
+— with **order-independent** semantics: merging the same journals in any
+order produces the same merged stream and the same rollup
+(property-tested in ``tests/telemetry/test_aggregate.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .events import (
+    CHECKPOINT_COMMITTED,
+    CRASH,
+    FLUSH_RETRY,
+    FLUSH_ROUTE_AROUND,
+    RECORD_FAULT,
+    RESTART,
+    RESTORE,
+    SALVAGE,
+    TIER_OUTAGE,
+    EventJournal,
+    merge_key,
+)
+
+
+def _as_records(journal) -> List[Dict[str, Any]]:
+    if isinstance(journal, EventJournal):
+        return journal.records()
+    return list(journal)
+
+
+def merge_journals(journals: Iterable) -> List[Dict[str, Any]]:
+    """Merge journals (record lists or :class:`EventJournal`) into one
+    canonically ordered stream.
+
+    The result depends only on the multiset of records, not on the order
+    journals are passed in or the order records appear within them.
+    """
+    merged: List[Dict[str, Any]] = []
+    for journal in journals:
+        merged.extend(_as_records(journal))
+    merged.sort(key=merge_key)
+    return merged
+
+
+def merge_metrics(
+    snapshots: Sequence[Mapping[str, Mapping[str, Any]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Merge N registry snapshots (``MetricsRegistry.snapshot()`` shape).
+
+    Counters sum, gauges keep their max, histograms sum counts/sums and
+    per-bucket counts and combine min/max — all commutative and
+    associative, so the merge is order-independent.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, metric in snapshot.items():
+            kind = metric.get("type")
+            if name not in out:
+                merged = dict(metric)
+                if kind == "histogram":
+                    merged["buckets"] = dict(metric.get("buckets", {}))
+                out[name] = merged
+                continue
+            held = out[name]
+            if held.get("type") != kind:
+                raise ValueError(
+                    f"metric {name!r} has conflicting types across ranks: "
+                    f"{held.get('type')!r} vs {kind!r}"
+                )
+            if kind == "counter":
+                held["value"] += metric["value"]
+            elif kind == "gauge":
+                held["value"] = max(held["value"], metric["value"])
+            elif kind == "histogram":
+                held["count"] += metric["count"]
+                held["sum"] += metric["sum"]
+                if metric.get("min") is not None:
+                    held["min"] = (
+                        metric["min"]
+                        if held.get("min") is None
+                        else min(held["min"], metric["min"])
+                    )
+                if metric.get("max") is not None:
+                    held["max"] = (
+                        metric["max"]
+                        if held.get("max") is None
+                        else max(held["max"], metric["max"])
+                    )
+                for le, count in metric.get("buckets", {}).items():
+                    held["buckets"][le] = held["buckets"].get(le, 0) + count
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    return out
+
+
+@dataclass
+class RankRollup:
+    """Everything the journal said about one (node, rank) emitter."""
+
+    node: str
+    rank: Optional[int]
+    checkpoints: int = 0
+    stored_bytes: int = 0
+    full_bytes: int = 0
+    #: Per-checkpoint dedup ratios, in merged (simulated-time) order —
+    #: the trailing-window input for the health engine.
+    dedup_ratios: List[float] = field(default_factory=list)
+    #: Per-checkpoint flush backlog (persisted_at − produced_at), where known.
+    backlog_seconds: List[float] = field(default_factory=list)
+    blocked_seconds: float = 0.0
+    device_seconds: float = 0.0
+    retries: int = 0
+    route_arounds: int = 0
+    crashes: int = 0
+    cold_restarts: int = 0
+    lost_work_seconds: float = 0.0
+    restores: int = 0
+    restore_payload_bytes: int = 0
+    restore_state_bytes: int = 0
+    salvages: int = 0
+    record_faults: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Aggregate full/stored over every committed checkpoint."""
+        if self.stored_bytes == 0:
+            return float("inf") if self.full_bytes else 0.0
+        return self.full_bytes / self.stored_bytes
+
+    @property
+    def restore_amplification(self) -> float:
+        """Payload bytes gathered per byte of state restored (≥ 0)."""
+        if self.restore_state_bytes == 0:
+            return 0.0
+        return self.restore_payload_bytes / self.restore_state_bytes
+
+    @property
+    def max_backlog_seconds(self) -> float:
+        return max(self.backlog_seconds, default=0.0)
+
+
+@dataclass
+class FleetRollup:
+    """Merged view over every rank's journal (plus optional metrics)."""
+
+    events: List[Dict[str, Any]]
+    ranks: Dict[Tuple[str, Optional[int]], RankRollup]
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None
+    tier_outages: List[Dict[str, Any]] = field(default_factory=list)
+
+    # -- fleet-wide ----------------------------------------------------
+    @property
+    def total_stored_bytes(self) -> int:
+        return sum(r.stored_bytes for r in self.ranks.values())
+
+    @property
+    def total_full_bytes(self) -> int:
+        return sum(r.full_bytes for r in self.ranks.values())
+
+    @property
+    def dedup_ratio(self) -> float:
+        stored = self.total_stored_bytes
+        if stored == 0:
+            return float("inf") if self.total_full_bytes else 0.0
+        return self.total_full_bytes / stored
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(r.checkpoints for r in self.ranks.values())
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(r.crashes for r in self.ranks.values())
+
+    @property
+    def total_lost_work_seconds(self) -> float:
+        return sum(r.lost_work_seconds for r in self.ranks.values())
+
+    @property
+    def max_backlog_seconds(self) -> float:
+        return max((r.max_backlog_seconds for r in self.ranks.values()), default=0.0)
+
+    @property
+    def restore_amplification(self) -> float:
+        state = sum(r.restore_state_bytes for r in self.ranks.values())
+        if state == 0:
+            return 0.0
+        return sum(r.restore_payload_bytes for r in self.ranks.values()) / state
+
+    # -- per node ------------------------------------------------------
+    def nodes(self) -> Dict[str, Dict[str, float]]:
+        """Per-node sums of the additive rank fields (+ dedup ratio)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for rollup in self.ranks.values():
+            node = out.setdefault(
+                rollup.node,
+                {
+                    "ranks": 0,
+                    "checkpoints": 0,
+                    "stored_bytes": 0,
+                    "full_bytes": 0,
+                    "blocked_seconds": 0.0,
+                    "retries": 0,
+                    "route_arounds": 0,
+                    "crashes": 0,
+                    "lost_work_seconds": 0.0,
+                    "salvages": 0,
+                    "record_faults": 0,
+                    "max_backlog_seconds": 0.0,
+                },
+            )
+            node["ranks"] += 1
+            node["checkpoints"] += rollup.checkpoints
+            node["stored_bytes"] += rollup.stored_bytes
+            node["full_bytes"] += rollup.full_bytes
+            node["blocked_seconds"] += rollup.blocked_seconds
+            node["retries"] += rollup.retries
+            node["route_arounds"] += rollup.route_arounds
+            node["crashes"] += rollup.crashes
+            node["lost_work_seconds"] += rollup.lost_work_seconds
+            node["salvages"] += rollup.salvages
+            node["record_faults"] += rollup.record_faults
+            node["max_backlog_seconds"] = max(
+                node["max_backlog_seconds"], rollup.max_backlog_seconds
+            )
+        for node in out.values():
+            stored = node["stored_bytes"]
+            node["dedup_ratio"] = (
+                node["full_bytes"] / stored
+                if stored
+                else (float("inf") if node["full_bytes"] else 0.0)
+            )
+        return out
+
+    def events_of(self, *types: str) -> List[Dict[str, Any]]:
+        """Merged-order events filtered to the given types."""
+        wanted = set(types)
+        return [e for e in self.events if e.get("type") in wanted]
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat fleet numbers (what the report's summary table shows)."""
+        return {
+            "events": len(self.events),
+            "nodes": len({r.node for r in self.ranks.values()}),
+            "ranks": len(self.ranks),
+            "checkpoints": self.total_checkpoints,
+            "stored_bytes": self.total_stored_bytes,
+            "full_bytes": self.total_full_bytes,
+            "dedup_ratio": self.dedup_ratio,
+            "max_backlog_seconds": self.max_backlog_seconds,
+            "crashes": self.total_crashes,
+            "lost_work_seconds": self.total_lost_work_seconds,
+            "restore_amplification": self.restore_amplification,
+            "tier_outages": len(self.tier_outages),
+            "salvages": sum(r.salvages for r in self.ranks.values()),
+            "record_faults": sum(r.record_faults for r in self.ranks.values()),
+        }
+
+
+def build_rollup(
+    journals: Iterable,
+    metrics_snapshots: Sequence[Mapping[str, Mapping[str, Any]]] = (),
+) -> FleetRollup:
+    """Merge journals (+ optional metric snapshots) into a :class:`FleetRollup`.
+
+    *journals* may be a single record list, a single :class:`EventJournal`,
+    or an iterable of either.
+    """
+    if isinstance(journals, EventJournal):
+        journals = [journals]
+    else:
+        journals = list(journals)
+        # A bare record list (rather than a list of journals) is common.
+        if journals and isinstance(journals[0], dict):
+            journals = [journals]
+    events = merge_journals(journals)
+
+    ranks: Dict[Tuple[str, Optional[int]], RankRollup] = {}
+    tier_outages: List[Dict[str, Any]] = []
+
+    def rank_of(event: Dict[str, Any]) -> RankRollup:
+        key = (str(event.get("node", "")), event.get("rank"))
+        if key not in ranks:
+            ranks[key] = RankRollup(node=key[0], rank=key[1])
+        return ranks[key]
+
+    for event in events:
+        kind = event.get("type")
+        if kind == CHECKPOINT_COMMITTED:
+            rollup = rank_of(event)
+            rollup.checkpoints += 1
+            stored = int(event.get("stored_bytes", 0))
+            full = int(event.get("full_bytes", 0))
+            rollup.stored_bytes += stored
+            rollup.full_bytes += full
+            if stored:
+                rollup.dedup_ratios.append(full / stored)
+            produced = event.get("produced_at")
+            persisted = event.get("persisted_at")
+            if produced is not None and persisted is not None:
+                rollup.backlog_seconds.append(max(0.0, persisted - produced))
+            rollup.blocked_seconds += float(event.get("blocked_seconds", 0.0))
+            rollup.device_seconds += float(event.get("device_seconds", 0.0))
+        elif kind == FLUSH_RETRY:
+            rank_of(event).retries += 1
+        elif kind == FLUSH_ROUTE_AROUND:
+            rank_of(event).route_arounds += 1
+        elif kind == TIER_OUTAGE:
+            tier_outages.append(event)
+        elif kind == CRASH:
+            rank_of(event).crashes += 1
+        elif kind == RESTART:
+            rollup = rank_of(event)
+            rollup.lost_work_seconds += float(event.get("lost_work_seconds", 0.0))
+            if event.get("cold"):
+                rollup.cold_restarts += 1
+        elif kind == RESTORE:
+            rollup = rank_of(event)
+            rollup.restores += 1
+            rollup.restore_payload_bytes += int(event.get("payload_bytes", 0))
+            rollup.restore_state_bytes += int(event.get("state_bytes", 0))
+        elif kind == SALVAGE:
+            rank_of(event).salvages += 1
+        elif kind == RECORD_FAULT:
+            rank_of(event).record_faults += 1
+
+    return FleetRollup(
+        events=events,
+        ranks=ranks,
+        metrics=merge_metrics(metrics_snapshots) if metrics_snapshots else None,
+        tier_outages=tier_outages,
+    )

@@ -1,0 +1,279 @@
+"""Structured event journal: the fleet-level "what happened" stream.
+
+Spans and metrics (PR 4) answer *how long* and *how much*; the journal
+answers *what happened*: an append-only stream of schema-versioned JSON
+records — checkpoint committed, flush retry, tier outage, salvage,
+crash/restart, restore, rebase — each tagged with the node/rank that
+emitted it and both clocks (wall time and the simulated timeline).
+Journals from N ranks merge order-independently (see
+:mod:`repro.telemetry.aggregate`), feed the health engine
+(:mod:`repro.telemetry.health`), and render as an HTML run report
+(:mod:`repro.telemetry.report`).
+
+Journaling is **off by default** and independent of the span/metric
+switch: nothing is recorded until a journal is installed with
+:func:`install` / :func:`journal_to` (or ``REPRO_JOURNAL=<path>`` in the
+environment).  When no journal is installed, :func:`emit` is a single
+``None`` check, and checkpoint bytes are identical either way (golden
+tests in ``tests/telemetry/test_events.py``).
+
+Record envelope (schema version 1)::
+
+    {"schema": 1, "seq": 3, "type": "checkpoint_committed",
+     "node": "node0", "rank": 1, "wall_time": 1754..., "sim_time": 0.82,
+     ...event-specific fields...}
+
+``seq`` is a per-journal monotonic counter; ``(node, rank, seq)`` orders
+records from one emitter even when ``sim_time`` ties or is absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from ..errors import StorageError
+
+#: Journal record schema version; bump on incompatible envelope changes.
+SCHEMA_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Event types
+# ----------------------------------------------------------------------
+CHECKPOINT_COMMITTED = "checkpoint_committed"
+FLUSH_RETRY = "flush_retry"
+FLUSH_ROUTE_AROUND = "flush_route_around"
+TIER_OUTAGE = "tier_outage"
+SALVAGE = "salvage"
+RECORD_FAULT = "record_fault"
+CRASH = "crash"
+RESTART = "restart"
+RESTORE = "restore"
+REBASE = "rebase"
+
+EVENT_TYPES = frozenset(
+    {
+        CHECKPOINT_COMMITTED,
+        FLUSH_RETRY,
+        FLUSH_ROUTE_AROUND,
+        TIER_OUTAGE,
+        SALVAGE,
+        RECORD_FAULT,
+        CRASH,
+        RESTART,
+        RESTORE,
+        REBASE,
+    }
+)
+
+#: Envelope keys; payload fields may not collide with them.
+_ENVELOPE = frozenset({"schema", "seq", "type", "node", "rank", "wall_time", "sim_time"})
+
+
+class EventJournal:
+    """Append-only journal of structured events from one emitter.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file to stream records into (appended, flushed per
+        record so a crashed process leaves a readable prefix).  ``None``
+        keeps records in memory only.
+    node / rank:
+        Identity stamped on every record unless overridden per ``emit``.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        node: str = "node0",
+        rank: Optional[int] = None,
+    ) -> None:
+        self.node = node
+        self.rank = rank
+        self.path = Path(path) if path is not None else None
+        self._records: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a") if self.path is not None else None
+
+    def emit(
+        self,
+        type: str,
+        sim_time: Optional[float] = None,
+        node: Optional[str] = None,
+        rank: Optional[int] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Append one event; returns the record dict."""
+        if type not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {type!r}")
+        clash = _ENVELOPE.intersection(fields)
+        if clash:
+            raise ValueError(f"payload fields shadow the envelope: {sorted(clash)}")
+        record: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "type": type,
+            "node": node if node is not None else self.node,
+            "rank": rank if rank is not None else self.rank,
+            "wall_time": time.time(),
+            "sim_time": None if sim_time is None else float(sim_time),
+        }
+        record.update(fields)
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+            self._records.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+                self._fh.flush()
+        return record
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Snapshot of everything emitted so far."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Dump the in-memory records as a JSONL file."""
+        return write_journal(path, self.records())
+
+    def close(self) -> None:
+        """Close the streaming file handle (records stay readable)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self.path) if self.path else "memory"
+        return f"<EventJournal {self.node}/{self.rank} {len(self)} events → {where}>"
+
+
+# ----------------------------------------------------------------------
+# Module-level sink (what the instrumented call sites talk to)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[EventJournal] = None
+
+
+def active_journal() -> Optional[EventJournal]:
+    """The currently installed journal, or ``None`` (journaling off)."""
+    return _ACTIVE
+
+
+def install(journal: EventJournal) -> EventJournal:
+    """Make *journal* the process-wide event sink."""
+    global _ACTIVE
+    _ACTIVE = journal
+    return journal
+
+
+def uninstall() -> Optional[EventJournal]:
+    """Stop journaling; returns the journal that was active."""
+    global _ACTIVE
+    prev, _ACTIVE = _ACTIVE, None
+    return prev
+
+
+def emit(type: str, **kwargs: Any) -> Optional[Dict[str, Any]]:
+    """Emit to the installed journal; a no-op ``None`` when journaling is off."""
+    journal = _ACTIVE
+    if journal is None:
+        return None
+    return journal.emit(type, **kwargs)
+
+
+@contextmanager
+def journal_to(
+    path: Optional[Union[str, Path]] = None,
+    node: str = "node0",
+    rank: Optional[int] = None,
+) -> Iterator[EventJournal]:
+    """Install a fresh journal for one block, restoring the prior sink.
+
+    >>> with journal_to("run.jsonl", node="node3") as journal:
+    ...     ...                       # instrumented code emits here
+    >>> len(journal.records())        # doctest: +SKIP
+    """
+    global _ACTIVE
+    journal = EventJournal(path, node=node, rank=rank)
+    prev = _ACTIVE
+    _ACTIVE = journal
+    try:
+        yield journal
+    finally:
+        _ACTIVE = prev
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# Persistence and ordering
+# ----------------------------------------------------------------------
+def write_journal(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> Path:
+    """Write an iterable of event records as a JSONL journal file."""
+    out = Path(path)
+    with open(out, "w") as f:
+        for record in records:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+    return out
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load one JSONL journal, validating the envelope of every record."""
+    source = Path(path)
+    if not source.exists():
+        raise StorageError(f"no journal at {source}")
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"{source}:{lineno}: malformed journal line: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise StorageError(f"{source}:{lineno}: journal record has no event type")
+        version = record.get("schema")
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise StorageError(
+                f"{source}:{lineno}: unsupported journal schema {version!r}"
+            )
+        records.append(record)
+    return records
+
+
+def merge_key(record: Dict[str, Any]):
+    """Total order over journal records, independent of arrival order.
+
+    Records sort by simulated time first (events without one sort ahead,
+    in emitter order), then by emitter identity ``(node, rank, seq)``.  A
+    canonical JSON dump breaks any remaining tie, so merging the same
+    record multisets in any order yields the same sequence.
+    """
+    sim = record.get("sim_time")
+    rank = record.get("rank")
+    return (
+        0 if sim is None else 1,
+        float(sim) if sim is not None else 0.0,
+        str(record.get("node", "")),
+        int(rank) if rank is not None else -1,
+        int(record.get("seq", 0)),
+        json.dumps(record, sort_keys=True, default=str),
+    )
+
+
+# Opt-in streaming journal from the environment: REPRO_JOURNAL=<path>
+# (node identity via REPRO_NODE).  Mirrors REPRO_TELEMETRY's spirit —
+# nothing happens unless explicitly requested.
+_env_path = os.environ.get("REPRO_JOURNAL", "")
+if _env_path:
+    install(EventJournal(_env_path, node=os.environ.get("REPRO_NODE", "node0")))
+del _env_path

@@ -1,0 +1,467 @@
+"""Declarative health rules over fleet rollups.
+
+The journal records what happened; the health engine decides whether it
+was *fine*.  Each rule inspects a :class:`~repro.telemetry.aggregate.
+FleetRollup` and produces graded :class:`Finding`\\ s (``warn`` /
+``critical``) with the evidence events attached, so an operator reading
+a finding can jump straight to the journal records that triggered it.
+A clean run produces **zero findings** and an overall ``ok`` status —
+asserted on the fixed-seed ORANGES run by the acceptance tests.
+
+Rule catalog (see ``docs/OBSERVABILITY.md`` §8):
+
+* :class:`DedupRegressionRule` — per-rank dedup ratio collapsing vs its
+  own trailing window (data drifting away from the dedup sweet spot).
+* :class:`FlushBacklogRule` — flush backlog (persisted − produced)
+  growing monotonically, or the application blocking on host admission.
+* :class:`CorruptionRule` — salvage / injected-record-fault sentinels.
+* :class:`CrashLoopRule` — crashes per rank; repeated crashes or a cold
+  restart (data loss) escalate to ``critical``.
+* :class:`TierOutageRule` — injected tier outages, with that tier's
+  retry/route-around events as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .aggregate import FleetRollup, build_rollup
+from .events import (
+    CRASH,
+    FLUSH_RETRY,
+    FLUSH_ROUTE_AROUND,
+    RECORD_FAULT,
+    RESTART,
+    SALVAGE,
+)
+
+OK = "ok"
+WARN = "warn"
+CRITICAL = "critical"
+_SEVERITY_RANK = {OK: 0, WARN: 1, CRITICAL: 2}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric ordering of ``ok`` < ``warn`` < ``critical``."""
+    return _SEVERITY_RANK[severity]
+
+
+@dataclass
+class Finding:
+    """One graded health observation with its evidence events."""
+
+    rule: str
+    severity: str  # WARN | CRITICAL
+    message: str
+    node: Optional[str] = None
+    rank: Optional[int] = None
+    evidence: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "node": self.node,
+            "rank": self.rank,
+            "evidence": self.evidence,
+        }
+
+
+@dataclass
+class HealthReport:
+    """Every finding from one rule sweep over one rollup."""
+
+    findings: List[Finding]
+    rules_run: List[str]
+
+    @property
+    def status(self) -> str:
+        """Worst severity across findings; ``ok`` when there are none."""
+        worst = OK
+        for finding in self.findings:
+            if severity_rank(finding.severity) > severity_rank(worst):
+                worst = finding.severity
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 0 ok, 1 warn, 2 critical."""
+        return severity_rank(self.status)
+
+    def findings_for(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "rules_run": self.rules_run,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        """Fixed-width text rendering (what ``repro health`` prints)."""
+        lines = [f"status: {self.status.upper()}  ({len(self.findings)} findings)"]
+        for finding in self.findings:
+            where = finding.node or "-"
+            if finding.rank is not None:
+                where += f"/r{finding.rank}"
+            lines.append(
+                f"  [{finding.severity:<8s}] {finding.rule:<18s} "
+                f"{where:<12s} {finding.message}"
+            )
+        return "\n".join(lines)
+
+
+class HealthRule:
+    """Base class: subclasses implement :meth:`evaluate`."""
+
+    name = "rule"
+    description = ""
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class DedupRegressionRule(HealthRule):
+    """A rank's dedup ratio collapsing versus its own trailing window.
+
+    For each checkpoint past the warm-up window, compare its ratio with
+    the mean of the previous *window* checkpoints: a drop past
+    ``warn_drop`` (fraction of the trailing mean lost) warns, past
+    ``critical_drop`` is critical.  The ratio sequence excludes nothing —
+    the first (full) checkpoint anchors the window low, so organic
+    ratio growth never trips the rule.
+    """
+
+    name = "dedup_regression"
+    description = "per-rank dedup ratio vs trailing window"
+
+    def __init__(
+        self, window: int = 4, warn_drop: float = 0.5, critical_drop: float = 0.8
+    ) -> None:
+        self.window = window
+        self.warn_drop = warn_drop
+        self.critical_drop = critical_drop
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for rank in rollup.ranks.values():
+            ratios = rank.dedup_ratios
+            worst: Optional[Finding] = None
+            checkpoint_events = [
+                e
+                for e in rollup.events
+                if e.get("type") == "checkpoint_committed"
+                and e.get("node") == rank.node
+                and e.get("rank") == rank.rank
+            ]
+            for i in range(self.window, len(ratios)):
+                trailing = sum(ratios[i - self.window : i]) / self.window
+                if trailing <= 0:
+                    continue
+                drop = 1.0 - ratios[i] / trailing
+                severity = None
+                if drop >= self.critical_drop:
+                    severity = CRITICAL
+                elif drop >= self.warn_drop:
+                    severity = WARN
+                if severity is None:
+                    continue
+                finding = Finding(
+                    rule=self.name,
+                    severity=severity,
+                    message=(
+                        f"dedup ratio fell to {ratios[i]:.2f}x "
+                        f"({drop:.0%} below trailing-{self.window} mean "
+                        f"{trailing:.2f}x) at checkpoint {i}"
+                    ),
+                    node=rank.node,
+                    rank=rank.rank,
+                    evidence=checkpoint_events[i : i + 1],
+                )
+                if worst is None or severity_rank(severity) > severity_rank(
+                    worst.severity
+                ):
+                    worst = finding
+            if worst is not None:
+                findings.append(worst)
+        return findings
+
+
+class FlushBacklogRule(HealthRule):
+    """Flush backlog growing without bound, or the app blocking on staging.
+
+    The backlog of one checkpoint is ``persisted_at − produced_at``.  In
+    the healthy regime it is flat (drain keeps up with the cadence); a
+    final backlog ``warn_growth``× the initial one — sustained, i.e. the
+    last value is also the max — means the hierarchy is falling behind.
+    Any application blocking on host admission is itself a warn: the
+    paper's §1 failure mode has arrived.
+    """
+
+    name = "flush_backlog"
+    description = "flush backlog growth / host-admission stalls"
+
+    def __init__(
+        self,
+        warn_growth: float = 3.0,
+        critical_growth: float = 10.0,
+        min_checkpoints: int = 4,
+        min_backlog_seconds: float = 1e-6,
+    ) -> None:
+        self.warn_growth = warn_growth
+        self.critical_growth = critical_growth
+        self.min_checkpoints = min_checkpoints
+        self.min_backlog_seconds = min_backlog_seconds
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for rank in rollup.ranks.values():
+            backlog = rank.backlog_seconds
+            evidence = [
+                e
+                for e in rollup.events
+                if e.get("type") == "checkpoint_committed"
+                and e.get("node") == rank.node
+                and e.get("rank") == rank.rank
+            ]
+            if len(backlog) >= self.min_checkpoints:
+                base = backlog[0]
+                last = backlog[-1]
+                if (
+                    base > self.min_backlog_seconds
+                    and last >= max(backlog)
+                    and last / base >= self.warn_growth
+                ):
+                    severity = (
+                        CRITICAL if last / base >= self.critical_growth else WARN
+                    )
+                    findings.append(
+                        Finding(
+                            rule=self.name,
+                            severity=severity,
+                            message=(
+                                f"flush backlog grew {last / base:.1f}x over "
+                                f"{len(backlog)} checkpoints "
+                                f"({base:.3g}s → {last:.3g}s)"
+                            ),
+                            node=rank.node,
+                            rank=rank.rank,
+                            evidence=evidence[-1:],
+                        )
+                    )
+            if rank.blocked_seconds > 0:
+                blocked_evidence = [
+                    e for e in evidence if e.get("blocked_seconds", 0) > 0
+                ]
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=WARN,
+                        message=(
+                            f"application blocked {rank.blocked_seconds:.3g}s "
+                            f"waiting for host staging admission"
+                        ),
+                        node=rank.node,
+                        rank=rank.rank,
+                        evidence=blocked_evidence[:5],
+                    )
+                )
+        return findings
+
+
+class CorruptionRule(HealthRule):
+    """Salvage and injected-record-fault sentinels: always critical.
+
+    A ``salvage`` event means stored bytes failed integrity checks and a
+    load fell back to the longest valid prefix; a ``record_fault`` event
+    is a fault injector's receipt.  One finding per event, so a campaign
+    can check that *every* injected corruption was flagged.
+    """
+
+    name = "corruption"
+    description = "salvaged loads and injected record faults"
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for event in rollup.events_of(SALVAGE):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=CRITICAL,
+                    message=(
+                        f"record {event.get('path', '?')} salvaged: first bad "
+                        f"frame {event.get('first_bad')}, valid prefix "
+                        f"{event.get('valid_prefix')} ({event.get('error', '?')})"
+                    ),
+                    node=event.get("node"),
+                    rank=event.get("rank"),
+                    evidence=[event],
+                )
+            )
+        for event in rollup.events_of(RECORD_FAULT):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=CRITICAL,
+                    message=(
+                        f"injected {event.get('kind', '?')} fault on "
+                        f"{event.get('path', '?')}"
+                    ),
+                    node=event.get("node"),
+                    rank=event.get("rank"),
+                    evidence=[event],
+                )
+            )
+        return findings
+
+
+class CrashLoopRule(HealthRule):
+    """Crashes per rank: any crash warns; loops and data loss are critical.
+
+    ``loop_threshold`` crashes of the same rank is a crash loop; a cold
+    restart (nothing durable to restore from — work is gone) is critical
+    regardless of count.
+    """
+
+    name = "crash_loop"
+    description = "crash counts and cold restarts per rank"
+
+    def __init__(self, loop_threshold: int = 3) -> None:
+        self.loop_threshold = loop_threshold
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for rank in rollup.ranks.values():
+            if rank.crashes == 0:
+                continue
+            evidence = [
+                e
+                for e in rollup.events
+                if e.get("type") in (CRASH, RESTART)
+                and e.get("node") == rank.node
+                and e.get("rank") == rank.rank
+            ]
+            if rank.crashes >= self.loop_threshold:
+                severity = CRITICAL
+                message = (
+                    f"crash loop: {rank.crashes} crashes "
+                    f"(≥ {self.loop_threshold}), "
+                    f"{rank.lost_work_seconds:.3g}s work lost"
+                )
+            elif rank.cold_restarts:
+                severity = CRITICAL
+                message = (
+                    f"{rank.crashes} crash(es) including a cold restart: "
+                    f"no durable checkpoint, {rank.lost_work_seconds:.3g}s lost"
+                )
+            else:
+                severity = WARN
+                message = (
+                    f"{rank.crashes} crash(es), restored from durable "
+                    f"checkpoints, {rank.lost_work_seconds:.3g}s work lost"
+                )
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=severity,
+                    message=message,
+                    node=rank.node,
+                    rank=rank.rank,
+                    evidence=evidence[:10],
+                )
+            )
+        return findings
+
+
+class TierOutageRule(HealthRule):
+    """Injected tier outages: transient warns, permanent is critical.
+
+    Evidence bundles the outage event with that tier's retry and
+    route-around events, so the finding shows both the cause and the
+    degradation it produced.  Degraded flushes *without* a recorded
+    outage (journals merged from a partial fleet) still warn.
+    """
+
+    name = "tier_outage"
+    description = "tier outages with their retry/route-around fallout"
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        degraded = rollup.events_of(FLUSH_RETRY, FLUSH_ROUTE_AROUND)
+        claimed = set()
+        for event in rollup.tier_outages:
+            tier = event.get("tier", "?")
+            fallout = [e for e in degraded if e.get("tier") == tier]
+            claimed.update(id(e) for e in fallout)
+            permanent = event.get("kind") == "permanent"
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=CRITICAL if permanent else WARN,
+                    message=(
+                        f"{event.get('kind', '?')} outage of tier {tier!r} "
+                        f"at t={event.get('sim_time') or 0.0:g}"
+                        + (
+                            ""
+                            if permanent
+                            else f" for {event.get('duration', 0.0):g}s"
+                        )
+                        + f"; {len(fallout)} degraded flush event(s)"
+                    ),
+                    node=event.get("node"),
+                    rank=event.get("rank"),
+                    evidence=[event] + fallout[:10],
+                )
+            )
+        orphans = [e for e in degraded if id(e) not in claimed]
+        if orphans:
+            retries = sum(1 for e in orphans if e.get("type") == FLUSH_RETRY)
+            routes = len(orphans) - retries
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=WARN,
+                    message=(
+                        f"degraded flushes without a recorded outage: "
+                        f"{retries} retries, {routes} route-arounds"
+                    ),
+                    evidence=orphans[:10],
+                )
+            )
+        return findings
+
+
+def default_rules() -> List[HealthRule]:
+    """A fresh instance of every built-in rule, default thresholds."""
+    return [
+        DedupRegressionRule(),
+        FlushBacklogRule(),
+        CorruptionRule(),
+        CrashLoopRule(),
+        TierOutageRule(),
+    ]
+
+
+def evaluate_health(
+    source,
+    rules: Optional[Sequence[HealthRule]] = None,
+    metrics_snapshots: Sequence[Dict[str, Any]] = (),
+) -> HealthReport:
+    """Run the rule set over *source* and grade the outcome.
+
+    *source* may be a :class:`FleetRollup`, an :class:`~repro.telemetry.
+    events.EventJournal`, a record list, or an iterable of journals.
+    """
+    if isinstance(source, FleetRollup):
+        rollup = source
+    else:
+        rollup = build_rollup(source, metrics_snapshots)
+    ruleset = list(rules) if rules is not None else default_rules()
+    findings: List[Finding] = []
+    for rule in ruleset:
+        findings.extend(rule.evaluate(rollup))
+    findings.sort(key=lambda f: -severity_rank(f.severity))
+    return HealthReport(findings=findings, rules_run=[r.name for r in ruleset])

@@ -1,0 +1,131 @@
+"""Unit tests for the paper-style bench table formatters."""
+
+import pytest
+
+from repro.bench.harness import MethodResult
+from repro.bench.reporting import (
+    _gbps,
+    chunk_size_table,
+    frequency_table,
+    header,
+    metadata_table,
+    scaling_table,
+)
+from repro.runtime.scaling import ScalingResult
+
+
+def _result(method="tree", chunk_size=128, num_checkpoints=10,
+            dedup_ratio=12.5, throughput=2.5e9, stored=4096, metadata=256):
+    return MethodResult(
+        graph="unstructured_mesh",
+        method=method,
+        chunk_size=chunk_size,
+        num_checkpoints=num_checkpoints,
+        dedup_ratio=dedup_ratio,
+        throughput=throughput,
+        total_stored_bytes=stored,
+        total_metadata_bytes=metadata,
+    )
+
+
+class TestGbps:
+    def test_formats_fixed_width_gigabytes(self):
+        assert _gbps(2.5e9) == "    2.50"
+
+    def test_infinite_throughput_stays_eight_wide(self):
+        assert _gbps(float("inf")) == "     inf"
+        assert len(_gbps(float("inf"))) == len(_gbps(1e9))
+
+
+class TestHeader:
+    def test_banner_wraps_title(self):
+        text = header("Fig. 4")
+        bar, title, bar2 = text.splitlines()
+        assert title == "Fig. 4"
+        assert bar == bar2 == "=" * 60
+
+    def test_long_titles_widen_the_bar(self):
+        title = "x" * 75
+        assert header(title).splitlines()[0] == "=" * 75
+
+
+class TestChunkSizeTable:
+    def test_rows_per_chunk_size_columns_per_method(self):
+        results = [
+            _result(method=m, chunk_size=cs, dedup_ratio=r)
+            for (m, cs, r) in [
+                ("full", 64, 1.0), ("full", 128, 1.0),
+                ("tree", 64, 20.0), ("tree", 128, 35.5),
+            ]
+        ]
+        table = chunk_size_table(results)
+        assert "de-duplication ratio (x):" in table
+        assert "de-duplication throughput (GB/s, simulated):" in table
+        assert "   64B" in table and "  128B" in table
+        assert "35.50" in table
+
+    def test_method_column_order_is_first_seen(self):
+        results = [
+            _result(method="tree", chunk_size=64),
+            _result(method="full", chunk_size=64),
+        ]
+        head = chunk_size_table(results).splitlines()[1]
+        assert head.index("tree") < head.index("full")
+
+
+class TestFrequencyTable:
+    def test_ratio_and_throughput_per_count(self):
+        results = [
+            _result(method="tree", num_checkpoints=n, dedup_ratio=n * 2.0)
+            for n in (5, 10)
+        ]
+        table = frequency_table(results)
+        assert "N=5" in table and "N=10" in table
+        assert "10.00" in table and "20.00" in table
+
+
+class TestMetadataTable:
+    def test_lists_metadata_and_stored_bytes(self):
+        table = metadata_table([_result(stored=2048, metadata=512)])
+        assert "512 B" in table
+        assert "2.05 KB" in table
+
+
+class TestScalingTable:
+    @staticmethod
+    def _point(method, procs, stored):
+        return ScalingResult(
+            num_processes=procs,
+            num_checkpoints=4,
+            method=method,
+            total_full_bytes=procs * 1_000_000,
+            total_stored_bytes=stored,
+            critical_path_seconds=1.0,
+        )
+
+    def test_golden_snapshot_with_tree_vs_full_reduction(self):
+        results = {
+            "full": [self._point("full", 1, 1_000_000),
+                     self._point("full", 2, 2_000_000)],
+            "tree": [self._point("tree", 1, 10_000),
+                     self._point("tree", 2, 20_000)],
+        }
+        assert scaling_table(results) == (
+            "total checkpoint size / aggregate throughput (GB/s):\n"
+            "procs                         full                      tree\n"
+            "1                1.00 MB /    0.00        10.00 KB /    0.00\n"
+            "2                2.00 MB /    0.00        20.00 KB /    0.00\n"
+            "\n"
+            "size reduction Tree vs Full at 2 processes: 100.00x"
+        )
+
+    def test_no_headline_without_both_methods(self):
+        results = {"tree": [self._point("tree", 1, 10_000)]}
+        assert "size reduction" not in scaling_table(results)
+
+    def test_zero_stored_tree_reports_infinite_reduction(self):
+        results = {
+            "full": [self._point("full", 1, 1_000_000)],
+            "tree": [self._point("tree", 1, 0)],
+        }
+        assert "infx" in scaling_table(results)

@@ -137,3 +137,82 @@ class TestRebaseProperties:
         restored = Restorer(payload_codec=codec).restore_all(rebased)
         assert np.array_equal(restored[0], stream[1])
         assert np.array_equal(restored[1], stream[2])
+
+
+class TestRebaseIndex:
+    """A rebase invalidates the provenance index; the rewrite renews it."""
+
+    @staticmethod
+    def _materialize(table, diffs, upto):
+        from repro.core import materialize_index
+
+        def payload_of(t):
+            return np.frombuffer(diffs[t].payload, dtype=np.uint8)
+
+        return materialize_index(table.row(upto), payload_of)
+
+    def test_with_index_composes_table_for_new_chain(self, stream):
+        from repro.core import ProvenanceTable, rebase_record
+
+        diffs = chain(stream)
+        rebased, table = rebase_record(diffs, 2, with_index=True)
+        assert isinstance(table, ProvenanceTable)
+        fresh = ProvenanceTable.from_diffs(rebased)
+        assert np.array_equal(table.src_ckpt, fresh.src_ckpt)
+        assert np.array_equal(table.src_off, fresh.src_off)
+
+    def test_indexed_restore_after_rebase_bit_identical(self, stream):
+        from repro.core import rebase_record
+
+        diffs = chain(stream)
+        originals = Restorer().restore_all(diffs)
+        rebased, table = rebase_record(diffs, 2, with_index=True)
+        for new_id in range(len(rebased)):
+            state = self._materialize(table, rebased, new_id)
+            assert np.array_equal(state, originals[new_id + 2])
+
+    def test_rebase_stored_record_rewrites_index_on_disk(self, stream, tmp_path):
+        from repro.core import (
+            rebase_stored_record,
+            restore_record_indexed,
+            save_record,
+        )
+
+        diffs = chain(stream)
+        originals = Restorer().restore_all(diffs)
+        directory = save_record(diffs, tmp_path / "rec", method="tree")
+        assert (directory / "provenance.rpix").exists()
+
+        rebase_stored_record(directory, 2)
+        assert (directory / "provenance.rpix").exists()
+        for new_id in range(len(diffs) - 2):
+            state, report = restore_record_indexed(directory, new_id)
+            assert report.used_index, "rebased record must keep the fast path"
+            assert np.array_equal(state, originals[new_id + 2])
+
+    def test_rebase_stored_record_emits_journal_event(self, stream, tmp_path):
+        from repro.core import rebase_stored_record, save_record
+        from repro.telemetry.events import REBASE, journal_to
+
+        diffs = chain(stream)
+        directory = save_record(diffs, tmp_path / "rec", method="tree")
+        with journal_to() as journal:
+            rebase_stored_record(directory, 3)
+        rebases = [e for e in journal.records() if e["type"] == REBASE]
+        assert len(rebases) == 1
+        event = rebases[0]
+        assert event["at"] == 3
+        assert event["old_checkpoints"] == len(diffs)
+        assert event["new_checkpoints"] == len(diffs) - 3
+        assert event["index_rewritten"] is True
+        assert event["index_existed"] is True
+
+    def test_rebase_stored_record_verifies_clean(self, stream, tmp_path):
+        from repro.core import rebase_stored_record, save_record
+        from repro.core.store import verify_record
+
+        diffs = chain(stream)
+        directory = save_record(diffs, tmp_path / "rec", method="tree")
+        rebase_stored_record(directory, 1)
+        verification = verify_record(directory)
+        assert verification.ok, verification.problems

@@ -104,3 +104,66 @@ class TestDriver:
         assert seq.critical_path_seconds == pytest.approx(
             par.critical_path_seconds, abs=0.0
         )
+
+
+class TestEventCapture:
+    def test_capture_off_by_default(self):
+        g = generate("delaunay", 128, seed=1)
+        result = StrongScalingDriver(g, chunk_size=64).run(2, num_checkpoints=3)
+        assert result.events == []
+
+    def test_per_rank_journals_merge_into_result(self):
+        from repro.telemetry.events import CHECKPOINT_COMMITTED
+
+        g = generate("delaunay", 128, seed=1)
+        driver = StrongScalingDriver(g, chunk_size=64, capture_events=True)
+        result = driver.run(2, num_checkpoints=3)
+        assert len(result.events) == 2 * 3
+        assert all(e["type"] == CHECKPOINT_COMMITTED for e in result.events)
+        assert {e["rank"] for e in result.events} == {0, 1}
+        times = [e["sim_time"] for e in result.events]
+        assert times == sorted(times)
+
+    def test_node_names_follow_gpu_topology(self):
+        g = generate("delaunay", 256, seed=1)
+        driver = StrongScalingDriver(
+            g, cluster=thetagpu(), chunk_size=64, capture_events=True
+        )
+        gpus = thetagpu().node.gpus_per_node
+        procs = gpus + 1  # force a second node
+        result = driver.run(procs, num_checkpoints=2)
+        nodes = {e["node"] for e in result.events}
+        assert nodes == {"node0", "node1"}
+
+    def test_captured_run_matches_uncaptured_numbers(self):
+        g = generate("delaunay", 128, seed=1)
+        plain = StrongScalingDriver(g, chunk_size=64).run(2, num_checkpoints=3)
+        captured = StrongScalingDriver(
+            g, chunk_size=64, capture_events=True
+        ).run(2, num_checkpoints=3)
+        assert captured.total_stored_bytes == plain.total_stored_bytes
+        assert captured.total_full_bytes == plain.total_full_bytes
+        assert captured.critical_path_seconds == plain.critical_path_seconds
+
+    def test_captured_events_feed_health_clean(self):
+        from repro.telemetry import evaluate_health
+
+        g = generate("delaunay", 128, seed=1)
+        result = StrongScalingDriver(
+            g, chunk_size=64, capture_events=True
+        ).run(2, num_checkpoints=3)
+        report = evaluate_health(result.events)
+        assert report.status == "ok"
+
+    def test_worker_pool_capture_matches_sequential(self):
+        g = generate("delaunay", 128, seed=1)
+        seq = StrongScalingDriver(
+            g, chunk_size=64, capture_events=True
+        ).run(2, num_checkpoints=3)
+        pooled = StrongScalingDriver(
+            g, chunk_size=64, capture_events=True, workers=2
+        ).run(2, num_checkpoints=3)
+        strip = lambda events: [
+            {k: v for k, v in e.items() if k != "wall_time"} for e in events
+        ]
+        assert strip(pooled.events) == strip(seq.events)

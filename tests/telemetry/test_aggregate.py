@@ -1,0 +1,182 @@
+"""Fleet aggregation: order-independent merge, metric semantics, rollups."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.aggregate import build_rollup, merge_journals, merge_metrics
+from repro.telemetry.events import (
+    CHECKPOINT_COMMITTED,
+    CRASH,
+    FLUSH_RETRY,
+    RESTART,
+    RESTORE,
+    TIER_OUTAGE,
+    EventJournal,
+)
+
+
+def _fleet_journals(num_ranks=3, ckpts=4):
+    """Deterministic per-rank journals with mixed event types."""
+    journals = []
+    for rank in range(num_ranks):
+        journal = EventJournal(node=f"node{rank // 2}", rank=rank)
+        for i in range(ckpts):
+            journal.emit(
+                CHECKPOINT_COMMITTED,
+                sim_time=i * 1.0 + rank * 0.1,
+                ckpt_id=i,
+                stored_bytes=1000 // (i + 1),
+                full_bytes=1000,
+                produced_at=i * 1.0,
+                persisted_at=i * 1.0 + 0.25,
+                blocked_seconds=0.0,
+            )
+        if rank == 1:
+            journal.emit(FLUSH_RETRY, sim_time=1.5, tier="ssd", attempt=1)
+            journal.emit(CRASH, sim_time=2.5, in_flight_ckpts=1)
+            journal.emit(
+                RESTART, sim_time=2.5, cold=False, lost_work_seconds=3.0
+            )
+        journals.append(journal)
+    return journals
+
+
+class TestMergeJournals:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_merge_is_order_independent(self, seed):
+        journals = _fleet_journals()
+        reference = merge_journals(journals)
+        rng = random.Random(seed)
+        shuffled = [list(j.records()) for j in journals]
+        rng.shuffle(shuffled)
+        for records in shuffled:
+            rng.shuffle(records)
+        assert merge_journals(shuffled) == reference
+
+    def test_merge_orders_by_sim_time(self):
+        merged = merge_journals(_fleet_journals())
+        times = [e["sim_time"] for e in merged if e["sim_time"] is not None]
+        assert times == sorted(times)
+
+    def test_accepts_journals_and_bare_record_lists(self):
+        journals = _fleet_journals()
+        as_lists = [j.records() for j in journals]
+        assert merge_journals(journals) == merge_journals(as_lists)
+
+
+class TestMergeMetrics:
+    def test_counters_sum_gauges_max(self):
+        a = {
+            "ckpts": {"type": "counter", "value": 3},
+            "backlog": {"type": "gauge", "value": 1.5},
+        }
+        b = {
+            "ckpts": {"type": "counter", "value": 4},
+            "backlog": {"type": "gauge", "value": 0.5},
+        }
+        merged = merge_metrics([a, b])
+        assert merged["ckpts"]["value"] == 7
+        assert merged["backlog"]["value"] == 1.5
+
+    def test_histograms_sum_buckets_and_combine_extrema(self):
+        a = {
+            "lat": {
+                "type": "histogram", "count": 2, "sum": 3.0,
+                "min": 1.0, "max": 2.0, "buckets": {"1": 1, "+Inf": 2},
+            }
+        }
+        b = {
+            "lat": {
+                "type": "histogram", "count": 1, "sum": 0.5,
+                "min": 0.5, "max": 0.5, "buckets": {"1": 1, "+Inf": 1},
+            }
+        }
+        merged = merge_metrics([a, b])["lat"]
+        assert merged["count"] == 3
+        assert merged["sum"] == 3.5
+        assert merged["min"] == 0.5
+        assert merged["max"] == 2.0
+        assert merged["buckets"] == {"1": 2, "+Inf": 3}
+
+    def test_merge_is_order_independent(self):
+        a = {"c": {"type": "counter", "value": 1}}
+        b = {"c": {"type": "counter", "value": 2}}
+        c = {"c": {"type": "counter", "value": 4}}
+        assert merge_metrics([a, b, c]) == merge_metrics([c, a, b])
+
+    def test_conflicting_types_rejected(self):
+        with pytest.raises(ValueError, match="conflicting types"):
+            merge_metrics([
+                {"x": {"type": "counter", "value": 1}},
+                {"x": {"type": "gauge", "value": 1}},
+            ])
+
+    def test_input_snapshots_not_mutated(self):
+        a = {"lat": {"type": "histogram", "count": 1, "sum": 1.0,
+                     "min": 1.0, "max": 1.0, "buckets": {"+Inf": 1}}}
+        merge_metrics([a, a])
+        assert a["lat"]["buckets"] == {"+Inf": 1}
+        assert a["lat"]["count"] == 1
+
+
+class TestBuildRollup:
+    def test_per_rank_and_fleet_numbers(self):
+        rollup = build_rollup(_fleet_journals())
+        assert len(rollup.ranks) == 3
+        rank1 = rollup.ranks[("node0", 1)]
+        assert rank1.checkpoints == 4
+        assert rank1.retries == 1
+        assert rank1.crashes == 1
+        assert rank1.lost_work_seconds == 3.0
+        # stored per rank: 1000 + 500 + 333 + 250
+        assert rank1.stored_bytes == 2083
+        assert rank1.full_bytes == 4000
+        assert rollup.total_checkpoints == 12
+        assert rollup.total_crashes == 1
+        assert rollup.dedup_ratio == pytest.approx(12000 / 6249)
+        assert rollup.max_backlog_seconds == pytest.approx(0.25)
+
+    def test_rollup_is_order_independent(self):
+        journals = _fleet_journals()
+        fwd = build_rollup(journals)
+        rev = build_rollup([list(reversed(j.records())) for j in reversed(journals)])
+        assert fwd.events == rev.events
+        assert fwd.summary() == rev.summary()
+
+    def test_nodes_aggregation(self):
+        nodes = build_rollup(_fleet_journals()).nodes()
+        assert set(nodes) == {"node0", "node1"}
+        assert nodes["node0"]["ranks"] == 2
+        assert nodes["node1"]["ranks"] == 1
+        assert nodes["node0"]["crashes"] == 1
+        assert nodes["node0"]["dedup_ratio"] == pytest.approx(8000 / 4166)
+
+    def test_restore_amplification(self):
+        journal = EventJournal(node="n", rank=0)
+        journal.emit(RESTORE, path="indexed", payload_bytes=500, state_bytes=1000)
+        rollup = build_rollup(journal)
+        assert rollup.restore_amplification == 0.5
+
+    def test_tier_outages_collected_separately(self):
+        journal = EventJournal(node="n")
+        journal.emit(TIER_OUTAGE, sim_time=0.0, tier="ssd", kind="permanent")
+        rollup = build_rollup(journal)
+        assert len(rollup.tier_outages) == 1
+        assert rollup.summary()["tier_outages"] == 1
+
+    def test_accepts_single_journal_and_bare_records(self):
+        journals = _fleet_journals()
+        single = build_rollup(journals[0])
+        bare = build_rollup(journals[0].records())
+        assert single.summary() == bare.summary()
+
+    def test_metrics_attached_when_snapshots_given(self):
+        rollup = build_rollup(
+            _fleet_journals(),
+            metrics_snapshots=[{"c": {"type": "counter", "value": 2}}] * 2,
+        )
+        assert rollup.metrics["c"]["value"] == 4

@@ -1,0 +1,241 @@
+"""Health engine: each rule fires on its failure mode and stays quiet otherwise."""
+
+import pytest
+
+from repro.telemetry.events import (
+    CHECKPOINT_COMMITTED,
+    CRASH,
+    FLUSH_RETRY,
+    FLUSH_ROUTE_AROUND,
+    RECORD_FAULT,
+    RESTART,
+    SALVAGE,
+    TIER_OUTAGE,
+    EventJournal,
+)
+from repro.telemetry.health import (
+    CRITICAL,
+    OK,
+    WARN,
+    CorruptionRule,
+    CrashLoopRule,
+    DedupRegressionRule,
+    Finding,
+    FlushBacklogRule,
+    HealthReport,
+    TierOutageRule,
+    default_rules,
+    evaluate_health,
+    severity_rank,
+)
+
+
+def _ckpt_journal(ratios, node="node0", rank=0, backlog=None, blocked=0.0):
+    """A journal of checkpoints with the given per-checkpoint dedup ratios."""
+    journal = EventJournal(node=node, rank=rank)
+    for i, ratio in enumerate(ratios):
+        fields = dict(
+            ckpt_id=i,
+            stored_bytes=1000,
+            full_bytes=int(1000 * ratio),
+            blocked_seconds=blocked if i == len(ratios) - 1 else 0.0,
+        )
+        if backlog is not None:
+            fields["produced_at"] = float(i)
+            fields["persisted_at"] = float(i) + backlog[i]
+        journal.emit(CHECKPOINT_COMMITTED, sim_time=float(i), **fields)
+    return journal
+
+
+class TestReport:
+    def test_empty_report_is_ok_exit_zero(self):
+        report = HealthReport(findings=[], rules_run=["x"])
+        assert report.status == OK
+        assert report.exit_code == 0
+
+    def test_status_is_worst_severity(self):
+        report = HealthReport(
+            findings=[
+                Finding("a", WARN, "w"),
+                Finding("b", CRITICAL, "c"),
+            ],
+            rules_run=["a", "b"],
+        )
+        assert report.status == CRITICAL
+        assert report.exit_code == 2
+
+    def test_severity_rank_ordering(self):
+        assert severity_rank(OK) < severity_rank(WARN) < severity_rank(CRITICAL)
+
+    def test_findings_sorted_most_severe_first(self):
+        journal = EventJournal(node="n", rank=0)
+        journal.emit(TIER_OUTAGE, sim_time=0.0, tier="ssd", kind="transient")
+        journal.emit(SALVAGE, path="r", first_bad=1, valid_prefix=1, error="X")
+        report = evaluate_health(journal)
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(
+            severities, key=severity_rank, reverse=True
+        )
+
+    def test_summary_names_rule_and_location(self):
+        journal = EventJournal(node="node2", rank=3)
+        journal.emit(CRASH, sim_time=1.0, in_flight_ckpts=0)
+        journal.emit(RESTART, sim_time=1.0, cold=False, lost_work_seconds=2.0)
+        text = evaluate_health(journal).summary()
+        assert "crash_loop" in text
+        assert "node2/r3" in text
+
+
+class TestDedupRegressionRule:
+    def test_steady_ratios_are_clean(self):
+        journal = _ckpt_journal([1.0, 20.0, 21.0, 19.0, 20.0, 18.0])
+        assert DedupRegressionRule().evaluate(_rollup(journal)) == []
+
+    def test_collapse_warns_with_checkpoint_evidence(self):
+        journal = _ckpt_journal([20.0, 20.0, 20.0, 20.0, 8.0])
+        findings = DedupRegressionRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert findings[0].severity == WARN
+        assert findings[0].evidence[0]["ckpt_id"] == 4
+
+    def test_deep_collapse_is_critical(self):
+        journal = _ckpt_journal([20.0, 20.0, 20.0, 20.0, 2.0])
+        findings = DedupRegressionRule().evaluate(_rollup(journal))
+        assert findings[0].severity == CRITICAL
+
+    def test_one_finding_per_rank_even_with_repeated_drops(self):
+        journal = _ckpt_journal([20.0] * 4 + [8.0, 20.0, 20.0, 20.0, 2.0])
+        findings = DedupRegressionRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert findings[0].severity == CRITICAL
+
+    def test_organic_growth_never_trips(self):
+        journal = _ckpt_journal([1.0, 5.0, 15.0, 40.0, 80.0, 120.0])
+        assert DedupRegressionRule().evaluate(_rollup(journal)) == []
+
+
+class TestFlushBacklogRule:
+    def test_flat_backlog_is_clean(self):
+        journal = _ckpt_journal([10.0] * 5, backlog=[0.2] * 5)
+        assert FlushBacklogRule().evaluate(_rollup(journal)) == []
+
+    def test_sustained_growth_warns(self):
+        journal = _ckpt_journal([10.0] * 5, backlog=[0.1, 0.2, 0.3, 0.4, 0.5])
+        findings = FlushBacklogRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert findings[0].severity == WARN
+
+    def test_tenfold_growth_is_critical(self):
+        journal = _ckpt_journal([10.0] * 5, backlog=[0.1, 0.5, 1.0, 1.1, 1.2])
+        findings = FlushBacklogRule().evaluate(_rollup(journal))
+        assert findings[0].severity == CRITICAL
+
+    def test_spike_that_recovers_is_clean(self):
+        journal = _ckpt_journal([10.0] * 5, backlog=[0.1, 2.0, 0.1, 0.1, 0.1])
+        assert FlushBacklogRule().evaluate(_rollup(journal)) == []
+
+    def test_blocked_application_warns(self):
+        journal = _ckpt_journal([10.0] * 2, blocked=1.5)
+        findings = FlushBacklogRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert "blocked" in findings[0].message
+
+
+class TestCorruptionRule:
+    def test_one_critical_per_salvage_and_fault(self):
+        journal = EventJournal(node="n")
+        journal.emit(SALVAGE, path="rec", first_bad=2, valid_prefix=2, error="E")
+        journal.emit(RECORD_FAULT, kind="bitflip", path="f", detail=7)
+        journal.emit(RECORD_FAULT, kind="truncate", path="g", detail=3)
+        findings = CorruptionRule().evaluate(_rollup(journal))
+        assert len(findings) == 3
+        assert all(f.severity == CRITICAL for f in findings)
+        assert all(len(f.evidence) == 1 for f in findings)
+
+    def test_clean_journal_is_clean(self):
+        assert CorruptionRule().evaluate(_rollup(_ckpt_journal([10.0]))) == []
+
+
+class TestCrashLoopRule:
+    @staticmethod
+    def _crashes(n, cold=False):
+        journal = EventJournal(node="n", rank=0)
+        for i in range(n):
+            journal.emit(CRASH, sim_time=float(i), in_flight_ckpts=0)
+            journal.emit(
+                RESTART, sim_time=float(i), cold=cold, lost_work_seconds=1.0
+            )
+        return journal
+
+    def test_single_recovered_crash_warns(self):
+        findings = CrashLoopRule().evaluate(_rollup(self._crashes(1)))
+        assert [f.severity for f in findings] == [WARN]
+
+    def test_crash_loop_is_critical(self):
+        findings = CrashLoopRule().evaluate(_rollup(self._crashes(3)))
+        assert findings[0].severity == CRITICAL
+        assert "crash loop" in findings[0].message
+
+    def test_cold_restart_is_critical(self):
+        findings = CrashLoopRule().evaluate(_rollup(self._crashes(1, cold=True)))
+        assert findings[0].severity == CRITICAL
+        assert "cold restart" in findings[0].message
+
+
+class TestTierOutageRule:
+    def test_transient_warns_with_fallout_evidence(self):
+        journal = EventJournal(node="n", rank=0)
+        journal.emit(TIER_OUTAGE, sim_time=0.5, tier="ssd", kind="transient",
+                     duration=2.0)
+        journal.emit(FLUSH_RETRY, sim_time=0.6, key="ck0", tier="ssd", attempt=1)
+        findings = TierOutageRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert findings[0].severity == WARN
+        assert len(findings[0].evidence) == 2
+
+    def test_permanent_is_critical(self):
+        journal = EventJournal(node="n")
+        journal.emit(TIER_OUTAGE, sim_time=0.0, tier="ssd", kind="permanent")
+        findings = TierOutageRule().evaluate(_rollup(journal))
+        assert findings[0].severity == CRITICAL
+
+    def test_orphan_degraded_flushes_warn(self):
+        journal = EventJournal(node="n")
+        journal.emit(FLUSH_ROUTE_AROUND, sim_time=1.0, key="ck0", tier="ssd")
+        findings = TierOutageRule().evaluate(_rollup(journal))
+        assert len(findings) == 1
+        assert "without a recorded outage" in findings[0].message
+
+
+class TestEvaluateHealth:
+    def test_clean_run_zero_findings_all_ok(self):
+        journal = _ckpt_journal([1.0, 18.0, 19.0, 18.5, 20.0],
+                                backlog=[0.2] * 5)
+        report = evaluate_health(journal)
+        assert report.status == OK
+        assert report.findings == []
+        assert report.rules_run == [r.name for r in default_rules()]
+
+    def test_accepts_rollup_journal_and_records(self):
+        journal = _ckpt_journal([10.0] * 3)
+        from_journal = evaluate_health(journal)
+        from_records = evaluate_health(journal.records())
+        from_rollup = evaluate_health(_rollup(journal))
+        assert (
+            from_journal.as_dict()
+            == from_records.as_dict()
+            == from_rollup.as_dict()
+        )
+
+    def test_custom_ruleset(self):
+        journal = EventJournal(node="n")
+        journal.emit(RECORD_FAULT, kind="delete", path="x", detail=0)
+        report = evaluate_health(journal, rules=[CrashLoopRule()])
+        assert report.rules_run == ["crash_loop"]
+        assert report.findings == []
+
+
+def _rollup(journal):
+    from repro.telemetry.aggregate import build_rollup
+
+    return build_rollup(journal)

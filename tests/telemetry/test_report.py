@@ -1,0 +1,98 @@
+"""HTML run report: structure, timeline markers, self-containment."""
+
+from repro.telemetry.aggregate import build_rollup
+from repro.telemetry.events import (
+    CHECKPOINT_COMMITTED,
+    CRASH,
+    FLUSH_RETRY,
+    RESTART,
+    TIER_OUTAGE,
+    EventJournal,
+)
+from repro.telemetry.health import evaluate_health
+from repro.telemetry.report import render_report, write_report
+
+
+def _eventful_journal():
+    journal = EventJournal(node="node0", rank=0)
+    for i in range(3):
+        journal.emit(
+            CHECKPOINT_COMMITTED,
+            sim_time=float(i),
+            ckpt_id=i,
+            stored_bytes=1000,
+            full_bytes=10_000,
+            produced_at=float(i),
+            persisted_at=float(i) + 0.3,
+        )
+    journal.emit(TIER_OUTAGE, sim_time=0.5, tier="ssd", kind="transient",
+                 duration=1.0)
+    journal.emit(FLUSH_RETRY, sim_time=0.6, key="ck0", tier="ssd", attempt=1)
+    journal.emit(CRASH, sim_time=1.5, in_flight_ckpts=1)
+    journal.emit(RESTART, sim_time=1.5, cold=False, restored_ckpt_id=0,
+                 lost_work_seconds=1.0)
+    return journal
+
+
+def _render(journal):
+    rollup = build_rollup(journal)
+    return render_report(rollup, evaluate_health(rollup))
+
+
+class TestRenderReport:
+    def test_self_contained_html_document(self):
+        doc = _render(_eventful_journal())
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<style>" in doc
+        assert "<svg" in doc
+        # No external assets: nothing fetched from elsewhere.
+        assert "http" not in doc.replace("http://www.w3.org/2000/svg", "")
+
+    def test_sections_present(self):
+        doc = _render(_eventful_journal())
+        for section in ("Fleet summary", "Per-node rollup",
+                        "Health findings", "Timelines"):
+            assert section in doc
+
+    def test_timeline_markers_per_event_kind(self):
+        doc = _render(_eventful_journal())
+        assert "crash t=1.5" in doc            # red crash triangle tooltip
+        assert "restart from ckpt 0" in doc    # green restart circle
+        assert "transient outage: ssd" in doc  # outage band
+        assert "flush_retry" in doc            # amber retry tick
+        assert "ckpt 0:" in doc                # checkpoint bar tooltip
+
+    def test_status_badge_reflects_health(self):
+        clean = EventJournal(node="node0", rank=0)
+        clean.emit(CHECKPOINT_COMMITTED, sim_time=0.0, ckpt_id=0,
+                   stored_bytes=10, full_bytes=10)
+        assert ">ok</span>" in _render(clean)
+        assert ">warn</span>" in _render(_eventful_journal())
+
+    def test_findings_carry_evidence_details(self):
+        doc = _render(_eventful_journal())
+        assert "<details>" in doc
+        assert "evidence" in doc
+
+    def test_empty_rollup_renders(self):
+        rollup = build_rollup([])
+        doc = render_report(rollup, evaluate_health(rollup))
+        assert "(no events)" in doc
+        assert ">ok</span>" in doc
+
+    def test_rankless_events_use_node_lane(self):
+        journal = EventJournal(node="node0")
+        journal.emit(TIER_OUTAGE, sim_time=0.0, tier="pfs", kind="permanent")
+        doc = _render(journal)
+        assert "(node)" in doc
+
+
+class TestWriteReport:
+    def test_writes_rendered_document(self, tmp_path):
+        journal = _eventful_journal()
+        rollup = build_rollup(journal)
+        health = evaluate_health(rollup)
+        out = write_report(tmp_path / "run.html", rollup, health, title="T5")
+        text = out.read_text()
+        assert "<title>T5</title>" in text
+        assert text == render_report(rollup, health, title="T5")
