@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core import Restorer, load_record, restore_record_indexed, save_record
 from repro.core.checkpointer import ENGINES
+from repro.core.store import load_provenance, record_index_bytes
 
 MB = 1 << 20
 
@@ -43,6 +44,17 @@ METHODS = ("full", "basic", "list", "tree")
 TREE_SWEEP_LENGTHS = (10, 25, 50)
 #: Acceptance floor for the 50-checkpoint Tree chain (ISSUE: ≥5x).
 TREE50_MIN_SPEEDUP = 5.0
+
+#: Fleet-restart strong-scaling sweep: large enough that per-rank
+#: bandwidth terms dominate the fixed launch/DMA latencies (a 4 MB
+#: buffer restores in ~200 us simulated — fan-out would only shave
+#: latency it cannot remove).
+FLEET_BUFFER_BYTES = 64 * MB
+FLEET_CHUNK_SIZE = 4096
+FLEET_CHAIN_LEN = 50
+FLEET_RANKS = (1, 2, 4, 8, 16, 32, 64)
+#: Acceptance floor (ISSUE 6): ≥6x at 16 ranks over single-GPU indexed.
+FLEET16_MIN_SPEEDUP = 6.0
 
 
 def _best_of(fn, reps: int = 3) -> float:
@@ -54,7 +66,12 @@ def _best_of(fn, reps: int = 3) -> float:
     return best
 
 
-def _build_chain(method: str, num_checkpoints: int, nbytes: int = BUFFER_BYTES):
+def _build_chain(
+    method: str,
+    num_checkpoints: int,
+    nbytes: int = BUFFER_BYTES,
+    chunk_size: int = CHUNK_SIZE,
+):
     """A chain that churns a fixed hot window every step.
 
     Each checkpoint fully rewrites the same hot quarter of the buffer, so
@@ -65,7 +82,7 @@ def _build_chain(method: str, num_checkpoints: int, nbytes: int = BUFFER_BYTES):
     actually references.
     """
     rng = np.random.default_rng(0xC0FFEE ^ num_checkpoints)
-    engine = ENGINES[method](nbytes, CHUNK_SIZE)
+    engine = ENGINES[method](nbytes, chunk_size)
     buf = rng.integers(0, 256, nbytes, dtype=np.uint8)
     diffs = [engine.checkpoint(buf)]
     window = nbytes // 4
@@ -110,6 +127,81 @@ def bench_one(method: str, num_checkpoints: int, directory: Path) -> dict:
     }
 
 
+def bench_fleet(directory: Path) -> dict:
+    """Strong-scaling sweep: N ranks restoring one shared tree-50 record.
+
+    Simulated seconds are the currency (wall time measures the host CPU
+    doing all N ranks' gathers serially — meaningless for scaling); the
+    baseline is the single-GPU indexed restore of the same record priced
+    with the same shared PFS read, so the speedup isolates the fan-out +
+    overlap contribution.  Every point's output is asserted bit-identical
+    to the single-GPU restore before its numbers are recorded.
+    """
+    from repro.gpusim import KernelCostModel, thetagpu
+    from repro.kokkos.execution import DeviceSpace
+    from repro.runtime import restore_record_sharded
+
+    cluster = thetagpu()
+    diffs, final = _build_chain(
+        "tree", FLEET_CHAIN_LEN, nbytes=FLEET_BUFFER_BYTES,
+        chunk_size=FLEET_CHUNK_SIZE,
+    )
+    record_dir = directory / f"fleet-tree-{FLEET_CHAIN_LEN}"
+    save_record(diffs, record_dir, method="tree")
+    del diffs
+
+    space = DeviceSpace(0)
+    single, sreport = restore_record_indexed(record_dir, space=space)
+    assert np.array_equal(single, final)
+    single_cost = KernelCostModel(cluster.node.device).price_restore(
+        space.ledger,
+        int(single.nbytes),
+        read_bytes=sreport.record_bytes_read,
+        read_bandwidth=cluster.pfs_bandwidth,
+    )
+
+    points = []
+    for ranks in FLEET_RANKS:
+        t0 = time.perf_counter()
+        out, report = restore_record_sharded(record_dir, ranks, cluster=cluster)
+        wall = time.perf_counter() - t0
+        assert np.array_equal(out, single), f"{ranks}-rank output diverged"
+        speedup = single_cost.seconds / report.critical_path_seconds
+        points.append(
+            {
+                "ranks": ranks,
+                "windows": report.windows,
+                "sim_seconds": report.critical_path_seconds,
+                "read_seconds": report.cost.read_seconds,
+                "gather_seconds": report.cost.gather_critical_seconds,
+                "serial_seconds": report.cost.serial_seconds,
+                "speedup": round(speedup, 2),
+                "efficiency": round(speedup / ranks, 3),
+                "wall_ms": round(wall * 1e3, 2),
+            }
+        )
+
+    table = load_provenance(record_dir)
+    index_bytes = record_index_bytes(record_dir)
+    raw_bytes = table.raw_index_bytes
+    return {
+        "buffer_bytes": FLEET_BUFFER_BYTES,
+        "chunk_size": FLEET_CHUNK_SIZE,
+        "chain_len": FLEET_CHAIN_LEN,
+        "cluster": "thetagpu",
+        "single_sim_seconds": single_cost.seconds,
+        "points": points,
+        "rpix": {
+            "index_bytes": index_bytes,
+            "raw_bytes": raw_bytes,
+            "compression_ratio": round(raw_bytes / index_bytes, 2),
+            "bytes_per_chunk": round(
+                index_bytes / (table.num_checkpoints * table.num_chunks), 3
+            ),
+        },
+    }
+
+
 def run(out_path: Path | None = None) -> dict:
     from repro import telemetry
 
@@ -120,11 +212,14 @@ def run(out_path: Path | None = None) -> dict:
             tree_sweep = [
                 bench_one("tree", n, tmp_path) for n in TREE_SWEEP_LENGTHS
             ]
+            fleet = bench_fleet(tmp_path)
     report = {
         "bench": "restore",
         "tree50_min_speedup": TREE50_MIN_SPEEDUP,
+        "fleet16_min_speedup": FLEET16_MIN_SPEEDUP,
         "methods": methods,
         "tree_sweep": tree_sweep,
+        "fleet": fleet,
         "telemetry": tel,
     }
     if out_path is None:
@@ -152,6 +247,16 @@ def test_bench_restore(capsys):
     assert tree50["frames_parsed"] < tree50["frames_total"]
     for row in report["methods"]:
         assert row["indexed_ms"] > 0 and row["replay_ms"] > 0
+    fleet = report["fleet"]
+    fleet16 = next(p for p in fleet["points"] if p["ranks"] == 16)
+    assert fleet16["speedup"] >= FLEET16_MIN_SPEEDUP, (
+        f"16-rank fleet restore only {fleet16['speedup']}x faster than the "
+        f"single-GPU indexed restore (floor {FLEET16_MIN_SPEEDUP}x)"
+    )
+    assert fleet["rpix"]["compression_ratio"] >= 4.0, (
+        f"RPIX v2 only {fleet['rpix']['compression_ratio']}x vs raw "
+        f"12 B/chunk"
+    )
 
 
 if __name__ == "__main__":

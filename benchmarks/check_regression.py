@@ -34,6 +34,8 @@ METRICS: List[Tuple[str, str]] = [
     ("BENCH_hotpath.json", "hash.gb_per_s"),
     ("BENCH_hotpath.json", "map.mops_per_s"),
     ("BENCH_restore.json", "tree_sweep[chain_len=50].speedup"),
+    ("BENCH_restore.json", "fleet.points[ranks=16].speedup"),
+    ("BENCH_restore.json", "fleet.rpix.compression_ratio"),
     ("BENCH_faults.json", "record.total.detection_rate"),
     ("BENCH_faults.json", "record.total.recovery_rate"),
 ]

@@ -133,6 +133,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             "ok": report.ok,
             "chain_ok": report.chain_ok,
             "provenance_ok": report.provenance_ok,
+            "index_bytes": report.index_bytes,
+            "index_raw_bytes": report.index_raw_bytes,
+            "index_compression_ratio": report.index_compression_ratio,
             "valid_prefix_len": report.valid_prefix_len,
             "first_bad": report.first_bad,
             "checkpoints": [
@@ -162,6 +165,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
+    if args.ranks > 1:
+        from .gpusim.cluster import polaris, thetagpu
+        from .runtime.fleet_restore import restore_record_sharded
+
+        cluster = polaris() if args.cluster == "polaris" else thetagpu()
+        buffer, report = restore_record_sharded(
+            args.record,
+            args.ranks,
+            cluster=cluster,
+            upto=args.checkpoint,
+            windows=args.windows,
+        )
+        Path(args.output).write_bytes(buffer.tobytes())
+        print(
+            f"checkpoint {report.target_ckpt} → {args.output} "
+            f"({format_bytes(buffer.nbytes)}) via sharded restore, "
+            f"{report.num_ranks} ranks on {args.cluster}, "
+            f"{report.windows} window(s)"
+        )
+        print(
+            f"read {format_bytes(report.record_bytes_read)} "
+            f"(+index {format_bytes(report.index_bytes)} inclusive) in "
+            f"{report.cost.read_seconds * 1e6:.1f} us at PFS bandwidth; "
+            f"parsed {report.frames_parsed}/{report.frames_total} frames"
+        )
+        for rank, cost in enumerate(report.cost.per_rank):
+            print(f"  rank {rank}: {cost.seconds * 1e6:.1f} us gather+H2D")
+        print(
+            f"critical path {report.critical_path_seconds * 1e6:.1f} us "
+            f"(serial {report.cost.serial_seconds * 1e6:.1f} us, overlap "
+            f"saved {report.cost.overlap_saving_seconds * 1e6:.1f} us)"
+        )
+        return 0
+
     if args.replay:
         diffs = load_record(args.record)
         upto = args.checkpoint if args.checkpoint is not None else len(diffs) - 1
@@ -398,6 +435,18 @@ def build_parser() -> argparse.ArgumentParser:
         dest="replay",
         action="store_true",
         help="selective chain replay (works on records without an index)",
+    )
+    restore.add_argument(
+        "--ranks", type=int, default=1,
+        help="shard the restore's gathers across N simulated GPUs",
+    )
+    restore.add_argument(
+        "--cluster", default="thetagpu", choices=["thetagpu", "polaris"],
+        help="cluster topology pricing the sharded fan-out",
+    )
+    restore.add_argument(
+        "--windows", type=int, default=None,
+        help="read/gather overlap windows (default: cost-model pick)",
     )
     restore.set_defaults(func=_cmd_restore, replay=False)
 

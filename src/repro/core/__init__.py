@@ -55,6 +55,12 @@ from .retention import (
     required_payloads,
 )
 from .selective import RestorePlan, SelectiveRestorer, selective_restore
+from .sharded_restore import (
+    ShardedRestorePlan,
+    ShardReport,
+    ShardSpec,
+    partition_chunks,
+)
 from .store import (
     CheckpointStatus,
     RecordVerification,
@@ -62,6 +68,7 @@ from .store import (
     load_record,
     load_record_frames,
     record_frame_sizes,
+    record_index_bytes,
     record_manifest,
     save_record,
     verify_record,
@@ -95,6 +102,7 @@ __all__ = [
     "load_record",
     "load_record_frames",
     "record_frame_sizes",
+    "record_index_bytes",
     "record_manifest",
     "save_record",
     "verify_record",
@@ -129,4 +137,8 @@ __all__ = [
     "RestorePlan",
     "SelectiveRestorer",
     "selective_restore",
+    "ShardedRestorePlan",
+    "ShardReport",
+    "ShardSpec",
+    "partition_chunks",
 ]

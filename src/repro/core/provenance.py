@@ -57,10 +57,19 @@ from .serialize import (
 ZERO_SOURCE = -1
 
 _TABLE_MAGIC = b"RPIX"
-_TABLE_VERSION = 1
+#: v1: raw little-endian ``i4`` + ``i8`` arrays.  v2: the same arrays
+#: delta+RLE+bitpacked per plane (``src_ckpt``, and ``src_off`` split
+#: into low/high u32 words) with the cascaded codec — the rows are runny
+#: (long runs of identical sources, arithmetic offset progressions), so
+#: the 12 B/chunk raw encoding shrinks toward 1–2 B/chunk.
+_TABLE_VERSION_V1 = 1
+_TABLE_VERSION = 2
 _TABLE_HEADER = struct.Struct("<4sHHIIQI")
 # magic, version, reserved, num_checkpoints, num_chunks, data_len, chunk_size
 _TABLE_DIGEST_BYTES = 32
+_PLANE_LEN = struct.Struct("<Q")
+#: Raw (v1) index bytes per chunk per checkpoint: i4 src_ckpt + i8 src_off.
+RAW_INDEX_BYTES_PER_CHUNK = 12
 
 
 @dataclass
@@ -316,6 +325,11 @@ class ProvenanceTable:
         return cls.from_builder(builder)
 
     # ------------------------------------------------------------------
+    @property
+    def raw_index_bytes(self) -> int:
+        """Uncompressed (v1-equivalent) array bytes: 12 B/chunk/checkpoint."""
+        return self.num_checkpoints * self.num_chunks * RAW_INDEX_BYTES_PER_CHUNK
+
     def to_bytes(self) -> bytes:
         header = _TABLE_HEADER.pack(
             _TABLE_MAGIC,
@@ -326,12 +340,27 @@ class ProvenanceTable:
             self.data_len,
             self.chunk_size,
         )
-        body = (
-            np.ascontiguousarray(self.src_ckpt, dtype="<i4").tobytes()
-            + np.ascontiguousarray(self.src_off, dtype="<i8").tobytes()
-        )
+        body = self._encode_planes()
         digest = hashlib.sha256(header + body).digest()
         return header + digest + body
+
+    def _encode_planes(self) -> bytes:
+        """v2 body: three length-prefixed cascaded-compressed planes.
+
+        ``src_off`` is split into low/high u32 words (rather than
+        interleaving an i8 stream) so the delta pass sees the arithmetic
+        progression directly and the high plane is almost entirely zero
+        runs.
+        """
+        from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
+
+        codec = CascadedCodec()
+        ckpt_plane = np.ascontiguousarray(self.src_ckpt, dtype="<i4").tobytes()
+        off = np.ascontiguousarray(self.src_off, dtype=np.int64)
+        lo_plane = (off & np.int64(0xFFFFFFFF)).astype("<u4").tobytes()
+        hi_plane = (off >> np.int64(32)).astype("<u4").tobytes()
+        parts = [codec.compress(p) for p in (ckpt_plane, lo_plane, hi_plane)]
+        return b"".join(_PLANE_LEN.pack(len(p)) + p for p in parts)
 
     @classmethod
     def from_bytes(cls, blob: bytes, verify: bool = True) -> "ProvenanceTable":
@@ -344,16 +373,18 @@ class ProvenanceTable:
         )
         if magic != _TABLE_MAGIC:
             raise IntegrityError(f"bad provenance index magic {magic!r}")
-        if version != _TABLE_VERSION:
+        if version not in (_TABLE_VERSION_V1, _TABLE_VERSION):
             raise IntegrityError(f"unsupported provenance index version {version}")
         off = _TABLE_HEADER.size
         stored_digest = blob[off : off + _TABLE_DIGEST_BYTES]
         off += _TABLE_DIGEST_BYTES
-        need = off + n_ckpts * n_chunks * (4 + 8)
-        if len(blob) != need:
-            raise IntegrityError(
-                f"provenance index length {len(blob)} != expected {need}"
-            )
+        count = n_ckpts * n_chunks
+        if version == _TABLE_VERSION_V1:
+            need = off + count * RAW_INDEX_BYTES_PER_CHUNK
+            if len(blob) != need:
+                raise IntegrityError(
+                    f"provenance index length {len(blob)} != expected {need}"
+                )
         if verify:
             actual = hashlib.sha256()
             actual.update(blob[: _TABLE_HEADER.size])
@@ -364,23 +395,71 @@ class ProvenanceTable:
                     f"(stored {stored_digest.hex()[:16]}…, "
                     f"computed {actual.hexdigest()[:16]}…)"
                 )
-        count = n_ckpts * n_chunks
-        src_ckpt = (
-            np.frombuffer(blob, dtype="<i4", count=count, offset=off)
-            .reshape(n_ckpts, n_chunks)
-            .copy()
-        )
-        src_off = (
-            np.frombuffer(blob, dtype="<i8", count=count, offset=off + 4 * count)
-            .reshape(n_ckpts, n_chunks)
-            .copy()
-        )
+        if version == _TABLE_VERSION_V1:
+            src_ckpt = (
+                np.frombuffer(blob, dtype="<i4", count=count, offset=off)
+                .reshape(n_ckpts, n_chunks)
+                .copy()
+            )
+            src_off = (
+                np.frombuffer(blob, dtype="<i8", count=count, offset=off + 4 * count)
+                .reshape(n_ckpts, n_chunks)
+                .copy()
+            )
+        else:
+            src_ckpt, src_off = cls._decode_planes(blob, off, n_ckpts, n_chunks)
         return cls(
             data_len=data_len,
             chunk_size=chunk_size,
             src_ckpt=src_ckpt,
             src_off=src_off,
         )
+
+    @staticmethod
+    def _decode_planes(
+        blob: bytes, off: int, n_ckpts: int, n_chunks: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
+        from ..errors import CompressionError
+
+        codec = CascadedCodec()
+        count = n_ckpts * n_chunks
+        planes = []
+        for name in ("src_ckpt", "src_off_lo", "src_off_hi"):
+            if off + _PLANE_LEN.size > len(blob):
+                raise IntegrityError(
+                    f"provenance index truncated before {name} plane"
+                )
+            (length,) = _PLANE_LEN.unpack_from(blob, off)
+            off += _PLANE_LEN.size
+            if off + length > len(blob):
+                raise IntegrityError(
+                    f"provenance index {name} plane overruns the file"
+                )
+            try:
+                raw = codec.decompress(blob[off : off + length])
+            except CompressionError as exc:
+                raise IntegrityError(
+                    f"provenance index {name} plane is damaged: {exc}"
+                ) from exc
+            if len(raw) != count * 4:
+                raise IntegrityError(
+                    f"provenance index {name} plane holds {len(raw)} bytes, "
+                    f"expected {count * 4}"
+                )
+            planes.append(raw)
+            off += length
+        if off != len(blob):
+            raise IntegrityError(
+                f"provenance index has {len(blob) - off} trailing bytes"
+            )
+        src_ckpt = (
+            np.frombuffer(planes[0], dtype="<i4").reshape(n_ckpts, n_chunks).copy()
+        )
+        lo = np.frombuffer(planes[1], dtype="<u4").astype(np.int64)
+        hi = np.frombuffer(planes[2], dtype="<u4").astype(np.int64)
+        src_off = ((hi << np.int64(32)) | lo).reshape(n_ckpts, n_chunks)
+        return src_ckpt, src_off
 
 
 # ----------------------------------------------------------------------
@@ -412,26 +491,48 @@ def materialize_index(
     out: Optional[np.ndarray] = None,
     space=None,
     report: Optional[IndexedRestoreReport] = None,
+    chunk_lo: int = 0,
+    chunk_hi: Optional[int] = None,
+    zero: bool = True,
+    h2d: bool = True,
 ) -> np.ndarray:
     """Gather checkpoint bytes straight from source payloads.
 
     ``payload_of(t)`` must return diff *t*'s (decompressed) payload as a
     uint8 array; it is called once per checkpoint the index references.
+
+    ``[chunk_lo, chunk_hi)`` restricts the gather to a chunk range — the
+    sharding primitive: each simulated GPU of a fleet restore
+    materializes its own contiguous range into the shared ``out`` buffer
+    and uploads only that range (``h2d``).  ``zero=False`` skips the
+    upfront zero fill (a sharded caller zeroes ``out`` once, not once
+    per shard per window).  The defaults reproduce the original
+    whole-buffer behavior exactly.
     """
     spec = ChunkSpec(index.data_len, index.chunk_size)
     cs = spec.chunk_size
     full = index.data_len // cs
+    lo = chunk_lo
+    hi = spec.num_chunks if chunk_hi is None else chunk_hi
+    if not 0 <= lo <= hi <= spec.num_chunks:
+        raise RestoreError(
+            f"chunk range [{lo}, {hi}) outside checkpoint of "
+            f"{spec.num_chunks} chunks"
+        )
     if out is None:
         out = np.zeros(index.data_len, dtype=np.uint8)
-    else:
-        out[:] = 0
+    elif zero:
+        out[lo * cs : min(hi * cs, index.data_len)] = 0
     body = out[: full * cs].reshape(full, cs) if full else None
 
-    for t in index.referenced():
+    sub_ckpt = index.src_ckpt[lo:hi]
+    referenced = np.unique(sub_ckpt)
+    referenced = referenced[referenced >= 0]
+    for t in referenced:
         t = int(t)
         payload = payload_of(t)
-        sel = index.src_ckpt == t
-        chunks = np.nonzero(sel)[0].astype(np.int64)
+        sel = sub_ckpt == t
+        chunks = np.nonzero(sel)[0].astype(np.int64) + lo
         offs = index.src_off[chunks]
         lengths = np.full(chunks.shape[0], cs, dtype=np.int64)
         if index.data_len % cs:
@@ -458,18 +559,22 @@ def materialize_index(
             out[b0:b1] = payload[off : off + (b1 - b0)]
         gathered = int(lengths.sum())
         if report is not None:
-            report.payload_bytes_read[t] = gathered
+            report.payload_bytes_read[t] = (
+                report.payload_bytes_read.get(t, 0) + gathered
+            )
         if space is not None:
             # One gather kernel per source payload: reads the gathered
-            # bytes plus the index row once, writes them into place.
+            # bytes plus the index row slice once, writes them into place.
             space.launch(
                 "restore.gather",
                 items=int(chunks.shape[0]),
-                bytes_read=gathered + index.num_chunks * 12,
+                bytes_read=gathered + (hi - lo) * RAW_INDEX_BYTES_PER_CHUNK,
                 bytes_written=gathered,
             )
-    if space is not None:
-        space.transfer("H2D", index.data_len)
+    if space is not None and h2d:
+        extent = min(hi * cs, index.data_len) - lo * cs
+        if extent > 0:
+            space.transfer("H2D", extent)
     return out
 
 
@@ -615,6 +720,7 @@ def restore_record_indexed(
         load_record,
         load_record_frames,
         record_frame_sizes,
+        record_index_bytes,
         record_manifest,
     )
 
@@ -664,11 +770,7 @@ def restore_record_indexed(
             return np.frombuffer(payload_codec.decompress(diff.payload), np.uint8)
         return np.frombuffer(diff.payload, dtype=np.uint8)
 
-    index_bytes = (
-        _TABLE_HEADER.size
-        + _TABLE_DIGEST_BYTES
-        + table.num_checkpoints * table.num_chunks * 12
-    )
+    index_bytes = record_index_bytes(directory)
     report = RecordRestoreReport(
         target_ckpt=upto,
         frames_total=count,

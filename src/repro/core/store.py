@@ -413,6 +413,22 @@ def load_provenance(directory: Union[str, Path]):
     return ProvenanceTable.from_bytes(blob)
 
 
+def record_index_bytes(directory: Union[str, Path]) -> int:
+    """On-disk byte size of the record's provenance index (0 if absent)."""
+    path = Path(directory)
+    manifest = _read_manifest(path)
+    entry = manifest.get("provenance")
+    if entry is None:
+        return 0
+    try:
+        index_path = path / str(entry["file"])
+    except (TypeError, KeyError) as exc:
+        raise StorageError(
+            f"malformed provenance entry in {path / _MANIFEST}"
+        ) from exc
+    return index_path.stat().st_size if index_path.exists() else 0
+
+
 def record_manifest(directory: Union[str, Path]) -> dict:
     """Read just the manifest of a stored record."""
     return _read_manifest(Path(directory))
@@ -442,6 +458,10 @@ class RecordVerification:
     checkpoints: List[CheckpointStatus] = field(default_factory=list)
     chain_ok: Optional[bool] = None  # None when the manifest has no chain digest
     provenance_ok: Optional[bool] = None  # None when the record has no index
+    #: On-disk provenance index size vs its uncompressed 12 B/chunk form
+    #: (both 0 when the record has no index or the index is damaged).
+    index_bytes: int = 0
+    index_raw_bytes: int = 0
     detail: str = ""
 
     @property
@@ -466,6 +486,13 @@ class RecordVerification:
         return None
 
     @property
+    def index_compression_ratio(self) -> float:
+        """Raw index bytes over stored (RPIX v2 compressed) bytes."""
+        if self.index_bytes <= 0:
+            return 0.0
+        return self.index_raw_bytes / self.index_bytes
+
+    @property
     def valid_prefix_len(self) -> int:
         """Length of the longest loadable prefix (what salvage recovers)."""
         n = 0
@@ -487,10 +514,16 @@ class RecordVerification:
             lines.append(f"chain digest: {'ok' if self.chain_ok else 'MISMATCH'}")
         if self.provenance_ok is None:
             lines.append("provenance index: absent")
+        elif not self.provenance_ok:
+            lines.append("provenance index: DAMAGED")
         else:
-            lines.append(
-                f"provenance index: {'ok' if self.provenance_ok else 'DAMAGED'}"
+            ratio = self.index_compression_ratio
+            detail = (
+                f" ({self.index_bytes} B, {ratio:.1f}x vs raw 12 B/chunk)"
+                if ratio
+                else ""
             )
+            lines.append(f"provenance index: ok{detail}")
         return "\n".join(lines)
 
 
@@ -560,7 +593,12 @@ def verify_record(directory: Union[str, Path]) -> RecordVerification:
 
     if manifest.get("provenance") is not None:
         try:
-            report.provenance_ok = load_provenance(path) is not None
+            table = load_provenance(path)
         except (StorageError, SerializationError):
             report.provenance_ok = False
+        else:
+            report.provenance_ok = table is not None
+            if table is not None:
+                report.index_bytes = record_index_bytes(path)
+                report.index_raw_bytes = table.raw_index_bytes
     return report

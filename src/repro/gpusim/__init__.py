@@ -17,7 +17,13 @@ from .cluster import (
     thetagpu_node,
 )
 from .device import DEVICE_PRESETS, DeviceSpec, a100, laptop_gpu, v100
-from .perfmodel import CostBreakdown, KernelCostModel
+from .perfmodel import (
+    CostBreakdown,
+    FleetRestoreCost,
+    KernelCostModel,
+    RestoreCost,
+    pipeline_makespan,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -32,5 +38,8 @@ __all__ = [
     "laptop_gpu",
     "v100",
     "CostBreakdown",
+    "FleetRestoreCost",
     "KernelCostModel",
+    "RestoreCost",
+    "pipeline_makespan",
 ]

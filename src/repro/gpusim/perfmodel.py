@@ -18,11 +18,33 @@ oversubscription factor while kernel time is unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Sequence
 
 from ..kokkos.execution import KernelCounts, KernelLedger
-from ..utils.validation import positive_float
+from ..utils.validation import positive_float, positive_int
 from .device import DeviceSpec
+
+
+def pipeline_makespan(
+    stage1_seconds: float, stage2_seconds: float, windows: int
+) -> float:
+    """Makespan of a 2-stage FIFO pipeline with evenly split stages.
+
+    Both stage totals are divided across *windows*; window *w*'s stage-2
+    work starts only after its own stage-1 work **and** window *w-1*'s
+    stage-2 work finish.  This is the same recurrence the streaming
+    scheduler uses for checkpoint-side dedup/transfer overlap, factored
+    out so restore-side read/gather overlap prices identically.
+    """
+    positive_int(windows, "windows")
+    s1 = stage1_seconds / windows
+    s2 = stage2_seconds / windows
+    stage1_done = 0.0
+    stage2_done = 0.0
+    for _ in range(windows):
+        stage1_done += s1
+        stage2_done = max(stage2_done, stage1_done) + s2
+    return stage2_done
 
 
 @dataclass
@@ -134,7 +156,11 @@ class KernelCostModel:
         return payload_bytes / seconds
 
     def price_restore(
-        self, ledger: KernelLedger, restored_bytes: int
+        self,
+        ledger: KernelLedger,
+        restored_bytes: int,
+        read_bytes: int = 0,
+        read_bandwidth: Optional[float] = None,
     ) -> "RestoreCost":
         """Price a restore's metered work into a :class:`RestoreCost`.
 
@@ -145,9 +171,75 @@ class KernelCostModel:
         same ledger shape, so this prices either path — which is what
         makes the speedup comparable in simulated seconds, not just
         host-side wall clock.
+
+        *read_bytes* / *read_bandwidth* optionally charge the storage
+        read feeding the gathers (PFS bandwidth for a cold fleet
+        restart); by default only the metered device/PCIe work is priced,
+        which keeps single-node restart costs identical to before.
         """
+        read_seconds = 0.0
+        if read_bytes:
+            if read_bandwidth is None:
+                raise ValueError("read_bytes given without read_bandwidth")
+            positive_float(read_bandwidth, "read_bandwidth")
+            read_seconds = read_bytes / read_bandwidth
         return RestoreCost(
-            breakdown=self.price(ledger), restored_bytes=restored_bytes
+            breakdown=self.price(ledger),
+            restored_bytes=restored_bytes,
+            read_seconds=read_seconds,
+        )
+
+    def price_fleet_restore(
+        self,
+        ledgers: Sequence[KernelLedger],
+        restored_bytes: int,
+        cluster=None,
+        contention: Optional[Sequence[float]] = None,
+        read_bytes: int = 0,
+        read_bandwidth: Optional[float] = None,
+        windows: int = 1,
+    ) -> "FleetRestoreCost":
+        """Price one sharded restore: per-rank ledgers → fleet critical path.
+
+        Each rank's gather/H2D ledger is priced with *its own* PCIe
+        contention factor — from *contention* directly, or from
+        ``cluster.pcie_contention_for(len(ledgers))`` under the cluster's
+        fill-nodes-in-order placement.  The shared storage read
+        (*read_bytes* at the cluster's PFS bandwidth, or an explicit
+        *read_bandwidth*) is charged once fleet-wide: every rank gathers
+        from the same cooperatively read source frames, so the read is
+        not multiplied by the fan-out.  The read stage then overlaps the
+        gather stage across *windows* (see :func:`pipeline_makespan`).
+        """
+        if not ledgers:
+            raise ValueError("price_fleet_restore needs at least one ledger")
+        positive_int(windows, "windows")
+        if contention is None:
+            if cluster is None:
+                raise ValueError("price_fleet_restore needs a cluster or contention")
+            contention = cluster.pcie_contention_for(len(ledgers))
+        if len(contention) < len(ledgers):
+            raise ValueError(
+                f"{len(contention)} contention factors for {len(ledgers)} ledgers"
+            )
+        if read_bandwidth is None and cluster is not None:
+            read_bandwidth = cluster.pfs_bandwidth
+        read_seconds = 0.0
+        if read_bytes:
+            if read_bandwidth is None:
+                raise ValueError("read_bytes given without read_bandwidth")
+            positive_float(read_bandwidth, "read_bandwidth")
+            read_seconds = read_bytes / read_bandwidth
+        per_rank: List[RestoreCost] = []
+        for rank, ledger in enumerate(ledgers):
+            sibling = KernelCostModel(self.device, pcie_contention=contention[rank])
+            rank_bytes = sum(t.nbytes for t in ledger.transfers)
+            per_rank.append(sibling.price_restore(ledger, rank_bytes))
+        return FleetRestoreCost(
+            per_rank=per_rank,
+            read_seconds=read_seconds,
+            windows=windows,
+            restored_bytes=restored_bytes,
         )
 
 
@@ -158,10 +250,17 @@ class RestoreCost:
     breakdown: CostBreakdown
     #: Size of the reconstructed checkpoint buffer.
     restored_bytes: int
+    #: Storage-read seconds feeding the gathers (0 for in-memory chains).
+    read_seconds: float = 0.0
+
+    @property
+    def gather_seconds(self) -> float:
+        """Device gather + H2D time, excluding the storage read."""
+        return self.breakdown.total_seconds
 
     @property
     def seconds(self) -> float:
-        return self.breakdown.total_seconds
+        return self.breakdown.total_seconds + self.read_seconds
 
     @property
     def effective_bandwidth(self) -> float:
@@ -169,3 +268,65 @@ class RestoreCost:
         if self.seconds <= 0.0:
             return float("inf")
         return self.restored_bytes / self.seconds
+
+
+@dataclass
+class FleetRestoreCost:
+    """Simulated cost of one sharded, streaming fleet restore.
+
+    ``per_rank`` prices each rank's gathers and shard H2D under that
+    rank's PCIe contention (``read_seconds`` on those entries is 0 — the
+    storage read is fleet-shared, held here instead).  The fleet finishes
+    when its slowest rank does; with W > 1 windows the shared read of
+    window *k+1* overlaps the gathers of window *k*, so the critical path
+    is the 2-stage pipeline makespan rather than the serial sum.
+    """
+
+    per_rank: List[RestoreCost]
+    #: One shared pass over the source frames + index (PFS-priced).
+    read_seconds: float
+    windows: int
+    #: Size of the reconstructed checkpoint buffer (fleet-wide).
+    restored_bytes: int
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def gather_critical_seconds(self) -> float:
+        """Slowest rank's gather + H2D time — the fan-out's device stage."""
+        return max(c.seconds for c in self.per_rank)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Read-then-gather with no overlap (the W=1 timeline)."""
+        return self.read_seconds + self.gather_critical_seconds
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Fleet completion time with read/gather windows overlapped."""
+        return pipeline_makespan(
+            self.read_seconds, self.gather_critical_seconds, self.windows
+        )
+
+    @property
+    def overlap_saving_seconds(self) -> float:
+        """Seconds the window pipeline saves over the serial timeline."""
+        return self.serial_seconds - self.critical_path_seconds
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Restored bytes per critical-path second."""
+        seconds = self.critical_path_seconds
+        if seconds <= 0.0:
+            return float("inf")
+        return self.restored_bytes / seconds
+
+    def speedup_over(self, single_seconds: float) -> float:
+        """How much faster than a serial single-GPU restore taking
+        *single_seconds*."""
+        critical = self.critical_path_seconds
+        if critical <= 0.0:
+            return float("inf")
+        return single_seconds / critical

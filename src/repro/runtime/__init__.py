@@ -4,8 +4,10 @@ and the strong-scaling experiment harness — plus the failure path:
 tier outages with retry/route-around and crash-restart recovery."""
 
 from .async_flush import AsyncFlushPipeline, FlushReport
+from .fleet_restore import FleetRestoreReport, restore_record_sharded
 from .node import CrashReport, NodeRuntime, NodeTimeline, PersistedCheckpoint
 from .scaling import (
+    FleetRestartResult,
     ScalingResult,
     StrongScalingDriver,
     induced_partition_graph,
@@ -21,6 +23,9 @@ __all__ = [
     "NodeRuntime",
     "NodeTimeline",
     "PersistedCheckpoint",
+    "FleetRestoreReport",
+    "restore_record_sharded",
+    "FleetRestartResult",
     "ScalingResult",
     "StrongScalingDriver",
     "induced_partition_graph",

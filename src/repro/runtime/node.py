@@ -20,6 +20,8 @@ from ..core.base import DedupEngine
 from ..core.checkpointer import ENGINES
 from ..core.diff import CheckpointDiff
 from ..core.provenance import IndexedRestorer, ProvenanceBuilder
+from ..core.restore import scrub_chain
+from ..core.sharded_restore import ShardedRestorePlan, ShardReport
 from ..errors import SimulationError
 from ..gpusim.cluster import NodeSpec, thetagpu_node
 from ..gpusim.perfmodel import KernelCostModel
@@ -94,6 +96,8 @@ class CrashReport:
     #: How many diffs' payloads the restored state actually lived in —
     #: the indexed path touches only these, not the whole chain.
     restore_sources: int = 0
+    #: GPUs the restore's gathers were sharded across (1 = single-GPU).
+    restore_fan_out: int = 1
 
 
 class NodeRuntime:
@@ -232,7 +236,11 @@ class NodeRuntime:
     # Crash / restart simulation (the failure the system exists for)
     # ------------------------------------------------------------------
     def crash_restart(
-        self, process: int, at_time: float, scrub: bool = True
+        self,
+        process: int,
+        at_time: float,
+        scrub: bool = True,
+        fan_out: int = 1,
     ) -> CrashReport:
         """Crash *process* at simulated time *at_time* and restart it.
 
@@ -248,6 +256,15 @@ class NodeRuntime:
         replaced with a fresh one seeded by re-checkpointing the restored
         state, so the dedup chain restarts consistently.
 
+        ``fan_out`` shards the restore's gathers across that many of the
+        node's GPUs (the crashed process's siblings are idle during a
+        restart, so borrowing them is free): a
+        :class:`~repro.core.sharded_restore.ShardedRestorePlan` splits
+        the chunk range, each shard gathers on its own ``DeviceSpace``,
+        and the restore cost becomes the fleet critical path under the
+        node's PCIe contention at that fan-out.  Output is bit-identical
+        to ``fan_out=1``.
+
         Returns a :class:`CrashReport` with the restored state, the
         lost-work metric, and the restore's simulated cost.
         """
@@ -257,6 +274,12 @@ class NodeRuntime:
             )
         if at_time < 0:
             raise SimulationError(f"crash time must be non-negative, got {at_time}")
+        positive_int(fan_out, "fan_out")
+        if fan_out > self.node.gpus_per_node:
+            raise SimulationError(
+                f"fan-out {fan_out} exceeds the node's "
+                f"{self.node.gpus_per_node} GPUs"
+            )
         ledger = self.persisted[process]
         durable_idx = [i for i, c in enumerate(ledger) if c.persisted_at <= at_time]
         in_flight = [
@@ -276,7 +299,67 @@ class NodeRuntime:
         restore_seconds = 0.0
         restore_payload_bytes = 0
         restore_sources = 0
-        if durable_idx:
+        if durable_idx and fan_out > 1:
+            last = ledger[durable_idx[-1]]
+            chain = [c.diff for c in ledger[: durable_idx[-1] + 1]]
+            if scrub:
+                scrub_chain(chain)
+            builder = self.provenance[process]
+            if len(builder) <= last.ckpt_id:
+                builder.extend(chain[len(builder) : last.ckpt_id + 1])
+            index = builder.index_for(last.ckpt_id)
+            plan = ShardedRestorePlan(index, fan_out)
+            spaces = [DeviceSpace(r) for r in range(fan_out)]
+            reports = [
+                ShardReport(rank=s.rank, chunk_lo=s.chunk_lo, chunk_hi=s.chunk_hi)
+                for s in plan.shards
+            ]
+
+            def payload_of(t: int) -> np.ndarray:
+                return np.frombuffer(chain[t].payload, dtype=np.uint8)
+
+            with telemetry.span(
+                "node.crash_restart",
+                process=process,
+                crash_time=at_time,
+                fan_out=fan_out,
+            ) as span:
+                restored = plan.materialize(
+                    payload_of, spaces=spaces, reports=reports
+                )
+                restore_payload_bytes = sum(
+                    r.total_payload_bytes_read for r in reports
+                )
+                restore_sources = int(index.referenced().size)
+                span.set(
+                    restored_ckpt_id=last.ckpt_id,
+                    payload_bytes=restore_payload_bytes,
+                    sources=restore_sources,
+                )
+            contention = [self.node.pcie_contention(fan_out)] * fan_out
+            cost = self.cost_model.price_fleet_restore(
+                [s.ledger for s in spaces],
+                restored_bytes=self._data_len,
+                contention=contention,
+            )
+            restore_seconds = cost.critical_path_seconds
+            events.emit(
+                events.RESTORE,
+                path="sharded_node",
+                sim_time=at_time,
+                node=self.name,
+                rank=process,
+                target_ckpt=last.ckpt_id,
+                chain_len=len(chain),
+                ranks=fan_out,
+                state_bytes=int(restored.nbytes),
+                payload_bytes=restore_payload_bytes,
+                sources=restore_sources,
+                critical_path_seconds=restore_seconds,
+            )
+            restored_id: Optional[int] = last.ckpt_id
+            lost = max(0.0, at_time - last.produced_at)
+        elif durable_idx:
             last = ledger[durable_idx[-1]]
             chain = [c.diff for c in ledger[: durable_idx[-1] + 1]]
             space = DeviceSpace(process)
@@ -299,7 +382,7 @@ class NodeRuntime:
             restore_seconds = cost.seconds
             restore_payload_bytes = rreport.total_payload_bytes_read
             restore_sources = rreport.frames_referenced
-            restored_id: Optional[int] = last.ckpt_id
+            restored_id = last.ckpt_id
             lost = max(0.0, at_time - last.produced_at)
         else:
             telemetry.instant("node.cold_restart", process=process)
@@ -350,6 +433,7 @@ class NodeRuntime:
             restore_seconds=restore_seconds,
             restore_payload_bytes=restore_payload_bytes,
             restore_sources=restore_sources,
+            restore_fan_out=fan_out,
         )
         self.crash_reports.append(report)
         _CRASH_RESTARTS.inc()

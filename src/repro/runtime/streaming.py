@@ -57,31 +57,39 @@ class StreamingScheduler:
         self.device = device
         self.windows = windows
 
-    def estimate(self, cost: CostBreakdown) -> StreamingEstimate:
-        """Pipeline a checkpoint whose serial cost is *cost*.
+    def estimate_stages(
+        self,
+        stage1_seconds: float,
+        stage2_seconds: float,
+        per_window_overhead: float = 0.0,
+    ) -> StreamingEstimate:
+        """Direction-agnostic window estimate over two FIFO stages.
 
-        The device stage of window *w* runs concurrently with the transfer
-        stage of window *w-1*; both stages are FIFO.  Extra per-window DMA
-        setup (``pcie_latency`` per additional copy) is charged against
-        the transfer stage.
+        Stage 1 of window *w* runs concurrently with stage 2 of window
+        *w-1*.  On the checkpoint side stage 1 is device dedup and
+        stage 2 the D2H drain; on the restore side stage 1 is the shared
+        PFS frame read and stage 2 the sharded gather + H2D upload.  The
+        pipeline shape is identical — only the stage meanings differ, so
+        this estimate carries no checkpoint-side assumptions.
+
+        *per_window_overhead* is charged to stage 2 once per window past
+        the first (the serial timeline already pays it once) — DMA setup
+        on either direction — so over-fine windows lose their benefit.
         """
         w = self.windows
-        device_stage = cost.kernel_seconds / w
-        # The serial breakdown already includes one pcie_latency; each
-        # additional window pays one more.
-        extra_latency = (w - 1) * self.device.pcie_latency
-        transfer_stage = (cost.transfer_seconds + extra_latency) / w
+        stage1 = stage1_seconds / w
+        stage2 = (stage2_seconds + (w - 1) * per_window_overhead) / w
 
         # 2-stage pipeline makespan with per-window FIFO stages.
-        device_done = 0.0
-        transfer_done = 0.0
+        stage1_done = 0.0
+        stage2_done = 0.0
         for _ in range(w):
-            device_done += device_stage
-            transfer_done = max(transfer_done, device_done) + transfer_stage
+            stage1_done += stage1
+            stage2_done = max(stage2_done, stage1_done) + stage2
         est = StreamingEstimate(
             windows=w,
-            serial_seconds=cost.total_seconds,
-            streamed_seconds=transfer_done,
+            serial_seconds=stage1_seconds + stage2_seconds,
+            streamed_seconds=stage2_done,
         )
         _ESTIMATES.inc()
         telemetry.instant(
@@ -92,13 +100,44 @@ class StreamingScheduler:
         )
         return est
 
+    def estimate(self, cost: CostBreakdown) -> StreamingEstimate:
+        """Pipeline a checkpoint whose serial cost is *cost*.
+
+        The device stage of window *w* runs concurrently with the transfer
+        stage of window *w-1*; both stages are FIFO.  Extra per-window DMA
+        setup (``pcie_latency`` per additional copy) is charged against
+        the transfer stage.
+        """
+        return self.estimate_stages(
+            cost.kernel_seconds,
+            cost.transfer_seconds,
+            per_window_overhead=self.device.pcie_latency,
+        )
+
     def best_window_count(
         self, cost: CostBreakdown, candidates: List[int] = (1, 2, 4, 8, 16, 32)
     ) -> StreamingEstimate:
         """Pick the candidate window count minimising the makespan."""
+        return self.best_window_count_stages(
+            cost.kernel_seconds,
+            cost.transfer_seconds,
+            per_window_overhead=self.device.pcie_latency,
+            candidates=candidates,
+        )
+
+    def best_window_count_stages(
+        self,
+        stage1_seconds: float,
+        stage2_seconds: float,
+        per_window_overhead: float = 0.0,
+        candidates: List[int] = (1, 2, 4, 8, 16, 32),
+    ) -> StreamingEstimate:
+        """Direction-agnostic :meth:`best_window_count` over raw stages."""
         best = None
         for w in candidates:
-            est = StreamingScheduler(self.device, w).estimate(cost)
+            est = StreamingScheduler(self.device, w).estimate_stages(
+                stage1_seconds, stage2_seconds, per_window_overhead
+            )
             if best is None or est.streamed_seconds < best.streamed_seconds:
                 best = est
         return best

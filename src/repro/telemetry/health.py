@@ -19,6 +19,8 @@ Rule catalog (see ``docs/OBSERVABILITY.md`` §8):
   restart (data loss) escalate to ``critical``.
 * :class:`TierOutageRule` — injected tier outages, with that tier's
   retry/route-around events as evidence.
+* :class:`RestoreLagRule` — restores whose measured critical path blew
+  past the cost model's pre-execution prediction.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from .events import (
     FLUSH_ROUTE_AROUND,
     RECORD_FAULT,
     RESTART,
+    RESTORE,
     SALVAGE,
 )
 
@@ -434,6 +437,57 @@ class TierOutageRule(HealthRule):
         return findings
 
 
+class RestoreLagRule(HealthRule):
+    """A restore's measured critical path far beyond its prediction.
+
+    Sharded restores carry both the pre-execution cost-model prediction
+    (the number the window auto-picker committed to) and the measured
+    critical path.  A measured path ``warn_ratio``× the prediction means
+    the model no longer describes the fleet — contention, placement, or
+    storage changed under it — and the window choice is stale; past
+    ``critical_ratio`` the restore SLO itself is at risk.  Events
+    without both fields (single-GPU restores) are ignored, so clean
+    runs stay clean.
+    """
+
+    name = "restore_lag"
+    description = "restore critical path vs cost-model prediction"
+
+    def __init__(
+        self, warn_ratio: float = 2.0, critical_ratio: float = 4.0
+    ) -> None:
+        self.warn_ratio = warn_ratio
+        self.critical_ratio = critical_ratio
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for event in rollup.events_of(RESTORE):
+            measured = float(event.get("critical_path_seconds", 0.0) or 0.0)
+            predicted = float(event.get("predicted_seconds", 0.0) or 0.0)
+            if measured <= 0 or predicted <= 0:
+                continue
+            ratio = measured / predicted
+            if ratio < self.warn_ratio:
+                continue
+            severity = CRITICAL if ratio >= self.critical_ratio else WARN
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=severity,
+                    message=(
+                        f"restore of ckpt {event.get('target_ckpt', '?')} "
+                        f"across {event.get('ranks', '?')} rank(s) took "
+                        f"{measured:.3g}s vs predicted {predicted:.3g}s "
+                        f"({ratio:.1f}x)"
+                    ),
+                    node=event.get("node"),
+                    rank=event.get("rank"),
+                    evidence=[event],
+                )
+            )
+        return findings
+
+
 def default_rules() -> List[HealthRule]:
     """A fresh instance of every built-in rule, default thresholds."""
     return [
@@ -442,6 +496,7 @@ def default_rules() -> List[HealthRule]:
         CorruptionRule(),
         CrashLoopRule(),
         TierOutageRule(),
+        RestoreLagRule(),
     ]
 
 

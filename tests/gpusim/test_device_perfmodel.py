@@ -117,3 +117,123 @@ class TestCostModel:
             space.launch("tiny", bytes_read=64)
         cost = model.price(space.ledger)
         assert cost.launch_seconds > 100 * cost.stream_seconds
+
+
+class TestPipelineMakespan:
+    def test_one_window_is_serial(self):
+        from repro.gpusim import pipeline_makespan
+
+        assert pipeline_makespan(1.0, 2.0, 1) == pytest.approx(3.0)
+
+    def test_many_windows_approach_long_stage(self):
+        from repro.gpusim import pipeline_makespan
+
+        span = pipeline_makespan(1.0, 1.0, 64)
+        assert 1.0 < span < 1.05
+
+    def test_bounded_below_by_long_stage(self):
+        from repro.gpusim import pipeline_makespan
+
+        for w in (1, 2, 8, 32):
+            assert pipeline_makespan(0.1, 1.0, w) >= 1.0
+            assert pipeline_makespan(1.0, 0.1, w) >= 1.0
+
+
+class TestFleetRestorePricing:
+    def _ledger(self, nbytes):
+        space = DeviceSpace(0)
+        space.launch("gather", bytes_read=nbytes, bytes_written=nbytes)
+        space.transfer("H2D", nbytes)
+        return space.ledger
+
+    def test_read_pricing_requires_bandwidth(self):
+        model = KernelCostModel(a100())
+        with pytest.raises(ValueError, match="read_bandwidth"):
+            model.price_restore(self._ledger(1024), 1024, read_bytes=1024)
+
+    def test_read_seconds_added_to_restore(self):
+        model = KernelCostModel(a100())
+        bare = model.price_restore(self._ledger(1 << 20), 1 << 20)
+        read = model.price_restore(
+            self._ledger(1 << 20), 1 << 20,
+            read_bytes=250 * GB, read_bandwidth=250.0 * GB,
+        )
+        assert bare.read_seconds == 0.0
+        assert read.read_seconds == pytest.approx(1.0)
+        assert read.seconds == pytest.approx(bare.seconds + 1.0)
+        assert read.gather_seconds == pytest.approx(bare.gather_seconds)
+
+    def test_fleet_critical_path_is_worst_rank(self):
+        model = KernelCostModel(a100())
+        ledgers = [self._ledger(1 << 20), self._ledger(8 << 20)]
+        fleet = model.price_fleet_restore(
+            ledgers, restored_bytes=9 << 20, contention=[1.0, 1.0]
+        )
+        assert fleet.num_ranks == 2
+        assert fleet.gather_critical_seconds == pytest.approx(
+            max(c.gather_seconds for c in fleet.per_rank)
+        )
+        assert fleet.critical_path_seconds == pytest.approx(
+            fleet.gather_critical_seconds
+        )
+
+    def test_contention_slows_ranks_individually(self):
+        model = KernelCostModel(a100())
+        ledgers = [self._ledger(1 << 20), self._ledger(1 << 20)]
+        even = model.price_fleet_restore(
+            ledgers, restored_bytes=2 << 20, contention=[1.0, 1.0]
+        )
+        skewed = model.price_fleet_restore(
+            ledgers, restored_bytes=2 << 20, contention=[1.0, 4.0]
+        )
+        assert skewed.per_rank[0].seconds == pytest.approx(
+            even.per_rank[0].seconds
+        )
+        assert skewed.per_rank[1].seconds > even.per_rank[1].seconds
+
+    def test_cluster_supplies_contention_and_pfs(self):
+        from repro.gpusim import thetagpu
+
+        cluster = thetagpu()
+        model = KernelCostModel(cluster.node.device)
+        ledgers = [self._ledger(1 << 20) for _ in range(8)]
+        fleet = model.price_fleet_restore(
+            ledgers, restored_bytes=8 << 20, cluster=cluster,
+            read_bytes=250 * GB,
+        )
+        # Eight processes on one ThetaGPU node share the host link.
+        assert fleet.per_rank[0].breakdown.transfer_seconds > (
+            KernelCostModel(cluster.node.device)
+            .price_restore(self._ledger(1 << 20), 1 << 20)
+            .breakdown.transfer_seconds
+        )
+        assert fleet.read_seconds == pytest.approx(1.0)
+
+    def test_overlap_never_beats_long_stage_nor_loses_to_serial(self):
+        model = KernelCostModel(a100())
+        ledgers = [self._ledger(4 << 20) for _ in range(4)]
+        serial = model.price_fleet_restore(
+            ledgers, restored_bytes=16 << 20, contention=[1.0] * 4,
+            read_bytes=64 << 20, read_bandwidth=250.0 * GB, windows=1,
+        )
+        overlapped = model.price_fleet_restore(
+            ledgers, restored_bytes=16 << 20, contention=[1.0] * 4,
+            read_bytes=64 << 20, read_bandwidth=250.0 * GB, windows=8,
+        )
+        assert serial.critical_path_seconds == pytest.approx(
+            serial.serial_seconds
+        )
+        assert overlapped.critical_path_seconds < serial.critical_path_seconds
+        assert overlapped.critical_path_seconds >= max(
+            overlapped.read_seconds, overlapped.gather_critical_seconds
+        ) * (1 - 1e-9)
+        assert overlapped.overlap_saving_seconds > 0
+
+    def test_speedup_over(self):
+        model = KernelCostModel(a100())
+        fleet = model.price_fleet_restore(
+            [self._ledger(1 << 20)], restored_bytes=1 << 20, contention=[1.0]
+        )
+        assert fleet.speedup_over(
+            2 * fleet.critical_path_seconds
+        ) == pytest.approx(2.0)

@@ -279,3 +279,76 @@ class TestJournalEmission:
         assert restart["restored_ckpt_id"] == report.restored_ckpt_id
         assert restart["cold"] is (report.restored_ckpt_id is None)
         assert restart["lost_work_seconds"] == report.lost_work_seconds
+
+
+class TestShardedRestart:
+    """crash_restart with fan_out > 1 borrows idle sibling GPUs."""
+
+    def test_bit_identical_to_single_gpu(self, rng):
+        snapshots = {}
+        reports = {}
+        for fan_out in (1, 4):
+            local = seeded_rng(99)
+            runtime = NodeRuntime(SIZE, 64, num_processes=2)
+            snapshots[fan_out] = run_cadence(runtime, local, steps=4)
+            reports[fan_out] = runtime.crash_restart(
+                0, at_time=3 * PERIOD + 5.0, fan_out=fan_out
+            )
+        assert np.array_equal(
+            reports[1].restored_state, reports[4].restored_state
+        )
+        assert np.array_equal(
+            reports[4].restored_state, snapshots[4][3][0]
+        )
+        assert reports[1].restore_fan_out == 1
+        assert reports[4].restore_fan_out == 4
+        assert reports[1].restored_ckpt_id == reports[4].restored_ckpt_id
+
+    def test_fan_out_reduces_restore_seconds(self, rng):
+        seconds = {}
+        for fan_out in (1, 4):
+            local = seeded_rng(7)
+            runtime = NodeRuntime(SIZE, 64, num_processes=2)
+            run_cadence(runtime, local, steps=4)
+            seconds[fan_out] = runtime.crash_restart(
+                0, at_time=3 * PERIOD + 5.0, fan_out=fan_out
+            ).restore_seconds
+        assert 0 < seconds[4] < seconds[1]
+
+    def test_fan_out_beyond_node_rejected(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=2)
+        with pytest.raises(SimulationError, match="fan-out"):
+            runtime.crash_restart(0, at_time=PERIOD + 1.0, fan_out=9)
+
+    def test_cold_restart_ignores_fan_out(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        report = runtime.crash_restart(0, at_time=0.0, fan_out=4)
+        assert report.restored_ckpt_id is None
+        assert report.restore_seconds == 0.0
+
+    def test_emits_sharded_node_restore_event(self, rng):
+        from repro.telemetry.events import RESTORE, journal_to
+
+        runtime = NodeRuntime(SIZE, 64, num_processes=2)
+        run_cadence(runtime, rng, steps=3)
+        with journal_to(node="node0") as journal:
+            report = runtime.crash_restart(
+                0, at_time=2 * PERIOD + 1.0, fan_out=4
+            )
+        restores = [
+            e for e in journal.records() if e["type"] == RESTORE
+        ]
+        assert len(restores) == 1
+        event = restores[0]
+        assert event["path"] == "sharded_node"
+        assert event["ranks"] == 4
+        assert event["critical_path_seconds"] == report.restore_seconds
+
+    def test_cadence_continues_after_sharded_restart(self, rng):
+        runtime = NodeRuntime(SIZE, 64, num_processes=1)
+        run_cadence(runtime, rng, steps=3)
+        runtime.crash_restart(0, at_time=2 * PERIOD + 1.0, fan_out=4)
+        snapshots = run_cadence(runtime, rng, steps=2)
+        report = runtime.crash_restart(0, at_time=4 * PERIOD + 30.0)
+        assert np.array_equal(report.restored_state, snapshots[-1][0])

@@ -59,3 +59,50 @@ class TestStreamingScheduler:
         est = StreamingScheduler(a100(), 4).estimate(cost())
         assert est.windows == 4
         assert est.serial_seconds > 0
+
+
+class TestDirectionAgnosticStages:
+    """The restore-side generalization: raw two-stage estimates."""
+
+    def test_estimate_delegates_to_stages(self):
+        # The checkpoint-side estimate must be numerically identical to
+        # the raw-stage estimate with the device's DMA latency.
+        c = cost(kernel=300e-6, transfer=150e-6)
+        for w in (1, 2, 4, 8):
+            sched = StreamingScheduler(a100(), w)
+            assert sched.estimate(c).streamed_seconds == pytest.approx(
+                sched.estimate_stages(
+                    c.kernel_seconds,
+                    c.transfer_seconds,
+                    per_window_overhead=a100().pcie_latency,
+                ).streamed_seconds
+            )
+
+    @pytest.mark.parametrize(
+        "stage1,stage2",
+        [
+            (200e-6, 200e-6),  # checkpoint shape: kernel vs transfer
+            (335e-6, 450e-6),  # restore shape: PFS read vs gather+H2D
+        ],
+    )
+    def test_monotone_until_overhead_bites_both_directions(self, stage1, stage2):
+        times = [
+            StreamingScheduler(a100(), w).estimate_stages(
+                stage1, stage2, per_window_overhead=a100().pcie_latency
+            ).streamed_seconds
+            for w in (1, 2, 4)
+        ]
+        assert times[1] < times[0]
+        assert times[2] < times[1]
+
+    def test_best_window_count_stages_never_worse_than_serial(self):
+        for stage1, stage2 in [(1e-3, 1e-3), (1e-5, 1e-3), (1e-3, 1e-5)]:
+            best = StreamingScheduler(a100()).best_window_count_stages(
+                stage1, stage2, per_window_overhead=a100().pcie_latency
+            )
+            assert best.streamed_seconds <= (stage1 + stage2) * (1 + 1e-9)
+
+    def test_overhead_free_stages_single_window_is_serial(self):
+        est = StreamingScheduler(a100(), 1).estimate_stages(1e-3, 2e-3)
+        assert est.streamed_seconds == pytest.approx(3e-3)
+        assert est.serial_seconds == pytest.approx(3e-3)

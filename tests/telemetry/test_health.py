@@ -239,3 +239,59 @@ def _rollup(journal):
     from repro.telemetry.aggregate import build_rollup
 
     return build_rollup(journal)
+
+
+class TestRestoreLagRule:
+    from repro.telemetry.events import RESTORE
+    from repro.telemetry.health import RestoreLagRule
+
+    def _restore_journal(self, measured, predicted, **extra):
+        journal = EventJournal(node="node0", rank=0)
+        journal.emit(
+            self.RESTORE,
+            path="sharded",
+            target_ckpt=4,
+            ranks=8,
+            critical_path_seconds=measured,
+            predicted_seconds=predicted,
+            **extra,
+        )
+        return journal
+
+    def test_accurate_prediction_is_clean(self):
+        report = evaluate_health(
+            self._restore_journal(1.1e-3, 1.0e-3),
+            rules=[self.RestoreLagRule()],
+        )
+        assert report.status == OK
+
+    def test_twofold_lag_warns(self):
+        report = evaluate_health(
+            self._restore_journal(2.5e-3, 1.0e-3),
+            rules=[self.RestoreLagRule()],
+        )
+        assert report.status == WARN
+        finding = report.findings[0]
+        assert finding.rule == "restore_lag"
+        assert "2.5x" in finding.message
+        assert finding.evidence[0]["ranks"] == 8
+
+    def test_fourfold_lag_is_critical(self):
+        report = evaluate_health(
+            self._restore_journal(4.2e-3, 1.0e-3),
+            rules=[self.RestoreLagRule()],
+        )
+        assert report.status == CRITICAL
+
+    def test_events_without_prediction_ignored(self):
+        # Single-GPU restores don't carry a prediction; they must never
+        # trip the rule.
+        journal = EventJournal(node="node0", rank=0)
+        journal.emit(
+            self.RESTORE, path="indexed", target_ckpt=4, state_bytes=4096
+        )
+        report = evaluate_health(journal, rules=[self.RestoreLagRule()])
+        assert report.status == OK
+
+    def test_in_default_ruleset(self):
+        assert "restore_lag" in [r.name for r in default_rules()]
