@@ -1,0 +1,165 @@
+"""Replay-equivalence and incident-fuzzing campaign bench.
+
+Exercises the :mod:`repro.replay` subsystem end to end and writes
+``BENCH_fuzz.json`` next to the repo root (or ``$REPRO_BENCH_OUT``):
+
+* ``replay`` — record a fixed-seed ORANGES fleet run (tier outage +
+  crashes + a stored-record corruption), then re-drive it *from the
+  journal alone* with :class:`~repro.replay.JournalReplayer`: the replay
+  must be exactly equivalent — same durable-checkpoint set with payload
+  digests, bit-identical restored bytes, same graded health findings.
+* ``fuzz``   — ``REPRO_FUZZ_TRIALS`` seeded mutations of an incident
+  schedule (reorder/amplify/compound/drop-recovery/shift/corrupt), each
+  driven and graded: ``flag_coverage`` must be 1.0 (every injected
+  failure appears in a health finding's evidence), ``silent_wrong`` must
+  be 0, and every mutated run must itself replay equivalently
+  (``divergence_p50``/``p99`` report the distribution).
+
+The regression gate (``benchmarks/check_regression.py``) enforces
+``fuzz.flag_coverage == 1.0`` and ``fuzz.silent_wrong == 0`` exactly.
+
+Run directly (``python benchmarks/bench_fuzz.py``), under pytest, or via
+``python -m repro bench fuzz``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.replay import (
+    JournalReplayer,
+    RunConfig,
+    make_schedule,
+    record_run,
+    run_fuzz_campaign,
+)
+
+#: Fixed-seed ORANGES fleet recording (geometry shared with bench_faults).
+ORANGES_CONFIG = RunConfig(
+    workload="unstructured_mesh",
+    num_vertices=512,
+    chunk_size=64,
+    method="tree",
+    num_processes=2,
+    steps=5,
+    period_seconds=10.0,
+    seed=2,
+    node_name="node0",
+)
+
+#: Fast synthetic config for the mutation campaign (many short runs).
+FUZZ_CONFIG = RunConfig(
+    workload="synthetic",
+    data_len=8192,
+    chunk_size=64,
+    method="tree",
+    num_processes=2,
+    steps=5,
+    period_seconds=10.0,
+    seed=3,
+)
+
+FUZZ_TRIALS = int(os.environ.get("REPRO_FUZZ_TRIALS", 60))
+FUZZ_SEED = 0
+
+
+def bench_replay(workdir: Path) -> dict:
+    """Record the ORANGES fleet run and replay it from its journal."""
+    workdir.mkdir(parents=True, exist_ok=True)
+    journal_path = workdir / "oranges-run.jsonl"
+    schedule = make_schedule(
+        ORANGES_CONFIG,
+        faults_seed=0,
+        n_transient=1,
+        n_crashes=2,
+        n_record_faults=1,
+    )
+    recorded = record_run(
+        ORANGES_CONFIG,
+        schedule,
+        journal_path=journal_path,
+        workdir=workdir / "recording",
+    )
+    result = JournalReplayer(journal_path).replay(workdir=workdir / "replay")
+    return {
+        "trace": {
+            "workload": ORANGES_CONFIG.workload,
+            "num_vertices": ORANGES_CONFIG.num_vertices,
+            "seed": ORANGES_CONFIG.seed,
+            "steps": ORANGES_CONFIG.steps,
+            "num_processes": ORANGES_CONFIG.num_processes,
+        },
+        "schedule": schedule.summary(),
+        "journal_records": len(recorded.records),
+        "recorded_golden_ok": recorded.golden_ok,
+        "record_leg": recorded.record_leg,
+        "equivalent": result.equivalent,
+        "divergences": [d.as_dict() for d in result.divergences],
+        "skipped_lines": result.skipped_lines,
+        "durable_checkpoints": len(result.original.durable),
+        "findings": len(result.original.findings),
+    }
+
+
+def bench_fuzz(workdir: Path) -> dict:
+    report = run_fuzz_campaign(
+        FUZZ_CONFIG,
+        trials=FUZZ_TRIALS,
+        seed=FUZZ_SEED,
+        workdir=workdir,
+        replay_each=True,
+    )
+    return report.as_dict()
+
+
+def run(out_path: Path | None = None) -> dict:
+    from repro import telemetry
+
+    with telemetry.capture() as tel:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            report = {
+                "bench": "fuzz",
+                "replay": bench_replay(Path(tmp) / "replay-leg"),
+                "fuzz": bench_fuzz(Path(tmp) / "campaign"),
+            }
+    report["telemetry"] = tel
+    if out_path is None:
+        out_path = Path(
+            os.environ.get(
+                "REPRO_BENCH_OUT",
+                Path(__file__).resolve().parent.parent / "BENCH_fuzz.json",
+            )
+        )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    report["out_path"] = str(out_path)
+    return report
+
+
+def test_bench_fuzz(capsys):
+    report = run()
+    with capsys.disabled():
+        print()
+        print(json.dumps(report, indent=2))
+    replay = report["replay"]
+    assert replay["recorded_golden_ok"], "recorded run restored wrong bytes"
+    assert replay["equivalent"], (
+        f"ORANGES replay diverged: {replay['divergences']}"
+    )
+    assert replay["durable_checkpoints"] > 0
+    fuzz = report["fuzz"]
+    assert fuzz["trials"] == FUZZ_TRIALS
+    assert fuzz["flag_coverage"] == 1.0, (
+        f"unflagged injected failures: {fuzz['unflagged']}"
+    )
+    assert fuzz["silent_wrong"] == 0, "silent-wrong outcome escaped the rules"
+    assert fuzz["replays_equivalent"] == fuzz["replays"], (
+        "a mutated run's journal replayed non-equivalently"
+    )
+    assert fuzz["divergence_p99"] == 0.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=2))

@@ -17,6 +17,10 @@ chain-length-50 row of the restore sweep).  A metric missing from the
 *baseline* is reported as ``new`` and skipped — the gate never blocks
 adding metrics.  A metric missing from the *fresh* report fails: the
 bench stopped measuring something it used to.
+
+Besides the thresholded metrics, ``EXACT_METRICS`` lists correctness
+invariants (fuzz-campaign flag coverage and silent-wrong count) that
+must match their required value exactly in the fresh report.
 """
 
 from __future__ import annotations
@@ -38,6 +42,15 @@ METRICS: List[Tuple[str, str]] = [
     ("BENCH_restore.json", "fleet.rpix.compression_ratio"),
     ("BENCH_faults.json", "record.total.detection_rate"),
     ("BENCH_faults.json", "record.total.recovery_rate"),
+]
+
+#: (file, dotted metric path, required value) — correctness invariants,
+#: not performance: the fresh report must match *exactly*, no threshold.
+#: The fuzz campaign is only meaningful at 100% flag coverage and zero
+#: silent-wrong outcomes; any other value is a coverage hole.
+EXACT_METRICS: List[Tuple[str, str, float]] = [
+    ("BENCH_fuzz.json", "fuzz.flag_coverage", 1.0),
+    ("BENCH_fuzz.json", "fuzz.silent_wrong", 0.0),
 ]
 
 _SELECT = re.compile(r"^(?P<name>\w+)\[(?P<key>\w+)=(?P<value>[^\]]+)\]$")
@@ -95,6 +108,26 @@ def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
         else:
             verdict = f"ok ({'+' if drop <= 0 else '-'}{abs(drop):.0%})"
             rows.append((label, base, fresh, verdict))
+
+    for filename, path, required in EXACT_METRICS:
+        label = f"{filename.removeprefix('BENCH_').removesuffix('.json')}:{path}"
+        fresh_file = fresh_dir / filename
+        if not fresh_file.exists():
+            if (baseline_dir / filename).exists():
+                rows.append((label, required, None, "FAIL (fresh report missing)"))
+                failures += 1
+            else:
+                rows.append((label, required, None, "skip (no baseline file)"))
+            continue
+        fresh = extract(json.loads(fresh_file.read_text()), path)
+        if fresh is None:
+            rows.append((label, required, None, "FAIL (metric gone)"))
+            failures += 1
+        elif fresh != required:
+            rows.append((label, required, fresh, "FAIL (exact gate)"))
+            failures += 1
+        else:
+            rows.append((label, required, fresh, "ok (exact)"))
 
     width = max(len(r[0]) for r in rows) if rows else 0
     print(f"benchmark regression gate (threshold {threshold:.0%} drop)")

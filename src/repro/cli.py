@@ -23,13 +23,22 @@ health <journal...>
 report <journal...>
     Merge event journals and write a self-contained HTML run report
     (SVG timelines, fleet rollups, health findings).
+replay <journal>
+    Re-drive a recorded incident journal through the runtime and assert
+    equivalence (same durable checkpoints, bit-identical restored bytes,
+    same health findings); exits 0 iff the replay is equivalent.
+fuzz
+    Run the incident-fuzzing campaign (``--trials N --seed S``): every
+    injected failure must be flagged by a health rule with the injection
+    in its evidence, with zero silent-wrong outcomes; exits 0 iff both
+    hold.
 bench <name>
     Run one of the paper-reproduction benches (table1, fig4, fig5, fig6,
     fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
-    restore, faults).
+    restore, faults, fuzz).
 
-``inspect``, ``verify``, and ``health`` accept ``--json`` for
-machine-readable output.
+``inspect``, ``verify``, ``health``, ``replay``, and ``fuzz`` accept
+``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -343,6 +352,91 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .errors import ReplayError
+    from .replay import JournalReplayer
+
+    try:
+        replayer = JournalReplayer(args.journal)
+    except ReplayError as exc:
+        print(f"cannot replay {args.journal}: {exc}", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
+        workdir = Path(args.workdir) if args.workdir else Path(tmp)
+        result = replayer.replay(
+            workdir=workdir, journal_path=args.output
+        )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+        return 0 if result.equivalent else 1
+    timeline = replayer.timeline
+    print(
+        f"replayed run {result.run_id!r}: {len(timeline.records)} records, "
+        f"{len(timeline.incidents)} incidents "
+        f"({result.skipped_lines} damaged line(s) skipped)"
+    )
+    print(
+        f"durable checkpoints: {len(result.original.durable)} recorded, "
+        f"{len(result.replay.durable)} replayed; "
+        f"findings: {len(result.original.findings)} vs "
+        f"{len(result.replay.findings)}"
+    )
+    if result.equivalent:
+        print("replay EQUIVALENT: durable set, restored bytes, and health "
+              "findings all match")
+        return 0
+    print(f"replay DIVERGED ({len(result.divergences)} component(s)):")
+    for divergence in result.divergences:
+        print(f"  [{divergence.kind}] {divergence.detail}")
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .replay import JournalReplayer, RunConfig, run_fuzz_campaign
+
+    if args.journal:
+        config = JournalReplayer(args.journal).timeline.config
+    else:
+        config = RunConfig(seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        workdir = Path(args.workdir) if args.workdir else Path(tmp)
+        report = run_fuzz_campaign(
+            config,
+            trials=args.trials,
+            seed=args.seed,
+            workdir=workdir,
+            replay_each=not args.no_replay,
+        )
+    doc = report.as_dict()
+    ok = doc["flag_coverage"] == 1.0 and doc["silent_wrong"] == 0
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0 if ok else 1
+    print(
+        f"fuzz campaign: {doc['trials']} trials (seed {doc['seed']}), "
+        f"operators {doc['operators']}"
+    )
+    print(
+        f"flag coverage: {doc['flagged_total']}/{doc['injected_total']} "
+        f"injected failures flagged ({doc['flag_coverage']:.1%}); "
+        f"silent wrong: {doc['silent_wrong']}"
+    )
+    if doc["replays"]:
+        print(
+            f"replays: {doc['replays_equivalent']}/{doc['replays']} "
+            f"equivalent; divergences p50={doc['divergence_p50']:g} "
+            f"p99={doc['divergence_p99']:g}"
+        )
+    for miss in doc["unflagged"]:
+        print(f"  UNFLAGGED: {miss}")
+    print("campaign " + ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 _BENCHES = {
     "table1": "bench_table1_graphs",
     "fig4": "bench_fig4_chunksize",
@@ -358,6 +452,7 @@ _BENCHES = {
     "restore": "bench_restore",
     "overhead": "bench_runtime_overhead",
     "faults": "bench_faults",
+    "fuzz": "bench_fuzz",
 }
 
 
@@ -488,6 +583,48 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="report.html")
     report.add_argument("--title", default="Checkpoint fleet run report")
     report.set_defaults(func=_cmd_report)
+
+    replay = sub.add_parser(
+        "replay", help="re-drive a recorded incident journal and assert equivalence"
+    )
+    replay.add_argument("journal", help="JSONL event journal of one recorded run")
+    replay.add_argument(
+        "-o", "--output", default=None,
+        help="write the replay's own journal (with any replay_divergence "
+             "events) to this path",
+    )
+    replay.add_argument(
+        "--workdir", default=None,
+        help="directory for replayed record-corruption legs "
+             "(default: a temporary directory)",
+    )
+    replay.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="incident-fuzzing campaign proving health-rule coverage"
+    )
+    fuzz.add_argument("--trials", type=int, default=60)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--journal", default=None,
+        help="fuzz around the run configuration of this recorded journal "
+             "(default: the built-in synthetic config)",
+    )
+    fuzz.add_argument(
+        "--workdir", default=None,
+        help="directory for per-trial record legs (default: temporary)",
+    )
+    fuzz.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the per-trial replay-equivalence check",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     bench = sub.add_parser("bench", help="run a paper-reproduction bench")
     bench.add_argument("name", choices=sorted(_BENCHES))

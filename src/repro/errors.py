@@ -18,7 +18,8 @@ Hierarchy::
     ├── SimulationError      GPU/cluster simulation misuse
     ├── StorageError         storage tier / record store failure
     │   └── IntegrityError   (also) — diamond inheritance, see below
-    └── FaultError           fault injection could not be applied
+    ├── FaultError           fault injection could not be applied
+    └── ReplayError          a journal cannot be replayed
 
 :class:`IntegrityError` deliberately subclasses *both*
 :class:`SerializationError` and :class:`StorageError`: corruption is
@@ -103,3 +104,16 @@ class SimulationError(ReproError):
 
 class FaultError(ReproError):
     """A fault injection could not be applied to its target."""
+
+
+class ReplayError(ReproError):
+    """A recorded journal cannot be replayed.
+
+    Raised before any re-driving happens: the journal mixes records from
+    different runs, carries no ``run_config`` event to rebuild the
+    workload from, or its incident stream is structurally inconsistent
+    (e.g. a restart with no preceding crash).  Divergence *during* a
+    replay is never an exception — it is reported as
+    ``replay_divergence`` events and a non-equivalent
+    :class:`~repro.replay.ReplayResult`.
+    """

@@ -64,7 +64,11 @@ def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> AppliedFault:
         f.seek(byte_offset)
         f.write(bytes([original ^ (1 << bit)]))
     events.emit(
-        events.RECORD_FAULT, kind="bitflip", path=str(target), detail=byte_offset
+        events.RECORD_FAULT,
+        kind="bitflip",
+        path=str(target),
+        detail=byte_offset,
+        bit=bit,
     )
     return AppliedFault("bitflip", str(target), byte_offset)
 

@@ -10,9 +10,12 @@ faults across all three failure domains the runtime models:
 * **crashes** — process failures at chosen simulated times (driven
   through :meth:`~repro.runtime.node.NodeRuntime.crash_restart`).
 
-Each planning method derives its randomness from ``(seed, domain salt)``
-so plans are independent of the order the methods are called in — the
-same seed always yields the same campaign.
+Each planning method derives its randomness from ``(seed, domain salt,
+per-domain call index)`` so plans are independent of the order the
+methods are called in — the same seed always yields the same campaign —
+while *repeated* calls to the same planner draw fresh, still-reproducible
+faults instead of replaying the first batch (regression-tested under
+call-order permutation in ``tests/faults/test_plan.py``).
 """
 
 from __future__ import annotations
@@ -61,10 +64,17 @@ class TierFaultSpec:
 
 @dataclass(frozen=True)
 class CrashSpec:
-    """One planned process crash at a simulated time."""
+    """One planned process crash at a simulated time.
+
+    ``restart=False`` models a *dropped recovery*: the process crashes
+    and never comes back (no restart event) — the replay driver keeps it
+    dead for the rest of the run.  Planned crashes always restart; the
+    flag exists for the incident mutator's drop-recovery operator.
+    """
 
     process: int
     at: float
+    restart: bool = True
 
 
 class FaultPlan:
@@ -74,9 +84,18 @@ class FaultPlan:
         self.seed = int(seed)
         #: Receipts of every fault this plan has applied, in order.
         self.applied: List[AppliedFault] = []
+        #: Per-domain draw counters: the k-th call to a planner salts its
+        #: stream with k, so repeated calls draw fresh faults while call
+        #: order across domains stays irrelevant.
+        self._draws: Dict[int, int] = {}
 
     def _rng(self, salt: int) -> np.random.Generator:
-        return np.random.default_rng([self.seed, salt])
+        call = self._draws.get(salt, 0)
+        self._draws[salt] = call + 1
+        # The first draw of each domain keeps the historical (seed, salt)
+        # stream so existing seeded campaigns reproduce byte-for-byte.
+        key = [self.seed, salt] if call == 0 else [self.seed, salt, call]
+        return np.random.default_rng(key)
 
     # ------------------------------------------------------------------
     # Record (on-disk) faults

@@ -1,0 +1,204 @@
+"""The incident-fuzzing campaign: prove health-rule coverage.
+
+:func:`run_fuzz_campaign` mutates a base incident schedule N times,
+drives each mutated run, and grades three properties per trial:
+
+* **flag coverage** — every injected failure event (tier outage, crash,
+  record-fault receipt) appears in the evidence of at least one health
+  finding; a failure nobody flags is an observability hole.
+* **zero silent wrong** — a run whose restored bytes diverge from the
+  independently regenerated workload truth *must* carry a critical
+  finding; divergence without one is the failure mode the whole
+  subsystem exists to eliminate.
+* **replay equivalence** — each mutated run's journal replays to the
+  same outcome (optional but on by default), with the divergence count
+  distribution (p50/p99) reported.
+
+The campaign's per-rule firing statistics double as threshold
+calibration data: a rule that never fires under a fault storm is set
+too loose, one that fires on every clean component too tight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .. import telemetry
+from ..telemetry.events import FAILURE_EVENT_TYPES
+from ..telemetry.health import CRITICAL, evaluate_health
+from .driver import IncidentSchedule, drive_run
+from .mutator import IncidentMutator
+from .recorder import make_schedule
+from .replayer import JournalReplayer
+from .timeline import RunConfig
+
+PathLike = Union[str, Path]
+
+_TRIAL_SEED_STRIDE = 1_000_003
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of *values* (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return float(ordered[rank])
+
+
+def _event_key(record: Dict[str, Any]):
+    return (
+        record.get("type"),
+        record.get("node"),
+        record.get("rank"),
+        record.get("seq"),
+        record.get("sim_time"),
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Campaign-wide grading, JSON-serialisable via :meth:`as_dict`."""
+
+    trials: int
+    seed: int
+    injected_total: int = 0
+    flagged_total: int = 0
+    silent_wrong: int = 0
+    golden_failures: int = 0
+    replays: int = 0
+    replays_equivalent: int = 0
+    divergence_counts: List[int] = field(default_factory=list)
+    operators: Dict[str, int] = field(default_factory=dict)
+    findings_by_rule: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    unflagged: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def flag_coverage(self) -> float:
+        if self.injected_total == 0:
+            return 1.0
+        return self.flagged_total / self.injected_total
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "injected_total": self.injected_total,
+            "flagged_total": self.flagged_total,
+            "flag_coverage": self.flag_coverage,
+            "silent_wrong": self.silent_wrong,
+            "golden_failures": self.golden_failures,
+            "replays": self.replays,
+            "replays_equivalent": self.replays_equivalent,
+            "divergence_p50": _percentile(
+                [float(d) for d in self.divergence_counts], 50
+            ),
+            "divergence_p99": _percentile(
+                [float(d) for d in self.divergence_counts], 99
+            ),
+            "divergence_max": max(self.divergence_counts, default=0),
+            "operators": dict(sorted(self.operators.items())),
+            "calibration": {
+                "findings_by_rule": {
+                    rule: dict(sorted(counts.items()))
+                    for rule, counts in sorted(self.findings_by_rule.items())
+                },
+            },
+            "unflagged": self.unflagged[:8],
+        }
+
+
+def run_fuzz_campaign(
+    config: Optional[RunConfig] = None,
+    base_schedule: Optional[IncidentSchedule] = None,
+    trials: int = 60,
+    seed: int = 0,
+    workdir: Optional[PathLike] = None,
+    replay_each: bool = True,
+) -> FuzzReport:
+    """Mutate, drive, and grade *trials* incident streams.
+
+    Each trial derives its own :class:`IncidentMutator` from ``(seed,
+    trial)``, so the campaign is reproducible and each trial independent.
+    *workdir* hosts per-trial record directories (required because the
+    base schedule and the ``inject_corruption`` operator corrupt stored
+    records); pass a temporary directory.
+    """
+    if config is None:
+        config = RunConfig()
+    if base_schedule is None:
+        base_schedule = make_schedule(
+            config,
+            faults_seed=seed,
+            n_transient=1,
+            n_crashes=1,
+            n_record_faults=1,
+        )
+    if workdir is None:
+        raise ValueError("run_fuzz_campaign needs a workdir for record legs")
+    base = Path(workdir)
+    base.mkdir(parents=True, exist_ok=True)
+
+    report = FuzzReport(trials=trials, seed=seed)
+    for trial in range(trials):
+        mutator = IncidentMutator(seed * _TRIAL_SEED_STRIDE + trial)
+        schedule, mutation = mutator.mutate(base_schedule, config)
+        report.operators[mutation.operator] = (
+            report.operators.get(mutation.operator, 0) + 1
+        )
+        trial_dir = base / f"trial-{trial:04d}"
+        with telemetry.span(
+            "fuzz.trial", trial=trial, operator=mutation.operator
+        ):
+            drive = drive_run(
+                config,
+                schedule,
+                run_id=f"fuzz-{seed}-{trial:04d}",
+                workdir=trial_dir,
+            )
+            health = evaluate_health(drive.records)
+
+            evidence_keys = set()
+            for finding in health.findings:
+                for event in finding.evidence:
+                    evidence_keys.add(_event_key(event))
+            injected_failures = [
+                r for r in drive.injected if r.get("type") in FAILURE_EVENT_TYPES
+            ]
+            report.injected_total += len(injected_failures)
+            for record in injected_failures:
+                if _event_key(record) in evidence_keys:
+                    report.flagged_total += 1
+                elif len(report.unflagged) < 32:
+                    report.unflagged.append(
+                        {
+                            "trial": trial,
+                            "operator": mutation.operator,
+                            "type": record.get("type"),
+                            "rank": record.get("rank"),
+                            "sim_time": record.get("sim_time"),
+                        }
+                    )
+
+            has_critical = any(
+                f.severity == CRITICAL for f in health.findings
+            )
+            if not drive.golden_ok:
+                report.golden_failures += 1
+                if not has_critical:
+                    report.silent_wrong += 1
+            for finding in health.findings:
+                by_sev = report.findings_by_rule.setdefault(finding.rule, {})
+                by_sev[finding.severity] = by_sev.get(finding.severity, 0) + 1
+
+            if replay_each:
+                replay = JournalReplayer(drive.records).replay(
+                    workdir=trial_dir / "replay"
+                )
+                report.replays += 1
+                report.replays_equivalent += int(replay.equivalent)
+                report.divergence_counts.append(len(replay.divergences))
+    return report

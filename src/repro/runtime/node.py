@@ -11,6 +11,7 @@ overhead — the paper's bottom-line metric: blocking time on the device
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -178,17 +179,28 @@ class NodeRuntime:
 
     # ------------------------------------------------------------------
     def checkpoint_all(
-        self, buffers: Sequence[np.ndarray], now: float
+        self,
+        buffers: Sequence[np.ndarray],
+        now: float,
+        processes: Optional[Sequence[int]] = None,
     ) -> List[NodeTimeline]:
         """All processes checkpoint their buffer at simulated time *now*.
 
-        Returns the updated per-process timelines.
+        *processes* restricts the round to a subset (the replay driver
+        uses this to keep permanently-dead processes out of a cadence);
+        the default checkpoints every process.  Returns the updated
+        per-process timelines.
         """
         if len(buffers) != self.num_processes:
             raise ValueError(
                 f"expected {self.num_processes} buffers, got {len(buffers)}"
             )
+        active = (
+            set(range(self.num_processes)) if processes is None else set(processes)
+        )
         for p, (engine, buffer) in enumerate(zip(self.engines, buffers)):
+            if p not in active:
+                continue
             with telemetry.span(
                 "node.checkpoint", space=engine.space, process=p, sim_now=now
             ):
@@ -213,6 +225,14 @@ class NodeRuntime:
                 )
             )
             self.provenance[p].append(diff)
+            # The payload digest is only worth computing when a journal
+            # is recording — replay uses it to prove bit-identical
+            # durable content without shipping payloads around.
+            payload_sha256 = (
+                hashlib.sha256(diff.to_bytes()).hexdigest()
+                if events.active_journal() is not None
+                else None
+            )
             events.emit(
                 events.CHECKPOINT_COMMITTED,
                 sim_time=produced_at,
@@ -228,6 +248,7 @@ class NodeRuntime:
                 persisted_at=report.persisted_at,
                 retries=report.retries,
                 skipped_tiers=list(report.skipped_tiers),
+                payload_sha256=payload_sha256,
             )
         self._ckpt_counter += 1
         return self.timelines

@@ -125,7 +125,7 @@ def induced_partition_graph(graph: Graph, vertices: np.ndarray) -> Graph:
 
 
 def _run_rank(
-    args: Tuple[Graph, str, int, int, float, int, int, str, bool]
+    args: Tuple[Graph, str, int, int, float, int, int, str, bool, Optional[str]]
 ) -> Tuple[int, int, List[float], List[dict]]:
     """One rank's whole pipeline (module-level so it pickles for pools).
 
@@ -143,6 +143,7 @@ def _run_rank(
         rank,
         node_name,
         capture,
+        run_id,
     ) = args
     engine = GdvEngine(local, max_graphlet_size)
     ckpt = IncrementalCheckpointer(
@@ -151,7 +152,11 @@ def _run_rank(
         method=method,
         pcie_contention=contention,
     )
-    journal = EventJournal(node=node_name, rank=rank) if capture else None
+    journal = (
+        EventJournal(node=node_name, rank=rank, run_id=run_id)
+        if capture
+        else None
+    )
     cursor = 0.0
     seconds = []
     for snapshot in engine.checkpoint_stream(num_ckpts):
@@ -227,6 +232,12 @@ class StrongScalingDriver:
 
         parts = partition_vertices(self.graph.num_vertices, num_processes)
         gpus_per_node = self.cluster.node.gpus_per_node
+        # One deterministic run identity shared by every rank's journal,
+        # so the merged stream is a single-run (replay-safe) journal.
+        run_id = (
+            f"fleet-{self.method}-p{num_processes}-c{num_checkpoints}"
+            f"-v{self.graph.num_vertices}"
+        )
         jobs = [
             (
                 induced_partition_graph(self.graph, parts[rank]),
@@ -238,6 +249,7 @@ class StrongScalingDriver:
                 rank,
                 f"node{rank // gpus_per_node}",
                 self.capture_events,
+                run_id,
             )
             for rank in range(num_processes)
         ]
@@ -319,10 +331,13 @@ class StrongScalingDriver:
         events: List[dict] = []
         if self.capture_events:
             gpus_per_node = self.cluster.node.gpus_per_node
+            restart_run_id = f"fleet-restart-r{num_ranks}-c{report.target_ckpt}"
             per_rank_events: List[List[dict]] = []
             for shard, seconds in zip(report.shards, per_rank):
                 rank_journal = EventJournal(
-                    node=f"node{shard.rank // gpus_per_node}", rank=shard.rank
+                    node=f"node{shard.rank // gpus_per_node}",
+                    rank=shard.rank,
+                    run_id=restart_run_id,
                 )
                 rank_journal.emit(
                     RESTORE,

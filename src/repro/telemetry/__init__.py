@@ -30,7 +30,14 @@ from typing import Any, Dict, Iterator
 from ._state import STATE
 from . import events
 from .aggregate import FleetRollup, RankRollup, build_rollup, merge_journals, merge_metrics
-from .events import EventJournal, journal_to, read_journal, write_journal
+from .events import (
+    EventJournal,
+    LoadedJournal,
+    journal_run_ids,
+    journal_to,
+    read_journal,
+    write_journal,
+)
 from .export import (
     metrics_to_json,
     metrics_to_prometheus,
@@ -110,6 +117,7 @@ __all__ = [
     "HealthReport",
     "Histogram",
     "InstantRecord",
+    "LoadedJournal",
     "MetricsRegistry",
     "RankRollup",
     "SpanRecord",
@@ -128,6 +136,7 @@ __all__ = [
     "get_tracer",
     "histogram",
     "instant",
+    "journal_run_ids",
     "journal_to",
     "merge_journals",
     "merge_metrics",

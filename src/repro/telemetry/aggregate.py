@@ -25,6 +25,7 @@ from .events import (
     SALVAGE,
     TIER_OUTAGE,
     EventJournal,
+    journal_run_ids,
     merge_key,
 )
 
@@ -35,16 +36,31 @@ def _as_records(journal) -> List[Dict[str, Any]]:
     return list(journal)
 
 
-def merge_journals(journals: Iterable) -> List[Dict[str, Any]]:
+def merge_journals(
+    journals: Iterable, allow_mixed_runs: bool = False
+) -> List[Dict[str, Any]]:
     """Merge journals (record lists or :class:`EventJournal`) into one
     canonically ordered stream.
 
     The result depends only on the multiset of records, not on the order
     journals are passed in or the order records appear within them.
+
+    Records carrying two or more distinct ``run_id`` values (schema v2
+    envelope) are journals from *different runs*; merging them would
+    silently conflate unrelated fleets, so it raises ``ValueError``
+    unless ``allow_mixed_runs=True``.  Records without a run id (schema
+    v1, ad-hoc journals) merge compatibly with anything.
     """
     merged: List[Dict[str, Any]] = []
     for journal in journals:
         merged.extend(_as_records(journal))
+    if not allow_mixed_runs:
+        run_ids = journal_run_ids(merged)
+        if len(run_ids) > 1:
+            raise ValueError(
+                f"refusing to merge journals from {len(run_ids)} different "
+                f"runs: {run_ids} (pass allow_mixed_runs=True to override)"
+            )
     merged.sort(key=merge_key)
     return merged
 

@@ -17,14 +17,21 @@ environment).  When no journal is installed, :func:`emit` is a single
 ``None`` check, and checkpoint bytes are identical either way (golden
 tests in ``tests/telemetry/test_events.py``).
 
-Record envelope (schema version 1)::
+Record envelope (schema version 2)::
 
-    {"schema": 1, "seq": 3, "type": "checkpoint_committed",
-     "node": "node0", "rank": 1, "wall_time": 1754..., "sim_time": 0.82,
+    {"schema": 2, "seq": 3, "type": "checkpoint_committed",
+     "run_id": "fleet-0", "node": "node0", "rank": 1,
+     "wall_time": 1754..., "sim_time": 0.82,
      ...event-specific fields...}
 
 ``seq`` is a per-journal monotonic counter; ``(node, rank, seq)`` orders
 records from one emitter even when ``sim_time`` ties or is absent.
+``run_id`` (new in schema v2) names the run the record belongs to, so
+journals from *different* runs can no longer be silently conflated by a
+merge: :func:`repro.telemetry.aggregate.merge_journals` and the replay
+subsystem (:mod:`repro.replay`) both refuse mixed ``run_id`` streams.
+Schema v1 records (no ``run_id``) still load; their run id reads as
+``None``, which merges compatibly with anything.
 """
 
 from __future__ import annotations
@@ -40,7 +47,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 from ..errors import StorageError
 
 #: Journal record schema version; bump on incompatible envelope changes.
-SCHEMA_VERSION = 1
+#: v2 adds the ``run_id`` envelope field (v1 records still load).
+SCHEMA_VERSION = 2
 
 # ----------------------------------------------------------------------
 # Event types
@@ -55,6 +63,8 @@ CRASH = "crash"
 RESTART = "restart"
 RESTORE = "restore"
 REBASE = "rebase"
+RUN_CONFIG = "run_config"
+REPLAY_DIVERGENCE = "replay_divergence"
 
 EVENT_TYPES = frozenset(
     {
@@ -68,11 +78,32 @@ EVENT_TYPES = frozenset(
         RESTART,
         RESTORE,
         REBASE,
+        RUN_CONFIG,
+        REPLAY_DIVERGENCE,
+    }
+)
+
+#: Event types that record something going *wrong* (as opposed to normal
+#: progress like a committed checkpoint or a completed restore).  The
+#: health engine guarantees every one of these maps to at least one rule
+#: — see :data:`repro.telemetry.health.RULE_COVERAGE` and the coverage
+#: test in ``tests/telemetry/test_health.py``.
+FAILURE_EVENT_TYPES = frozenset(
+    {
+        FLUSH_RETRY,
+        FLUSH_ROUTE_AROUND,
+        TIER_OUTAGE,
+        SALVAGE,
+        RECORD_FAULT,
+        CRASH,
+        REPLAY_DIVERGENCE,
     }
 )
 
 #: Envelope keys; payload fields may not collide with them.
-_ENVELOPE = frozenset({"schema", "seq", "type", "node", "rank", "wall_time", "sim_time"})
+_ENVELOPE = frozenset(
+    {"schema", "seq", "type", "run_id", "node", "rank", "wall_time", "sim_time"}
+)
 
 
 class EventJournal:
@@ -86,6 +117,10 @@ class EventJournal:
         keeps records in memory only.
     node / rank:
         Identity stamped on every record unless overridden per ``emit``.
+    run_id:
+        Optional run identity stamped on every record (schema v2).  Leave
+        ``None`` for ad-hoc journals; recorded runs meant for replay or
+        cross-run merging should set a stable, deterministic id.
     """
 
     def __init__(
@@ -93,9 +128,11 @@ class EventJournal:
         path: Optional[Union[str, Path]] = None,
         node: str = "node0",
         rank: Optional[int] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         self.node = node
         self.rank = rank
+        self.run_id = run_id
         self.path = Path(path) if path is not None else None
         self._records: List[Dict[str, Any]] = []
         self._seq = 0
@@ -119,6 +156,7 @@ class EventJournal:
         record: Dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "type": type,
+            "run_id": self.run_id,
             "node": node if node is not None else self.node,
             "rank": rank if rank is not None else self.rank,
             "wall_time": time.time(),
@@ -196,6 +234,7 @@ def journal_to(
     path: Optional[Union[str, Path]] = None,
     node: str = "node0",
     rank: Optional[int] = None,
+    run_id: Optional[str] = None,
 ) -> Iterator[EventJournal]:
     """Install a fresh journal for one block, restoring the prior sink.
 
@@ -204,7 +243,7 @@ def journal_to(
     >>> len(journal.records())        # doctest: +SKIP
     """
     global _ACTIVE
-    journal = EventJournal(path, node=node, rank=rank)
+    journal = EventJournal(path, node=node, rank=rank, run_id=run_id)
     prev = _ACTIVE
     _ACTIVE = journal
     try:
@@ -226,28 +265,77 @@ def write_journal(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> 
     return out
 
 
-def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Load one JSONL journal, validating the envelope of every record."""
+class LoadedJournal(List[Dict[str, Any]]):
+    """A journal's records plus what had to be skipped to load them.
+
+    Behaves exactly like the record list :func:`read_journal` has always
+    returned, with damage accounting attached: ``skipped_lines`` counts
+    truncated/garbled/unreadable JSONL lines that were dropped, and
+    ``problems`` describes the first few.  A journal cut off mid-record
+    by the very crash it documents must still load — the replayer depends
+    on it.
+    """
+
+    def __init__(self, records=(), path: Optional[Path] = None) -> None:
+        super().__init__(records)
+        self.path = path
+        self.skipped_lines: int = 0
+        self.problems: List[str] = []
+
+
+def read_journal(path: Union[str, Path], strict: bool = False) -> LoadedJournal:
+    """Load one JSONL journal, validating the envelope of every record.
+
+    By default damaged lines — truncated JSON (a crash mid-write),
+    garbled bytes, records with no event type, or an unsupported schema
+    version — are *skipped and counted* on the returned
+    :class:`LoadedJournal` (``skipped_lines`` / ``problems``) instead of
+    aborting the load mid-file.  ``strict=True`` restores the raising
+    behaviour for tests and for pipelines that must not tolerate damage.
+    """
     source = Path(path)
     if not source.exists():
         raise StorageError(f"no journal at {source}")
-    records: List[Dict[str, Any]] = []
+    records = LoadedJournal(path=source)
+
+    def _skip(lineno: int, why: str, exc: Optional[Exception] = None) -> None:
+        if strict:
+            message = f"{source}:{lineno}: {why}"
+            raise StorageError(message) from exc
+        records.skipped_lines += 1
+        if len(records.problems) < 8:
+            records.problems.append(f"line {lineno}: {why}")
+
     for lineno, line in enumerate(source.read_text().splitlines(), start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise StorageError(f"{source}:{lineno}: malformed journal line: {exc}") from exc
+            _skip(lineno, f"malformed journal line: {exc}", exc)
+            continue
         if not isinstance(record, dict) or "type" not in record:
-            raise StorageError(f"{source}:{lineno}: journal record has no event type")
+            _skip(lineno, "journal record has no event type")
+            continue
         version = record.get("schema")
         if not isinstance(version, int) or version > SCHEMA_VERSION:
-            raise StorageError(
-                f"{source}:{lineno}: unsupported journal schema {version!r}"
-            )
+            _skip(lineno, f"unsupported journal schema {version!r}")
+            continue
         records.append(record)
     return records
+
+
+def journal_run_ids(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """Distinct non-``None`` ``run_id`` values in *records*, sorted.
+
+    Schema v1 records (and v2 records from ad-hoc journals) carry no run
+    identity and are compatible with any run; only *conflicting* ids —
+    two or more distinct non-``None`` values — indicate journals from
+    different runs being conflated.
+    """
+    ids = {r.get("run_id") for r in records}
+    ids.discard(None)
+    return sorted(ids)
 
 
 def merge_key(record: Dict[str, Any]):

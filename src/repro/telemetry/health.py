@@ -34,9 +34,11 @@ from .events import (
     FLUSH_RETRY,
     FLUSH_ROUTE_AROUND,
     RECORD_FAULT,
+    REPLAY_DIVERGENCE,
     RESTART,
     RESTORE,
     SALVAGE,
+    TIER_OUTAGE,
 )
 
 OK = "ok"
@@ -488,6 +490,56 @@ class RestoreLagRule(HealthRule):
         return findings
 
 
+class ReplayDivergenceRule(HealthRule):
+    """A journal replay diverged from the recorded run: always critical.
+
+    The replay subsystem (:mod:`repro.replay`) re-drives a recorded
+    journal and emits one ``replay_divergence`` event per equivalence
+    component that differs — durable-checkpoint set, restored bytes,
+    health findings, or event counts.  Any such event means either the
+    runtime is non-deterministic or the journal no longer describes what
+    the system does: both are correctness emergencies.
+    """
+
+    name = "replay_divergence"
+    description = "replayed run diverged from its recorded journal"
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        findings: List[Finding] = []
+        for event in rollup.events_of(REPLAY_DIVERGENCE):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=CRITICAL,
+                    message=(
+                        f"replay of run {event.get('replay_of', '?')!r} "
+                        f"diverged: {event.get('kind', '?')} — "
+                        f"{event.get('detail', '?')}"
+                    ),
+                    node=event.get("node"),
+                    rank=event.get("rank"),
+                    evidence=[event],
+                )
+            )
+        return findings
+
+
+#: Which rules can flag each failure event type (see
+#: :data:`repro.telemetry.events.FAILURE_EVENT_TYPES`).  The fuzzing
+#: campaign and ``tests/telemetry/test_health.py`` assert this map is
+#: total over the failure event set and that the listed rules actually
+#: produce a finding carrying the event as evidence.
+RULE_COVERAGE: Dict[str, List[str]] = {
+    TIER_OUTAGE: [TierOutageRule.name],
+    FLUSH_RETRY: [TierOutageRule.name],
+    FLUSH_ROUTE_AROUND: [TierOutageRule.name],
+    SALVAGE: [CorruptionRule.name],
+    RECORD_FAULT: [CorruptionRule.name],
+    CRASH: [CrashLoopRule.name],
+    REPLAY_DIVERGENCE: [ReplayDivergenceRule.name],
+}
+
+
 def default_rules() -> List[HealthRule]:
     """A fresh instance of every built-in rule, default thresholds."""
     return [
@@ -497,6 +549,7 @@ def default_rules() -> List[HealthRule]:
         CrashLoopRule(),
         TierOutageRule(),
         RestoreLagRule(),
+        ReplayDivergenceRule(),
     ]
 
 

@@ -51,6 +51,42 @@ class TestDeterminism:
         b = FaultPlan(9).plan_crashes(4, 100.0, n_crashes=6)
         assert a == b
 
+    def test_all_domain_permutations_identical(self):
+        """Regression: per-domain salted streams make every planner's
+        output a function of (seed, domain, call index) alone — no
+        ordering of calls across domains may change any plan."""
+        import itertools
+
+        calls = {
+            "record": lambda p: p.plan_record_faults(6, n_faults=4),
+            "tier": lambda p: p.plan_tier_faults(
+                ["host", "ssd", "pfs"], 50.0, n_transient=2, n_permanent=1
+            ),
+            "crash": lambda p: p.plan_crashes(4, 50.0, n_crashes=3),
+        }
+        reference = None
+        for order in itertools.permutations(calls):
+            plan = FaultPlan(23)
+            outputs = {name: calls[name](plan) for name in order}
+            if reference is None:
+                reference = outputs
+            else:
+                assert outputs == reference, f"order {order} changed a plan"
+
+    def test_repeated_calls_draw_fresh_faults(self):
+        """Two calls into the same domain must not replay the same
+        stream, and the k-th call must be order-independent too."""
+        plan = FaultPlan(11)
+        first = plan.plan_record_faults(8, n_faults=5)
+        second = plan.plan_record_faults(8, n_faults=5)
+        assert first != second
+
+        plan_b = FaultPlan(11)
+        b_first = plan_b.plan_record_faults(8, n_faults=5)
+        plan_b.plan_crashes(4, 100.0, n_crashes=2)  # interleaved domain
+        b_second = plan_b.plan_record_faults(8, n_faults=5)
+        assert (b_first, b_second) == (first, second)
+
 
 class TestValidation:
     def test_empty_record_rejected(self):

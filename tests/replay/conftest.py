@@ -1,0 +1,12 @@
+"""Replay tests never leak an installed journal into other tests."""
+
+import pytest
+
+from repro.telemetry import events
+
+
+@pytest.fixture(autouse=True)
+def _journaling_off():
+    events.uninstall()
+    yield
+    events.uninstall()

@@ -1,0 +1,52 @@
+"""Fuzz campaign: coverage accounting, grading, reproducibility."""
+
+import pytest
+
+from repro.replay import RunConfig, run_fuzz_campaign
+
+CONFIG = RunConfig(data_len=4096, num_processes=2, steps=3, seed=7)
+
+
+class TestCampaign:
+    def test_small_campaign_full_coverage(self, tmp_path):
+        report = run_fuzz_campaign(
+            CONFIG, trials=4, seed=0, workdir=tmp_path, replay_each=True
+        )
+        assert report.trials == 4
+        assert report.injected_total > 0
+        assert report.flag_coverage == 1.0, report.unflagged
+        assert report.silent_wrong == 0
+        assert report.replays == 4
+        assert report.replays_equivalent == 4
+        assert sum(report.operators.values()) == 4
+
+    def test_campaign_is_reproducible(self, tmp_path):
+        a = run_fuzz_campaign(
+            CONFIG, trials=3, seed=5, workdir=tmp_path / "a", replay_each=False
+        )
+        b = run_fuzz_campaign(
+            CONFIG, trials=3, seed=5, workdir=tmp_path / "b", replay_each=False
+        )
+        assert a.as_dict() == b.as_dict()
+
+    def test_report_dict_shape(self, tmp_path):
+        report = run_fuzz_campaign(
+            CONFIG, trials=2, seed=1, workdir=tmp_path, replay_each=True
+        )
+        as_dict = report.as_dict()
+        for key in (
+            "trials",
+            "flag_coverage",
+            "silent_wrong",
+            "divergence_p50",
+            "divergence_p99",
+            "divergence_max",
+            "operators",
+        ):
+            assert key in as_dict
+        assert as_dict["calibration"]["findings_by_rule"]
+        assert as_dict["divergence_p99"] == 0.0
+
+    def test_workdir_required(self):
+        with pytest.raises(ValueError, match="workdir"):
+            run_fuzz_campaign(CONFIG, trials=1, seed=0)

@@ -1,0 +1,104 @@
+"""Mutation operators: seeded determinism and run-drivable invariants."""
+
+import pytest
+
+from repro.replay import IncidentMutator, RunConfig, make_schedule
+from repro.replay.driver import SAFE_PERMANENT_TIERS, SAFE_TRANSIENT_TIERS
+from repro.replay.mutator import MAX_CRASHES_PER_PROCESS
+
+CONFIG = RunConfig(data_len=4096, num_processes=2, steps=3, seed=1)
+
+
+def _base():
+    return make_schedule(
+        CONFIG, faults_seed=0, n_transient=1, n_crashes=1, n_record_faults=1
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_mutation(self):
+        a, rec_a = IncidentMutator(42).mutate(_base(), CONFIG)
+        b, rec_b = IncidentMutator(42).mutate(_base(), CONFIG)
+        assert rec_a == rec_b
+        assert a.tier_faults == b.tier_faults
+        assert a.crashes == b.crashes
+        assert a.record_faults == b.record_faults
+
+    def test_seeds_explore_different_operators(self):
+        operators = {
+            IncidentMutator(seed).mutate(_base(), CONFIG)[1].operator
+            for seed in range(24)
+        }
+        assert len(operators) >= 3
+
+    def test_operator_names_are_declared(self):
+        for seed in range(12):
+            _, record = IncidentMutator(seed).mutate(_base(), CONFIG)
+            assert record.operator in IncidentMutator.OPERATORS
+
+
+class TestInvariants:
+    def test_input_schedule_never_mutated_in_place(self):
+        base = _base()
+        snapshot = (
+            list(base.tier_faults),
+            list(base.crashes),
+            list(base.record_faults),
+        )
+        for seed in range(16):
+            IncidentMutator(seed).mutate(base, CONFIG)
+        assert (
+            list(base.tier_faults),
+            list(base.crashes),
+            list(base.record_faults),
+        ) == snapshot
+
+    def test_chained_mutations_respect_invariants(self):
+        """A long mutation chain keeps every schedule drivable: crashes
+        stay inside the horizon, per-process crash counts stay within
+        the crash-loop evidence window, and outages stay on tiers the
+        storage hierarchy survives."""
+        schedule = _base()
+        horizon = CONFIG.horizon_seconds
+        for seed in range(60):
+            schedule, _ = IncidentMutator(seed).mutate(schedule, CONFIG)
+            counts = {}
+            for crash in schedule.crashes:
+                assert 0.0 <= crash.at <= horizon
+                counts[crash.process] = counts.get(crash.process, 0) + 1
+            assert all(n <= MAX_CRASHES_PER_PROCESS for n in counts.values())
+            for fault in schedule.tier_faults:
+                if fault.kind == "permanent":
+                    assert fault.tier in SAFE_PERMANENT_TIERS
+                else:
+                    assert fault.tier in SAFE_TRANSIENT_TIERS
+
+    def test_drop_recovery_only_flips_restart(self):
+        mutated = None
+        for seed in range(64):
+            candidate, record = IncidentMutator(seed).mutate(_base(), CONFIG)
+            if record.operator == "drop_recovery":
+                mutated = candidate
+                break
+        assert mutated is not None, "drop_recovery never drawn in 64 seeds"
+        base = _base()
+        assert mutated.tier_faults == base.tier_faults
+        assert mutated.record_faults == base.record_faults
+        assert sum(not c.restart for c in mutated.crashes) == 1
+
+
+class TestFallthrough:
+    def test_inapplicable_operators_fall_through(self):
+        """An empty schedule still always yields a mutation — the
+        always-applicable operators (compound, corruption) catch it."""
+        from repro.replay.driver import IncidentSchedule
+
+        empty = IncidentSchedule(tier_faults=[], crashes=[], record_faults=[])
+        for seed in range(16):
+            mutated, record = IncidentMutator(seed).mutate(empty, CONFIG)
+            assert record.operator in ("compound_fault", "inject_corruption")
+            assert (
+                len(mutated.tier_faults)
+                + len(mutated.crashes)
+                + len(mutated.record_faults)
+            ) > 0

@@ -1,0 +1,112 @@
+"""Timeline parsing: config round-trip, journal validation, incidents."""
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.replay import RunConfig, build_timeline
+from repro.replay.timeline import INCIDENT_TYPES
+from repro.telemetry import events
+from repro.telemetry.events import EventJournal
+
+
+def _journal(run_id="run-a", with_config=True):
+    journal = EventJournal(node="node0", run_id=run_id)
+    if with_config:
+        config = RunConfig(steps=3)
+        journal.emit(
+            events.RUN_CONFIG,
+            sim_time=0.0,
+            config=config.to_payload(),
+            horizon=config.horizon_seconds,
+        )
+    return journal
+
+
+class TestRunConfig:
+    def test_payload_roundtrip(self):
+        config = RunConfig(
+            workload="unstructured_mesh",
+            num_vertices=64,
+            num_processes=3,
+            steps=4,
+            period_seconds=2.5,
+            seed=9,
+        )
+        assert RunConfig.from_payload(config.to_payload()) == config
+
+    def test_horizon_is_steps_times_period(self):
+        assert RunConfig(steps=4, period_seconds=2.5).horizon_seconds == 10.0
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(ReplayError, match="not a mapping"):
+            RunConfig.from_payload(["nope"])
+
+    def test_incomplete_payload_rejected(self):
+        with pytest.raises(ReplayError, match="incomplete"):
+            RunConfig.from_payload({"workload": "synthetic"})
+
+
+class TestBuildTimeline:
+    def test_empty_journal_rejected(self):
+        with pytest.raises(ReplayError, match="empty journal"):
+            build_timeline([])
+
+    def test_mixed_run_ids_rejected(self):
+        a = _journal(run_id="run-a")
+        b = _journal(run_id="run-b", with_config=False)
+        b.emit(events.CRASH, sim_time=1.0, rank=0, in_flight_ckpts=0)
+        with pytest.raises(ReplayError, match="different runs"):
+            build_timeline(a.records() + b.records())
+
+    def test_missing_run_config_rejected(self):
+        journal = _journal(with_config=False)
+        journal.emit(events.CRASH, sim_time=1.0, rank=0, in_flight_ckpts=0)
+        with pytest.raises(ReplayError, match="no run_config"):
+            build_timeline(journal.records())
+
+    def test_conflicting_run_configs_rejected(self):
+        journal = _journal()
+        other = RunConfig(steps=7)
+        journal.emit(
+            events.RUN_CONFIG,
+            sim_time=0.0,
+            config=other.to_payload(),
+            horizon=other.horizon_seconds,
+        )
+        with pytest.raises(ReplayError, match="conflicting run_config"):
+            build_timeline(journal.records())
+
+    def test_incidents_extracted_in_merged_order(self):
+        journal = _journal()
+        journal.emit(
+            events.TIER_OUTAGE,
+            sim_time=5.0,
+            tier="ssd",
+            kind="transient",
+            duration=1.0,
+        )
+        journal.emit(events.CRASH, sim_time=2.0, rank=1, in_flight_ckpts=0)
+        journal.emit(
+            events.CHECKPOINT_COMMITTED,
+            sim_time=1.0,
+            rank=0,
+            ckpt_id=0,
+            stored_bytes=10,
+            full_bytes=10,
+        )
+        timeline = build_timeline(journal.records())
+        assert [i.type for i in timeline.incidents] == [
+            events.CRASH,
+            events.TIER_OUTAGE,
+        ]
+        assert timeline.incidents_of(events.CRASH)[0].rank == 1
+        assert timeline.run_id == "run-a"
+        assert timeline.horizon_seconds == 30.0
+        # progress records never count as incidents
+        assert events.CHECKPOINT_COMMITTED not in INCIDENT_TYPES
+
+    def test_v1_records_without_run_id_build(self):
+        journal = _journal(run_id=None)
+        timeline = build_timeline(journal.records())
+        assert timeline.run_id is None
+        assert timeline.config.steps == 3

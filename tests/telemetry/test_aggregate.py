@@ -67,6 +67,24 @@ class TestMergeJournals:
         as_lists = [j.records() for j in journals]
         assert merge_journals(journals) == merge_journals(as_lists)
 
+    def test_mixed_run_ids_refused(self):
+        a = EventJournal(node="n0", rank=0, run_id="run-a")
+        b = EventJournal(node="n0", rank=1, run_id="run-b")
+        a.emit(CRASH, sim_time=1.0)
+        b.emit(CRASH, sim_time=2.0)
+        with pytest.raises(ValueError, match="different runs"):
+            merge_journals([a, b])
+        merged = merge_journals([a, b], allow_mixed_runs=True)
+        assert len(merged) == 2
+
+    def test_same_or_absent_run_ids_merge(self):
+        a = EventJournal(node="n0", rank=0, run_id="run-a")
+        b = EventJournal(node="n0", rank=1, run_id="run-a")
+        c = EventJournal(node="n0", rank=2)  # v1-style, no run identity
+        for j in (a, b, c):
+            j.emit(CRASH, sim_time=1.0)
+        assert len(merge_journals([a, b, c])) == 3
+
 
 class TestMergeMetrics:
     def test_counters_sum_gauges_max(self):

@@ -15,6 +15,7 @@ from repro.telemetry.events import (
     SCHEMA_VERSION,
     TIER_OUTAGE,
     EventJournal,
+    journal_run_ids,
     journal_to,
     read_journal,
     write_journal,
@@ -104,24 +105,81 @@ class TestPersistence:
         with pytest.raises(StorageError, match="no journal"):
             read_journal(tmp_path / "absent.jsonl")
 
-    def test_malformed_line_raises_with_location(self, tmp_path):
+    def test_malformed_line_raises_with_location_in_strict_mode(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"schema": 1, "type": "crash"}\nnot json\n')
         with pytest.raises(StorageError, match="bad.jsonl:2"):
-            read_journal(path)
+            read_journal(path, strict=True)
 
-    def test_future_schema_rejected(self, tmp_path):
+    def test_future_schema_rejected_in_strict_mode(self, tmp_path):
         path = tmp_path / "future.jsonl"
         path.write_text(
             json.dumps({"schema": SCHEMA_VERSION + 1, "type": "crash"}) + "\n"
         )
         with pytest.raises(StorageError, match="unsupported journal schema"):
-            read_journal(path)
+            read_journal(path, strict=True)
 
     def test_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "gaps.jsonl"
         path.write_text('\n{"schema": 1, "type": "crash"}\n\n')
-        assert len(read_journal(path)) == 1
+        loaded = read_journal(path)
+        assert len(loaded) == 1
+        assert loaded.skipped_lines == 0
+
+
+class TestLenientLoading:
+    """Damaged journals load by default — the crash that truncates a
+    journal is often the incident the journal documents."""
+
+    def test_damaged_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(
+            '{"schema": 2, "type": "crash", "seq": 0}\n'
+            '{"schema": 2, "type": "cra'  # truncated mid-record
+            "\n"
+            '{"schema": 2, "notype": true}\n'
+            f'{{"schema": {SCHEMA_VERSION + 5}, "type": "crash"}}\n'
+            '{"schema": 2, "type": "restart", "seq": 1}\n'
+        )
+        loaded = read_journal(path)
+        assert [r["type"] for r in loaded] == ["crash", "restart"]
+        assert loaded.skipped_lines == 3
+        assert len(loaded.problems) == 3
+        assert "line 2" in loaded.problems[0]
+
+    def test_loaded_journal_equals_plain_list(self, tmp_path):
+        journal = EventJournal(node="n")
+        journal.emit(CRASH)
+        path = write_journal(tmp_path / "j.jsonl", journal.records())
+        assert read_journal(path) == journal.records()
+
+
+class TestRunIdentity:
+    def test_run_id_in_envelope(self):
+        journal = EventJournal(node="n", run_id="run-7")
+        record = journal.emit(CRASH)
+        assert record["run_id"] == "run-7"
+        assert record["schema"] == SCHEMA_VERSION
+
+    def test_no_run_id_reads_as_none(self):
+        record = EventJournal(node="n").emit(CRASH)
+        assert record["run_id"] is None
+
+    def test_v1_records_still_load(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text('{"schema": 1, "type": "crash", "seq": 0}\n')
+        loaded = read_journal(path)
+        assert len(loaded) == 1
+        assert journal_run_ids(loaded) == []
+
+    def test_journal_run_ids_sorted_distinct(self):
+        records = [
+            {"type": "crash", "run_id": "b"},
+            {"type": "crash", "run_id": "a"},
+            {"type": "crash", "run_id": "b"},
+            {"type": "crash"},
+        ]
+        assert journal_run_ids(records) == ["a", "b"]
 
 
 class TestGoldenBytesWithJournal:

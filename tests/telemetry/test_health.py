@@ -5,10 +5,13 @@ import pytest
 from repro.telemetry.events import (
     CHECKPOINT_COMMITTED,
     CRASH,
+    FAILURE_EVENT_TYPES,
     FLUSH_RETRY,
     FLUSH_ROUTE_AROUND,
     RECORD_FAULT,
+    REPLAY_DIVERGENCE,
     RESTART,
+    RESTORE,
     SALVAGE,
     TIER_OUTAGE,
     EventJournal,
@@ -16,6 +19,7 @@ from repro.telemetry.events import (
 from repro.telemetry.health import (
     CRITICAL,
     OK,
+    RULE_COVERAGE,
     WARN,
     CorruptionRule,
     CrashLoopRule,
@@ -23,6 +27,7 @@ from repro.telemetry.health import (
     Finding,
     FlushBacklogRule,
     HealthReport,
+    RestoreLagRule,
     TierOutageRule,
     default_rules,
     evaluate_health,
@@ -295,3 +300,176 @@ class TestRestoreLagRule:
 
     def test_in_default_ruleset(self):
         assert "restore_lag" in [r.name for r in default_rules()]
+
+
+class TestThresholdBoundaries:
+    """Rules fire *at* their thresholds (>=), not just past them, and
+    stay quiet immediately below — the fuzz campaign calibrates against
+    exactly these edges."""
+
+    def test_dedup_drop_at_warn_threshold_warns(self):
+        # Trailing-4 mean is 10.0; a 5.0 checkpoint is exactly a 50% drop.
+        report = evaluate_health(
+            _ckpt_journal([10, 10, 10, 10, 5]),
+            rules=[DedupRegressionRule()],
+        )
+        assert report.status == WARN
+
+    def test_dedup_drop_below_warn_threshold_is_clean(self):
+        report = evaluate_health(
+            _ckpt_journal([10, 10, 10, 10, 5.01]),
+            rules=[DedupRegressionRule()],
+        )
+        assert report.status == OK
+
+    def test_dedup_drop_at_critical_threshold_is_critical(self):
+        # Exactly an 80% drop from the trailing mean.
+        report = evaluate_health(
+            _ckpt_journal([10, 10, 10, 10, 2]),
+            rules=[DedupRegressionRule()],
+        )
+        assert report.status == CRITICAL
+
+    def test_dedup_drop_between_thresholds_warns(self):
+        report = evaluate_health(
+            _ckpt_journal([10, 10, 10, 10, 2.01]),
+            rules=[DedupRegressionRule()],
+        )
+        assert report.status == WARN
+
+    def test_backlog_growth_at_warn_threshold_warns(self):
+        # base 1s → last 3s over 4 checkpoints: exactly warn_growth 3.0.
+        report = evaluate_health(
+            _ckpt_journal([1, 1, 1, 1], backlog=[1.0, 1.5, 2.0, 3.0]),
+            rules=[FlushBacklogRule()],
+        )
+        assert report.status == WARN
+
+    def test_backlog_growth_below_warn_threshold_is_clean(self):
+        report = evaluate_health(
+            _ckpt_journal([1, 1, 1, 1], backlog=[1.0, 1.5, 2.0, 2.99]),
+            rules=[FlushBacklogRule()],
+        )
+        assert report.status == OK
+
+    def test_backlog_growth_at_critical_threshold_is_critical(self):
+        report = evaluate_health(
+            _ckpt_journal([1, 1, 1, 1], backlog=[1.0, 2.0, 5.0, 10.0]),
+            rules=[FlushBacklogRule()],
+        )
+        assert report.status == CRITICAL
+
+    def test_crash_count_below_loop_threshold_warns(self):
+        journal = EventJournal(node="node0", rank=0)
+        for i in range(2):  # loop_threshold - 1
+            journal.emit(CRASH, sim_time=float(i), in_flight_ckpts=0)
+            journal.emit(
+                RESTART, sim_time=float(i) + 0.5, cold=False,
+                lost_work_seconds=1.0,
+            )
+        report = evaluate_health(journal, rules=[CrashLoopRule()])
+        assert report.status == WARN
+
+    def test_crash_count_at_loop_threshold_is_critical(self):
+        journal = EventJournal(node="node0", rank=0)
+        for i in range(3):  # exactly loop_threshold
+            journal.emit(CRASH, sim_time=float(i), in_flight_ckpts=0)
+            journal.emit(
+                RESTART, sim_time=float(i) + 0.5, cold=False,
+                lost_work_seconds=1.0,
+            )
+        report = evaluate_health(journal, rules=[CrashLoopRule()])
+        assert report.status == CRITICAL
+
+    def test_restore_lag_at_warn_ratio_warns(self):
+        journal = EventJournal(node="node0", rank=0)
+        journal.emit(
+            RESTORE, path="sharded", target_ckpt=1, ranks=4,
+            critical_path_seconds=2.0, predicted_seconds=1.0,
+        )
+        report = evaluate_health(journal, rules=[RestoreLagRule()])
+        assert report.status == WARN
+
+    def test_restore_lag_at_critical_ratio_is_critical(self):
+        journal = EventJournal(node="node0", rank=0)
+        journal.emit(
+            RESTORE, path="sharded", target_ckpt=1, ranks=4,
+            critical_path_seconds=4.0, predicted_seconds=1.0,
+        )
+        report = evaluate_health(journal, rules=[RestoreLagRule()])
+        assert report.status == CRITICAL
+
+
+class TestRuleCoverage:
+    """Every failure event type must map to at least one health rule,
+    and the mapped rules must actually flag the event — the contract the
+    fuzzing campaign's flag-coverage gate rests on."""
+
+    def _journal_with(self, event_type):
+        journal = EventJournal(node="node0", rank=0)
+        if event_type == TIER_OUTAGE:
+            journal.emit(
+                TIER_OUTAGE, sim_time=1.0, tier="ssd", kind="transient",
+                duration=2.0,
+            )
+        elif event_type == FLUSH_RETRY:
+            journal.emit(
+                TIER_OUTAGE, sim_time=1.0, tier="ssd", kind="transient",
+                duration=2.0,
+            )
+            journal.emit(FLUSH_RETRY, sim_time=1.5, tier="ssd", attempt=1)
+        elif event_type == FLUSH_ROUTE_AROUND:
+            journal.emit(
+                TIER_OUTAGE, sim_time=1.0, tier="ssd", kind="permanent",
+            )
+            journal.emit(
+                FLUSH_ROUTE_AROUND, sim_time=1.5, tier="ssd", fallback="pfs",
+            )
+        elif event_type == SALVAGE:
+            journal.emit(
+                SALVAGE, sim_time=1.0, path="ckpt-3.rdif", reason="crc",
+            )
+        elif event_type == RECORD_FAULT:
+            journal.emit(
+                RECORD_FAULT, sim_time=1.0, kind="bitflip",
+                path="ckpt-3.rdif", detail=17, bit=2,
+            )
+        elif event_type == CRASH:
+            journal.emit(CRASH, sim_time=1.0, in_flight_ckpts=0)
+        elif event_type == REPLAY_DIVERGENCE:
+            journal.emit(
+                REPLAY_DIVERGENCE, sim_time=1.0, replay_of="run-x",
+                kind="durable_set", detail={"missing": 1},
+            )
+        else:  # pragma: no cover - new event types must extend this test
+            raise AssertionError(f"no fixture for event type {event_type!r}")
+        return journal
+
+    def test_coverage_map_is_total_over_failure_events(self):
+        assert set(RULE_COVERAGE) == set(FAILURE_EVENT_TYPES)
+
+    def test_mapped_rules_exist_in_default_ruleset(self):
+        default_names = {r.name for r in default_rules()}
+        for event_type, rule_names in RULE_COVERAGE.items():
+            assert rule_names, f"{event_type} maps to no rule"
+            for name in rule_names:
+                assert name in default_names, (
+                    f"{event_type} maps to unknown rule {name!r}"
+                )
+
+    @pytest.mark.parametrize("event_type", sorted(FAILURE_EVENT_TYPES))
+    def test_each_failure_event_lands_in_mapped_rule_evidence(self, event_type):
+        journal = self._journal_with(event_type)
+        target = next(
+            r for r in journal.records() if r["type"] == event_type
+        )
+        report = evaluate_health(journal)
+        flagging_rules = {
+            f.rule
+            for f in report.findings
+            if any(e is target or e == target for e in f.evidence)
+        }
+        assert flagging_rules & set(RULE_COVERAGE[event_type]), (
+            f"{event_type} not flagged by {RULE_COVERAGE[event_type]}; "
+            f"findings: {[f.rule for f in report.findings]}"
+        )
