@@ -20,7 +20,9 @@ bench stopped measuring something it used to.
 
 Besides the thresholded metrics, ``EXACT_METRICS`` lists correctness
 invariants (fuzz-campaign flag coverage and silent-wrong count) that
-must match their required value exactly in the fresh report.
+must match their required value exactly in the fresh report, and
+``BOUNDED_METRICS`` lists lower-is-better ceilings (the append-path
+flatness ratios) the fresh report may never exceed.
 """
 
 from __future__ import annotations
@@ -51,6 +53,16 @@ METRICS: List[Tuple[str, str]] = [
 EXACT_METRICS: List[Tuple[str, str, float]] = [
     ("BENCH_fuzz.json", "fuzz.flag_coverage", 1.0),
     ("BENCH_fuzz.json", "fuzz.silent_wrong", 0.0),
+]
+
+#: (file, dotted metric path, ceiling) — lower-is-better, gated on the
+#: fresh report alone.  The append path's O(1) claim: the 500th append
+#: must cost no more than 1.5x the 10th, in wall time and in bytes, and
+#: the per-append row-group cost must not grow with the chain.
+BOUNDED_METRICS: List[Tuple[str, str, float]] = [
+    ("BENCH_append.json", "append.tail_over_head_ratio", 1.5),
+    ("BENCH_append.json", "append.bytes_tail_over_head_ratio", 1.5),
+    ("BENCH_append.json", "append.index_bytes_per_append_ratio", 1.5),
 ]
 
 _SELECT = re.compile(r"^(?P<name>\w+)\[(?P<key>\w+)=(?P<value>[^\]]+)\]$")
@@ -128,6 +140,26 @@ def check(baseline_dir: Path, fresh_dir: Path, threshold: float) -> int:
             failures += 1
         else:
             rows.append((label, required, fresh, "ok (exact)"))
+
+    for filename, path, ceiling in BOUNDED_METRICS:
+        label = f"{filename.removeprefix('BENCH_').removesuffix('.json')}:{path}"
+        fresh_file = fresh_dir / filename
+        if not fresh_file.exists():
+            if (baseline_dir / filename).exists():
+                rows.append((label, ceiling, None, "FAIL (fresh report missing)"))
+                failures += 1
+            else:
+                rows.append((label, ceiling, None, "skip (no baseline file)"))
+            continue
+        fresh = extract(json.loads(fresh_file.read_text()), path)
+        if fresh is None:
+            rows.append((label, ceiling, None, "FAIL (metric gone)"))
+            failures += 1
+        elif fresh > ceiling:
+            rows.append((label, ceiling, fresh, "FAIL (over ceiling)"))
+            failures += 1
+        else:
+            rows.append((label, ceiling, fresh, "ok (under ceiling)"))
 
     width = max(len(r[0]) for r in rows) if rows else 0
     print(f"benchmark regression gate (threshold {threshold:.0%} drop)")

@@ -450,6 +450,7 @@ _BENCHES = {
     "hashfn": "bench_ablation_hashfn",
     "streaming": "bench_streaming",
     "restore": "bench_restore",
+    "append": "bench_append",
     "overhead": "bench_runtime_overhead",
     "faults": "bench_faults",
     "fuzz": "bench_fuzz",

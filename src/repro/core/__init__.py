@@ -62,8 +62,10 @@ from .sharded_restore import (
     partition_chunks,
 )
 from .store import (
+    AppendReceipt,
     CheckpointStatus,
     RecordVerification,
+    RecordWriter,
     load_provenance,
     load_record,
     load_record_frames,
@@ -96,8 +98,10 @@ __all__ = [
     "DIGEST_BYTES",
     "CheckpointDiff",
     "encode_legacy_v1",
+    "AppendReceipt",
     "CheckpointStatus",
     "RecordVerification",
+    "RecordWriter",
     "load_provenance",
     "load_record",
     "load_record_frames",

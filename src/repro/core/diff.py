@@ -99,6 +99,10 @@ class CheckpointDiff:
     #: when parsed from a v2 frame whose digest matched, ``False`` when
     #: parsed from a digestless v1 frame (*unverified*).
     verified: Optional[bool] = field(default=None, compare=False)
+    #: Lazily cached SHA-256 hex of :meth:`to_bytes` — the on-disk frame
+    #: digest the record manifest stores.  Engines never mutate a diff
+    #: after building it; anything that does must clear this cache.
+    _frame_digest: Optional[str] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         one_of(self.method, METHODS, "method")
@@ -208,6 +212,17 @@ class CheckpointDiff:
         h.update(self._pack_header())
         h.update(self._body_bytes())
         return h.digest()
+
+    def frame_digest(self) -> str:
+        """SHA-256 hex of the full serialized frame, cached after first use.
+
+        This is the digest the record manifest holds per ``.rdif`` file;
+        caching it is what makes the append guard O(1) — comparing a new
+        chain against a stored record no longer re-serializes the prefix.
+        """
+        if self._frame_digest is None:
+            self._frame_digest = hashlib.sha256(self.to_bytes()).hexdigest()
+        return self._frame_digest
 
     def to_bytes(self) -> bytes:
         """Serialize to the versioned little-endian wire format (v2)."""

@@ -62,14 +62,96 @@ _TABLE_MAGIC = b"RPIX"
 #: into low/high u32 words) with the cascaded codec — the rows are runny
 #: (long runs of identical sources, arithmetic offset progressions), so
 #: the 12 B/chunk raw encoding shrinks toward 1–2 B/chunk.
+#: v3: the append-optimized layout — a fixed prologue (header + header
+#: digest) followed by self-contained *row-group* records, one per
+#: appended checkpoint, each carrying its own digest and the same three
+#: compressed planes over just its rows.  Appending a checkpoint writes
+#: one group record and rewrites the 60-byte prologue in place; nothing
+#: else on disk is touched.
 _TABLE_VERSION_V1 = 1
 _TABLE_VERSION = 2
+_TABLE_VERSION_V3 = 3
 _TABLE_HEADER = struct.Struct("<4sHHIIQI")
 # magic, version, reserved, num_checkpoints, num_chunks, data_len, chunk_size
 _TABLE_DIGEST_BYTES = 32
 _PLANE_LEN = struct.Struct("<Q")
+#: v3 row-group record header: body length, first checkpoint row, row
+#: count, SHA-256 over ``pack("<II", first_ckpt, num_rows) + body``.
+_GROUP_HEADER = struct.Struct("<QII32s")
+#: Fixed v3 prologue: table header + SHA-256 of the header bytes.  An
+#: append rewrites exactly this region (the row count lives here) and
+#: appends one group record after the last — O(rows in this checkpoint).
+V3_PROLOGUE_BYTES = _TABLE_HEADER.size + _TABLE_DIGEST_BYTES
 #: Raw (v1) index bytes per chunk per checkpoint: i4 src_ckpt + i8 src_off.
 RAW_INDEX_BYTES_PER_CHUNK = 12
+
+
+def _pack_planes(src_ckpt: np.ndarray, src_off: np.ndarray) -> bytes:
+    """Three length-prefixed cascaded-compressed planes over the rows.
+
+    ``src_off`` is split into low/high u32 words (rather than
+    interleaving an i8 stream) so the delta pass sees the arithmetic
+    progression directly and the high plane is almost entirely zero runs.
+    """
+    from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
+
+    codec = CascadedCodec()
+    ckpt_plane = np.ascontiguousarray(src_ckpt, dtype="<i4").tobytes()
+    off = np.ascontiguousarray(src_off, dtype=np.int64)
+    lo_plane = (off & np.int64(0xFFFFFFFF)).astype("<u4").tobytes()
+    hi_plane = (off >> np.int64(32)).astype("<u4").tobytes()
+    parts = [codec.compress(p) for p in (ckpt_plane, lo_plane, hi_plane)]
+    return b"".join(_PLANE_LEN.pack(len(p)) + p for p in parts)
+
+
+def _unpack_planes(
+    buf: bytes, n_rows: int, n_chunks: int, off: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode the three planes back into ``(src_ckpt, src_off)`` arrays.
+
+    Consumes *buf* from *off* to its end — trailing bytes are damage.
+    """
+    from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
+    from ..errors import CompressionError
+
+    codec = CascadedCodec()
+    count = n_rows * n_chunks
+    planes = []
+    for name in ("src_ckpt", "src_off_lo", "src_off_hi"):
+        if off + _PLANE_LEN.size > len(buf):
+            raise IntegrityError(
+                f"provenance index truncated before {name} plane"
+            )
+        (length,) = _PLANE_LEN.unpack_from(buf, off)
+        off += _PLANE_LEN.size
+        if off + length > len(buf):
+            raise IntegrityError(
+                f"provenance index {name} plane overruns the file"
+            )
+        try:
+            raw = codec.decompress(buf[off : off + length])
+        except CompressionError as exc:
+            raise IntegrityError(
+                f"provenance index {name} plane is damaged: {exc}"
+            ) from exc
+        if len(raw) != count * 4:
+            raise IntegrityError(
+                f"provenance index {name} plane holds {len(raw)} bytes, "
+                f"expected {count * 4}"
+            )
+        planes.append(raw)
+        off += length
+    if off != len(buf):
+        raise IntegrityError(
+            f"provenance index has {len(buf) - off} trailing bytes"
+        )
+    src_ckpt = (
+        np.frombuffer(planes[0], dtype="<i4").reshape(n_rows, n_chunks).copy()
+    )
+    lo = np.frombuffer(planes[1], dtype="<u4").astype(np.int64)
+    hi = np.frombuffer(planes[2], dtype="<u4").astype(np.int64)
+    src_off = ((hi << np.int64(32)) | lo).reshape(n_rows, n_chunks)
+    return src_ckpt, src_off
 
 
 @dataclass
@@ -121,6 +203,19 @@ class ProvenanceBuilder:
     def extend(self, diffs: Sequence[CheckpointDiff]) -> None:
         for diff in diffs:
             self.append(diff)
+
+    def seed(self, table: "ProvenanceTable") -> None:
+        """Adopt a decoded table's rows as the already-composed prefix.
+
+        :class:`~repro.core.store.RecordWriter` reopens a record by
+        decoding its persisted index once and seeding the builder from
+        it, so appends resume without re-deriving provenance from the
+        diff chain.
+        """
+        if self.indexes:
+            raise RestoreError("cannot seed a non-empty provenance builder")
+        for k in range(table.num_checkpoints):
+            self.indexes.append(table.row(k))
 
     def index_for(self, ckpt_id: int) -> ProvenanceIndex:
         if not 0 <= ckpt_id < len(self.indexes):
@@ -283,10 +378,22 @@ class ProvenanceTable:
     chunk_size: int
     src_ckpt: np.ndarray  # int32, shape (num_checkpoints, num_chunks)
     src_off: np.ndarray  # int64, shape (num_checkpoints, num_chunks)
+    #: Rows the on-disk index covers in full — equals the rows decoded
+    #: here except after a selective ``upto`` load of a v3 index, which
+    #: skips row-groups past the target checkpoint.
+    index_rows: Optional[int] = None
 
     @property
     def num_checkpoints(self) -> int:
         return int(self.src_ckpt.shape[0])
+
+    @property
+    def total_checkpoints(self) -> int:
+        """Checkpoints the full on-disk index covers (≥ rows decoded)."""
+        return (
+            self.index_rows if self.index_rows is not None
+            else self.num_checkpoints
+        )
 
     @property
     def num_chunks(self) -> int:
@@ -345,22 +452,8 @@ class ProvenanceTable:
         return header + digest + body
 
     def _encode_planes(self) -> bytes:
-        """v2 body: three length-prefixed cascaded-compressed planes.
-
-        ``src_off`` is split into low/high u32 words (rather than
-        interleaving an i8 stream) so the delta pass sees the arithmetic
-        progression directly and the high plane is almost entirely zero
-        runs.
-        """
-        from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
-
-        codec = CascadedCodec()
-        ckpt_plane = np.ascontiguousarray(self.src_ckpt, dtype="<i4").tobytes()
-        off = np.ascontiguousarray(self.src_off, dtype=np.int64)
-        lo_plane = (off & np.int64(0xFFFFFFFF)).astype("<u4").tobytes()
-        hi_plane = (off >> np.int64(32)).astype("<u4").tobytes()
-        parts = [codec.compress(p) for p in (ckpt_plane, lo_plane, hi_plane)]
-        return b"".join(_PLANE_LEN.pack(len(p)) + p for p in parts)
+        """v2 body: three length-prefixed cascaded-compressed planes."""
+        return _pack_planes(self.src_ckpt, self.src_off)
 
     @classmethod
     def from_bytes(cls, blob: bytes, verify: bool = True) -> "ProvenanceTable":
@@ -373,6 +466,8 @@ class ProvenanceTable:
         )
         if magic != _TABLE_MAGIC:
             raise IntegrityError(f"bad provenance index magic {magic!r}")
+        if version == _TABLE_VERSION_V3:
+            return read_v3(blob, verify=verify)
         if version not in (_TABLE_VERSION_V1, _TABLE_VERSION):
             raise IntegrityError(f"unsupported provenance index version {version}")
         off = _TABLE_HEADER.size
@@ -419,47 +514,192 @@ class ProvenanceTable:
     def _decode_planes(
         blob: bytes, off: int, n_ckpts: int, n_chunks: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        from ..compress.cascaded import CascadedCodec  # local: core ↔ compress
-        from ..errors import CompressionError
+        return _unpack_planes(blob, n_ckpts, n_chunks, off=off)
 
-        codec = CascadedCodec()
-        count = n_ckpts * n_chunks
-        planes = []
-        for name in ("src_ckpt", "src_off_lo", "src_off_hi"):
-            if off + _PLANE_LEN.size > len(blob):
-                raise IntegrityError(
-                    f"provenance index truncated before {name} plane"
-                )
-            (length,) = _PLANE_LEN.unpack_from(blob, off)
-            off += _PLANE_LEN.size
-            if off + length > len(blob):
-                raise IntegrityError(
-                    f"provenance index {name} plane overruns the file"
-                )
-            try:
-                raw = codec.decompress(blob[off : off + length])
-            except CompressionError as exc:
-                raise IntegrityError(
-                    f"provenance index {name} plane is damaged: {exc}"
-                ) from exc
-            if len(raw) != count * 4:
-                raise IntegrityError(
-                    f"provenance index {name} plane holds {len(raw)} bytes, "
-                    f"expected {count * 4}"
-                )
-            planes.append(raw)
-            off += length
-        if off != len(blob):
-            raise IntegrityError(
-                f"provenance index has {len(blob) - off} trailing bytes"
-            )
-        src_ckpt = (
-            np.frombuffer(planes[0], dtype="<i4").reshape(n_ckpts, n_chunks).copy()
+
+# ----------------------------------------------------------------------
+# RPIX v3: append-only row-group layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RowGroup:
+    """Structural description of one v3 row-group (body not yet decoded)."""
+
+    first_ckpt: int
+    num_rows: int
+    digest: bytes
+    body_off: int
+    body_len: int
+
+
+def encode_v3_prologue(
+    num_checkpoints: int, num_chunks: int, data_len: int, chunk_size: int
+) -> bytes:
+    """The fixed-size v3 file prologue: header + SHA-256 of the header."""
+    header = _TABLE_HEADER.pack(
+        _TABLE_MAGIC,
+        _TABLE_VERSION_V3,
+        0,
+        num_checkpoints,
+        num_chunks,
+        data_len,
+        chunk_size,
+    )
+    return header + hashlib.sha256(header).digest()
+
+
+def encode_v3_group(
+    first_ckpt: int, src_ckpt: np.ndarray, src_off: np.ndarray
+) -> Tuple[bytes, bytes]:
+    """Encode one self-contained row-group record.
+
+    *src_ckpt*/*src_off* are 2-D ``(num_rows, num_chunks)`` row slices.
+    Returns ``(record_bytes, group_digest)`` — the digest also feeds the
+    manifest's rolling ``chain_sha256`` over all group digests.
+    """
+    rows = int(np.atleast_2d(src_ckpt).shape[0])
+    body = _pack_planes(src_ckpt, src_off)
+    digest = hashlib.sha256(
+        struct.pack("<II", first_ckpt, rows) + body
+    ).digest()
+    return _GROUP_HEADER.pack(len(body), first_ckpt, rows, digest) + body, digest
+
+
+def scan_v3(
+    blob: bytes, max_rows: Optional[int] = None
+) -> Tuple[dict, List[RowGroup]]:
+    """Structurally walk a v3 blob: prologue + group framing, no bodies.
+
+    Verifies the header digest and group framing only — group *bodies*
+    are hashed later, and only for the groups a caller actually decodes.
+    With *max_rows* (the manifest's authoritative row count) the walk
+    stops once that many rows are covered and tolerates trailing bytes:
+    a crash between the group append and the manifest update leaves an
+    orphan group that the next writer open truncates away.
+    """
+    if len(blob) < V3_PROLOGUE_BYTES:
+        raise IntegrityError(f"provenance index too short ({len(blob)} bytes)")
+    magic, version, _reserved, n_ckpts, n_chunks, data_len, chunk_size = (
+        _TABLE_HEADER.unpack_from(blob, 0)
+    )
+    if magic != _TABLE_MAGIC:
+        raise IntegrityError(f"bad provenance index magic {magic!r}")
+    if version != _TABLE_VERSION_V3:
+        raise IntegrityError(
+            f"unsupported provenance index version {version} (expected v3)"
         )
-        lo = np.frombuffer(planes[1], dtype="<u4").astype(np.int64)
-        hi = np.frombuffer(planes[2], dtype="<u4").astype(np.int64)
-        src_off = ((hi << np.int64(32)) | lo).reshape(n_ckpts, n_chunks)
-        return src_ckpt, src_off
+    stored = blob[_TABLE_HEADER.size : V3_PROLOGUE_BYTES]
+    if hashlib.sha256(blob[: _TABLE_HEADER.size]).digest() != stored:
+        raise IntegrityError("provenance index header digest mismatch")
+    want = n_ckpts if max_rows is None else max_rows
+    groups: List[RowGroup] = []
+    rows = 0
+    off = V3_PROLOGUE_BYTES
+    while rows < want:
+        if off + _GROUP_HEADER.size > len(blob):
+            raise IntegrityError(
+                f"provenance index truncated: holds {rows} of {want} rows"
+            )
+        body_len, first, g_rows, digest = _GROUP_HEADER.unpack_from(blob, off)
+        off += _GROUP_HEADER.size
+        if first != rows or g_rows <= 0:
+            raise IntegrityError(
+                f"provenance index row-group claims rows "
+                f"{first}..{first + g_rows}, expected to start at {rows}"
+            )
+        if off + body_len > len(blob):
+            raise IntegrityError(
+                f"provenance index row-group {first} body overruns the file"
+            )
+        groups.append(RowGroup(first, g_rows, digest, off, body_len))
+        off += body_len
+        rows += g_rows
+    if max_rows is None and (rows != want or off != len(blob)):
+        raise IntegrityError(
+            f"provenance index row-groups hold {rows} rows and "
+            f"{len(blob) - off} trailing bytes; header claims {want} rows"
+        )
+    header = {
+        "num_checkpoints": n_ckpts,
+        "num_chunks": n_chunks,
+        "data_len": data_len,
+        "chunk_size": chunk_size,
+    }
+    return header, groups
+
+
+def verify_v3_group(blob: bytes, group: RowGroup) -> bool:
+    """Whether a row-group's stored digest matches its bytes."""
+    actual = hashlib.sha256(
+        struct.pack("<II", group.first_ckpt, group.num_rows)
+        + blob[group.body_off : group.body_off + group.body_len]
+    ).digest()
+    return actual == group.digest
+
+
+def decode_v3_groups(
+    blob: bytes,
+    groups: Sequence[RowGroup],
+    n_chunks: int,
+    verify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode (a contiguous prefix of) row-groups into stacked planes."""
+    if not groups:
+        raise IntegrityError("provenance index holds no row-groups")
+    parts_ckpt = []
+    parts_off = []
+    for g in groups:
+        body = blob[g.body_off : g.body_off + g.body_len]
+        if verify and not verify_v3_group(blob, g):
+            raise IntegrityError(
+                f"provenance index row-group {g.first_ckpt} digest mismatch "
+                f"(stored {g.digest.hex()[:16]}…)"
+            )
+        try:
+            ck, off_arr = _unpack_planes(body, g.num_rows, n_chunks)
+        except IntegrityError as exc:
+            raise IntegrityError(
+                f"provenance index row-group {g.first_ckpt} is damaged: {exc}"
+            ) from exc
+        parts_ckpt.append(ck)
+        parts_off.append(off_arr)
+    return (
+        np.concatenate(parts_ckpt, axis=0),
+        np.concatenate(parts_off, axis=0),
+    )
+
+
+def read_v3(
+    blob: bytes,
+    rows: Optional[int] = None,
+    upto: Optional[int] = None,
+    verify: bool = True,
+) -> ProvenanceTable:
+    """Load a v3 blob, optionally decoding only the groups a restore needs.
+
+    *rows* is the authoritative row count (the manifest's, which lags the
+    header across a crashed append); *upto* restricts decoding — and
+    digest verification — to the groups covering checkpoints ``0..upto``,
+    so a restore of checkpoint K never touches groups past K and damage
+    in later groups cannot block earlier restores.
+    """
+    header, groups = scan_v3(blob, max_rows=rows)
+    total = rows if rows is not None else header["num_checkpoints"]
+    if upto is not None:
+        if upto >= total:
+            raise RestoreError(
+                f"checkpoint {upto} outside indexed chain of {total}"
+            )
+        groups = [g for g in groups if g.first_ckpt <= upto]
+    src_ckpt, src_off = decode_v3_groups(
+        blob, groups, header["num_chunks"], verify=verify
+    )
+    return ProvenanceTable(
+        data_len=header["data_len"],
+        chunk_size=header["chunk_size"],
+        src_ckpt=src_ckpt,
+        src_off=src_off,
+        index_rows=total,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -733,7 +973,7 @@ def restore_record_indexed(
 
     frame_sizes = record_frame_sizes(directory)
     record_bytes = int(sum(frame_sizes))
-    table = None if scrub else load_provenance(directory)
+    table = None if scrub else load_provenance(directory, upto=upto)
 
     if table is None:
         diffs = load_record(directory)
@@ -753,11 +993,13 @@ def restore_record_indexed(
         )
         return out, report
 
-    if table.num_checkpoints < count or table.data_len != manifest.get(
-        "data_len", table.data_len
+    if (
+        table.total_checkpoints < count
+        or table.num_checkpoints <= upto
+        or table.data_len != manifest.get("data_len", table.data_len)
     ):
         raise IntegrityError(
-            f"provenance index covers {table.num_checkpoints} checkpoints, "
+            f"provenance index covers {table.total_checkpoints} checkpoints, "
             f"record holds {count}"
         )
     index = table.row(upto)

@@ -23,6 +23,7 @@ digests per rank, the graded health findings, and per-type event counts.
 from __future__ import annotations
 
 import hashlib
+import shutil
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -396,7 +397,7 @@ def drive_run(
     record faults (the stored record to corrupt has to live somewhere).
     """
     from ..core.restore import Restorer
-    from ..core.store import load_record, save_record, verify_record
+    from ..core.store import load_record, verify_record
     from ..runtime.node import NodeRuntime
 
     if schedule.record_faults and workdir is None:
@@ -417,12 +418,25 @@ def drive_run(
             config=config.to_payload(),
             horizon=config.horizon_seconds,
         )
+        # With record faults scheduled the run records incrementally:
+        # every durable checkpoint is appended to the on-disk record the
+        # moment its flush completes (RecordWriter, O(1) per append),
+        # instead of rewriting the whole chain at the end of the run.
+        record_root = (
+            Path(workdir) / "records" if schedule.record_faults else None
+        )
+        if record_root is not None and record_root.exists():
+            # The record is an output of *this* run; a reused workdir
+            # must not leave the writer adopting a stale (possibly
+            # already-corrupted) record from a previous run.
+            shutil.rmtree(record_root)
         node = NodeRuntime(
             data_len=data_len,
             chunk_size=config.chunk_size,
             method=config.method,
             num_processes=config.num_processes,
             name=config.node_name,
+            record_root=record_root,
         )
         mark = len(journal)
         FaultPlan.apply_tier_faults(node.pipeline.tiers, schedule.tier_faults)
@@ -500,10 +514,9 @@ def drive_run(
             if not ledger:
                 record_leg = {"applied": 0, "outcome": "no_record"}
             else:
-                record_dir = Path(workdir) / "record"
-                save_record(
-                    [c.diff for c in ledger], record_dir, method=config.method
-                )
+                # The record was written append-by-append during the
+                # cadence; the fault leg corrupts it in place.
+                record_dir = node.record_path(0)
                 fault_mark = len(journal)
                 receipts = apply_scheduled_record_faults(
                     record_dir, schedule.record_faults

@@ -107,7 +107,9 @@ def restore_record_sharded(
     if not 0 <= upto < count:
         raise RestoreError(f"checkpoint {upto} outside record of {count}")
 
-    table = load_provenance(directory)
+    # Selective row-group load: a sharded restore of checkpoint K never
+    # decodes index groups past K.
+    table = load_provenance(directory, upto=upto)
     if table is None:
         raise RestoreError(
             f"{directory} has no provenance index; sharded restore needs "

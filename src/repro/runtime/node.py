@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from ..core.checkpointer import ENGINES
 from ..core.diff import CheckpointDiff
 from ..core.provenance import IndexedRestorer, ProvenanceBuilder
 from ..core.restore import scrub_chain
+from ..core.store import RecordWriter
 from ..core.sharded_restore import ShardedRestorePlan, ShardReport
 from ..errors import SimulationError
 from ..gpusim.cluster import NodeSpec, thetagpu_node
@@ -30,8 +32,10 @@ from ..kokkos.execution import DeviceSpace
 from ..utils.validation import positive_float, positive_int
 from .. import telemetry
 from ..telemetry import events
-from .async_flush import AsyncFlushPipeline
+from .async_flush import AsyncFlushPipeline, FlushReport
 from .storage import StorageTier
+
+PathLike = Union[str, Path]
 
 _CRASH_RESTARTS = telemetry.counter(
     "node.crash_restarts", "Simulated process crash/restart cycles"
@@ -118,6 +122,15 @@ class NodeRuntime:
         small test runs still exercise back-pressure realistically.
     name:
         Node identity stamped on journal events this runtime emits.
+    record_root:
+        Optional directory root for durable on-disk records.  When set,
+        each process gets a :class:`~repro.core.store.RecordWriter` at
+        ``record_root/p{rank}`` and every checkpoint is appended to it
+        the moment its flush reaches the terminal tier — the record on
+        disk tracks the durability ledger append-by-append instead of
+        being rewritten wholesale at the end of a run.  A crash/restart
+        resets that process's record and re-seeds it with the restart
+        checkpoint, mirroring the in-memory ledger.
     """
 
     def __init__(
@@ -131,6 +144,7 @@ class NodeRuntime:
         host_drain_bandwidth: float = 3.0e9,
         ssd_drain_bandwidth: float = 2.0e9,
         name: str = "node0",
+        record_root: Optional[PathLike] = None,
     ) -> None:
         positive_int(num_processes, "num_processes")
         self.name = name
@@ -153,12 +167,17 @@ class NodeRuntime:
         )
         positive_float(host_drain_bandwidth, "host_drain_bandwidth")
         positive_float(ssd_drain_bandwidth, "ssd_drain_bandwidth")
+        self.record_root = Path(record_root) if record_root is not None else None
+        self._writers: Dict[int, RecordWriter] = {}
+        #: Diffs staged for the persist hook, flush key → (rank, diff).
+        self._pending_records: Dict[str, Tuple[int, CheckpointDiff]] = {}
         self.pipeline = AsyncFlushPipeline(
             [
                 StorageTier("host", staging, host_drain_bandwidth),
                 StorageTier("ssd", max(staging * 200, 1), ssd_drain_bandwidth),
                 StorageTier("pfs", max(staging * 20_000, 1), 250.0e9),
-            ]
+            ],
+            persist=self._persist_flushed if self.record_root is not None else None,
         )
         self.timelines = [NodeTimeline(process=p) for p in range(num_processes)]
         self._ckpt_counter = 0
@@ -176,6 +195,33 @@ class NodeRuntime:
             ProvenanceBuilder() for _ in range(num_processes)
         ]
         self.crash_reports: List[CrashReport] = []
+
+    # ------------------------------------------------------------------
+    def record_writer(self, process: int) -> Optional[RecordWriter]:
+        """The per-process record writer (``None`` without a record root)."""
+        if self.record_root is None:
+            return None
+        writer = self._writers.get(process)
+        if writer is None:
+            writer = RecordWriter(
+                self.record_root / f"p{process}", method=self._method
+            )
+            self._writers[process] = writer
+        return writer
+
+    def record_path(self, process: int) -> Optional[Path]:
+        """Where *process*'s durable record lives (``None`` when not recording)."""
+        if self.record_root is None:
+            return None
+        return self.record_root / f"p{process}"
+
+    def _persist_flushed(self, report: FlushReport) -> None:
+        """Flush-completion hook: append the flushed diff to its record."""
+        staged = self._pending_records.pop(report.key, None)
+        if staged is None:
+            return
+        rank, diff = staged
+        self.record_writer(rank).append(diff)
 
     # ------------------------------------------------------------------
     def checkpoint_all(
@@ -210,8 +256,11 @@ class NodeRuntime:
             timeline.blocking_device_seconds += cost.total_seconds
             timeline.stored_bytes += diff.serialized_size
             produced_at = now + cost.total_seconds
+            key = f"p{p}-ck{self._ckpt_counter}"
+            if self.record_root is not None:
+                self._pending_records[key] = (p, diff)
             report = self.pipeline.submit(
-                f"p{p}-ck{self._ckpt_counter}",
+                key,
                 diff.serialized_size,
                 now=produced_at,
             )
@@ -419,6 +468,13 @@ class NodeRuntime:
         engine = ENGINES[self._method](self._data_len, self._chunk_size)
         self.persisted[process] = []
         self.provenance[process].reset()
+        if self.record_root is not None:
+            self._pending_records = {
+                key: staged
+                for key, staged in self._pending_records.items()
+                if staged[0] != process
+            }
+            self.record_writer(process).reset()
         if restored_id is not None:
             seed_diff = engine.checkpoint(restored)
             self.persisted[process].append(
@@ -430,6 +486,11 @@ class NodeRuntime:
                 )
             )
             self.provenance[process].append(seed_diff)
+            if self.record_root is not None:
+                # The restart checkpoint is durable by construction (it
+                # was rebuilt from bytes already on the terminal tier),
+                # so it re-seeds the on-disk record immediately.
+                self.record_writer(process).append(seed_diff)
         self.engines[process] = engine
 
         events.emit(

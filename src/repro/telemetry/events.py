@@ -63,6 +63,7 @@ CRASH = "crash"
 RESTART = "restart"
 RESTORE = "restore"
 REBASE = "rebase"
+RECORD_APPENDED = "record_appended"
 RUN_CONFIG = "run_config"
 REPLAY_DIVERGENCE = "replay_divergence"
 
@@ -78,6 +79,7 @@ EVENT_TYPES = frozenset(
         RESTART,
         RESTORE,
         REBASE,
+        RECORD_APPENDED,
         RUN_CONFIG,
         REPLAY_DIVERGENCE,
     }

@@ -21,6 +21,9 @@ Rule catalog (see ``docs/OBSERVABILITY.md`` §8):
   retry/route-around events as evidence.
 * :class:`RestoreLagRule` — restores whose measured critical path blew
   past the cost model's pre-execution prediction.
+* :class:`WriteAmplificationRule` — record appends whose bytes written
+  dwarf the checkpoints appended (the store regressed toward O(N)
+  appends: frames rewritten, index rebuilt whole).
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from .events import (
     CRASH,
     FLUSH_RETRY,
     FLUSH_ROUTE_AROUND,
+    RECORD_APPENDED,
     RECORD_FAULT,
     REPLAY_DIVERGENCE,
     RESTART,
@@ -524,6 +528,66 @@ class ReplayDivergenceRule(HealthRule):
         return findings
 
 
+class WriteAmplificationRule(HealthRule):
+    """Record appends writing far more bytes than they checkpoint.
+
+    The append path is O(changed data): one frame, one index row-group,
+    one manifest.  Summed over a run, ``bytes_written`` should track
+    ``checkpoint_bytes`` closely; a fleet-wide ratio past ``warn_ratio``
+    means the store is rewriting frames or rebuilding the index whole —
+    the O(N)-append regression this PR's write path removed — and past
+    ``critical_ratio`` the storage pipeline, not the kernels, is the
+    bottleneck again.  Runs writing less than ``min_bytes`` total are
+    ignored: tiny records are all fixed overhead (manifest JSON dwarfs a
+    few-KB frame) and say nothing about the write path.
+    """
+
+    name = "write_amplification"
+    description = "record-append bytes written vs checkpoint bytes"
+
+    def __init__(
+        self,
+        warn_ratio: float = 4.0,
+        critical_ratio: float = 16.0,
+        min_bytes: int = 1 << 20,
+    ) -> None:
+        self.warn_ratio = warn_ratio
+        self.critical_ratio = critical_ratio
+        self.min_bytes = min_bytes
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        appends = rollup.events_of(RECORD_APPENDED)
+        if not appends:
+            return []
+        written = sum(int(e.get("bytes_written", 0) or 0) for e in appends)
+        checkpointed = sum(
+            int(e.get("checkpoint_bytes", 0) or 0) for e in appends
+        )
+        if written < self.min_bytes or checkpointed <= 0:
+            return []
+        ratio = written / checkpointed
+        if ratio < self.warn_ratio:
+            return []
+        severity = CRITICAL if ratio >= self.critical_ratio else WARN
+        worst = sorted(
+            appends,
+            key=lambda e: int(e.get("bytes_written", 0) or 0),
+            reverse=True,
+        )
+        return [
+            Finding(
+                rule=self.name,
+                severity=severity,
+                message=(
+                    f"write amplification {ratio:.1f}x across "
+                    f"{len(appends)} append(s): {written} B written for "
+                    f"{checkpointed} B of checkpoints"
+                ),
+                evidence=worst[:5],
+            )
+        ]
+
+
 #: Which rules can flag each failure event type (see
 #: :data:`repro.telemetry.events.FAILURE_EVENT_TYPES`).  The fuzzing
 #: campaign and ``tests/telemetry/test_health.py`` assert this map is
@@ -550,6 +614,7 @@ def default_rules() -> List[HealthRule]:
         TierOutageRule(),
         RestoreLagRule(),
         ReplayDivergenceRule(),
+        WriteAmplificationRule(),
     ]
 
 

@@ -124,6 +124,50 @@ class TestGate:
             "--fresh", str(tmp_path / "fresh"),
         ]) == 0
 
+    def test_bounded_metric_under_ceiling_passes(self, tmp_path, capsys):
+        _write_reports(tmp_path / "base")
+        _write_reports(tmp_path / "fresh")
+        for d in ("base", "fresh"):
+            (tmp_path / d / "BENCH_append.json").write_text(json.dumps(
+                {"append": {"tail_over_head_ratio": 1.1,
+                            "bytes_tail_over_head_ratio": 1.2,
+                            "index_bytes_per_append_ratio": 1.0}}
+            ))
+        assert check_regression.main([
+            "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"),
+        ]) == 0
+        assert "under ceiling" in capsys.readouterr().out
+
+    def test_bounded_metric_over_ceiling_fails(self, tmp_path, capsys):
+        _write_reports(tmp_path / "base")
+        _write_reports(tmp_path / "fresh")
+        for d, ratio in (("base", 1.1), ("fresh", 7.6)):
+            (tmp_path / d / "BENCH_append.json").write_text(json.dumps(
+                {"append": {"tail_over_head_ratio": ratio,
+                            "bytes_tail_over_head_ratio": 1.2,
+                            "index_bytes_per_append_ratio": 1.0}}
+            ))
+        rc = check_regression.main([
+            "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"),
+        ])
+        assert rc == 1
+        assert "over ceiling" in capsys.readouterr().out
+
+    def test_bounded_metric_gone_from_fresh_fails(self, tmp_path, capsys):
+        _write_reports(tmp_path / "base")
+        _write_reports(tmp_path / "fresh")
+        (tmp_path / "base" / "BENCH_append.json").write_text(json.dumps(
+            {"append": {"tail_over_head_ratio": 1.1,
+                        "bytes_tail_over_head_ratio": 1.2,
+                        "index_bytes_per_append_ratio": 1.0}}
+        ))
+        assert check_regression.main([
+            "--baseline", str(tmp_path / "base"),
+            "--fresh", str(tmp_path / "fresh"),
+        ]) == 1
+
     def test_gate_accepts_committed_reports(self, capsys):
         repo = Path(__file__).resolve().parents[2]
         assert check_regression.main([
