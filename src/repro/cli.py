@@ -352,6 +352,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from .telemetry.live import LiveMonitor, MonitorServer
+
+    monitor = LiveMonitor(path=args.journal)
+    server = None
+    if args.port is not None:
+        server = MonitorServer(monitor, port=args.port).start()
+        print(f"serving /metrics /healthz /slo on {server.url}", flush=True)
+    try:
+        if args.once:
+            if args.json:
+                print(json.dumps(monitor.snapshot(), indent=2, default=str))
+                return monitor.report(refresh=False).exit_code
+            print(monitor.rank_table())
+            report = monitor.report(refresh=False)
+            print(report.summary())
+            return report.exit_code
+        polls = 0
+        try:
+            while args.polls is None or polls < args.polls:
+                polls += 1
+                print(monitor.rank_table())
+                report = monitor.report(refresh=False)
+                print(report.summary())
+                print(flush=True)
+                if args.polls is not None and polls >= args.polls:
+                    break
+                time_mod.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return monitor.report(refresh=False).exit_code
+    finally:
+        if server is not None:
+            server.stop()
+        monitor.close()
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -584,6 +623,35 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="report.html")
     report.add_argument("--title", default="Checkpoint fleet run report")
     report.set_defaults(func=_cmd_report)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="watch a live run: tail its journal(s), grade liveness and SLOs",
+    )
+    monitor.add_argument(
+        "journal", help="JSONL journal file, or a directory of *.jsonl"
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="one snapshot instead of the refresh loop",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refresh-loop polls (default 2)",
+    )
+    monitor.add_argument(
+        "--polls", type=int, default=None,
+        help="stop the refresh loop after this many polls (default: forever)",
+    )
+    monitor.add_argument(
+        "--port", type=int, default=None,
+        help="also serve /metrics /healthz /slo on this port (0 = ephemeral)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true",
+        help="with --once: print the /slo JSON snapshot",
+    )
+    monitor.set_defaults(func=_cmd_monitor)
 
     replay = sub.add_parser(
         "replay", help="re-drive a recorded incident journal and assert equivalence"

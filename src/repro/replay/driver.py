@@ -387,6 +387,7 @@ def drive_run(
     journal_path: Optional[PathLike] = None,
     run_id: Optional[str] = None,
     workdir: Optional[PathLike] = None,
+    on_step=None,
 ) -> DriveResult:
     """Drive one node through *config*'s cadence under *schedule*.
 
@@ -395,6 +396,13 @@ def drive_run(
     (``golden_ok``), and returns the journal plus its condensed
     :class:`RunOutcome`.  *workdir* is required when the schedule carries
     record faults (the stored record to corrupt has to live somewhere).
+
+    *on_step*, when given, is called as ``on_step(step, now)`` after each
+    cadence round's checkpoints land.  It exists for live-monitoring
+    harnesses that need to observe the journal *mid-run* (e.g. block the
+    driving thread until a monitor has polled); it must not mutate run
+    state — the driven run stays a pure function of ``(config,
+    schedule)``.
     """
     from ..core.restore import Restorer
     from ..core.store import load_record, verify_record
@@ -437,6 +445,7 @@ def drive_run(
             num_processes=config.num_processes,
             name=config.node_name,
             record_root=record_root,
+            heartbeat_interval=config.period_seconds,
         )
         mark = len(journal)
         FaultPlan.apply_tier_faults(node.pipeline.tiers, schedule.tier_faults)
@@ -504,6 +513,8 @@ def drive_run(
             node.checkpoint_all(states[step], now, processes=sorted(alive))
             for p in alive:
                 snapshots[p].append(states[step][p].copy())
+            if on_step is not None:
+                on_step(step, now)
         horizon = config.horizon_seconds
         while pending and pending[0].at <= horizon:
             apply_crash(pending.pop(0))

@@ -131,6 +131,12 @@ class NodeRuntime:
         being rewritten wholesale at the end of a run.  A crash/restart
         resets that process's record and re-seeds it with the restart
         checkpoint, mirroring the in-memory ledger.
+    heartbeat_interval:
+        Expected simulated seconds between checkpoint rounds (the
+        cadence period).  Stamped on every ``heartbeat`` journal event so
+        a live :class:`~repro.telemetry.live.LivenessTracker` knows each
+        rank's deadline without out-of-band configuration; ``None`` lets
+        the tracker infer the cadence from observed gaps.
     """
 
     def __init__(
@@ -145,9 +151,13 @@ class NodeRuntime:
         ssd_drain_bandwidth: float = 2.0e9,
         name: str = "node0",
         record_root: Optional[PathLike] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         positive_int(num_processes, "num_processes")
         self.name = name
+        self.heartbeat_interval = (
+            float(heartbeat_interval) if heartbeat_interval is not None else None
+        )
         self.node = node if node is not None else thetagpu_node()
         if num_processes > self.node.gpus_per_node:
             raise ValueError(
@@ -298,6 +308,18 @@ class NodeRuntime:
                 retries=report.retries,
                 skipped_tiers=list(report.skipped_tiers),
                 payload_sha256=payload_sha256,
+            )
+            # Liveness signal: every rank that completes a round says so.
+            # A rank that stops heartbeating (crashed without restart,
+            # wedged mid-round) is exactly what the live monitor's
+            # LivenessTracker exists to flag.
+            events.emit(
+                events.HEARTBEAT,
+                sim_time=produced_at,
+                node=self.name,
+                rank=p,
+                interval_seconds=self.heartbeat_interval,
+                checkpoints=len(self.persisted[p]),
             )
         self._ckpt_counter += 1
         return self.timelines

@@ -29,7 +29,7 @@ from ..graphs.csr import Graph
 from ..kokkos.execution import DeviceSpace
 from ..oranges.gdv import GdvEngine
 from ..telemetry.aggregate import merge_journals
-from ..telemetry.events import CHECKPOINT_COMMITTED, RESTORE, EventJournal
+from ..telemetry.events import CHECKPOINT_COMMITTED, HEARTBEAT, RESTORE, EventJournal
 from ..utils.validation import positive_int
 from .fleet_restore import restore_record_sharded
 
@@ -172,6 +172,15 @@ def _run_rank(
                 stored_bytes=stats.stored_bytes,
                 full_bytes=stats.data_len,
                 device_seconds=stats.simulated_seconds,
+            )
+            # Fleet ranks have no fixed cadence period (each checkpoint
+            # takes as long as its kernels take), so the liveness tracker
+            # infers the deadline from observed heartbeat gaps.
+            journal.emit(
+                HEARTBEAT,
+                sim_time=cursor,
+                interval_seconds=None,
+                checkpoints=stats.ckpt_id + 1,
             )
     return (
         ckpt.record.total_full_bytes(),

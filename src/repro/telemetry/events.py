@@ -66,6 +66,7 @@ REBASE = "rebase"
 RECORD_APPENDED = "record_appended"
 RUN_CONFIG = "run_config"
 REPLAY_DIVERGENCE = "replay_divergence"
+HEARTBEAT = "heartbeat"
 
 EVENT_TYPES = frozenset(
     {
@@ -82,6 +83,7 @@ EVENT_TYPES = frozenset(
         RECORD_APPENDED,
         RUN_CONFIG,
         REPLAY_DIVERGENCE,
+        HEARTBEAT,
     }
 )
 
@@ -123,6 +125,11 @@ class EventJournal:
         Optional run identity stamped on every record (schema v2).  Leave
         ``None`` for ad-hoc journals; recorded runs meant for replay or
         cross-run merging should set a stable, deterministic id.
+    retain:
+        Keep every emitted record in memory (the default).  ``False``
+        builds and returns records without retaining them — the envelope
+        for pure pass-through sinks like the in-process event bus, which
+        must not grow without bound over a long-lived run.
     """
 
     def __init__(
@@ -131,10 +138,12 @@ class EventJournal:
         node: str = "node0",
         rank: Optional[int] = None,
         run_id: Optional[str] = None,
+        retain: bool = True,
     ) -> None:
         self.node = node
         self.rank = rank
         self.run_id = run_id
+        self.retain = retain
         self.path = Path(path) if path is not None else None
         self._records: List[Dict[str, Any]] = []
         self._seq = 0
@@ -168,7 +177,8 @@ class EventJournal:
         with self._lock:
             record["seq"] = self._seq
             self._seq += 1
-            self._records.append(record)
+            if self.retain:
+                self._records.append(record)
             if self._fh is not None:
                 self._fh.write(json.dumps(record, sort_keys=True) + "\n")
                 self._fh.flush()
@@ -203,6 +213,51 @@ class EventJournal:
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[EventJournal] = None
 
+# In-process event bus: subscribers see every record that flows through
+# the module-level :func:`emit` — with or without a journal installed —
+# so a live aggregator (``repro.telemetry.live``) can consume the event
+# stream without touching disk.  A failing subscriber never breaks the
+# emitting pipeline: its exception is counted and the record still
+# reaches the journal and the other subscribers.
+_SUBSCRIBERS: List[Any] = []
+#: Records emitted while no journal is installed still need an envelope
+#: (seq, node identity) for the bus; this non-retaining journal builds it.
+_BUS_FALLBACK: Optional[EventJournal] = None
+#: Subscriber callbacks that raised, counted so monitoring failures are
+#: visible without ever propagating into the checkpoint pipeline.
+subscriber_errors: int = 0
+
+
+def subscribe(callback) -> Any:
+    """Register *callback* to receive every emitted record; returns it."""
+    _SUBSCRIBERS.append(callback)
+    return callback
+
+
+def unsubscribe(callback) -> None:
+    """Remove a previously subscribed callback (no-op if absent)."""
+    try:
+        _SUBSCRIBERS.remove(callback)
+    except ValueError:
+        pass
+
+
+def _notify(record: Dict[str, Any]) -> None:
+    global subscriber_errors
+    for callback in list(_SUBSCRIBERS):
+        try:
+            callback(record)
+        except Exception:
+            subscriber_errors += 1
+
+
+def reset_bus() -> None:
+    """Drop every subscriber and zero the bus state (test isolation)."""
+    global _BUS_FALLBACK, subscriber_errors
+    _SUBSCRIBERS.clear()
+    _BUS_FALLBACK = None
+    subscriber_errors = 0
+
 
 def active_journal() -> Optional[EventJournal]:
     """The currently installed journal, or ``None`` (journaling off)."""
@@ -224,11 +279,27 @@ def uninstall() -> Optional[EventJournal]:
 
 
 def emit(type: str, **kwargs: Any) -> Optional[Dict[str, Any]]:
-    """Emit to the installed journal; a no-op ``None`` when journaling is off."""
+    """Emit to the installed journal and the event bus.
+
+    A no-op ``None`` when journaling is off *and* nobody is subscribed —
+    the disabled cost stays two reads and a branch.  With subscribers but
+    no journal, the record is built (non-retained) and delivered to the
+    bus only, so a live aggregator can ride along without any disk I/O.
+    """
+    global _BUS_FALLBACK
     journal = _ACTIVE
-    if journal is None:
+    if journal is None and not _SUBSCRIBERS:
         return None
-    return journal.emit(type, **kwargs)
+    if journal is None:
+        if _BUS_FALLBACK is None:
+            _BUS_FALLBACK = EventJournal(
+                node=os.environ.get("REPRO_NODE", "node0"), retain=False
+            )
+        journal = _BUS_FALLBACK
+    record = journal.emit(type, **kwargs)
+    if _SUBSCRIBERS:
+        _notify(record)
+    return record
 
 
 @contextmanager
@@ -267,6 +338,34 @@ def write_journal(path: Union[str, Path], records: Iterable[Dict[str, Any]]) -> 
     return out
 
 
+class JournalCursor:
+    """Resume point of an incremental journal read.
+
+    ``offset`` is the byte position of the first unconsumed byte;
+    ``lineno`` the 1-based line number that byte starts.  Cursors are
+    immutable value objects: each :func:`read_journal` call returns a new
+    one on ``LoadedJournal.cursor``, and feeding it back via ``since=``
+    parses only what was appended after it — tailing never re-parses the
+    prefix.
+    """
+
+    __slots__ = ("offset", "lineno")
+
+    def __init__(self, offset: int = 0, lineno: int = 1) -> None:
+        self.offset = int(offset)
+        self.lineno = int(lineno)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, JournalCursor)
+            and self.offset == other.offset
+            and self.lineno == other.lineno
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JournalCursor(offset={self.offset}, lineno={self.lineno})"
+
+
 class LoadedJournal(List[Dict[str, Any]]):
     """A journal's records plus what had to be skipped to load them.
 
@@ -275,7 +374,8 @@ class LoadedJournal(List[Dict[str, Any]]):
     truncated/garbled/unreadable JSONL lines that were dropped, and
     ``problems`` describes the first few.  A journal cut off mid-record
     by the very crash it documents must still load — the replayer depends
-    on it.
+    on it.  ``cursor`` marks where this load stopped; pass it back as
+    ``read_journal(..., since=cursor)`` to consume only newer records.
     """
 
     def __init__(self, records=(), path: Optional[Path] = None) -> None:
@@ -283,9 +383,14 @@ class LoadedJournal(List[Dict[str, Any]]):
         self.path = path
         self.skipped_lines: int = 0
         self.problems: List[str] = []
+        self.cursor: JournalCursor = JournalCursor()
 
 
-def read_journal(path: Union[str, Path], strict: bool = False) -> LoadedJournal:
+def read_journal(
+    path: Union[str, Path],
+    strict: bool = False,
+    since: Optional[JournalCursor] = None,
+) -> LoadedJournal:
     """Load one JSONL journal, validating the envelope of every record.
 
     By default damaged lines — truncated JSON (a crash mid-write),
@@ -294,11 +399,25 @@ def read_journal(path: Union[str, Path], strict: bool = False) -> LoadedJournal:
     :class:`LoadedJournal` (``skipped_lines`` / ``problems``) instead of
     aborting the load mid-file.  ``strict=True`` restores the raising
     behaviour for tests and for pipelines that must not tolerate damage.
+
+    ``since`` switches to **incremental** mode: reading starts at the
+    cursor (nothing before it is re-parsed) and a torn trailing line —
+    bytes not yet closed by a newline, i.e. a record the emitter is
+    mid-``write`` — is *held back* instead of parsed: the returned
+    ``cursor`` stops in front of it, so the next poll consumes the line
+    intact once the writer finishes it.  Start tailing from
+    ``JournalCursor()``.  A file that shrank below the cursor (rotated
+    or truncated underneath the tailer) restarts from the beginning and
+    is counted as a problem.  Whole-file loads (``since=None``) keep the
+    historical behaviour — the final line parses even without a trailing
+    newline — and return a cursor at end-of-file.
     """
     source = Path(path)
     if not source.exists():
         raise StorageError(f"no journal at {source}")
     records = LoadedJournal(path=source)
+    incremental = since is not None
+    start = since if since is not None else JournalCursor()
 
     def _skip(lineno: int, why: str, exc: Optional[Exception] = None) -> None:
         if strict:
@@ -308,11 +427,30 @@ def read_journal(path: Union[str, Path], strict: bool = False) -> LoadedJournal:
         if len(records.problems) < 8:
             records.problems.append(f"line {lineno}: {why}")
 
-    for lineno, line in enumerate(source.read_text().splitlines(), start=1):
-        if not line.strip():
+    data = source.read_bytes()
+    if start.offset > len(data):
+        _skip(
+            start.lineno,
+            f"journal shrank below cursor offset {start.offset} "
+            f"(rotated or truncated); restarting from the beginning",
+        )
+        start = JournalCursor()
+    chunk = data[start.offset :]
+    if incremental and chunk and not chunk.endswith(b"\n"):
+        # Hold back the torn trailing line: everything up to and
+        # including the last newline is consumable now, the tail is the
+        # next poll's problem (by then the writer has flushed the rest).
+        chunk = chunk[: chunk.rfind(b"\n") + 1]
+    lines = chunk.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()  # a trailing newline terminates a line, not starts one
+    for i, line in enumerate(lines):
+        lineno = start.lineno + i
+        text = line.decode("utf-8", errors="replace")
+        if not text.strip():
             continue
         try:
-            record = json.loads(line)
+            record = json.loads(text)
         except json.JSONDecodeError as exc:
             _skip(lineno, f"malformed journal line: {exc}", exc)
             continue
@@ -324,6 +462,10 @@ def read_journal(path: Union[str, Path], strict: bool = False) -> LoadedJournal:
             _skip(lineno, f"unsupported journal schema {version!r}")
             continue
         records.append(record)
+    records.cursor = JournalCursor(
+        offset=start.offset + len(chunk) if incremental else len(data),
+        lineno=start.lineno + len(lines),
+    )
     return records
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -261,27 +262,296 @@ def _prom_number(value) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
-def metrics_to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
-    """Prometheus text exposition format for every instrument."""
-    registry = registry if registry is not None else default_registry()
+def prom_escape_label_value(value) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format requires escaping inside ``label="..."``; everything else
+    passes through (UTF-8 is legal in label values).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """HELP text escapes backslash and line feed (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def prom_sample_line(name: str, labels: Dict[str, Any], value) -> str:
+    """Render one sample line, escaping every label value."""
+    if labels:
+        body = ",".join(
+            f'{key}="{prom_escape_label_value(val)}"'
+            for key, val in labels.items()
+        )
+        return f"{name}{{{body}}} {_prom_number(value)}"
+    return f"{name} {_prom_number(value)}"
+
+
+class PromFamily:
+    """One metric family: HELP/TYPE exactly once, then its samples.
+
+    ``samples`` rows are ``(suffix, labels, value)`` — the suffix is
+    appended to the family name (``"_bucket"``, ``"_sum"``, ``""``), so a
+    histogram's sub-series stay inside their family and the exposition
+    keeps the one-TYPE-per-family invariant by construction.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: List[tuple] = []
+
+    def add(self, suffix: str = "", labels: Optional[Dict[str, Any]] = None, value=0):
+        self.samples.append((suffix, dict(labels or {}), value))
+        return self
+
+    def lines(self) -> List[str]:
+        out = []
+        if self.help:
+            out.append(f"# HELP {self.name} {_prom_escape_help(self.help)}")
+        out.append(f"# TYPE {self.name} {self.kind}")
+        for suffix, labels, value in self.samples:
+            out.append(prom_sample_line(self.name + suffix, labels, value))
+        return out
+
+
+def render_prometheus(families: List[PromFamily]) -> str:
+    """Render families as one exposition page (one HELP/TYPE per family)."""
+    seen: Dict[str, str] = {}
     lines: List[str] = []
+    for family in families:
+        if family.name in seen:
+            raise ValueError(
+                f"metric family {family.name!r} rendered twice — HELP/TYPE "
+                f"must appear exactly once per family"
+            )
+        seen[family.name] = family.kind
+        lines.extend(family.lines())
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_family(prom: str, inst) -> PromFamily:
+    family = PromFamily(prom, "histogram", inst.help)
+    running = 0
+    for boundary, slot in zip(inst.buckets, inst._bucket_counts):
+        running += slot
+        family.add("_bucket", {"le": _prom_number(float(boundary))}, running)
+    family.add("_bucket", {"le": "+Inf"}, inst.count)
+    family.add("_sum", None, inst.sum)
+    family.add("_count", None, inst.count)
+    return family
+
+
+def registry_families(
+    registry: Optional[MetricsRegistry] = None,
+) -> List[PromFamily]:
+    """Every instrument of *registry* as :class:`PromFamily` rows."""
+    registry = registry if registry is not None else default_registry()
     with registry._lock:
         instruments = sorted(registry._instruments.items())
+    families: List[PromFamily] = []
+    taken: Dict[str, int] = {}
     for name, inst in instruments:
         prom = _prom_name(name)
-        if inst.help:
-            lines.append(f"# HELP {prom} {inst.help}")
-        lines.append(f"# TYPE {prom} {inst.kind}")
+        # Distinct registry names can sanitize to one prom name
+        # ("map.probes" vs "map_probes"); a duplicate family would make
+        # the page invalid, so disambiguate with a numeric suffix.
+        taken[prom] = taken.get(prom, 0) + 1
+        if taken[prom] > 1:
+            prom = f"{prom}_{taken[prom]}"
         if inst.kind == "histogram":
-            running = 0
-            for boundary, slot in zip(inst.buckets, inst._bucket_counts):
-                running += slot
-                lines.append(
-                    f'{prom}_bucket{{le="{_prom_number(float(boundary))}"}} {running}'
-                )
-            lines.append(f'{prom}_bucket{{le="+Inf"}} {inst.count}')
-            lines.append(f"{prom}_sum {_prom_number(inst.sum)}")
-            lines.append(f"{prom}_count {inst.count}")
+            families.append(_histogram_family(prom, inst))
         else:
-            lines.append(f"{prom} {_prom_number(inst.value)}")
-    return "\n".join(lines) + "\n"
+            families.append(
+                PromFamily(prom, inst.kind, inst.help).add("", None, inst.value)
+            )
+    return families
+
+
+def metrics_to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text exposition format for every instrument."""
+    return render_prometheus(registry_families(registry))
+
+
+# ----------------------------------------------------------------------
+# Exposition-format validation (used by tests and the live-monitor smoke)
+# ----------------------------------------------------------------------
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_NAME_RE})(?P<labels>\{{.*\}})? "
+    rf"(?P<value>NaN|[+-]Inf|[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?)"
+    rf"( \d+)?$"
+)
+_VALID_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_labels(body: str) -> Optional[Dict[str, str]]:
+    """Parse a ``{a="x",b="y"}`` label block honoring escape sequences.
+
+    Returns ``None`` (not an empty dict) when the block is malformed.
+    """
+    inner = body[1:-1]
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(inner):
+        eq = inner.find("=", i)
+        if eq < 0:
+            return None
+        name = inner[i:eq]
+        if not re.fullmatch(_NAME_RE, name):
+            return None
+        if eq + 1 >= len(inner) or inner[eq + 1] != '"':
+            return None
+        j = eq + 2
+        value = []
+        while j < len(inner):
+            c = inner[j]
+            if c == "\\":
+                if j + 1 >= len(inner) or inner[j + 1] not in ('\\', '"', "n"):
+                    return None
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[inner[j + 1]])
+                j += 2
+                continue
+            if c == '"':
+                break
+            value.append(c)
+            j += 1
+        else:
+            return None  # unterminated value
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(inner):
+            if inner[i] != ",":
+                return None
+            i += 1
+    return labels
+
+
+def _family_of(sample_name: str, types: Dict[str, str]) -> str:
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and base in types:
+            return base
+    return sample_name
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Line-by-line exposition-format check; returns the problems found.
+
+    Enforces what a scraper actually depends on: every line is a valid
+    comment or sample, ``# HELP``/``# TYPE`` appear at most once per
+    family with the TYPE before (and not interleaved with) that family's
+    samples, TYPE kinds are legal, label blocks parse with their escape
+    sequences, and each histogram family has monotonically non-decreasing
+    cumulative ``le`` buckets ending in ``+Inf`` plus ``_sum``/``_count``.
+    An empty list means the page is compliant.
+    """
+    problems: List[str] = []
+    helps: Dict[str, int] = {}
+    types: Dict[str, str] = {}
+    family_order: List[str] = []
+    closed: set = set()
+    buckets: Dict[str, List[tuple]] = {}
+    histogram_parts: Dict[str, set] = {}
+
+    def _note(lineno: int, why: str) -> None:
+        problems.append(f"line {lineno}: {why}")
+
+    current: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                _note(lineno, f"unparseable comment {line!r}")
+                continue
+            kind, name = parts[1], parts[2]
+            if kind == "HELP":
+                if name in helps:
+                    _note(lineno, f"duplicate HELP for family {name}")
+                helps[name] = lineno
+            else:
+                if name in types:
+                    _note(lineno, f"duplicate TYPE for family {name}")
+                elif len(parts) < 4 or parts[3] not in _VALID_KINDS:
+                    _note(lineno, f"invalid TYPE kind in {line!r}")
+                else:
+                    types[name] = parts[3]
+                if current is not None and current != name:
+                    closed.add(current)
+                current = name
+                family_order.append(name)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            _note(lineno, f"unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        label_block = match.group("labels")
+        labels = _parse_labels(label_block) if label_block else {}
+        if labels is None:
+            _note(lineno, f"malformed label block in {line!r}")
+            continue
+        family = _family_of(name, types)
+        if family in types:
+            if family in closed:
+                _note(
+                    lineno,
+                    f"sample of family {family} after another family's "
+                    f"TYPE — families must not interleave",
+                )
+            if current != family:
+                if current is not None:
+                    closed.add(current)
+                current = family
+            if types[family] == "histogram":
+                part = name[len(family):] or ""
+                histogram_parts.setdefault(family, set()).add(part)
+                if part == "_bucket":
+                    if "le" not in labels:
+                        _note(lineno, f"histogram bucket without le label")
+                    else:
+                        buckets.setdefault(family, []).append(
+                            (labels["le"], float(match.group("value")), lineno)
+                        )
+                elif part not in ("_sum", "_count"):
+                    _note(
+                        lineno,
+                        f"histogram family {family} has stray sample {name}",
+                    )
+    for name in helps:
+        if name not in types:
+            problems.append(f"HELP without TYPE for family {name}")
+    for family, rows in buckets.items():
+        les = [le for le, _, _ in rows]
+        if les and les[-1] != "+Inf":
+            problems.append(f"histogram {family} buckets do not end at +Inf")
+        counts = [count for _, count, _ in rows]
+        if counts != sorted(counts):
+            problems.append(
+                f"histogram {family} cumulative bucket counts decrease"
+            )
+        finite = []
+        for le in les:
+            if le == "+Inf":
+                continue
+            try:
+                finite.append(float(le))
+            except ValueError:
+                problems.append(f"histogram {family} has unparseable le={le!r}")
+        if finite != sorted(finite):
+            problems.append(f"histogram {family} le boundaries out of order")
+    for family, parts in histogram_parts.items():
+        for required in ("_bucket", "_sum", "_count"):
+            if required not in parts:
+                problems.append(f"histogram {family} missing {required}")
+    return problems

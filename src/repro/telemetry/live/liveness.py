@@ -1,0 +1,331 @@
+"""Liveness and straggler detection over the heartbeat stream.
+
+Every healthy rank emits a ``heartbeat`` journal event once per
+checkpoint round (:class:`~repro.runtime.NodeRuntime` stamps the cadence
+period on it as ``interval_seconds``).  :class:`LivenessTracker` folds
+the merged event stream and answers, at any simulated instant: which
+ranks are on deadline (``ok``), which have missed a couple
+(``lagging``), and which have gone silent (``hung``) — including the
+crash-with-no-restart case, where the ``crash`` event itself starts the
+hung clock so the verdict lands within one heartbeat deadline of the
+crash instead of waiting out several missed beats.
+
+Verdicts are **order-independent**: the tracker accumulates observed
+records and sorts them canonically (:func:`~repro.telemetry.events.
+merge_key`) at verdict time, so feeding the same multiset of records in
+any order — the reality of tailing per-rank files racing each other —
+produces identical verdicts (property-tested like
+``tests/telemetry/test_aggregate.py``).
+
+Straggler detection is relative, as in the paper's strong-scaling runs:
+a rank whose mean heartbeat gap falls ``straggler_sigma`` standard
+deviations above the fleet median cadence is flagged even though it
+never misses its own deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..events import CRASH, HEARTBEAT, RESTART, merge_key
+from ..health import CRITICAL, WARN, Finding
+
+OK = "ok"
+LAGGING = "lagging"
+HUNG = "hung"
+
+#: Worst-first ordering for liveness states.
+STATE_RANK = {OK: 0, LAGGING: 1, HUNG: 2}
+
+RankKey = Tuple[str, Optional[int]]
+
+
+@dataclass
+class LivenessVerdict:
+    """One rank's liveness at a given simulated instant."""
+
+    node: str
+    rank: Optional[int]
+    state: str  # OK | LAGGING | HUNG
+    last_heartbeat: Optional[float]
+    #: Deadline used for this verdict (declared or inferred), seconds.
+    interval: Optional[float]
+    #: Whole deadlines elapsed since the last heartbeat.
+    misses: int
+    heartbeats: int
+    checkpoints: int
+    straggler: bool = False
+    #: Why the verdict is what it is, operator-readable.
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "rank": self.rank,
+            "state": self.state,
+            "last_heartbeat": self.last_heartbeat,
+            "interval": self.interval,
+            "misses": self.misses,
+            "heartbeats": self.heartbeats,
+            "checkpoints": self.checkpoints,
+            "straggler": self.straggler,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class _RankHistory:
+    """Per-rank fold of the sorted stream (rebuilt at verdict time)."""
+
+    node: str
+    rank: Optional[int]
+    beats: List[float] = field(default_factory=list)
+    declared_interval: Optional[float] = None
+    checkpoints: int = 0
+    #: Simulated time of a crash nobody has restarted yet.
+    open_crash: Optional[float] = None
+
+    def gaps(self) -> List[float]:
+        return [
+            b - a for a, b in zip(self.beats, self.beats[1:]) if b > a
+        ]
+
+    def mean_gap(self) -> Optional[float]:
+        gaps = self.gaps()
+        return sum(gaps) / len(gaps) if gaps else None
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class LivenessTracker:
+    """Grades rank liveness from the observed event stream.
+
+    Parameters
+    ----------
+    lag_misses / hung_misses:
+        Whole heartbeat deadlines a rank may miss before it grades
+        ``lagging`` / ``hung``.
+    straggler_sigma:
+        How many standard deviations a rank's mean heartbeat gap may sit
+        above the fleet median before it is flagged a straggler.
+    default_interval:
+        Deadline to assume for a rank that has declared none and beaten
+        at most once (nothing to infer a cadence from).  ``None`` leaves
+        such ranks ungraded-by-deadline (they stay ``ok`` until the
+        fleet's inferred cadence exists).
+    """
+
+    def __init__(
+        self,
+        lag_misses: int = 2,
+        hung_misses: int = 4,
+        straggler_sigma: float = 3.0,
+        default_interval: Optional[float] = None,
+    ) -> None:
+        if lag_misses < 1 or hung_misses < lag_misses:
+            raise ValueError(
+                f"need 1 <= lag_misses <= hung_misses, got "
+                f"{lag_misses}/{hung_misses}"
+            )
+        self.lag_misses = lag_misses
+        self.hung_misses = hung_misses
+        self.straggler_sigma = straggler_sigma
+        self.default_interval = default_interval
+        self._records: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, record: Dict[str, Any]) -> None:
+        """Fold one journal record (any type; irrelevant ones ignored)."""
+        if record.get("type") in (HEARTBEAT, CRASH, RESTART):
+            self._records.append(record)
+
+    def observe_all(self, records) -> None:
+        for record in records:
+            self.observe(record)
+
+    def now(self) -> float:
+        """Latest simulated time seen across all observed records."""
+        return max(
+            (
+                float(r["sim_time"])
+                for r in self._records
+                if r.get("sim_time") is not None
+            ),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def _histories(self) -> Dict[RankKey, _RankHistory]:
+        """Replay the observed multiset in canonical order."""
+        histories: Dict[RankKey, _RankHistory] = {}
+        for record in sorted(self._records, key=merge_key):
+            key = (str(record.get("node", "")), record.get("rank"))
+            history = histories.get(key)
+            if history is None:
+                history = histories[key] = _RankHistory(
+                    node=key[0], rank=key[1]
+                )
+            kind = record.get("type")
+            sim = record.get("sim_time")
+            if kind == HEARTBEAT:
+                if sim is not None:
+                    history.beats.append(float(sim))
+                declared = record.get("interval_seconds")
+                if declared is not None:
+                    history.declared_interval = float(declared)
+                history.checkpoints = max(
+                    history.checkpoints, int(record.get("checkpoints", 0) or 0)
+                )
+            elif kind == CRASH:
+                history.open_crash = float(sim) if sim is not None else 0.0
+            elif kind == RESTART:
+                history.open_crash = None
+        return histories
+
+    def _interval_for(
+        self, history: _RankHistory, fleet_gap: Optional[float]
+    ) -> Optional[float]:
+        if history.declared_interval:
+            return history.declared_interval
+        own = history.mean_gap()
+        if own:
+            return own
+        if fleet_gap:
+            return fleet_gap
+        return self.default_interval
+
+    def verdicts(self, now: Optional[float] = None) -> Dict[RankKey, LivenessVerdict]:
+        """Grade every known rank at simulated time *now*.
+
+        *now* defaults to the latest simulated time observed — "as of the
+        newest event anywhere in the fleet", which is what a tailer
+        naturally knows.
+        """
+        histories = self._histories()
+        if now is None:
+            now = self.now()
+        fleet_gaps = [
+            g for h in histories.values() for g in (h.mean_gap(),) if g
+        ]
+        fleet_gap = _median(fleet_gaps) if fleet_gaps else None
+        # Robust dispersion: a hung-or-slow outlier must not inflate the
+        # yardstick it is measured against, so use the median absolute
+        # deviation (scaled to σ-equivalent) with a relative floor — a
+        # perfectly uniform fleet still needs a nonzero band before
+        # normal jitter counts as straggling.
+        if fleet_gap is not None:
+            mad = _median([abs(g - fleet_gap) for g in fleet_gaps])
+            sigma = max(1.4826 * mad, 0.1 * fleet_gap)
+        else:
+            sigma = 0.0
+
+        out: Dict[RankKey, LivenessVerdict] = {}
+        for key in sorted(histories, key=lambda k: (k[0], k[1] if k[1] is not None else -1)):
+            history = histories[key]
+            interval = self._interval_for(history, fleet_gap)
+            last = history.beats[-1] if history.beats else None
+            misses = 0
+            state = OK
+            reason = "on deadline"
+            if interval and interval > 0:
+                since = now - (last if last is not None else 0.0)
+                misses = max(0, int(since / interval))
+                if misses >= self.hung_misses:
+                    state = HUNG
+                    reason = (
+                        f"{misses} heartbeat deadlines missed "
+                        f"(last beat {'never' if last is None else f'at t={last:g}'})"
+                    )
+                elif misses >= self.lag_misses:
+                    state = LAGGING
+                    reason = f"{misses} heartbeat deadlines missed"
+            # A crash nobody restarted escalates straight to hung one
+            # deadline after the crash — no waiting out hung_misses
+            # beats for a rank we *know* died.
+            if history.open_crash is not None:
+                grace = interval if interval else 0.0
+                if now >= history.open_crash + grace:
+                    state = HUNG
+                    reason = (
+                        f"crashed at t={history.open_crash:g} with no restart"
+                    )
+                elif STATE_RANK[state] < STATE_RANK[LAGGING]:
+                    state = LAGGING
+                    reason = (
+                        f"crashed at t={history.open_crash:g}, within "
+                        f"restart grace"
+                    )
+            straggler = False
+            own_gap = history.mean_gap()
+            if (
+                state == OK
+                and own_gap is not None
+                and fleet_gap is not None
+                and len(fleet_gaps) >= 3
+                and own_gap > fleet_gap + self.straggler_sigma * sigma
+            ):
+                straggler = True
+                reason = (
+                    f"cadence {own_gap:g}s/beat vs fleet median "
+                    f"{fleet_gap:g}s (+{self.straggler_sigma:g}σ)"
+                )
+            out[key] = LivenessVerdict(
+                node=history.node,
+                rank=history.rank,
+                state=state,
+                last_heartbeat=last,
+                interval=interval,
+                misses=misses,
+                heartbeats=len(history.beats),
+                checkpoints=history.checkpoints,
+                straggler=straggler,
+                reason=reason,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def findings(self, now: Optional[float] = None) -> List[Finding]:
+        """Graded findings: hung is critical, lagging/straggler warn."""
+        findings: List[Finding] = []
+        for verdict in self.verdicts(now).values():
+            if verdict.state == HUNG:
+                findings.append(
+                    Finding(
+                        rule="liveness",
+                        severity=CRITICAL,
+                        message=f"rank hung: {verdict.reason}",
+                        node=verdict.node,
+                        rank=verdict.rank,
+                        evidence=[verdict.as_dict()],
+                    )
+                )
+            elif verdict.state == LAGGING:
+                findings.append(
+                    Finding(
+                        rule="liveness",
+                        severity=WARN,
+                        message=f"rank lagging: {verdict.reason}",
+                        node=verdict.node,
+                        rank=verdict.rank,
+                        evidence=[verdict.as_dict()],
+                    )
+                )
+            elif verdict.straggler:
+                findings.append(
+                    Finding(
+                        rule="straggler",
+                        severity=WARN,
+                        message=f"straggler: {verdict.reason}",
+                        node=verdict.node,
+                        rank=verdict.rank,
+                        evidence=[verdict.as_dict()],
+                    )
+                )
+        return findings

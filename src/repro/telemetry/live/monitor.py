@@ -1,0 +1,304 @@
+"""The live monitor: one object that tails, grades, and renders.
+
+:class:`LiveMonitor` composes the streaming pieces — a
+:class:`~repro.telemetry.live.tail.JournalFollower` over on-disk
+journals and/or the in-process event bus
+(:func:`repro.telemetry.events.subscribe`) — with the analysis pieces
+(:class:`~repro.telemetry.live.liveness.LivenessTracker`,
+:class:`~repro.telemetry.live.slo.SloEngine`) and renders the result
+three ways:
+
+* :meth:`report` — a graded :class:`~repro.telemetry.health.HealthReport`
+  whose findings mix liveness, SLO, and ingest problems (same type the
+  post-hoc engine produces, same exit-code convention);
+* :meth:`snapshot` — the JSON blob the ``/slo`` endpoint serves;
+* :meth:`prometheus` — a text exposition page combining the process's
+  metric registry with live per-rank families, format-validated by
+  :func:`repro.telemetry.export.validate_prometheus_text` in the tests.
+
+Every surface calls :meth:`poll` first (refresh-on-read), so a scrape is
+never staler than the journal it follows.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from .. import events as events_mod
+from ..export import (
+    PromFamily,
+    registry_families,
+    render_prometheus,
+)
+from ..health import CRITICAL, WARN, Finding, HealthReport
+from .liveness import STATE_RANK, LivenessTracker, LivenessVerdict
+from .slo import SloConfig, SloEngine
+from .tail import JournalFollower, PathLike
+
+#: Rules the live monitor can produce, in addition to whatever names the
+#: liveness tracker and SLO engine emit.
+INGEST_RULE = "journal_ingest"
+
+
+class LiveMonitor:
+    """Follow a run in flight and grade it continuously.
+
+    Parameters
+    ----------
+    path:
+        Journal file or directory to tail (``None`` = no disk source).
+    bus:
+        Subscribe to the in-process event bus so records emitted in this
+        process reach the monitor with no disk round-trip.  Remember to
+        :meth:`close` (or use the monitor as a context manager) to
+        unsubscribe.
+    tracker / slo:
+        Pre-configured analysis engines; fresh defaults otherwise.
+    """
+
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        bus: bool = False,
+        tracker: Optional[LivenessTracker] = None,
+        slo: Optional[Union[SloEngine, SloConfig]] = None,
+    ) -> None:
+        self.follower = JournalFollower(path) if path is not None else None
+        self.tracker = tracker if tracker is not None else LivenessTracker()
+        if isinstance(slo, SloConfig):
+            slo = SloEngine(slo)
+        self.slo = slo if slo is not None else SloEngine()
+        self._lock = threading.Lock()
+        self._bus_queue: Deque[Dict[str, Any]] = deque()
+        self._subscription = None
+        if bus:
+            self._subscription = events_mod.subscribe(self._bus_queue.append)
+        self.records_seen = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "LiveMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._subscription is not None:
+            events_mod.unsubscribe(self._subscription)
+            self._subscription = None
+
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Ingest everything new (disk + bus); returns records consumed."""
+        with self._lock:
+            batch: List[Dict[str, Any]] = []
+            if self.follower is not None:
+                batch.extend(self.follower.poll())
+            while self._bus_queue:
+                batch.append(self._bus_queue.popleft())
+            for record in batch:
+                self.tracker.observe(record)
+                self.slo.observe(record)
+            self.records_seen += len(batch)
+            return len(batch)
+
+    # ------------------------------------------------------------------
+    def _ingest_findings(self) -> List[Finding]:
+        findings: List[Finding] = []
+        follower = self.follower
+        if follower is not None and follower.mixed_runs:
+            findings.append(
+                Finding(
+                    rule=INGEST_RULE,
+                    severity=CRITICAL,
+                    message=(
+                        f"followed journals span {len(follower.run_ids)} "
+                        f"different runs: {sorted(follower.run_ids)}"
+                    ),
+                )
+            )
+        if follower is not None and follower.skipped_lines:
+            findings.append(
+                Finding(
+                    rule=INGEST_RULE,
+                    severity=WARN,
+                    message=(
+                        f"{follower.skipped_lines} damaged journal line(s) "
+                        f"skipped while tailing"
+                    ),
+                    evidence=[{"problems": follower.problems[:8]}],
+                )
+            )
+        if events_mod.subscriber_errors:
+            findings.append(
+                Finding(
+                    rule=INGEST_RULE,
+                    severity=WARN,
+                    message=(
+                        f"{events_mod.subscriber_errors} event-bus "
+                        f"subscriber error(s) swallowed"
+                    ),
+                )
+            )
+        return findings
+
+    def report(self, refresh: bool = True) -> HealthReport:
+        """Graded live findings (liveness + SLO + ingest), worst first."""
+        if refresh:
+            self.poll()
+        findings = (
+            self.tracker.findings()
+            + self.slo.findings()
+            + self._ingest_findings()
+        )
+        from ..health import severity_rank
+
+        findings.sort(key=lambda f: -severity_rank(f.severity))
+        return HealthReport(
+            findings=findings,
+            rules_run=["liveness", "straggler", "slo", INGEST_RULE],
+        )
+
+    # ------------------------------------------------------------------
+    def verdicts(self) -> Dict[Any, LivenessVerdict]:
+        return self.tracker.verdicts()
+
+    def snapshot(self, refresh: bool = True) -> Dict[str, Any]:
+        """The ``/slo`` JSON payload: status, per-rank table, SLI window."""
+        if refresh:
+            self.poll()
+        report = self.report(refresh=False)
+        verdicts = self.verdicts()
+        return {
+            "status": report.status,
+            "records_seen": self.records_seen,
+            "now": self.tracker.now(),
+            "ranks": [v.as_dict() for v in verdicts.values()],
+            "slo": self.slo.summary(),
+            "findings": [f.as_dict() for f in report.findings],
+        }
+
+    def rank_table(self, refresh: bool = True) -> str:
+        """Fixed-width per-rank liveness/latency table (watch mode)."""
+        if refresh:
+            self.poll()
+        verdicts = self.verdicts()
+        slo = self.slo.summary()
+        lines = [
+            f"{'rank':<14s} {'state':<8s} {'beats':>5s} {'ckpts':>5s} "
+            f"{'last beat':>12s} {'misses':>6s}  reason"
+        ]
+        for verdict in verdicts.values():
+            where = verdict.node
+            if verdict.rank is not None:
+                where += f"/r{verdict.rank}"
+            last = (
+                "-"
+                if verdict.last_heartbeat is None
+                else f"t={verdict.last_heartbeat:.4g}"
+            )
+            state = verdict.state + ("*" if verdict.straggler else "")
+            lines.append(
+                f"{where:<14s} {state:<8s} {verdict.heartbeats:>5d} "
+                f"{verdict.checkpoints:>5d} {last:>12s} "
+                f"{verdict.misses:>6d}  {verdict.reason}"
+            )
+        commit = slo["commit_latency"]
+        flush = slo["flush_latency"]
+
+        def _fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:.3g}s"
+
+        lines.append(
+            f"window[{slo['window']}]: commit p50={_fmt(commit['p50'])} "
+            f"p99={_fmt(commit['p99'])}  flush p50={_fmt(flush['p50'])} "
+            f"p99={_fmt(flush['p99'])}  backlog={slo['backlog_depth']} "
+            f"burn={slo['burn_rate']:.2f}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def prometheus(self, refresh: bool = True) -> str:
+        """Exposition page: registry instruments + live monitor families."""
+        if refresh:
+            self.poll()
+        verdicts = self.verdicts()
+        slo = self.slo.summary()
+
+        state_family = PromFamily(
+            "repro_live_rank_state",
+            "gauge",
+            "Liveness state per rank (0 ok, 1 lagging, 2 hung)",
+        )
+        beat_family = PromFamily(
+            "repro_live_last_heartbeat_sim_seconds",
+            "gauge",
+            "Simulated time of each rank's latest heartbeat",
+        )
+        beats_family = PromFamily(
+            "repro_live_heartbeats_total",
+            "counter",
+            "Heartbeats observed per rank",
+        )
+        for verdict in verdicts.values():
+            labels = {
+                "node": verdict.node,
+                "rank": "" if verdict.rank is None else str(verdict.rank),
+            }
+            state_family.add("", labels, STATE_RANK[verdict.state])
+            if verdict.last_heartbeat is not None:
+                beat_family.add("", labels, verdict.last_heartbeat)
+            beats_family.add("", labels, verdict.heartbeats)
+
+        quantile_family = PromFamily(
+            "repro_live_latency_sim_seconds",
+            "gauge",
+            "Rolling-window checkpoint latency quantiles (simulated)",
+        )
+        for phase in ("commit_latency", "flush_latency"):
+            stats = slo[phase]
+            for q in ("p50", "p99"):
+                if stats[q] is not None:
+                    quantile_family.add(
+                        "",
+                        {"phase": phase, "quantile": q},
+                        stats[q],
+                    )
+
+        scalar_families = [
+            PromFamily(
+                "repro_live_backlog_depth",
+                "gauge",
+                "Checkpoints produced but not yet durable",
+            ).add("", None, slo["backlog_depth"]),
+            PromFamily(
+                "repro_live_error_budget_burn",
+                "gauge",
+                "Error-budget burn rate over the window",
+            ).add("", None, slo["burn_rate"]),
+            PromFamily(
+                "repro_live_records_ingested_total",
+                "counter",
+                "Journal records consumed by the live monitor",
+            ).add("", None, self.records_seen),
+            PromFamily(
+                "repro_live_status",
+                "gauge",
+                "Worst live grade (0 ok, 1 warn, 2 critical)",
+            ).add("", None, self.report(refresh=False).exit_code),
+        ]
+        if slo["dedup_ewma"] is not None:
+            scalar_families.append(
+                PromFamily(
+                    "repro_live_dedup_ratio_ewma",
+                    "gauge",
+                    "EWMA of per-commit dedup ratios",
+                ).add("", None, slo["dedup_ewma"])
+            )
+        return render_prometheus(
+            registry_families()
+            + [state_family, beat_family, beats_family, quantile_family]
+            + scalar_families
+        )

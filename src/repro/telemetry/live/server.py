@@ -1,0 +1,125 @@
+"""Scrapeable HTTP surface for a :class:`LiveMonitor` — stdlib only.
+
+:class:`MonitorServer` wraps a monitor in a ``ThreadingHTTPServer``:
+
+* ``GET /metrics`` — Prometheus text exposition (registry + live
+  families), ``text/plain; version=0.0.4``;
+* ``GET /healthz`` — worst live grade as an HTTP status: 200 ``ok``,
+  429 ``warn`` (degraded but serving), 503 ``critical``, body is the
+  one-word grade;
+* ``GET /slo``  — the JSON window summary (:meth:`LiveMonitor.snapshot`).
+
+Every request refreshes the monitor first (poll-on-scrape), serialized
+by the monitor's own lock, so a scraper always sees the newest journal
+state without a background thread of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..health import OK, WARN
+from .monitor import LiveMonitor
+
+#: Grade → HTTP status for ``/healthz``.  429 (not 500) for ``warn``:
+#: the plane is degraded but alive, and most probes treat only 5xx as
+#: dead — warn must page dashboards without tripping restart loops.
+HEALTH_STATUS = {OK: 200, WARN: 429, "critical": 503}
+
+CONTENT_TYPE_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "ReproMonitor/1"
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        monitor: LiveMonitor = self.server.monitor  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = monitor.prometheus().encode()
+                self._send(200, CONTENT_TYPE_PROM, body)
+            elif path == "/healthz":
+                grade = monitor.report().status
+                self._send(
+                    HEALTH_STATUS.get(grade, 503),
+                    "text/plain; charset=utf-8",
+                    (grade + "\n").encode(),
+                )
+            elif path == "/slo":
+                body = json.dumps(monitor.snapshot(), indent=2).encode()
+                self._send(200, "application/json", body)
+            else:
+                self._send(
+                    404,
+                    "text/plain; charset=utf-8",
+                    b"try /metrics, /healthz, or /slo\n",
+                )
+        except BrokenPipeError:  # scraper went away mid-response
+            pass
+
+    def log_message(self, format, *args) -> None:  # noqa: A002 - stdlib API
+        pass  # scrapes are periodic; logging each one is just noise
+
+
+class MonitorServer:
+    """Serve one :class:`LiveMonitor` over HTTP in a background thread.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`) — what the tests and the CI smoke use so runs
+    never collide.  Use as a context manager for deterministic shutdown.
+    """
+
+    def __init__(
+        self, monitor: LiveMonitor, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.monitor = monitor
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.monitor = monitor  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MonitorServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-monitor-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MonitorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,296 @@
+"""Rolling-window SLO engine over the live event stream.
+
+Folds the streamed journal into per-window service-level indicators and
+grades them with the same ``ok``/``warn``/``critical`` vocabulary as the
+post-hoc health engine (findings *are*
+:class:`repro.telemetry.health.Finding`), so a live alert and a
+post-mortem finding are the same object in every pipeline downstream.
+
+Indicators, each over the most recent ``window`` checkpoint commits:
+
+* **Commit latency** — application-visible seconds per checkpoint
+  (device work + admission stall), summarized as p50/p99 via
+  :meth:`Histogram.quantile` over the shared cumulative buckets.
+* **Flush latency** — ``persisted_at − produced_at``, the hierarchy's
+  drain lag, same quantile treatment.
+* **Dedup-ratio EWMA drift** — an exponentially weighted moving average
+  of per-commit dedup ratios; the live analogue of the post-hoc
+  ``dedup_regression`` rule, alerting when the EWMA collapses below its
+  own running peak.
+* **Flush backlog depth** — commits produced but not yet durable at the
+  newest observed simulated instant.
+* **Error-budget burn rate** — failure events (crashes, retries,
+  outages, salvages…) per commit, measured against an allowed budget
+  fraction; burn ≥ 1 means the budget is being spent exactly as fast as
+  it accrues, ≥ ``critical_burn`` means it is being torched.
+
+Latency alerts fire on *targets* when configured (absolute p99
+ceilings), and on a scale-free tail ratio (p99 ≫ p50) otherwise — the
+simulated clock's absolute values depend on workload size, so only the
+ratio is meaningful without operator-set targets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from ..events import CHECKPOINT_COMMITTED, FAILURE_EVENT_TYPES
+from ..health import CRITICAL, WARN, Finding
+from ..metrics import DEFAULT_BUCKETS, Histogram
+
+
+@dataclass
+class SloConfig:
+    """Thresholds for the rolling-window SLO engine."""
+
+    #: Commits per rolling window.
+    window: int = 64
+    #: Absolute p99 targets in simulated seconds (``None`` = unset).
+    commit_p99_target: Optional[float] = None
+    flush_p99_target: Optional[float] = None
+    #: Scale-free tail alarm: p99/p50 past these ratios (used only when
+    #: the corresponding absolute target is unset).
+    tail_warn_ratio: float = 100.0
+    tail_critical_ratio: float = 1000.0
+    #: Dedup EWMA smoothing and drop-from-peak thresholds.
+    dedup_alpha: float = 0.3
+    dedup_warn_drop: float = 0.5
+    dedup_critical_drop: float = 0.8
+    #: Minimum commits before dedup drift can alert (warm-up).
+    dedup_min_commits: int = 8
+    #: In-flight (produced, not yet durable) commits at the window edge.
+    backlog_warn_depth: int = 8
+    backlog_critical_depth: int = 32
+    #: Failure events allowed per commit; burn = observed / allowed.
+    error_budget_fraction: float = 0.05
+    burn_warn: float = 1.0
+    burn_critical: float = 10.0
+
+
+class SloEngine:
+    """Streaming SLI fold + graded alerting.
+
+    Feed it every record (:meth:`observe` ignores irrelevant types), then
+    read :meth:`summary` for the window numbers or :meth:`findings` for
+    the graded alerts.  The engine keeps O(window) state regardless of
+    run length.
+    """
+
+    def __init__(self, config: Optional[SloConfig] = None) -> None:
+        self.config = config if config is not None else SloConfig()
+        window = self.config.window
+        self._commit_latency: Deque[float] = deque(maxlen=window)
+        self._flush_latency: Deque[float] = deque(maxlen=window)
+        #: (produced_at, persisted_at) of recent commits, for backlog depth.
+        self._flight: Deque[tuple] = deque(maxlen=window)
+        #: 1 per commit / 0 per failure marker in arrival order, for burn.
+        self._budget_events: Deque[str] = deque(maxlen=window)
+        self._dedup_ewma: Optional[float] = None
+        self._dedup_peak: Optional[float] = None
+        self.commits: int = 0
+        self.failures: int = 0
+        self._now: float = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        sim = record.get("sim_time")
+        if sim is not None:
+            self._now = max(self._now, float(sim))
+        if kind == CHECKPOINT_COMMITTED:
+            self.commits += 1
+            self._budget_events.append("commit")
+            latency = float(record.get("device_seconds", 0.0) or 0.0) + float(
+                record.get("blocked_seconds", 0.0) or 0.0
+            )
+            self._commit_latency.append(latency)
+            produced = record.get("produced_at")
+            persisted = record.get("persisted_at")
+            if produced is not None and persisted is not None:
+                produced, persisted = float(produced), float(persisted)
+                self._flush_latency.append(max(0.0, persisted - produced))
+                self._flight.append((produced, persisted))
+                self._now = max(self._now, produced)
+            stored = int(record.get("stored_bytes", 0) or 0)
+            full = int(record.get("full_bytes", 0) or 0)
+            if stored > 0 and full > 0:
+                ratio = full / stored
+                alpha = self.config.dedup_alpha
+                self._dedup_ewma = (
+                    ratio
+                    if self._dedup_ewma is None
+                    else alpha * ratio + (1 - alpha) * self._dedup_ewma
+                )
+                self._dedup_peak = (
+                    self._dedup_ewma
+                    if self._dedup_peak is None
+                    else max(self._dedup_peak, self._dedup_ewma)
+                )
+        elif kind in FAILURE_EVENT_TYPES:
+            self.failures += 1
+            self._budget_events.append("failure")
+
+    def observe_all(self, records) -> None:
+        for record in records:
+            self.observe(record)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _quantiles(values) -> Dict[str, Optional[float]]:
+        if not values:
+            return {"p50": None, "p99": None, "count": 0}
+        hist = Histogram.from_values("window", values, buckets=DEFAULT_BUCKETS)
+        return {
+            "p50": hist.quantile(0.5),
+            "p99": hist.quantile(0.99),
+            "count": len(values),
+        }
+
+    def backlog_depth(self) -> int:
+        """Commits produced but not yet durable at the newest instant."""
+        return sum(
+            1
+            for produced, persisted in self._flight
+            if produced <= self._now < persisted
+        )
+
+    def burn_rate(self) -> float:
+        """Error-budget burn over the window (1.0 = spending on schedule)."""
+        window = list(self._budget_events)
+        commits = sum(1 for e in window if e == "commit")
+        failures = len(window) - commits
+        if failures == 0:
+            return 0.0
+        allowed = self.config.error_budget_fraction * max(1, commits)
+        return failures / allowed
+
+    def dedup_drop(self) -> float:
+        """Fraction of the running EWMA peak currently lost (0 = none)."""
+        if not self._dedup_peak or self._dedup_ewma is None:
+            return 0.0
+        return max(0.0, 1.0 - self._dedup_ewma / self._dedup_peak)
+
+    def summary(self) -> Dict[str, Any]:
+        """The window's SLI numbers (the ``/slo`` endpoint's payload)."""
+        return {
+            "window": self.config.window,
+            "commits": self.commits,
+            "failures": self.failures,
+            "now": self._now,
+            "commit_latency": self._quantiles(self._commit_latency),
+            "flush_latency": self._quantiles(self._flush_latency),
+            "dedup_ewma": self._dedup_ewma,
+            "dedup_peak": self._dedup_peak,
+            "dedup_drop": self.dedup_drop(),
+            "backlog_depth": self.backlog_depth(),
+            "burn_rate": self.burn_rate(),
+        }
+
+    # ------------------------------------------------------------------
+    def _latency_findings(
+        self, name: str, values, target: Optional[float]
+    ) -> List[Finding]:
+        stats = self._quantiles(values)
+        p50, p99 = stats["p50"], stats["p99"]
+        if p99 is None:
+            return []
+        config = self.config
+        if target is not None:
+            if p99 <= target:
+                return []
+            severity = CRITICAL if p99 >= 2 * target else WARN
+            message = (
+                f"{name} p99 {p99:.3g}s over target {target:.3g}s "
+                f"(window of {stats['count']})"
+            )
+        else:
+            if not p50 or p50 <= 0:
+                return []
+            ratio = p99 / p50
+            if ratio < config.tail_warn_ratio:
+                return []
+            severity = (
+                CRITICAL if ratio >= config.tail_critical_ratio else WARN
+            )
+            message = (
+                f"{name} tail blew out: p99 {p99:.3g}s is {ratio:.0f}x "
+                f"p50 {p50:.3g}s (window of {stats['count']})"
+            )
+        return [
+            Finding(
+                rule=f"slo_{name}",
+                severity=severity,
+                message=message,
+                evidence=[stats],
+            )
+        ]
+
+    def findings(self) -> List[Finding]:
+        """Graded alerts for every indicator currently out of budget."""
+        config = self.config
+        findings: List[Finding] = []
+        findings.extend(
+            self._latency_findings(
+                "commit_latency", self._commit_latency, config.commit_p99_target
+            )
+        )
+        findings.extend(
+            self._latency_findings(
+                "flush_latency", self._flush_latency, config.flush_p99_target
+            )
+        )
+
+        drop = self.dedup_drop()
+        if self.commits >= config.dedup_min_commits and drop >= config.dedup_warn_drop:
+            severity = CRITICAL if drop >= config.dedup_critical_drop else WARN
+            findings.append(
+                Finding(
+                    rule="slo_dedup_drift",
+                    severity=severity,
+                    message=(
+                        f"dedup EWMA {self._dedup_ewma:.2f}x fell {drop:.0%} "
+                        f"below its running peak {self._dedup_peak:.2f}x"
+                    ),
+                    evidence=[
+                        {"ewma": self._dedup_ewma, "peak": self._dedup_peak}
+                    ],
+                )
+            )
+
+        depth = self.backlog_depth()
+        if depth >= config.backlog_warn_depth:
+            severity = (
+                CRITICAL if depth >= config.backlog_critical_depth else WARN
+            )
+            findings.append(
+                Finding(
+                    rule="slo_flush_backlog",
+                    severity=severity,
+                    message=(
+                        f"{depth} checkpoint(s) produced but not yet durable "
+                        f"at t={self._now:g}"
+                    ),
+                    evidence=[{"backlog_depth": depth, "now": self._now}],
+                )
+            )
+
+        burn = self.burn_rate()
+        if burn >= config.burn_warn:
+            severity = CRITICAL if burn >= config.burn_critical else WARN
+            findings.append(
+                Finding(
+                    rule="slo_error_budget",
+                    severity=severity,
+                    message=(
+                        f"error budget burning at {burn:.1f}x: "
+                        f"{self.failures} failure event(s) against a "
+                        f"{config.error_budget_fraction:.0%}/commit budget"
+                    ),
+                    evidence=[
+                        {"burn_rate": burn, "failures": self.failures}
+                    ],
+                )
+            )
+        return findings

@@ -166,6 +166,63 @@ class Histogram:
         out["+Inf"] = self._count
         return out
 
+    @classmethod
+    def from_values(
+        cls,
+        name: str,
+        values: Sequence[Union[int, float]],
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> "Histogram":
+        """Build a histogram from raw observations, ignoring the global switch.
+
+        Live instruments gate :meth:`observe` on the shared telemetry
+        flag; offline aggregation (windowed SLO quantiles over journal
+        events) must work whether or not collection is on, so this
+        constructor fills the buckets directly.
+        """
+        hist = cls(name, help, buckets=buckets)
+        for value in values:
+            value = float(value)
+            hist._bucket_counts[bisect.bisect_left(hist.buckets, value)] += 1
+            hist._count += 1
+            hist._sum += value
+            if value < hist._min:
+                hist._min = value
+            if value > hist._max:
+                hist._max = value
+        return hist
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile from the cumulative buckets.
+
+        Linear interpolation inside the bucket holding the target rank —
+        the standard Prometheus ``histogram_quantile`` estimator — with
+        two refinements the tracked extrema allow: the result is clamped
+        to the observed ``[min, max]`` range, and a rank falling in the
+        ``+Inf`` overflow bucket returns the observed maximum instead of
+        an unbounded edge.  Returns ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return None
+        target = q * self._count
+        running = 0
+        for i, n in enumerate(self._bucket_counts):
+            if n == 0:
+                continue
+            if running + n >= target:
+                if i >= len(self.buckets):
+                    return self._max  # the +Inf overflow bucket
+                hi = self.buckets[i]
+                lo = self.buckets[i - 1] if i > 0 else min(self._min, hi)
+                fraction = (target - running) / n
+                estimate = lo + (hi - lo) * max(0.0, min(1.0, fraction))
+                return max(self._min, min(self._max, estimate))
+            running += n
+        return self._max
+
     def snapshot(self) -> dict:
         return {
             "type": self.kind,

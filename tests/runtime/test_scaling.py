@@ -113,14 +113,20 @@ class TestEventCapture:
         assert result.events == []
 
     def test_per_rank_journals_merge_into_result(self):
-        from repro.telemetry.events import CHECKPOINT_COMMITTED
+        from repro.telemetry.events import CHECKPOINT_COMMITTED, HEARTBEAT
 
         g = generate("delaunay", 128, seed=1)
         driver = StrongScalingDriver(g, chunk_size=64, capture_events=True)
         result = driver.run(2, num_checkpoints=3)
-        assert len(result.events) == 2 * 3
-        assert all(e["type"] == CHECKPOINT_COMMITTED for e in result.events)
-        assert {e["rank"] for e in result.events} == {0, 1}
+        commits = [e for e in result.events if e["type"] == CHECKPOINT_COMMITTED]
+        beats = [e for e in result.events if e["type"] == HEARTBEAT]
+        assert len(commits) == 2 * 3
+        assert len(beats) == 2 * 3  # one liveness beat per commit
+        assert {e["type"] for e in result.events} == {
+            CHECKPOINT_COMMITTED,
+            HEARTBEAT,
+        }
+        assert {e["rank"] for e in commits} == {0, 1}
         times = [e["sim_time"] for e in result.events]
         assert times == sorted(times)
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import telemetry
+from repro.telemetry import events
 from repro.telemetry._state import STATE
 
 
@@ -10,6 +11,8 @@ from repro.telemetry._state import STATE
 def _isolated_telemetry():
     was_enabled = STATE.enabled
     telemetry.reset_telemetry()
+    events.reset_bus()
     yield
     telemetry.reset_telemetry()
+    events.reset_bus()
     STATE.enabled = was_enabled

@@ -1,0 +1,187 @@
+"""LivenessTracker: deadlines, hung escalation, stragglers — and the
+order-independence property: shuffled multi-rank heartbeat streams must
+produce identical verdicts (same style as ``test_aggregate.py``)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.events import CRASH, HEARTBEAT, RESTART
+from repro.telemetry.live import HUNG, LAGGING, OK, LivenessTracker
+
+
+def beat(node, rank, sim, seq=0, interval=10.0, checkpoints=0):
+    return {
+        "schema": 2,
+        "seq": seq,
+        "type": HEARTBEAT,
+        "run_id": "run",
+        "node": node,
+        "rank": rank,
+        "wall_time": 0.0,
+        "sim_time": sim,
+        "interval_seconds": interval,
+        "checkpoints": checkpoints,
+    }
+
+
+def crash(node, rank, sim, seq=0):
+    return {
+        "schema": 2,
+        "seq": seq,
+        "type": CRASH,
+        "run_id": "run",
+        "node": node,
+        "rank": rank,
+        "wall_time": 0.0,
+        "sim_time": sim,
+    }
+
+
+def restart(node, rank, sim, seq=0):
+    return {
+        "schema": 2,
+        "seq": seq,
+        "type": RESTART,
+        "run_id": "run",
+        "node": node,
+        "rank": rank,
+        "wall_time": 0.0,
+        "sim_time": sim,
+    }
+
+
+def fleet_stream(num_ranks=4, beats_per_rank=5, interval=10.0):
+    records = []
+    for r in range(num_ranks):
+        for i in range(beats_per_rank):
+            records.append(
+                beat("node0", r, (i + 1) * interval, seq=i, checkpoints=i + 1)
+            )
+    return records
+
+
+class TestDeadlines:
+    def test_all_on_deadline_is_ok(self):
+        tracker = LivenessTracker()
+        tracker.observe_all(fleet_stream())
+        verdicts = tracker.verdicts()
+        assert {v.state for v in verdicts.values()} == {OK}
+
+    def test_missed_deadlines_grade_lagging_then_hung(self):
+        tracker = LivenessTracker(lag_misses=2, hung_misses=4)
+        tracker.observe(beat("node0", 0, 10.0))
+        tracker.observe(beat("node0", 1, 10.0))
+        # Rank 1 keeps beating; rank 0 goes silent.
+        for i in range(2, 8):
+            tracker.observe(beat("node0", 1, i * 10.0, seq=i))
+        v0 = tracker.verdicts(now=35.0)[("node0", 0)]
+        assert v0.state == LAGGING and v0.misses == 2
+        v0 = tracker.verdicts(now=55.0)[("node0", 0)]
+        assert v0.state == HUNG
+        assert tracker.verdicts(now=55.0)[("node0", 1)].state == OK
+
+    def test_crash_without_restart_hung_within_one_deadline(self):
+        tracker = LivenessTracker()
+        tracker.observe(beat("node0", 0, 20.0, seq=1))
+        tracker.observe(beat("node0", 1, 20.0, seq=1))
+        tracker.observe(crash("node0", 1, 25.0, seq=2))
+        # Before one interval has elapsed: not hung yet (restart grace).
+        before = tracker.verdicts(now=30.0)[("node0", 1)]
+        assert before.state != HUNG
+        # One heartbeat deadline after the crash: hung, no waiting out
+        # hung_misses silent beats.
+        after = tracker.verdicts(now=35.0)[("node0", 1)]
+        assert after.state == HUNG
+        assert "no restart" in after.reason
+
+    def test_restart_clears_the_open_crash(self):
+        tracker = LivenessTracker()
+        tracker.observe(beat("node0", 0, 20.0, seq=1))
+        tracker.observe(crash("node0", 0, 25.0, seq=2))
+        tracker.observe(restart("node0", 0, 26.0, seq=3))
+        tracker.observe(beat("node0", 0, 30.0, seq=4))
+        assert tracker.verdicts(now=31.0)[("node0", 0)].state == OK
+
+    def test_interval_inferred_from_gaps_when_undeclared(self):
+        tracker = LivenessTracker()
+        for i in range(1, 5):
+            tracker.observe(beat("node0", 0, i * 3.0, seq=i, interval=None))
+        verdict = tracker.verdicts(now=12.0)[("node0", 0)]
+        assert verdict.interval == pytest.approx(3.0)
+        assert tracker.verdicts(now=30.0)[("node0", 0)].state == HUNG
+
+    def test_hung_findings_are_critical(self):
+        tracker = LivenessTracker()
+        tracker.observe(beat("node0", 0, 10.0))
+        tracker.observe(crash("node0", 0, 15.0, seq=1))
+        findings = tracker.findings(now=40.0)
+        assert len(findings) == 1
+        assert findings[0].rule == "liveness"
+        assert findings[0].severity == "critical"
+        assert findings[0].rank == 0
+
+
+class TestStragglers:
+    def test_slow_rank_flagged_relative_to_fleet(self):
+        tracker = LivenessTracker(straggler_sigma=3.0)
+        for r in range(6):
+            gap = 10.0 if r < 5 else 25.0  # rank 5 is 2.5x slower
+            for i in range(1, 6):
+                tracker.observe(
+                    beat("node0", r, i * gap, seq=i, interval=None)
+                )
+        verdicts = tracker.verdicts(now=50.0)
+        assert verdicts[("node0", 5)].straggler
+        assert not any(
+            verdicts[("node0", r)].straggler for r in range(5)
+        )
+
+    def test_uniform_fleet_has_no_stragglers(self):
+        tracker = LivenessTracker()
+        tracker.observe_all(fleet_stream(num_ranks=6))
+        assert not any(v.straggler for v in tracker.verdicts().values())
+
+
+class TestOrderIndependence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_shuffled_streams_identical_verdicts(self, seed):
+        records = fleet_stream(num_ranks=4, beats_per_rank=5)
+        records.append(crash("node0", 2, 35.0, seq=90))
+        records.append(crash("node0", 3, 12.0, seq=91))
+        records.append(restart("node0", 3, 13.0, seq=92))
+
+        ordered = LivenessTracker()
+        ordered.observe_all(records)
+        baseline = {
+            k: v.as_dict() for k, v in ordered.verdicts(now=60.0).items()
+        }
+
+        shuffled = list(records)
+        random.Random(seed).shuffle(shuffled)
+        tracker = LivenessTracker()
+        tracker.observe_all(shuffled)
+        assert {
+            k: v.as_dict() for k, v in tracker.verdicts(now=60.0).items()
+        } == baseline
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_shuffled_findings_identical(self, seed):
+        records = fleet_stream(num_ranks=3, beats_per_rank=4)
+        records.append(crash("node0", 1, 22.0, seq=50))
+        shuffled = list(records)
+        random.Random(seed).shuffle(shuffled)
+
+        def graded(stream):
+            tracker = LivenessTracker()
+            tracker.observe_all(stream)
+            return sorted(
+                (f.rule, f.severity, f.node, f.rank, f.message)
+                for f in tracker.findings(now=50.0)
+            )
+
+        assert graded(shuffled) == graded(records)

@@ -1,0 +1,195 @@
+"""LiveMonitor + MonitorServer: ingestion paths, exposition, endpoints."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.telemetry import events
+from repro.telemetry.events import (
+    CHECKPOINT_COMMITTED,
+    CRASH,
+    HEARTBEAT,
+    EventJournal,
+)
+from repro.telemetry.export import validate_prometheus_text
+from repro.telemetry.live import LiveMonitor, MonitorServer
+from repro.telemetry.live.monitor import INGEST_RULE
+from repro.telemetry.live.server import CONTENT_TYPE_PROM, HEALTH_STATUS
+
+
+def write_clean_run(path, ranks=2, beats=4, interval=10.0, run_id="run-a"):
+    journal = EventJournal(path=path, run_id=run_id, node="node0")
+    for i in range(1, beats + 1):
+        now = i * interval
+        for r in range(ranks):
+            journal.emit(
+                CHECKPOINT_COMMITTED,
+                sim_time=now,
+                rank=r,
+                device_seconds=1e-4,
+                blocked_seconds=0.0,
+                produced_at=now,
+                persisted_at=now + 1e-4,
+                stored_bytes=100,
+                full_bytes=1000,
+            )
+            journal.emit(
+                HEARTBEAT,
+                sim_time=now,
+                rank=r,
+                interval_seconds=interval,
+                checkpoints=i,
+            )
+    return path
+
+
+class TestFollowerMode:
+    def test_clean_run_grades_ok(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with LiveMonitor(path) as monitor:
+            report = monitor.report()
+            assert report.status == "ok"
+            assert report.findings == []
+            assert monitor.records_seen == 16
+
+    def test_crash_without_restart_goes_critical(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        journal = EventJournal(path=path, run_id="run-a", node="node0")
+        journal.emit(CRASH, sim_time=45.0, rank=1)
+        # Advance the fleet clock one deadline past the crash.
+        journal.emit(
+            HEARTBEAT, sim_time=60.0, rank=0, interval_seconds=10.0, checkpoints=6
+        )
+        with LiveMonitor(path) as monitor:
+            report = monitor.report()
+            assert report.status == "critical"
+            hung = [f for f in report.findings if f.rule == "liveness"]
+            assert hung and hung[0].rank == 1
+
+    def test_mixed_runs_flagged_critical(self, tmp_path):
+        write_clean_run(tmp_path / "a.jsonl", run_id="run-a")
+        write_clean_run(tmp_path / "b.jsonl", run_id="run-b")
+        with LiveMonitor(tmp_path) as monitor:
+            report = monitor.report()
+            ingest = [f for f in report.findings if f.rule == INGEST_RULE]
+            assert ingest and ingest[0].severity == "critical"
+
+    def test_damaged_lines_warn_not_crash(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with path.open("a") as fh:
+            fh.write("not json at all\n")
+        with LiveMonitor(path) as monitor:
+            report = monitor.report()
+            ingest = [f for f in report.findings if f.rule == INGEST_RULE]
+            assert ingest and ingest[0].severity == "warn"
+            assert "skipped" in ingest[0].message
+
+
+class TestBusMode:
+    def test_bus_records_reach_monitor_without_disk(self):
+        # No journal installed at all: records ride the bus only.
+        with LiveMonitor(bus=True) as monitor:
+            for i in range(1, 4):
+                events.emit(
+                    HEARTBEAT,
+                    sim_time=i * 10.0,
+                    rank=0,
+                    interval_seconds=10.0,
+                    checkpoints=i,
+                )
+            monitor.poll()
+            assert monitor.records_seen == 3
+            verdict = monitor.verdicts()[("node0", 0)]
+            assert verdict.heartbeats == 3
+
+    def test_close_unsubscribes(self):
+        monitor = LiveMonitor(bus=True)
+        monitor.close()
+        events.emit(HEARTBEAT, sim_time=10.0, rank=0)
+        monitor.poll()
+        assert monitor.records_seen == 0
+
+
+class TestRendering:
+    def test_prometheus_page_is_format_valid(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with LiveMonitor(path) as monitor:
+            text = monitor.prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "repro_live_rank_state" in text
+        assert "repro_live_heartbeats_total" in text
+        assert "repro_live_latency_sim_seconds" in text
+        assert 'rank="1"' in text
+
+    def test_snapshot_shape(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with LiveMonitor(path) as monitor:
+            snap = monitor.snapshot()
+        assert snap["status"] == "ok"
+        assert snap["records_seen"] == 16
+        assert len(snap["ranks"]) == 2
+        assert snap["slo"]["commit_latency"]["count"] == 8
+        json.dumps(snap)  # must be JSON-serializable as served
+
+    def test_rank_table_lists_every_rank(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl", ranks=3)
+        with LiveMonitor(path) as monitor:
+            table = monitor.rank_table()
+        for r in range(3):
+            assert f"node0/r{r}" in table
+        assert "window[" in table
+
+
+def fetch(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read()
+
+
+class TestMonitorServer:
+    def test_endpoints_on_clean_run(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with LiveMonitor(path) as monitor, MonitorServer(monitor) as server:
+            status, ctype, body = fetch(server.url + "/metrics")
+            assert status == 200 and ctype == CONTENT_TYPE_PROM
+            assert validate_prometheus_text(body.decode()) == []
+
+            status, _, body = fetch(server.url + "/healthz")
+            assert status == 200 and body.decode().strip() == "ok"
+
+            status, ctype, body = fetch(server.url + "/slo")
+            assert status == 200 and ctype == "application/json"
+            snap = json.loads(body)
+            assert snap["status"] == "ok" and len(snap["ranks"]) == 2
+
+            status, _, _ = fetch(server.url + "/nope")
+            assert status == 404
+
+    def test_healthz_maps_critical_to_503(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        journal = EventJournal(path=path, run_id="run-a", node="node0")
+        journal.emit(CRASH, sim_time=45.0, rank=1)
+        journal.emit(
+            HEARTBEAT, sim_time=60.0, rank=0, interval_seconds=10.0, checkpoints=6
+        )
+        with LiveMonitor(path) as monitor, MonitorServer(monitor) as server:
+            status, _, body = fetch(server.url + "/healthz")
+            assert status == 503 and body.decode().strip() == "critical"
+
+    def test_scrape_sees_appended_events(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl", beats=2)
+        with LiveMonitor(path) as monitor, MonitorServer(monitor) as server:
+            _, _, before = fetch(server.url + "/slo")
+            assert json.loads(before)["records_seen"] == 8
+            journal = EventJournal(path=path, run_id="run-a", node="node0")
+            journal.emit(
+                HEARTBEAT, sim_time=30.0, rank=0, interval_seconds=10.0, checkpoints=3
+            )
+            _, _, after = fetch(server.url + "/slo")
+            assert json.loads(after)["records_seen"] == 9
+
+    def test_status_map_covers_every_grade(self):
+        assert HEALTH_STATUS == {"ok": 200, "warn": 429, "critical": 503}

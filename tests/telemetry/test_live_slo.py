@@ -1,0 +1,159 @@
+"""SloEngine: windowed quantiles, EWMA drift, backlog depth, burn rate."""
+
+import pytest
+
+from repro.telemetry.events import CHECKPOINT_COMMITTED, CRASH, FLUSH_RETRY
+from repro.telemetry.live import SloConfig, SloEngine
+
+
+def commit(
+    sim,
+    seq=0,
+    device=1e-4,
+    blocked=0.0,
+    produced=None,
+    persisted=None,
+    stored=100,
+    full=1000,
+    rank=0,
+):
+    produced = produced if produced is not None else sim
+    persisted = persisted if persisted is not None else produced + 1e-5
+    return {
+        "schema": 2,
+        "seq": seq,
+        "type": CHECKPOINT_COMMITTED,
+        "run_id": "run",
+        "node": "node0",
+        "rank": rank,
+        "wall_time": 0.0,
+        "sim_time": sim,
+        "device_seconds": device,
+        "blocked_seconds": blocked,
+        "produced_at": produced,
+        "persisted_at": persisted,
+        "stored_bytes": stored,
+        "full_bytes": full,
+    }
+
+
+def failure(sim, type=FLUSH_RETRY, seq=0):
+    return {
+        "schema": 2,
+        "seq": seq,
+        "type": type,
+        "run_id": "run",
+        "node": "node0",
+        "rank": 0,
+        "wall_time": 0.0,
+        "sim_time": sim,
+    }
+
+
+class TestWindowQuantiles:
+    def test_summary_carries_p50_p99(self):
+        engine = SloEngine()
+        for i in range(20):
+            engine.observe(commit(float(i), seq=i, device=1e-3))
+        stats = engine.summary()["commit_latency"]
+        assert stats["count"] == 20
+        assert stats["p50"] == pytest.approx(1e-3, rel=1.0)
+        assert stats["p99"] >= stats["p50"]
+
+    def test_window_slides(self):
+        engine = SloEngine(SloConfig(window=4))
+        for i in range(10):
+            engine.observe(commit(float(i), seq=i))
+        assert engine.summary()["commit_latency"]["count"] == 4
+        assert engine.commits == 10
+
+    def test_clean_stream_produces_no_findings(self):
+        engine = SloEngine()
+        for i in range(30):
+            engine.observe(commit(float(i), seq=i))
+        assert engine.findings() == []
+
+
+class TestLatencyAlerts:
+    def test_absolute_target_breach(self):
+        engine = SloEngine(SloConfig(commit_p99_target=1e-3))
+        for i in range(20):
+            engine.observe(commit(float(i), seq=i, device=5e-3))
+        findings = engine.findings()
+        rules = {f.rule for f in findings}
+        assert "slo_commit_latency" in rules
+        worst = next(f for f in findings if f.rule == "slo_commit_latency")
+        assert worst.severity == "critical"  # 5x over a 2x-critical target
+
+    def test_tail_ratio_alert_without_target(self):
+        engine = SloEngine(SloConfig(tail_warn_ratio=50.0))
+        for i in range(40):
+            engine.observe(commit(float(i), seq=i, device=1e-5))
+        for i in range(40, 42):
+            engine.observe(commit(float(i), seq=i, device=1e-1))
+        findings = [f for f in engine.findings() if f.rule == "slo_commit_latency"]
+        assert findings and findings[0].severity in ("warn", "critical")
+        assert "tail" in findings[0].message
+
+
+class TestDedupDrift:
+    def test_collapsing_ratio_alerts(self):
+        engine = SloEngine(SloConfig(dedup_min_commits=4))
+        for i in range(8):
+            engine.observe(commit(float(i), seq=i, stored=100, full=1000))
+        assert engine.findings() == []
+        for i in range(8, 30):
+            engine.observe(commit(float(i), seq=i, stored=1000, full=1000))
+        findings = [f for f in engine.findings() if f.rule == "slo_dedup_drift"]
+        assert findings
+        assert engine.dedup_drop() > 0.5
+
+    def test_improving_ratio_never_alerts(self):
+        engine = SloEngine(SloConfig(dedup_min_commits=2))
+        for i in range(20):
+            engine.observe(
+                commit(float(i), seq=i, stored=max(10, 1000 - 40 * i), full=1000)
+            )
+        assert [f for f in engine.findings() if f.rule == "slo_dedup_drift"] == []
+
+
+class TestBacklogAndBurn:
+    def test_backlog_depth_counts_in_flight(self):
+        engine = SloEngine(SloConfig(backlog_warn_depth=3))
+        # Ten commits produced by t=10, none durable until t=100.
+        for i in range(10):
+            engine.observe(
+                commit(float(i), seq=i, produced=float(i), persisted=100.0)
+            )
+        assert engine.backlog_depth() == 10
+        findings = [f for f in engine.findings() if f.rule == "slo_flush_backlog"]
+        assert findings and findings[0].severity == "warn"
+
+    def test_drained_backlog_is_quiet(self):
+        engine = SloEngine()
+        for i in range(10):
+            engine.observe(
+                commit(float(i), seq=i, produced=float(i), persisted=float(i) + 0.1)
+            )
+        engine.observe(commit(50.0, seq=99, produced=49.0, persisted=50.0))
+        assert engine.backlog_depth() == 0
+
+    def test_burn_rate_alerts_on_failures(self):
+        engine = SloEngine(SloConfig(error_budget_fraction=0.05))
+        for i in range(20):
+            engine.observe(commit(float(i), seq=i))
+        assert engine.burn_rate() == 0.0
+        engine.observe(failure(21.0, seq=50))
+        engine.observe(failure(22.0, type=CRASH, seq=51))
+        burn = engine.burn_rate()
+        assert burn == pytest.approx(2 / (0.05 * 20))
+        findings = [f for f in engine.findings() if f.rule == "slo_error_budget"]
+        assert findings and findings[0].severity == "warn"
+
+    def test_heavy_burn_is_critical(self):
+        engine = SloEngine(SloConfig(error_budget_fraction=0.01))
+        engine.observe(commit(0.0))
+        for i in range(5):
+            engine.observe(failure(float(i + 1), seq=10 + i))
+        findings = [f for f in engine.findings() if f.rule == "slo_error_budget"]
+        assert findings and findings[0].severity == "critical"

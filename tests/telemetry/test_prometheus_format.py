@@ -1,0 +1,152 @@
+"""Prometheus text exposition-format compliance.
+
+The exporter's output is consumed by a real scraper, so the contract is
+the format spec, not "looks right": label values escape backslash /
+newline / quote, ``# HELP``/``# TYPE`` appear exactly once per family,
+histogram families carry cumulative buckets ending at ``+Inf``.
+``validate_prometheus_text`` parses a page line-by-line and is itself
+exercised both ways — clean pages pass, each corruption is caught.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    PromFamily,
+    metrics_to_prometheus,
+    prom_escape_label_value,
+    prom_sample_line,
+    render_prometheus,
+    validate_prometheus_text,
+)
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ("plain", "plain"),
+            ('has "quotes"', 'has \\"quotes\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("new\nline", "new\\nline"),
+            ('all\\of"them\n', 'all\\\\of\\"them\\n'),
+        ],
+    )
+    def test_escape_rules(self, raw, escaped):
+        assert prom_escape_label_value(raw) == escaped
+
+    def test_sample_line_escapes_every_label(self):
+        line = prom_sample_line(
+            "repro_x", {"node": 'n"0\n', "rank": "1"}, 2
+        )
+        assert line == 'repro_x{node="n\\"0\\n",rank="1"} 2'
+
+    def test_escaped_labels_survive_validation(self):
+        family = PromFamily("repro_x", "gauge", "help").add(
+            "", {"v": 'we\\ird"\nvalue'}, 1
+        )
+        assert validate_prometheus_text(render_prometheus([family])) == []
+
+
+class TestFamilyInvariants:
+    def test_help_and_type_exactly_once_per_family(self):
+        telemetry.enable(reset=True)
+        telemetry.counter("a_total", "first").inc(1)
+        telemetry.gauge("b_depth", "second").set(2)
+        telemetry.histogram("c_seconds", "third").observe(0.5)
+        text = metrics_to_prometheus()
+        for prefix in ("# HELP repro_a_total", "# TYPE repro_a_total"):
+            assert text.count(prefix) == 1
+        for prefix in ("# HELP repro_c_seconds", "# TYPE repro_c_seconds"):
+            assert text.count(prefix) == 1
+        assert validate_prometheus_text(text) == []
+
+    def test_render_refuses_duplicate_family(self):
+        families = [
+            PromFamily("repro_x", "counter").add("", None, 1),
+            PromFamily("repro_x", "counter").add("", None, 2),
+        ]
+        with pytest.raises(ValueError, match="exactly once"):
+            render_prometheus(families)
+
+    def test_name_collisions_disambiguated(self):
+        telemetry.enable(reset=True)
+        telemetry.counter("map_probes", "underscored").inc(1)
+        telemetry.counter("map.probes", "dotted").inc(2)
+        text = metrics_to_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "repro_map_probes_2" in text
+
+    def test_registry_page_parses_line_by_line(self):
+        telemetry.enable(reset=True)
+        telemetry.counter("events_total", "Total events").inc(7)
+        hist = telemetry.histogram("lat_seconds", "Latency")
+        for v in (1e-4, 3e-3, 0.5, 20.0):
+            hist.observe(v)
+        text = metrics_to_prometheus()
+        assert validate_prometheus_text(text) == []
+        # Every non-comment line must be a parseable sample.
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+
+class TestValidatorCatchesDamage:
+    def test_duplicate_type(self):
+        page = (
+            "# TYPE repro_x counter\nrepro_x 1\n"
+            "# TYPE repro_x counter\nrepro_x 2\n"
+        )
+        assert any("duplicate TYPE" in p for p in validate_prometheus_text(page))
+
+    def test_duplicate_help(self):
+        page = (
+            "# HELP repro_x a\n# TYPE repro_x counter\nrepro_x 1\n"
+            "# HELP repro_x b\n"
+        )
+        assert any("duplicate HELP" in p for p in validate_prometheus_text(page))
+
+    def test_invalid_type_kind(self):
+        page = "# TYPE repro_x castle\nrepro_x 1\n"
+        assert any("invalid TYPE" in p for p in validate_prometheus_text(page))
+
+    def test_unterminated_label_value(self):
+        page = '# TYPE repro_x gauge\nrepro_x{le="} 1\n'
+        assert any("label" in p for p in validate_prometheus_text(page))
+
+    def test_unescaped_garbage_line(self):
+        page = "# TYPE repro_x gauge\nthis is not a sample\n"
+        assert any("unparseable" in p for p in validate_prometheus_text(page))
+
+    def test_interleaved_families(self):
+        page = (
+            "# TYPE repro_a counter\nrepro_a 1\n"
+            "# TYPE repro_b counter\nrepro_b 1\nrepro_a 2\n"
+        )
+        assert any("interleave" in p for p in validate_prometheus_text(page))
+
+    def test_histogram_must_end_at_inf(self):
+        page = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 1\n'
+            "repro_h_sum 0.5\nrepro_h_count 1\n"
+        )
+        assert any("+Inf" in p for p in validate_prometheus_text(page))
+
+    def test_histogram_cumulative_counts_must_not_decrease(self):
+        page = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 5\n'
+            'repro_h_bucket{le="10.0"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 2.0\nrepro_h_count 5\n"
+        )
+        assert any("decrease" in p for p in validate_prometheus_text(page))
+
+    def test_histogram_missing_parts(self):
+        page = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 1\n'
+        )
+        problems = validate_prometheus_text(page)
+        assert any("missing _sum" in p for p in problems)
+        assert any("missing _count" in p for p in problems)

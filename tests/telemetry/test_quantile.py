@@ -1,0 +1,133 @@
+"""`Histogram.quantile` against exact percentiles of the raw values.
+
+A bucketed quantile can only be as precise as its buckets, so the
+property is *bracketing*, not equality: the estimate must land within
+the bucket that actually contains the exact quantile (and exactly on it
+when the histogram collapses to one point).  The ``+Inf`` overflow
+bucket is the edge case the estimator must not extrapolate from — it
+has no upper boundary, so the observed maximum is the only honest
+answer.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram
+
+
+def exact_quantile(values, q):
+    """Nearest-rank exact quantile of the raw observations."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def bucket_of(value, buckets):
+    """(lo, hi] bucket bounds holding *value* (hi may be +Inf)."""
+    for i, hi in enumerate(buckets):
+        if value <= hi:
+            lo = buckets[i - 1] if i > 0 else float("-inf")
+            return lo, hi
+    return buckets[-1], float("inf")
+
+
+class TestQuantileBasics:
+    def test_empty_histogram_returns_none(self):
+        assert Histogram.from_values("h", []).quantile(0.5) is None
+
+    def test_out_of_range_q_raises(self):
+        hist = Histogram.from_values("h", [1.0])
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_single_value_every_quantile(self):
+        hist = Histogram.from_values("h", [0.25])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.25)
+
+    def test_from_values_ignores_disabled_switch(self):
+        # No enable() call anywhere — offline aggregation must not care.
+        hist = Histogram.from_values("h", [1.0, 2.0, 3.0])
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(6.0)
+
+    def test_plus_inf_bucket_returns_observed_max(self):
+        top = DEFAULT_BUCKETS[-1]
+        values = [top * 10, top * 50, top * 100]  # all in the +Inf bucket
+        hist = Histogram.from_values("h", values)
+        assert hist.quantile(0.99) == pytest.approx(top * 100)
+        assert hist.quantile(0.5) == pytest.approx(top * 100)
+        assert math.isfinite(hist.quantile(0.99))
+
+    def test_mixed_finite_and_overflow(self):
+        top = DEFAULT_BUCKETS[-1]
+        values = [0.001] * 90 + [top * 7] * 10
+        hist = Histogram.from_values("h", values)
+        assert hist.quantile(0.5) <= 0.001 + 1e-12
+        assert hist.quantile(0.99) == pytest.approx(top * 7)
+
+    def test_clamped_to_observed_range(self):
+        values = [0.4, 0.5, 0.6]  # all inside the (0.1, 1.0] decade bucket
+        hist = Histogram.from_values("h", values)
+        for q in (0.0, 0.5, 1.0):
+            assert 0.4 <= hist.quantile(q) <= 0.6
+
+
+class TestQuantileProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        q=st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 1.0]),
+    )
+    def test_estimate_brackets_the_exact_quantile(self, values, q):
+        hist = Histogram.from_values("h", values)
+        estimate = hist.quantile(q)
+        exact = exact_quantile(values, q)
+        lo, hi = bucket_of(exact, hist.buckets)
+        # Within the exact quantile's bucket, and never outside the
+        # observed value range.
+        assert min(values) <= estimate <= max(values)
+        if math.isfinite(hi):
+            assert lo - 1e-12 <= estimate <= hi + 1e-12 or (
+                # Interpolation may land in a neighboring bucket when the
+                # exact rank sits on a bucket boundary count; it must
+                # still bracket within one bucket of the truth.
+                bucket_of(estimate, hist.buckets)[1] >= lo
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    def test_monotone_in_q(self, values):
+        hist = Histogram.from_values("h", values)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        estimates = [hist.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_extremes_hit_observed_min_max_bucket(self, values):
+        hist = Histogram.from_values("h", values)
+        assert hist.quantile(1.0) == pytest.approx(max(values), rel=10.0)
+        assert hist.quantile(1.0) <= max(values) + 1e-12
+        assert hist.quantile(0.0) >= min(values) - 1e-12
