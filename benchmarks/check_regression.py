@@ -44,6 +44,7 @@ METRICS: List[Tuple[str, str]] = [
     ("BENCH_restore.json", "fleet.rpix.compression_ratio"),
     ("BENCH_faults.json", "record.total.detection_rate"),
     ("BENCH_faults.json", "record.total.recovery_rate"),
+    ("BENCH_census.json", "census.pool_forecast_ratio"),
 ]
 
 #: (file, dotted metric path, required value) — correctness invariants,

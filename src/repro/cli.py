@@ -8,6 +8,13 @@ demo
 inspect <dir>
     Print the per-checkpoint composition of a stored record and run the
     structural verifier.
+explain <dir>
+    Attribute a record's logical bytes to first/shift/fixed/zero classes
+    from its provenance index (no replay), with per-chunk lineage depth
+    and reference counts; ``--sweep`` prices alternative chunk sizes.
+census <root>
+    Stream several records' chunk digests into one frequency table and
+    report achieved vs attainable dedup (intra-record vs shared pool).
 verify <dir>
     Integrity-scan a stored record: per-checkpoint digest status, chain
     digest, and the salvageable prefix length (see docs/FAULT_MODEL.md).
@@ -37,8 +44,8 @@ bench <name>
     fusion, metadata, gorder, hybrid, workload, hashfn, streaming,
     restore, faults, fuzz).
 
-``inspect``, ``verify``, ``health``, ``replay``, and ``fuzz`` accept
-``--json`` for machine-readable output.
+``inspect``, ``explain``, ``census``, ``verify``, ``health``, ``replay``,
+and ``fuzz`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -110,6 +117,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                     "metadata_bytes": c.metadata_bytes,
                     "stored_bytes": c.stored_bytes,
                     "changed_fraction": c.changed_fraction,
+                    "consolidation_factor": c.consolidation_factor,
+                    "first_region_chunks": {
+                        str(k): v for k, v in sorted(c.first_region_chunks.items())
+                    },
+                    "shift_region_chunks": {
+                        str(k): v for k, v in sorted(c.shift_region_chunks.items())
+                    },
+                    "shift_targets": {
+                        str(k): v for k, v in sorted(c.shift_targets.items())
+                    },
                 }
                 for c in analyze_record(diffs)
             ],
@@ -476,6 +493,57 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .telemetry.attribution import (
+        attribute_record,
+        chunk_size_sweep,
+        sweep_report,
+    )
+
+    attribution = attribute_record(args.record)
+    points = None
+    if args.sweep:
+        sizes = [int(s) for s in args.sweep.split(",") if s.strip()]
+        diffs = load_record(args.record)
+        points = chunk_size_sweep(diffs, sizes)
+    if args.json:
+        doc = attribution.as_dict()
+        if points is not None:
+            doc["sweep"] = [p.as_dict() for p in points]
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(attribution.summary())
+    if points is not None:
+        print("\nwhat-if chunk-size sweep:")
+        print(sweep_report(points))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .telemetry.attribution import ChunkCensus
+
+    root = Path(args.root)
+    if (root / "record.json").exists():
+        record_dirs = [root]
+    else:
+        record_dirs = sorted(
+            p for p in root.iterdir()
+            if p.is_dir() and (p / "record.json").exists()
+        )
+    if not record_dirs:
+        print(f"no records found under {root}", file=sys.stderr)
+        return 1
+    census = ChunkCensus()
+    for directory in record_dirs:
+        census.add_record(directory)
+    report = census.report(top=args.top)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(report.summary())
+    return 0
+
+
 _BENCHES = {
     "table1": "bench_table1_graphs",
     "fig4": "bench_fig4_chunksize",
@@ -493,6 +561,7 @@ _BENCHES = {
     "overhead": "bench_runtime_overhead",
     "faults": "bench_faults",
     "fuzz": "bench_fuzz",
+    "census": "bench_census",
 }
 
 
@@ -542,6 +611,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     inspect.set_defaults(func=_cmd_inspect)
+
+    explain = sub.add_parser(
+        "explain",
+        help="byte attribution of a stored record (first/shift/fixed/zero)",
+    )
+    explain.add_argument("record", help="record directory")
+    explain.add_argument(
+        "--sweep", default=None, metavar="SIZES",
+        help="also price alternative chunk sizes (comma list, e.g. 64,128,256)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    census = sub.add_parser(
+        "census",
+        help="cross-record chunk census: achieved vs attainable dedup",
+    )
+    census.add_argument(
+        "root", help="a record directory, or a directory of record directories"
+    )
+    census.add_argument(
+        "--top", type=int, default=10,
+        help="how many top duplicated chunk families to report",
+    )
+    census.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    census.set_defaults(func=_cmd_census)
 
     verify = sub.add_parser("verify", help="integrity-scan a stored record")
     verify.add_argument("record", help="record directory")

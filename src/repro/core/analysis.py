@@ -49,13 +49,17 @@ class DiffComposition:
         return (self.first_bytes + self.shift_bytes) / self.data_len
 
     @property
-    def consolidation_factor(self) -> float:
-        """Chunks covered per metadata entry (higher = better compaction)."""
+    def consolidation_factor(self) -> Optional[float]:
+        """Chunks covered per metadata entry (higher = better compaction).
+
+        ``None`` when the diff carries no regions at all (nothing changed),
+        so JSON consumers see ``null`` instead of a non-serializable inf.
+        """
         entries = sum(self.first_region_chunks.values()) + sum(
             self.shift_region_chunks.values()
         )
         if entries == 0:
-            return float("inf")
+            return None
         chunks = sum(k * v for k, v in self.first_region_chunks.items()) + sum(
             k * v for k, v in self.shift_region_chunks.items()
         )
@@ -148,7 +152,7 @@ def composition_report(diffs: Sequence[CheckpointDiff]) -> str:
             f"{100 * c.first_bytes / c.data_len:>6.1f}% "
             f"{100 * c.shift_bytes / c.data_len:>6.1f}% "
             f"{regions:>8d} "
-            f"{'inf' if consol == float('inf') else f'{consol:.2f}':>7s} "
+            f"{'—' if consol is None else f'{consol:.2f}':>7s} "
             f"{c.stored_bytes:>10,d}"
         )
     return "\n".join(lines)

@@ -703,6 +703,49 @@ def read_v3(
 
 
 # ----------------------------------------------------------------------
+# Lineage analytics (the attribution plane reads these)
+# ----------------------------------------------------------------------
+def lineage_depths(table: ProvenanceTable) -> np.ndarray:
+    """Restore-gather hop distance of every chunk of every checkpoint.
+
+    Entry ``[k, c]`` is how many checkpoints back checkpoint *k* reaches
+    for chunk *c*'s bytes (``k - src_ckpt``); self-sourced chunks and
+    implicit zeros are depth 0.  Because the table is fully transitively
+    resolved, this is exactly the age of the payload a restore-time
+    gather touches — derivable on cold records without replay.
+    """
+    rows = np.arange(table.num_checkpoints, dtype=np.int64)[:, None]
+    depth = rows - table.src_ckpt.astype(np.int64)
+    depth[table.src_ckpt == ZERO_SOURCE] = 0
+    return depth
+
+
+def cell_reference_counts(table: ProvenanceTable) -> Tuple[np.ndarray, int]:
+    """How many table entries resolve to each chunk's payload cell.
+
+    A *cell* is one distinct ``(src_ckpt, src_off)`` pair — one stored
+    chunk's bytes on disk.  Returns ``(counts, num_cells)``: ``counts``
+    has the table's shape and gives, per entry, the total number of
+    entries anywhere in the table sharing its cell (≥ 1; 0 for implicit
+    zeros); ``num_cells`` is the number of distinct non-zero cells, i.e.
+    the record's unique stored-chunk population.
+    """
+    keys = np.empty(
+        table.src_ckpt.size, dtype=[("c", "<i8"), ("o", "<i8")]
+    )
+    keys["c"] = table.src_ckpt.astype(np.int64).ravel()
+    keys["o"] = table.src_off.astype(np.int64).ravel()
+    uniq, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    per_entry = counts[inverse].astype(np.int64)
+    zero = keys["c"] == ZERO_SOURCE
+    per_entry[zero] = 0
+    num_cells = int(np.count_nonzero(uniq["c"] >= 0))
+    return per_entry.reshape(table.src_ckpt.shape), num_cells
+
+
+# ----------------------------------------------------------------------
 # Materialization
 # ----------------------------------------------------------------------
 @dataclass

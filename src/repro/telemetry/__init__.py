@@ -56,6 +56,13 @@ from .metrics import (
     gauge,
     histogram,
 )
+from .attribution import (
+    ChunkCensus,
+    RecordAttribution,
+    attribute_diffs,
+    attribute_record,
+    chunk_size_sweep,
+)
 from .health import Finding, HealthReport, default_rules, evaluate_health
 from .report import render_report, write_report
 from .tracer import InstantRecord, SpanRecord, Tracer, get_tracer, instant, span
@@ -109,6 +116,7 @@ def capture(model=None) -> Iterator[Dict[str, Any]]:
 
 
 __all__ = [
+    "ChunkCensus",
     "Counter",
     "EventJournal",
     "Finding",
@@ -120,9 +128,13 @@ __all__ = [
     "LoadedJournal",
     "MetricsRegistry",
     "RankRollup",
+    "RecordAttribution",
     "SpanRecord",
     "Tracer",
+    "attribute_diffs",
+    "attribute_record",
     "build_rollup",
+    "chunk_size_sweep",
     "capture",
     "counter",
     "default_registry",

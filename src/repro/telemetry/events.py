@@ -67,6 +67,7 @@ RECORD_APPENDED = "record_appended"
 RUN_CONFIG = "run_config"
 REPLAY_DIVERGENCE = "replay_divergence"
 HEARTBEAT = "heartbeat"
+ATTRIBUTION_SUMMARY = "attribution_summary"
 
 EVENT_TYPES = frozenset(
     {
@@ -84,6 +85,7 @@ EVENT_TYPES = frozenset(
         RUN_CONFIG,
         REPLAY_DIVERGENCE,
         HEARTBEAT,
+        ATTRIBUTION_SUMMARY,
     }
 )
 

@@ -24,6 +24,8 @@ Rule catalog (see ``docs/OBSERVABILITY.md`` §8):
 * :class:`WriteAmplificationRule` — record appends whose bytes written
   dwarf the checkpoints appended (the store regressed toward O(N)
   appends: frames rewritten, index rebuilt whole).
+* :class:`PoolCandidateRule` — census rows whose cross-record duplicate
+  share marks a record as a strong shared-dedup-pool candidate.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .aggregate import FleetRollup, build_rollup
 from .events import (
+    ATTRIBUTION_SUMMARY,
     CRASH,
     FLUSH_RETRY,
     FLUSH_ROUTE_AROUND,
@@ -588,6 +591,61 @@ class WriteAmplificationRule(HealthRule):
         ]
 
 
+class PoolCandidateRule(HealthRule):
+    """A record whose chunk bytes mostly already exist in other records.
+
+    Reads the census rows (``attribution_summary`` events with scope
+    ``census_record``, emitted by :class:`~repro.telemetry.attribution.
+    ChunkCensus`): when a record's *cross-record duplicate share* — the
+    fraction of its unique chunk bytes whose content other records also
+    hold — passes ``warn_share``, standalone storage is leaving real
+    dedup on the table and the record is a shared-pool candidate; past
+    ``strong_share`` the record is mostly duplicate content and storing
+    it outside the pool is mostly waste.  Purely advisory grading: it
+    fires only when a census ran, so clean ORANGES runs stay at zero
+    findings.
+    """
+
+    name = "pool_candidate"
+    description = "cross-record duplicate share marks shared-pool candidates"
+
+    def __init__(
+        self, warn_share: float = 0.3, strong_share: float = 0.7
+    ) -> None:
+        self.warn_share = warn_share
+        self.strong_share = strong_share
+
+    def evaluate(self, rollup: FleetRollup) -> List[Finding]:
+        rows = [
+            e
+            for e in rollup.events_of(ATTRIBUTION_SUMMARY)
+            if e.get("scope") == "census_record"
+        ]
+        findings: List[Finding] = []
+        for row in rows:
+            share = float(row.get("cross_duplicate_share", 0.0) or 0.0)
+            if share < self.warn_share:
+                continue
+            severity = CRITICAL if share >= self.strong_share else WARN
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=severity,
+                    message=(
+                        f"record {row.get('record', '?')}: {share:.0%} of its "
+                        f"unique chunk bytes exist in other records "
+                        f"(intra ×{float(row.get('intra_ratio', 0) or 0):.2f} "
+                        f"→ pooled ×{float(row.get('pool_ratio', 0) or 0):.2f})"
+                        f" — shared-pool candidate"
+                    ),
+                    node=row.get("node"),
+                    rank=row.get("rank"),
+                    evidence=[row],
+                )
+            )
+        return findings
+
+
 #: Which rules can flag each failure event type (see
 #: :data:`repro.telemetry.events.FAILURE_EVENT_TYPES`).  The fuzzing
 #: campaign and ``tests/telemetry/test_health.py`` assert this map is
@@ -615,6 +673,7 @@ def default_rules() -> List[HealthRule]:
         RestoreLagRule(),
         ReplayDivergenceRule(),
         WriteAmplificationRule(),
+        PoolCandidateRule(),
     ]
 
 

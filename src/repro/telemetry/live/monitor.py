@@ -76,6 +76,12 @@ class LiveMonitor:
         if bus:
             self._subscription = events_mod.subscribe(self._bus_queue.append)
         self.records_seen = 0
+        #: Latest record-scope attribution summary per record name.
+        self._attr_records: Dict[str, Dict[str, Any]] = {}
+        #: Latest census row per record name (scope ``census_record``).
+        self._attr_census_rows: Dict[str, Dict[str, Any]] = {}
+        #: Latest fleet-wide census summary (scope ``census``).
+        self._attr_census: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "LiveMonitor":
@@ -101,8 +107,19 @@ class LiveMonitor:
             for record in batch:
                 self.tracker.observe(record)
                 self.slo.observe(record)
+                if record.get("type") == events_mod.ATTRIBUTION_SUMMARY:
+                    self._observe_attribution(record)
             self.records_seen += len(batch)
             return len(batch)
+
+    def _observe_attribution(self, record: Dict[str, Any]) -> None:
+        scope = record.get("scope")
+        if scope == "record":
+            self._attr_records[str(record.get("record", "?"))] = record
+        elif scope == "census_record":
+            self._attr_census_rows[str(record.get("record", "?"))] = record
+        elif scope == "census":
+            self._attr_census = record
 
     # ------------------------------------------------------------------
     def _ingest_findings(self) -> List[Finding]:
@@ -297,8 +314,62 @@ class LiveMonitor:
                     "EWMA of per-commit dedup ratios",
                 ).add("", None, slo["dedup_ewma"])
             )
+        attr_class = PromFamily(
+            "repro_attr_class_bytes",
+            "gauge",
+            "Attributed logical bytes per record and byte class",
+        )
+        attr_depth = PromFamily(
+            "repro_attr_lineage_depth_max",
+            "gauge",
+            "Deepest restore-gather hop distance per record",
+        )
+        attr_sharing = PromFamily(
+            "repro_attr_sharing_factor",
+            "gauge",
+            "Logical chunk references per unique payload cell",
+        )
+        for name, row in self._attr_records.items():
+            for cls in ("first", "shift", "fixed", "zero", "metadata"):
+                value = row.get(f"{cls}_bytes")
+                if value is not None:
+                    attr_class.add("", {"record": name, "class": cls}, value)
+            if row.get("max_lineage_depth") is not None:
+                attr_depth.add("", {"record": name}, row["max_lineage_depth"])
+            if row.get("sharing_factor") is not None:
+                attr_sharing.add("", {"record": name}, row["sharing_factor"])
+
+        attr_xdup = PromFamily(
+            "repro_attr_cross_duplicate_share",
+            "gauge",
+            "Share of a record's unique chunk bytes other records also hold",
+        )
+        for name, row in self._attr_census_rows.items():
+            if row.get("cross_duplicate_share") is not None:
+                attr_xdup.add(
+                    "", {"record": name}, row["cross_duplicate_share"]
+                )
+        attr_families = [attr_class, attr_depth, attr_sharing, attr_xdup]
+        attr_records_total = PromFamily(
+            "repro_attr_records_seen_total",
+            "counter",
+            "Records with an attribution summary observed",
+        ).add("", None, len(self._attr_records))
+        attr_families.append(attr_records_total)
+        if self._attr_census is not None:
+            pool = self._attr_census.get("pool_forecast_ratio")
+            if pool is not None:
+                attr_families.append(
+                    PromFamily(
+                        "repro_attr_pool_forecast_ratio",
+                        "gauge",
+                        "Attainable fleet dedup with one shared chunk pool",
+                    ).add("", None, pool)
+                )
+
         return render_prometheus(
             registry_families()
             + [state_family, beat_family, beats_family, quantile_family]
             + scalar_families
+            + attr_families
         )

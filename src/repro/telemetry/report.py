@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Union
 from ..utils.units import format_bytes
 from .aggregate import FleetRollup
 from .events import (
+    ATTRIBUTION_SUMMARY,
     CHECKPOINT_COMMITTED,
     CRASH,
     FLUSH_RETRY,
@@ -217,6 +218,104 @@ def _nodes_table(rollup: FleetRollup) -> str:
     return f"<table>{head}{body}</table>"
 
 
+#: Byte-class fill colors for the attribution stacked bars.
+_CLASS_COLOR = {
+    "first": "#1565c0",
+    "shift": "#6a1b9a",
+    "fixed": "#9e9e9e",
+    "zero": "#cfd8dc",
+}
+
+
+def _attribution_bar(row: Dict[str, Any], width: int = 420) -> str:
+    """One record's per-class stacked bar as inline SVG."""
+    classes = [
+        (name, int(row.get(f"{name}_bytes", 0) or 0)) for name in _CLASS_COLOR
+    ]
+    total = sum(v for _, v in classes)
+    if total <= 0:
+        return "<p>(no attributed bytes)</p>"
+    height = 18
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img" '
+        f'aria-label="byte classes of record '
+        f'{html.escape(str(row.get("record", "?")))}">'
+    ]
+    x0 = 0.0
+    for name, value in classes:
+        if value <= 0:
+            continue
+        w = value / total * width
+        parts.append(
+            f'<rect x="{x0:.1f}" y="0" width="{max(w, 1):.1f}" '
+            f'height="{height}" fill="{_CLASS_COLOR[name]}">'
+            f"<title>{html.escape(name)}: {format_bytes(value)} "
+            f"({100 * value / total:.1f}%)</title></rect>"
+        )
+        x0 += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _attribution_html(rollup: FleetRollup) -> str:
+    """Attribution section: one stacked bar + stats per attributed record."""
+    rows = [
+        e
+        for e in rollup.events_of(ATTRIBUTION_SUMMARY)
+        if e.get("scope") == "record"
+    ]
+    census = [
+        e
+        for e in rollup.events_of(ATTRIBUTION_SUMMARY)
+        if e.get("scope") == "census"
+    ]
+    if not rows and not census:
+        return "<p>(no attribution events in this run)</p>"
+    latest: Dict[str, Dict[str, Any]] = {}
+    for row in rows:
+        latest[str(row.get("record", "?"))] = row
+    legend = " ".join(
+        f'<span class="badge" style="background:{color}">{name}</span>'
+        for name, color in _CLASS_COLOR.items()
+    )
+    head = (
+        '<tr><th class="name">record</th><th>bytes by class</th>'
+        "<th>ckpts</th><th>logical</th><th>stored</th><th>dedup</th>"
+        "<th>cells</th><th>sharing</th><th>depth</th></tr>"
+    )
+    body = []
+    for name, row in sorted(latest.items()):
+        logical = int(row.get("logical_bytes", 0) or 0)
+        stored = int(row.get("stored_bytes", 0) or 0)
+        dedup = f"{logical / stored:.2f}x" if stored else "—"
+        body.append(
+            f'<tr><td class="name">{html.escape(name)}</td>'
+            f"<td>{_attribution_bar(row)}</td>"
+            f"<td>{int(row.get('num_checkpoints', 0) or 0)}</td>"
+            f"<td>{format_bytes(logical)}</td>"
+            f"<td>{format_bytes(stored)}</td>"
+            f"<td>{html.escape(dedup)}</td>"
+            f"<td>{int(row.get('unique_cells', 0) or 0)}</td>"
+            f"<td>{_fmt(float(row.get('sharing_factor', 0) or 0))}x</td>"
+            f"<td>{int(row.get('max_lineage_depth', 0) or 0)}</td></tr>"
+        )
+    table = f"<p>{legend}</p><table>{head}{''.join(body)}</table>" if body else ""
+    pool = ""
+    if census:
+        c = census[-1]
+        pool = (
+            f"<p>cross-record census over {int(c.get('num_records', 0) or 0)} "
+            f"record(s): shared-pool forecast "
+            f"<strong>{_fmt(float(c.get('pool_forecast_ratio', 0) or 0))}x"
+            f"</strong> vs best single record "
+            f"{_fmt(float(c.get('best_intra_ratio', 0) or 0))}x "
+            f"(per-record p50 {_fmt(float(c.get('record_pool_ratio_p50', 0) or 0))}x, "
+            f"p99 {_fmt(float(c.get('record_pool_ratio_p99', 0) or 0))}x)</p>"
+        )
+    return table + pool
+
+
 def _findings_html(health: HealthReport, max_evidence: int = 5) -> str:
     if not health.findings:
         return (
@@ -280,6 +379,8 @@ def render_report(
 {_fleet_table(rollup)}
 <h2>Per-node rollup</h2>
 {_nodes_table(rollup)}
+<h2>Chunk-lineage attribution</h2>
+{_attribution_html(rollup)}
 <h2>Health findings</h2>
 {_findings_html(health)}
 <h2>Timelines</h2>

@@ -75,6 +75,23 @@ class TestAnalyzeDiff:
     def test_analyze_record_empty(self):
         assert analyze_record([]) == []
 
+    def test_consolidation_none_on_empty_diff(self, rng):
+        n = 64 * 16
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        engine = ENGINES["tree"](n, 64)
+        engine.checkpoint(base)
+        comp = analyze_diff(engine.checkpoint(base))  # nothing changed
+        assert comp.first_bytes == 0 and comp.shift_bytes == 0
+        # No regions to consolidate: undefined, not infinite (JSON-safe).
+        assert comp.consolidation_factor is None
+
+    def test_report_renders_dash_for_empty_diff(self, rng):
+        n = 64 * 16
+        base = rng.integers(0, 256, n, dtype=np.uint8)
+        engine = ENGINES["tree"](n, 64)
+        diffs = [engine.checkpoint(base), engine.checkpoint(base)]
+        assert "—" in composition_report(diffs)
+
 
 class TestVerifyChain:
     def test_sound_chains_pass(self, rng):

@@ -111,3 +111,108 @@ class TestJsonFlags:
         rc = main(["inspect", str(record_dir)])
         assert rc == 0
         assert "chain verified" in capsys.readouterr().out
+
+
+class TestInspectCompositionFields:
+    def test_inspect_json_carries_composition_fields(self, record_dir, capsys):
+        rc = main(["inspect", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        for row in doc["checkpoints"]:
+            assert "changed_fraction" in row
+            assert "consolidation_factor" in row
+            # Histograms are JSON objects keyed by stringified ints.
+            assert all(isinstance(k, str) for k in row["first_region_chunks"])
+            assert all(isinstance(k, str) for k in row["shift_targets"])
+        seed = doc["checkpoints"][0]
+        assert seed["changed_fraction"] == 1.0
+
+    def test_empty_diff_consolidation_is_null(self, tmp_path, capsys):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, 1 << 13, dtype=np.uint8)
+        ck = IncrementalCheckpointer(data_len=1 << 13, chunk_size=128)
+        ck.checkpoint(data)
+        ck.checkpoint(data)  # unchanged: empty diff
+        directory = tmp_path / "rec"
+        save_record(ck.record.diffs, directory, method="tree")
+        rc = main(["inspect", str(directory), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["checkpoints"][1]["consolidation_factor"] is None
+
+
+class TestExplainCommand:
+    def test_explain_text_summary(self, record_dir, capsys):
+        rc = main(["explain", str(record_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "record record: 3 checkpoints" in out
+        assert "sharing" in out
+
+    def test_explain_json_classes_partition_bytes(self, record_dir, capsys):
+        rc = main(["explain", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        totals = doc["totals"]
+        assert (
+            totals["first"] + totals["shift"] + totals["fixed"] + totals["zero"]
+            == doc["logical_bytes"]
+        )
+
+    def test_explain_sweep_prices_requested_sizes(self, record_dir, capsys):
+        rc = main(["explain", str(record_dir), "--json", "--sweep", "64,256"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert [p["chunk_size"] for p in doc["sweep"]] == [64, 256]
+
+    def test_explain_sweep_text_table(self, record_dir, capsys):
+        rc = main(["explain", str(record_dir), "--sweep", "64"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "what-if chunk-size sweep:" in out
+
+
+class TestCensusCommand:
+    def _fleet(self, tmp_path, names=("a", "b")):
+        root = tmp_path / "fleet"
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 256, 1 << 13, dtype=np.uint8)
+        for name in names:
+            ck = IncrementalCheckpointer(data_len=1 << 13, chunk_size=128)
+            ck.checkpoint(base)  # shared content across the fleet
+            nxt = base.copy()
+            nxt[:128] = rng.integers(0, 256, 128, dtype=np.uint8)
+            ck.checkpoint(nxt)
+            save_record(ck.record.diffs, root / name, method="tree")
+        return root
+
+    def test_census_over_directory_of_records(self, tmp_path, capsys):
+        root = self._fleet(tmp_path)
+        rc = main(["census", str(root), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["num_records"] == 2
+        assert {r["name"] for r in doc["records"]} == {"a", "b"}
+        # The two records share the base buffer: pooling must beat the
+        # best record-local ratio.
+        assert doc["pool_forecast_ratio"] > doc["best_intra_ratio"]
+
+    def test_census_accepts_single_record_dir(self, record_dir, capsys):
+        rc = main(["census", str(record_dir), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["num_records"] == 1
+
+    def test_census_text_summary(self, tmp_path, capsys):
+        root = self._fleet(tmp_path)
+        rc = main(["census", str(root)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shared-pool forecast" in out
+
+    def test_census_empty_root_fails(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        rc = main(["census", str(tmp_path / "empty")])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no records found" in captured.err

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.telemetry.events import (
+    ATTRIBUTION_SUMMARY,
     CHECKPOINT_COMMITTED,
     CRASH,
     FAILURE_EVENT_TYPES,
@@ -27,6 +28,7 @@ from repro.telemetry.health import (
     Finding,
     FlushBacklogRule,
     HealthReport,
+    PoolCandidateRule,
     RestoreLagRule,
     TierOutageRule,
     default_rules,
@@ -473,3 +475,69 @@ class TestRuleCoverage:
             f"{event_type} not flagged by {RULE_COVERAGE[event_type]}; "
             f"findings: {[f.rule for f in report.findings]}"
         )
+
+
+def _census_journal(shares):
+    """A journal of census rows with the given cross-duplicate shares."""
+    journal = EventJournal(node="node0", rank=0)
+    for i, share in enumerate(shares):
+        journal.emit(
+            ATTRIBUTION_SUMMARY,
+            scope="census_record",
+            record=f"rec{i}",
+            num_checkpoints=5,
+            logical_bytes=50_000,
+            unique_bytes=10_000,
+            shared_bytes=int(10_000 * share),
+            cross_duplicate_share=share,
+            intra_ratio=5.0,
+            pool_ratio=5.0 / max(1.0 - share / 2, 1e-9),
+        )
+    return journal
+
+
+class TestPoolCandidateRule:
+    def _findings(self, journal):
+        report = evaluate_health(journal)
+        return [f for f in report.findings if f.rule == "pool_candidate"]
+
+    def test_low_share_stays_quiet(self):
+        assert self._findings(_census_journal([0.0, 0.1, 0.29])) == []
+
+    def test_warn_share_grades_warn(self):
+        findings = self._findings(_census_journal([0.4]))
+        assert [f.severity for f in findings] == [WARN]
+        assert "rec0" in findings[0].message
+        assert "shared-pool candidate" in findings[0].message
+
+    def test_strong_share_grades_critical(self):
+        findings = self._findings(_census_journal([0.85]))
+        assert [f.severity for f in findings] == [CRITICAL]
+
+    def test_one_finding_per_offending_record(self):
+        findings = self._findings(_census_journal([0.1, 0.5, 0.9]))
+        assert sorted(f.severity for f in findings) == [CRITICAL, WARN]
+
+    def test_evidence_carries_the_census_row(self):
+        findings = self._findings(_census_journal([0.6]))
+        (finding,) = findings
+        assert finding.evidence[0]["cross_duplicate_share"] == 0.6
+
+    def test_record_scope_attribution_does_not_fire(self):
+        journal = EventJournal(node="node0", rank=0)
+        journal.emit(
+            ATTRIBUTION_SUMMARY,
+            scope="record",
+            record="recA",
+            cross_duplicate_share=0.99,  # wrong scope: must be ignored
+        )
+        assert self._findings(journal) == []
+
+    def test_in_default_ruleset(self):
+        assert "pool_candidate" in [r.name for r in default_rules()]
+
+    def test_custom_thresholds(self):
+        rule = PoolCandidateRule(warn_share=0.1, strong_share=0.2)
+        journal = _census_journal([0.15])
+        rollup = evaluate_health(journal, rules=[rule])
+        assert [f.severity for f in rollup.findings] == [WARN]

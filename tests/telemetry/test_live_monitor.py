@@ -193,3 +193,81 @@ class TestMonitorServer:
 
     def test_status_map_covers_every_grade(self):
         assert HEALTH_STATUS == {"ok": 200, "warn": 429, "critical": 503}
+
+
+def append_attribution(path, run_id="run-a"):
+    """Append record + census attribution summaries to a journal file."""
+    from repro.telemetry.events import ATTRIBUTION_SUMMARY
+
+    journal = EventJournal(path=path, run_id=run_id, node="node0")
+    journal.emit(
+        ATTRIBUTION_SUMMARY,
+        sim_time=40.0,
+        scope="record",
+        record="recA",
+        num_checkpoints=3,
+        logical_bytes=30_000,
+        stored_bytes=12_000,
+        first_bytes=9_000,
+        shift_bytes=3_000,
+        fixed_bytes=15_000,
+        zero_bytes=3_000,
+        metadata_bytes=400,
+        unique_cells=120,
+        sharing_factor=2.5,
+        max_lineage_depth=2,
+    )
+    journal.emit(
+        ATTRIBUTION_SUMMARY,
+        sim_time=40.0,
+        scope="census_record",
+        record="recA",
+        cross_duplicate_share=0.4,
+        intra_ratio=2.5,
+        pool_ratio=3.0,
+    )
+    journal.emit(
+        ATTRIBUTION_SUMMARY,
+        sim_time=40.0,
+        scope="census",
+        num_records=1,
+        pool_forecast_ratio=5.25,
+        best_intra_ratio=2.5,
+    )
+
+
+class TestAttributionExposition:
+    def test_attr_families_rendered_and_valid(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        append_attribution(path)
+        with LiveMonitor(path) as monitor:
+            monitor.poll()
+            text = monitor.prometheus()
+        assert validate_prometheus_text(text) == []
+        assert 'repro_attr_class_bytes{record="recA",class="first"} 9000' in text
+        assert 'repro_attr_class_bytes{record="recA",class="metadata"} 400' in text
+        assert 'repro_attr_lineage_depth_max{record="recA"} 2' in text
+        assert 'repro_attr_sharing_factor{record="recA"} 2.5' in text
+        assert 'repro_attr_cross_duplicate_share{record="recA"} 0.4' in text
+        assert "repro_attr_records_seen_total 1" in text
+        assert "repro_attr_pool_forecast_ratio 5.25" in text
+
+    def test_records_counter_present_without_attribution(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        with LiveMonitor(path) as monitor:
+            monitor.poll()
+            text = monitor.prometheus()
+        assert "repro_attr_records_seen_total 0" in text
+        # No census seen: the forecast gauge must be absent, not zero.
+        assert "repro_attr_pool_forecast_ratio" not in text
+
+    def test_metrics_endpoint_serves_attr_families(self, tmp_path):
+        path = write_clean_run(tmp_path / "run.jsonl")
+        append_attribution(path)
+        with LiveMonitor(path) as monitor, MonitorServer(monitor) as server:
+            status, ctype, body = fetch(server.url + "/metrics")
+        assert status == 200 and ctype == CONTENT_TYPE_PROM
+        text = body.decode()
+        assert validate_prometheus_text(text) == []
+        assert "repro_attr_class_bytes" in text
+        assert "repro_attr_pool_forecast_ratio 5.25" in text

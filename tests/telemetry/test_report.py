@@ -96,3 +96,58 @@ class TestWriteReport:
         text = out.read_text()
         assert "<title>T5</title>" in text
         assert text == render_report(rollup, health, title="T5")
+
+
+class TestAttributionSection:
+    def _attribution_journal(self):
+        from repro.telemetry.events import ATTRIBUTION_SUMMARY
+
+        journal = _eventful_journal()
+        journal.emit(
+            ATTRIBUTION_SUMMARY,
+            scope="record",
+            record="recA",
+            num_checkpoints=3,
+            logical_bytes=30_000,
+            stored_bytes=12_000,
+            first_bytes=9_000,
+            shift_bytes=3_000,
+            fixed_bytes=15_000,
+            zero_bytes=3_000,
+            metadata_bytes=400,
+            unique_cells=120,
+            sharing_factor=2.5,
+            max_lineage_depth=2,
+        )
+        journal.emit(
+            ATTRIBUTION_SUMMARY,
+            scope="census",
+            num_records=2,
+            total_logical_bytes=60_000,
+            pool_unique_bytes=11_000,
+            pool_forecast_ratio=5.45,
+            best_intra_ratio=3.33,
+            record_pool_ratio_p50=4.0,
+            record_pool_ratio_p99=5.2,
+        )
+        return journal
+
+    def test_section_renders_stacked_bar_per_record(self):
+        doc = _render(self._attribution_journal())
+        assert "Chunk-lineage attribution" in doc
+        assert "recA" in doc
+        # One <rect> per non-empty byte class inside the bar SVG, each
+        # carrying a class-share tooltip.
+        assert "<title>first:" in doc
+        assert "<title>shift:" in doc
+        assert "(30.0%)" in doc  # 9000 of 30000 B attributed to first
+
+    def test_census_paragraph_reports_forecast(self):
+        doc = _render(self._attribution_journal())
+        assert "shared-pool forecast" in doc
+        assert "5.45x" in doc
+
+    def test_placeholder_without_attribution_events(self):
+        doc = _render(_eventful_journal())
+        assert "Chunk-lineage attribution" in doc
+        assert "(no attribution events in this run)" in doc
